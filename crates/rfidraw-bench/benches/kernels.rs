@@ -1,0 +1,87 @@
+//! Criterion benches for the compute kernels that dominate experiment
+//! wall-clock: vote-grid evaluation, per-tick tracing steps, baseline
+//! beamforming, snapshot construction, and recognition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfidraw::core::array::Deployment;
+use rfidraw::core::baseline::BaselineArrays;
+use rfidraw::core::geom::{Plane, Point2, Rect};
+use rfidraw::core::grid::{Grid2, VoteMap};
+use rfidraw::core::position::{MultiResConfig, MultiResPositioner};
+use rfidraw::core::trace::{ideal_snapshots, TraceConfig, TrajectoryTracer};
+use rfidraw::core::vote::ideal_measurements;
+use rfidraw::recognition::Recognizer;
+use std::hint::black_box;
+
+fn region() -> Rect {
+    Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0))
+}
+
+fn bench_vote_grid(c: &mut Criterion) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let tag = plane.lift(Point2::new(1.2, 0.9));
+    let ms = ideal_measurements(&dep, dep.all_pairs(), tag);
+    c.bench_function("vote_grid_5cm_all_pairs", |b| {
+        b.iter(|| {
+            let map = VoteMap::evaluate(&dep, &ms, plane, Grid2::new(region(), 0.05));
+            black_box(map.argmax())
+        })
+    });
+}
+
+fn bench_multires_locate(c: &mut Criterion) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let tag = plane.lift(Point2::new(1.2, 0.9));
+    let ms = ideal_measurements(&dep, dep.all_pairs(), tag);
+    let mut cfg = MultiResConfig::for_region(region());
+    cfg.fine_resolution = 0.02;
+    let pos = MultiResPositioner::new(dep, plane, cfg);
+    c.bench_function("multires_locate", |b| {
+        b.iter(|| black_box(pos.locate(black_box(&ms))))
+    });
+}
+
+fn bench_trace_steps(c: &mut Criterion) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let path: Vec<Point2> = (0..100)
+        .map(|i| Point2::new(1.0 + 0.002 * i as f64, 1.0 + 0.03 * (i as f64 * 0.2).sin()))
+        .collect();
+    let snaps = ideal_snapshots(&dep, plane, &path, 0.04);
+    let tracer = TrajectoryTracer::new(dep, plane, TraceConfig::default());
+    let start = rfidraw::core::position::Candidate {
+        position: path[0],
+        vote: 0.0,
+    };
+    c.bench_function("trace_100_ticks", |b| {
+        b.iter(|| black_box(tracer.trace_from(start, black_box(&snaps))))
+    });
+}
+
+fn bench_baseline_locate(c: &mut Criterion) {
+    let baseline = BaselineArrays::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let tag = plane.lift(Point2::new(1.2, 0.9));
+    let ms = ideal_measurements(baseline.deployment(), &baseline.pairs(), tag);
+    c.bench_function("baseline_locate", |b| {
+        b.iter(|| black_box(baseline.locate(black_box(&ms), plane, region())))
+    });
+}
+
+fn bench_recognizer(c: &mut Criterion) {
+    let rec = Recognizer::from_font();
+    let path = rfidraw::handwriting::layout::layout_word("q", 0.1, 0.0).unwrap();
+    c.bench_function("recognize_letter", |b| {
+        b.iter(|| black_box(rec.recognize(black_box(&path.points))))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vote_grid, bench_multires_locate, bench_trace_steps,
+              bench_baseline_locate, bench_recognizer
+}
+criterion_main!(kernels);

@@ -1,0 +1,79 @@
+//! Ablation — how many candidate initial positions to trace.
+//!
+//! §5.2 traces "a few" candidates and keeps the best-voted one. Tracing
+//! more candidates costs proportally more compute but rescues cases where
+//! the true start ranked low; this ablation sweeps the candidate budget and
+//! reports initial-position accuracy and how often the eventual winner was
+//! not the top-ranked candidate (the cases where trajectory voting
+//! actively refined positioning — §8.2's mechanism).
+
+use rfidraw::metrics::{Cdf, Table};
+use rfidraw::pipeline::PipelineConfig;
+use rfidraw_bench::harness::{paper_trials, run_batch};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .skip_while(|a| a != "--trials")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+
+    println!("=== Ablation: candidate budget for trajectory voting ===\n");
+
+    let mut table = Table::new(
+        format!("initial-position accuracy vs candidates traced ({trials} words)"),
+        &["max candidates", "median initial error (cm)", "winner ≠ rank-0 (%)", "ok"],
+    );
+    for max_candidates in [1usize, 2, 3, 5] {
+        let mut cfg = PipelineConfig::paper_default();
+        // The pipeline derives candidate count from MultiResConfig's
+        // default; scale it via the positioner config embedded in run_word
+        // by tweaking the shared knob.
+        cfg.fine_resolution_scale = 1.0;
+        cfg.seed = 77;
+        // PipelineConfig carries no direct candidate knob; emulate by
+        // adjusting the multires default through the region (same) and
+        // post-filtering: we trace all returned candidates but cap here.
+        let specs = paper_trials(trials, 5, 7000 + max_candidates as u64);
+        let results = run_batch(&cfg, &specs);
+        let mut init_errs = Vec::new();
+        let mut non_top = 0usize;
+        let mut ok = 0usize;
+        for (_, r) in &results {
+            let Ok(run) = r else { continue };
+            // Cap the candidate set: find the winner among the first
+            // `max_candidates` traces by cumulative vote.
+            let capped = run.traces.iter().take(max_candidates);
+            let winner_idx = capped
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.total_vote
+                        .partial_cmp(&b.1.total_vote)
+                        .expect("finite votes")
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            ok += 1;
+            if winner_idx != 0 {
+                non_top += 1;
+            }
+            let start = run.candidates[winner_idx.min(run.candidates.len() - 1)].position;
+            init_errs.push(start.dist(run.truth_at_ticks[0]));
+        }
+        if init_errs.is_empty() {
+            continue;
+        }
+        table.row(&[
+            max_candidates.to_string(),
+            format!("{:.1}", Cdf::from_samples(init_errs).median() * 100.0),
+            format!("{:.0}", non_top as f64 / ok as f64 * 100.0),
+            ok.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expectation: a single candidate forfeits the trajectory-vote \
+         refinement (§8.2); two to three candidates capture most of the \
+         2.2x initial-position gain; more adds compute, little accuracy."
+    );
+}

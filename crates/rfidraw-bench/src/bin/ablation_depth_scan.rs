@@ -1,0 +1,73 @@
+//! Ablation / extension — unknown writing-plane depth.
+//!
+//! The paper fixes the user's distance; this extension scans candidate
+//! depths with the 3-D voting form (core::volume) and auto-calibrates the
+//! plane before 2-D tracing, through the full protocol + channel stack.
+
+use rfidraw::channel::{Channel, Scenario};
+use rfidraw::core::array::Deployment;
+use rfidraw::core::geom::{Plane, Point2, Rect};
+use rfidraw::core::position::MultiResConfig;
+use rfidraw::core::stream::SnapshotBuilder;
+use rfidraw::core::volume::{depth_grid, estimate_depth};
+use rfidraw::metrics::Table;
+use rfidraw::protocol::inventory::{phase_reads, InventoryConfig, InventorySim, SimTag};
+use rfidraw::protocol::Epc;
+
+fn main() {
+    println!("=== Extension: auto-calibrating the writing-plane depth ===\n");
+
+    let dep = Deployment::paper_default();
+    let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.2));
+    let mut mcfg = MultiResConfig::for_region(region);
+    mcfg.fine_resolution = 0.03;
+    mcfg.coarse_resolution = 0.06;
+
+    let mut table = Table::new(
+        "depth scan through the full protocol stack (static tag, LOS)",
+        &["true depth (m)", "estimated (m)", "abs error (m)", "in-plane error (cm)"],
+    );
+
+    for (i, true_depth) in [1.5, 2.0, 3.0, 4.0].into_iter().enumerate() {
+        let plane = Plane::at_depth(true_depth);
+        let truth = Point2::new(1.4, 1.1);
+        // Depth (range) is only weakly constrained by a single coplanar
+        // wall of antennas, and multipath biases range far more than it
+        // biases bearing — the same reason §8.1 finds absolute positioning
+        // hard in NLOS. Demonstrate the mechanism on the multipath-free
+        // channel; the LOS preset's reflectors break ranging beyond ~2 m.
+        let mut clean = Scenario::Los.config();
+        clean.reflectors.clear();
+        let channel = Channel::new(dep.clone(), clean, 77 + i as u64);
+        let mut sim = InventorySim::new(
+            channel,
+            InventoryConfig::paper_default(0.030, 77 + i as u64),
+        );
+        let traj = move |_t: f64| plane.lift(truth);
+        let epc = Epc::from_index(1);
+        let records = sim.run(&[SimTag { epc, trajectory: &traj }], 1.2);
+        let reads = phase_reads(&records, epc);
+        let snaps = SnapshotBuilder::new(dep.all_pairs().copied().collect(), 0.05)
+            .build(&reads)
+            .expect("snapshots");
+        let est = estimate_depth(
+            &dep,
+            &snaps[0].wrapped,
+            region,
+            &depth_grid(1.0, 5.0, 17), // 0.25 m steps
+            &mcfg,
+        );
+        table.row(&[
+            format!("{true_depth:.2}"),
+            format!("{:.2}", est.depth),
+            format!("{:.2}", (est.depth - true_depth).abs()),
+            format!("{:.1}", est.candidate.position.dist(truth) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expectation: depth recovered within a few decimetres (range is \
+         weakly constrained by a single coplanar wall of antennas), with \
+         the in-plane estimate staying accurate at the chosen depth."
+    );
+}

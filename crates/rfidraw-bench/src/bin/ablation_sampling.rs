@@ -1,0 +1,68 @@
+//! Ablation — sampling knobs: reader port dwell and snapshot tick.
+//!
+//! The MATLAB prototype hides these; our explicit stream layer exposes
+//! them. Longer dwells starve the other antennas (interpolation error and,
+//! eventually, unwrap failure for a moving tag); coarser ticks blur the
+//! trajectory. This ablation sweeps both through the full pipeline.
+
+use rfidraw::metrics::{Cdf, Table};
+use rfidraw::pipeline::{run_word, PipelineConfig};
+
+fn main() {
+    println!("=== Ablation: port dwell and snapshot tick ===\n");
+
+    let word = "sun";
+    let mut dwell_table = Table::new(
+        format!("median shape error vs port dwell (word {word:?}, tick 40 ms)"),
+        &["dwell (ms)", "median error (cm)", "status"],
+    );
+    for dwell_ms in [10.0, 30.0, 60.0, 120.0, 250.0] {
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.dwell = dwell_ms / 1000.0;
+        match run_word(word, 0, &cfg) {
+            Ok(run) => {
+                let med = Cdf::from_samples(run.rfidraw_errors()).median() * 100.0;
+                dwell_table.row(&[
+                    format!("{dwell_ms:.0}"),
+                    format!("{med:.1}"),
+                    "ok".into(),
+                ]);
+            }
+            Err(e) => {
+                dwell_table.row(&[format!("{dwell_ms:.0}"), "-".into(), format!("{e}")]);
+            }
+        }
+    }
+    println!("{dwell_table}");
+
+    let mut tick_table = Table::new(
+        format!("median shape error vs snapshot tick (word {word:?}, dwell 30 ms)"),
+        &["tick (ms)", "median error (cm)", "traced points"],
+    );
+    for tick_ms in [20.0, 40.0, 80.0, 160.0] {
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.tick = tick_ms / 1000.0;
+        // Keep the per-tick search reachable at coarser ticks (the tag moves
+        // further between snapshots).
+        cfg.trace.vicinity_radius = (0.10 * tick_ms / 40.0).max(0.10);
+        match run_word(word, 0, &cfg) {
+            Ok(run) => {
+                let med = Cdf::from_samples(run.rfidraw_errors()).median() * 100.0;
+                tick_table.row(&[
+                    format!("{tick_ms:.0}"),
+                    format!("{med:.1}"),
+                    run.rfidraw_trace.len().to_string(),
+                ]);
+            }
+            Err(e) => {
+                tick_table.row(&[format!("{tick_ms:.0}"), "-".into(), format!("{e}")]);
+            }
+        }
+    }
+    println!("{tick_table}");
+    println!(
+        "expectation: accuracy is stable across moderate dwells/ticks and \
+         degrades once per-antenna revisit gaps approach the unwrap limit \
+         or ticks blur the letter strokes."
+    );
+}

@@ -1,0 +1,98 @@
+//! Ablation — wide-pair separation vs end-to-end accuracy.
+//!
+//! DESIGN.md calls out the core design choice: the 8λ square. This ablation
+//! sweeps the square side (1λ, 2λ, 4λ, 8λ, 12λ) and measures, under the
+//! LOS noise model, (a) the noise-induced positioning error of the
+//! two-stage algorithm and (b) the shape error of a traced letter. The
+//! paper's §3.3 predicts error shrinking ~1/D until ambiguity (candidate
+//! confusion) pushes back.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfidraw::channel::WrappedGaussian;
+use rfidraw::core::array::Deployment;
+use rfidraw::core::geom::{Plane, Point2, Rect};
+use rfidraw::core::phase::{wrap_pi, Wavelength};
+use rfidraw::core::position::{MultiResConfig, MultiResPositioner};
+use rfidraw::core::trace::{ideal_snapshots, TraceConfig, TrajectoryTracer};
+use rfidraw::core::vote::{ideal_measurements, PairMeasurement};
+use rfidraw::handwriting::layout::layout_word;
+use rfidraw::handwriting::pen::{write_word, PenConfig, Style};
+use rfidraw::metrics::{initial_aligned_errors, Cdf, Table};
+
+fn noisy(ms: &[PairMeasurement], std: f64, rng: &mut StdRng) -> Vec<PairMeasurement> {
+    let gauss = WrappedGaussian::new(std);
+    ms.iter()
+        .map(|m| PairMeasurement::new(m.pair, wrap_pi(m.delta_phi + gauss.sample(rng))))
+        .collect()
+}
+
+fn main() {
+    println!("=== Ablation: wide-pair separation (square side) ===\n");
+
+    let plane = Plane::at_depth(2.0);
+    let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.2));
+    let truth = Point2::new(1.4, 1.1);
+    let noise_std = 0.14; // pair-level phase noise, radians
+    let trials = 30;
+
+    // Ground-truth letter for the tracing half of the ablation.
+    let path = layout_word("e", 0.08, 0.0)
+        .expect("'e' in font")
+        .place_at(truth);
+    let letter = write_word(&path, Style::neutral(), PenConfig::default()).positions();
+
+    let mut table = Table::new(
+        format!("accuracy vs square side (phase noise σ = {noise_std} rad, {trials} trials)"),
+        &["side", "median position error (cm)", "letter shape error (cm)"],
+    );
+
+    for side_lambda in [1.0, 2.0, 4.0, 8.0, 12.0] {
+        let dep = Deployment::square_with_side(Wavelength::paper_default(), side_lambda);
+        let mut mcfg = MultiResConfig::for_region(region);
+        mcfg.fine_resolution = 0.01;
+        let positioner = MultiResPositioner::new(dep.clone(), plane, mcfg);
+        let mut rng = StdRng::seed_from_u64(2024);
+
+        // (a) Static positioning under noise.
+        let clean = ideal_measurements(&dep, dep.all_pairs(), plane.lift(truth));
+        let mut errs = Vec::new();
+        for _ in 0..trials {
+            let ms = noisy(&clean, noise_std, &mut rng);
+            let best = positioner.locate(&ms)[0];
+            errs.push(best.position.dist(truth));
+        }
+        let pos_err = Cdf::from_samples(errs).median() * 100.0;
+
+        // (b) Tracing a small letter with noisy snapshots.
+        let tracer = TrajectoryTracer::new(dep.clone(), plane, TraceConfig::default());
+        let mut snaps = ideal_snapshots(&dep, plane, &letter, 0.02);
+        let gauss = WrappedGaussian::new(noise_std / 4.0); // per-tick smoothing-equivalent
+        for s in &mut snaps {
+            for (i, m) in s.wrapped.iter_mut().enumerate() {
+                let n = gauss.sample(&mut rng);
+                m.delta_phi = wrap_pi(m.delta_phi + n);
+                s.unwrapped_turns[i].1 += n / std::f64::consts::TAU;
+            }
+        }
+        let start = rfidraw::core::position::Candidate {
+            position: letter[0],
+            vote: 0.0,
+        };
+        let traced = tracer.trace_from(start, &snaps);
+        let shape =
+            Cdf::from_samples(initial_aligned_errors(&traced.points, &letter)).median() * 100.0;
+
+        table.row(&[
+            format!("{side_lambda}λ"),
+            format!("{pos_err:.2}"),
+            format!("{shape:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expectation: both errors shrink as the square grows (resolution \
+         and noise robustness scale with D, §3.3), with diminishing returns \
+         once ambiguity resolution becomes the binding constraint."
+    );
+}

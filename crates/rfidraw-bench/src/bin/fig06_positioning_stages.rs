@@ -1,0 +1,82 @@
+//! Fig. 6 — The multi-resolution positioning walk-through on the paper's
+//! 8-antenna deployment: (a) wide pairs alone are ambiguous, (b–c) the
+//! coarse pairs form a spatial filter, (d) their combination pins the tag.
+
+use rfidraw::core::array::Deployment;
+use rfidraw::core::geom::{Plane, Point2, Rect};
+use rfidraw::core::grid::{Grid2, VoteMap};
+use rfidraw::core::position::{MultiResConfig, MultiResPositioner};
+use rfidraw::core::vote::ideal_measurements;
+use rfidraw::metrics::Table;
+
+fn main() {
+    println!("=== Fig. 6: multi-resolution positioning stages ===\n");
+
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let truth = Point2::new(1.45, 1.05);
+    let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.2));
+    let all_ms = ideal_measurements(&dep, dep.all_pairs(), plane.lift(truth));
+
+    // (a) Wide pairs alone: count near-perfect intersections.
+    let wide_ms = ideal_measurements(&dep, dep.wide_pairs(), plane.lift(truth));
+    let wide_map = VoteMap::evaluate(&dep, &wide_ms, plane, Grid2::new(region, 0.02));
+    let wide_peaks = wide_map.peaks(20, 0.15);
+    let strong = wide_peaks.iter().filter(|(_, v)| *v > -0.005).count();
+
+    // (b) Primary coarse pairs only.
+    let primary_ms = ideal_measurements(&dep, dep.coarse_primary_pairs(), plane.lift(truth));
+    let primary_map = VoteMap::evaluate(&dep, &primary_ms, plane, Grid2::new(region, 0.05));
+    let primary_cov = VoteMap::mask_coverage(&primary_map.mask_top_fraction(0.2));
+
+    // (c) All coarse pairs refine the filter.
+    let coarse_ms = ideal_measurements(
+        &dep,
+        dep.coarse_pairs().collect::<Vec<_>>().into_iter(),
+        plane.lift(truth),
+    );
+    let coarse_map = VoteMap::evaluate(&dep, &coarse_ms, plane, Grid2::new(region, 0.05));
+    let coarse_cov = VoteMap::mask_coverage(&coarse_map.mask_top_fraction(0.08));
+
+    // (d) The full two-stage algorithm.
+    let mut mcfg = MultiResConfig::for_region(region);
+    mcfg.fine_resolution = 0.01;
+    let positioner = MultiResPositioner::new(dep, plane, mcfg);
+    let stages = positioner.locate_with_stages(&all_ms);
+    let best = stages.candidates[0];
+
+    let mut table = Table::new(
+        "positioning stages (noise-free, tag at (1.45, 1.05) m, 2 m depth)",
+        &["stage", "measure", "value"],
+    );
+    table.row(&[
+        "(a) wide pairs alone".into(),
+        "near-perfect intersections".into(),
+        format!("{strong} (ambiguous)"),
+    ]);
+    table.row(&[
+        "(b) primary coarse beams".into(),
+        "plane fraction kept (top 20%)".into(),
+        format!("{:.0}%", primary_cov * 100.0),
+    ]);
+    table.row(&[
+        "(c) refined coarse filter".into(),
+        "plane fraction kept (top 8%)".into(),
+        format!("{:.0}%", coarse_cov * 100.0),
+    ]);
+    table.row(&[
+        "(d) full multi-resolution".into(),
+        "top candidate error".into(),
+        format!("{:.1} cm", best.position.dist(truth) * 100.0),
+    ]);
+    println!("{table}");
+
+    println!(
+        "paper expectation: several ambiguous intersections in (a); the coarse \
+         filter shrinks from (b) to (c); (d) uncovers the correct position."
+    );
+    assert!(strong >= 2, "stage (a) should be ambiguous");
+    assert!(coarse_cov <= primary_cov, "refinement must not widen the filter");
+    assert!(best.position.dist(truth) < 0.05, "stage (d) must pin the tag");
+    println!("\nresult: ambiguity {strong} → 1, final error {:.1} cm", best.position.dist(truth) * 100.0);
+}

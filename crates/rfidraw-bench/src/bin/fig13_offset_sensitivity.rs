@@ -1,0 +1,122 @@
+//! Fig. 13 — Trajectory accuracy as a function of initial-position
+//! accuracy: below ~40 cm of initial offset the shape error stays flat
+//! (~3 cm); beyond it the tracked lobes are far from the correct ones and
+//! the shape error roughly doubles (7–8 cm), mostly by end-of-trace
+//! enlargement.
+//!
+//! ```sh
+//! cargo run --release -p rfidraw-bench --bin fig13_offset_sensitivity -- [--trials N]
+//! ```
+//!
+//! Besides binning natural runs by their own initial error (as the paper
+//! does), this harness also *forces* offsets by seeding traces from
+//! deliberately displaced starting points — which populates the large-offset
+//! bins even when the positioner is accurate.
+
+use rfidraw::core::array::Deployment;
+use rfidraw::core::geom::{Plane, Point2};
+use rfidraw::core::position::Candidate;
+use rfidraw::core::trace::{TraceConfig, TrajectoryTracer};
+use rfidraw::metrics::{initial_aligned_errors, Cdf, Table};
+use rfidraw::pipeline::PipelineConfig;
+use rfidraw_bench::harness::{paper_trials, run_batch};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .skip_while(|a| a != "--trials")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+
+    println!("=== Fig. 13: trajectory error vs initial-position error ===\n");
+
+    let cfg = PipelineConfig::paper_default();
+    let specs = paper_trials(trials, 5, 1313);
+    let results = run_batch(&cfg, &specs);
+
+    // Bins in metres, matching the paper's 0–0.1 … >0.5 buckets.
+    let edges = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, f64::INFINITY];
+    let labels = ["0-0.1", "0.1-0.2", "0.2-0.3", "0.3-0.4", "0.4-0.5", ">0.5"];
+    let paper = [2.86, 3.64, 3.9, 3.67, 7.62, 7.91];
+    let mut bins: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
+
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(cfg.depth);
+    let tracer = TrajectoryTracer::new(dep, plane, TraceConfig::default());
+
+    for (_, r) in &results {
+        let Ok(run) = r else { continue };
+        // Natural runs: bin by the positioner's own initial error.
+        let init_err = run.initial_position_error();
+        let median = Cdf::from_samples(run.rfidraw_errors()).median();
+        let b = edges.windows(2).position(|w| init_err >= w[0] && init_err < w[1]);
+        if let Some(b) = b {
+            bins[b].push(median);
+        }
+        // Forced offsets: re-trace from displaced starts to fill each bin.
+        // (Requires re-simulated snapshots; reuse the run's times by
+        // seeding the tracer with its snapshot data via truth positions —
+        // instead we displace within the same run's snapshots.)
+        let mut forced: Vec<Point2> = Vec::new();
+        for norm in [0.15, 0.25, 0.35, 0.45, 0.55, 0.7] {
+            for angle_deg in [0.0_f64, 72.0, 144.0, 216.0, 288.0] {
+                let a = angle_deg.to_radians();
+                forced.push(Point2::new(norm * a.cos(), norm * a.sin()));
+            }
+        }
+        for off in forced {
+            let start = Candidate {
+                position: run.truth_at_ticks[0] + off,
+                vote: 0.0,
+            };
+            // Rebuild the snapshots from the stored run is not possible
+            // here; approximate with ideal snapshots along the truth, which
+            // isolates exactly the lobe-offset effect Fig. 13 studies.
+            let snaps = rfidraw::core::trace::ideal_snapshots(
+                tracer_deployment(),
+                plane,
+                &run.truth_at_ticks,
+                cfg.tick,
+            );
+            let traced = tracer.trace_from(start, &snaps);
+            let errs = initial_aligned_errors(&traced.points, &run.truth_at_ticks);
+            let med = Cdf::from_samples(errs).median();
+            let off = start.position.dist(run.truth_at_ticks[0]);
+            if let Some(b) = edges.windows(2).position(|w| off >= w[0] && off < w[1]) {
+                bins[b].push(med);
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "median trajectory error vs initial-position error bin",
+        &["initial error (m)", "paper (cm)", "measured (cm)", "samples"],
+    );
+    for (i, label) in labels.iter().enumerate() {
+        let cell = if bins[i].is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.1}",
+                Cdf::from_samples(bins[i].clone()).median() * 100.0
+            )
+        };
+        table.row(&[
+            label.to_string(),
+            format!("{:.1}", paper[i]),
+            cell,
+            bins[i].len().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "reproduction target: roughly flat error below ~0.4 m initial offset, \
+         then a visible increase (the paper sees ~3 cm jumping to ~7-8 cm)."
+    );
+}
+
+fn tracer_deployment() -> &'static Deployment {
+    use std::sync::OnceLock;
+    static DEP: OnceLock<Deployment> = OnceLock::new();
+    DEP.get_or_init(Deployment::paper_default)
+}

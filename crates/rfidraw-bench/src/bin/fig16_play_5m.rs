@@ -1,0 +1,35 @@
+//! Fig. 16 — Qualitative comparison: the word "play" written 5 m from the
+//! reader antennas, reconstructed by RF-IDraw and by the antenna-array
+//! scheme. RF-IDraw reproduces the writing; the arrays produce scatter.
+
+use rfidraw::metrics::Cdf;
+use rfidraw::pipeline::{run_word, PipelineConfig};
+use rfidraw::plot::{ascii_plot, densify};
+
+fn main() {
+    println!("=== Fig. 16: \"play\" written 5 m away ===\n");
+
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.depth = 5.0;
+    let run = run_word("play", 0, &cfg).expect("pipeline at 5 m");
+
+    let rf_med = Cdf::from_samples(run.rfidraw_errors()).median() * 100.0;
+    let bl_med = Cdf::from_samples(run.baseline_errors()).median() * 100.0;
+
+    println!("(a) RF-IDraw reconstruction (median shape error {rf_med:.1} cm):");
+    println!(
+        "{}\n",
+        ascii_plot(&[&densify(&run.rfidraw_trace, 3)], 90, 18)
+    );
+    println!("(b) antenna-array reconstruction (median error {bl_med:.1} cm):");
+    println!("{}\n", ascii_plot(&[&run.baseline_trace], 90, 18));
+
+    println!(
+        "reproduction target: (a) shows a legible word; (b) is scatter. \
+         Measured medians: RF-IDraw {rf_med:.1} cm vs arrays {bl_med:.1} cm."
+    );
+    assert!(
+        rf_med < bl_med,
+        "RF-IDraw must beat the arrays at 5 m ({rf_med} vs {bl_med})"
+    );
+}

@@ -1,0 +1,83 @@
+//! §3.3 — The analytic noise/resolution table behind RF-IDraw's design:
+//! a π/5 phase noise perturbs cosθ by 0.2 at D = λ/2 but only 0.0125 at
+//! D = 8λ; the quantization step of cosθ shrinks as λ/D. Verified both
+//! analytically and by Monte-Carlo simulation of the forward model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfidraw::channel::WrappedGaussian;
+use rfidraw::core::lobes::PairGeometry;
+use rfidraw::metrics::{Comparison, Table};
+use std::f64::consts::{PI, TAU};
+
+fn main() {
+    println!("=== §3.3 table: resolution and noise robustness vs separation ===\n");
+
+    let noise = PI / 5.0;
+    let delta = TAU / 4096.0; // a commercial reader's phase resolution
+
+    let mut table = Table::new(
+        "analytic sensitivity (phase noise π/5, 12-bit phase reports)",
+        &["separation", "cosθ error from noise", "cosθ quantization step"],
+    );
+    let mut comparisons = Vec::new();
+    for (label, d, paper_err) in [("λ/2", 0.5, 0.2), ("λ", 1.0, 0.1), ("8λ", 8.0, 0.0125)] {
+        let g = PairGeometry::new(d);
+        let e = g.cos_theta_noise_error(noise);
+        let q = g.cos_theta_resolution(delta);
+        table.row(&[label.into(), format!("{e:.4}"), format!("{q:.2e}")]);
+        comparisons.push(Comparison::new(
+            format!("cosθ noise error @ {label}"),
+            paper_err,
+            e,
+            "",
+        ));
+    }
+    println!("{table}");
+
+    // Monte-Carlo confirmation: simulate noisy measurements of a source at
+    // 60° and measure the induced cosθ error empirically.
+    let theta = 60.0_f64.to_radians();
+    let gauss = WrappedGaussian::new(noise);
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut mc = Table::new(
+        "Monte-Carlo (10k draws, source at 60°, Gaussian σ = π/5)",
+        &["separation", "mean |cosθ error|", "analytic (mean |N(0,σ)|·λ/2πD)"],
+    );
+    for (label, d) in [("λ/2", 0.5), ("8λ", 8.0)] {
+        let g = PairGeometry::new(d);
+        let clean = TAU * g.d_over_lambda * theta.cos();
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let measured = clean + gauss.sample(&mut rng);
+            // Recover the candidate nearest the truth (the tracking regime).
+            let candidates = g.aoa_candidates(rfidraw::core::phase::wrap_pi(measured));
+            let best = candidates
+                .iter()
+                .map(|c| (c - theta.cos()).abs())
+                .fold(f64::INFINITY, f64::min);
+            sum += best;
+        }
+        let mean_err = sum / n as f64;
+        // E|N(0,σ)| = σ·sqrt(2/π).
+        let analytic = noise * (2.0 / PI).sqrt() / TAU / g.d_over_lambda;
+        mc.row(&[
+            label.into(),
+            format!("{mean_err:.4}"),
+            format!("{analytic:.4}"),
+        ]);
+        comparisons.push(Comparison::new(
+            format!("MC mean error @ {label}"),
+            analytic,
+            mean_err,
+            "",
+        ));
+    }
+    println!("{mc}");
+    println!("{}", Comparison::table("§3.3 paper vs measured", &comparisons));
+    println!(
+        "reproduction target: the paper's 0.2 vs 0.0125 figures exactly \
+         (analytic), with Monte-Carlo agreeing with theory."
+    );
+}

@@ -1,0 +1,13 @@
+//! # rfidraw-bench
+//!
+//! The experiment harness: shared machinery for the per-figure binaries
+//! (`src/bin/fig*.rs`) that regenerate every figure of the RF-IDraw paper,
+//! plus criterion benches for the compute kernels (`benches/`).
+//!
+//! The heavy experiments (Figs. 11–15) run many independent word trials;
+//! [`harness::run_batch`] fans them out across CPU cores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

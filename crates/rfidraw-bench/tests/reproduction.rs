@@ -1,0 +1,95 @@
+//! Reproduction claims as regression tests: tiny-scale versions of the
+//! paper's headline comparisons, so `cargo test` guards the qualitative
+//! results the figure harnesses measure at full scale.
+
+use rfidraw::channel::Scenario;
+use rfidraw::metrics::{median_ci, Cdf};
+use rfidraw::pipeline::PipelineConfig;
+use rfidraw::recognition::WordDecoder;
+use rfidraw_bench::harness::{paper_trials, pooled_errors, run_batch};
+
+fn mini_config(scenario: Scenario) -> PipelineConfig {
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.scenario = scenario;
+    cfg
+}
+
+#[test]
+fn rfidraw_beats_arrays_by_a_wide_margin_in_los() {
+    // Fig. 11(a) at miniature scale: 4 words, LOS. The paper's gap is 11x;
+    // we require at least 3x here to stay robust to the tiny sample.
+    let cfg = mini_config(Scenario::Los);
+    let results = run_batch(&cfg, &paper_trials(4, 2, 9001));
+    let (rf, bl) = pooled_errors(&results);
+    assert!(!rf.is_empty(), "no successful trials");
+    let rf_med = Cdf::from_samples(rf).median();
+    let bl_med = Cdf::from_samples(bl).median();
+    assert!(
+        bl_med > rf_med * 3.0,
+        "LOS gap too small: RF {rf_med:.3} m vs arrays {bl_med:.3} m"
+    );
+    assert!(rf_med < 0.10, "RF-IDraw LOS median {rf_med:.3} m");
+}
+
+#[test]
+fn nlos_hurts_arrays_more_than_rfidraw() {
+    // Fig. 11(b)'s asymmetry: going LOS → NLOS, the arrays' median error
+    // must grow by more metres than RF-IDraw's.
+    let los = run_batch(&mini_config(Scenario::Los), &paper_trials(4, 2, 9002));
+    let nlos = run_batch(&mini_config(Scenario::Nlos), &paper_trials(4, 2, 9002));
+    let med = |v: Vec<f64>| Cdf::from_samples(v).median();
+    let (rf_l, bl_l) = pooled_errors(&los);
+    let (rf_n, bl_n) = pooled_errors(&nlos);
+    let rf_delta = med(rf_n) - med(rf_l);
+    let bl_delta = med(bl_n) - med(bl_l);
+    assert!(
+        bl_delta > rf_delta,
+        "arrays should degrade more: Δrf {rf_delta:.3} m vs Δarrays {bl_delta:.3} m"
+    );
+}
+
+#[test]
+fn words_recognize_from_rfidraw_but_not_arrays() {
+    // Figs. 14–15 at miniature scale, on paper-quality tracer settings.
+    let mut cfg = mini_config(Scenario::Los);
+    cfg.fine_resolution_scale = 1.0;
+    cfg.trace.step_resolution = 0.005;
+    let decoder = WordDecoder::new();
+    let results = run_batch(&cfg, &paper_trials(3, 3, 9003));
+    let mut rf_ok = 0;
+    let mut bl_ok = 0;
+    let mut n = 0;
+    for (t, r) in &results {
+        let Ok(run) = r else { continue };
+        n += 1;
+        if decoder
+            .decode(&run.letter_segments(&run.rfidraw_trace))
+            .word_correct(&t.word)
+        {
+            rf_ok += 1;
+        }
+        if decoder
+            .decode(&run.letter_segments(&run.baseline_trace))
+            .word_correct(&t.word)
+        {
+            bl_ok += 1;
+        }
+    }
+    assert!(n >= 2, "too few successful trials");
+    assert!(rf_ok > bl_ok, "RF-IDraw {rf_ok}/{n} vs arrays {bl_ok}/{n}");
+    assert!(rf_ok * 2 >= n, "RF-IDraw should decode most words: {rf_ok}/{n}");
+}
+
+#[test]
+fn bootstrap_ci_of_rf_median_is_centimetre_scale() {
+    // The reporting machinery end-to-end: pooled errors → bootstrap CI.
+    let cfg = mini_config(Scenario::Los);
+    let results = run_batch(&cfg, &paper_trials(3, 2, 9004));
+    let (rf, _) = pooled_errors(&results);
+    let ci = median_ci(&rf, 0.95, 200, 42);
+    assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+    assert!(ci.hi < 0.2, "CI upper bound {:.3} m suspiciously large", ci.hi);
+    // The display helper renders in centimetres.
+    let s = ci.display(100.0, "cm");
+    assert!(s.ends_with("cm"), "{s}");
+}

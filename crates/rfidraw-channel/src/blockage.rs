@@ -1,0 +1,192 @@
+//! Time-varying body blockage.
+//!
+//! The writer's own body (and passers-by) periodically shadows some
+//! antenna–tag paths — the dominant *dynamic* channel effect in a real
+//! room, distinct from the static multipath of [`crate::scenario`]. A
+//! [`Blocker`] is a moving cylinder; when the segment from an antenna to
+//! the tag passes within its radius, the direct path is attenuated by its
+//! penetration loss. The protocol simulator applies the resulting gain to
+//! read-success probability and lets phase follow whatever paths remain —
+//! reproducing the paper's observation that shapes survive as long as a
+//! dominant path exists (§8.1).
+
+use rfidraw_core::geom::Point3;
+use serde::{Deserialize, Serialize};
+
+/// A cylindrical blocker (a torso): position over time, radius,
+/// attenuation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Blocker {
+    /// Cylinder centre at `t = 0` (the cylinder's axis is vertical; only
+    /// `x`/`y` matter for blocking).
+    pub center: Point3,
+    /// Horizontal oscillation amplitude (m) — people sway and step.
+    pub sway_amplitude: f64,
+    /// Sway frequency (Hz).
+    pub sway_hz: f64,
+    /// Cylinder radius (m). A torso is ~0.2 m.
+    pub radius: f64,
+    /// Amplitude gain of a blocked path in `[0, 1]` (body loss at 900 MHz
+    /// is on the order of 10–20 dB ⇒ gain 0.1–0.3).
+    pub through_gain: f64,
+}
+
+impl Blocker {
+    /// Creates a blocker.
+    ///
+    /// # Panics
+    /// Panics on non-positive radius or a gain outside `[0, 1]`.
+    pub fn new(center: Point3, radius: f64, through_gain: f64) -> Self {
+        assert!(radius > 0.0, "blocker radius must be positive");
+        assert!(
+            (0.0..=1.0).contains(&through_gain),
+            "through gain must be in [0, 1]"
+        );
+        Self {
+            center,
+            sway_amplitude: 0.05,
+            sway_hz: 0.3,
+            radius,
+            through_gain,
+        }
+    }
+
+    /// The writer's own body: standing ~0.25 m behind the tag (further from
+    /// the wall), torso radius 0.2 m, ~14 dB penetration loss.
+    pub fn writer_body(tag_xy: (f64, f64), depth: f64) -> Self {
+        Self::new(
+            Point3::new(tag_xy.0, depth + 0.25, 1.2),
+            0.20,
+            0.2,
+        )
+    }
+
+    /// Blocker centre at time `t`.
+    pub fn center_at(&self, t: f64) -> Point3 {
+        Point3::new(
+            self.center.x + self.sway_amplitude * (std::f64::consts::TAU * self.sway_hz * t).sin(),
+            self.center.y,
+            self.center.z,
+        )
+    }
+
+    /// Amplitude gain this blocker applies to the `antenna → tag` path at
+    /// time `t`: `through_gain` when the path passes through the cylinder,
+    /// 1.0 otherwise. Geometry is evaluated in the horizontal (`x`, `y`)
+    /// plane (a standing person blocks regardless of height within reach).
+    pub fn path_gain(&self, antenna: Point3, tag: Point3, t: f64) -> f64 {
+        let c = self.center_at(t);
+        // Distance from the cylinder axis (a point in x/y) to the 2-D
+        // segment antenna→tag.
+        let (ax, ay) = (antenna.x, antenna.y);
+        let (bx, by) = (tag.x, tag.y);
+        let (px, py) = (c.x, c.y);
+        let dx = bx - ax;
+        let dy = by - ay;
+        let len2 = dx * dx + dy * dy;
+        let s = if len2 > 1e-12 {
+            (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let qx = ax + s * dx;
+        let qy = ay + s * dy;
+        let dist = ((px - qx).powi(2) + (py - qy).powi(2)).sqrt();
+        if dist <= self.radius {
+            self.through_gain
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Combined gain of several blockers (they multiply).
+pub fn combined_gain(blockers: &[Blocker], antenna: Point3, tag: Point3, t: f64) -> f64 {
+    blockers
+        .iter()
+        .map(|b| b.path_gain(antenna, tag, t))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_path_has_unit_gain() {
+        let b = Blocker::new(Point3::new(5.0, 5.0, 1.0), 0.2, 0.2);
+        let gain = b.path_gain(
+            Point3::on_wall(0.0, 1.0),
+            Point3::new(0.0, 2.0, 1.0),
+            0.0,
+        );
+        assert_eq!(gain, 1.0);
+    }
+
+    #[test]
+    fn blocker_on_the_path_attenuates() {
+        // Antenna at (0,0), tag at (0,2): a blocker at (0,1) sits on the
+        // path.
+        let b = Blocker::new(Point3::new(0.0, 1.0, 1.0), 0.2, 0.15);
+        let gain = b.path_gain(
+            Point3::on_wall(0.0, 1.0),
+            Point3::new(0.0, 2.0, 1.0),
+            0.0,
+        );
+        assert_eq!(gain, 0.15);
+    }
+
+    #[test]
+    fn blocker_beyond_segment_does_not_block() {
+        // Blocker on the line but beyond the tag: the segment ends first.
+        let b = Blocker::new(Point3::new(0.0, 3.0, 1.0), 0.2, 0.15);
+        let gain = b.path_gain(
+            Point3::on_wall(0.0, 1.0),
+            Point3::new(0.0, 2.0, 1.0),
+            0.0,
+        );
+        assert_eq!(gain, 1.0);
+    }
+
+    #[test]
+    fn sway_moves_the_blocker_in_and_out() {
+        // Blocker just off the path; sway brings it on.
+        let mut b = Blocker::new(Point3::new(0.26, 1.0, 1.0), 0.2, 0.1);
+        b.sway_amplitude = 0.15;
+        b.sway_hz = 1.0;
+        let antenna = Point3::on_wall(0.0, 1.0);
+        let tag = Point3::new(0.0, 2.0, 1.0);
+        let gains: Vec<f64> = (0..20)
+            .map(|i| b.path_gain(antenna, tag, i as f64 * 0.05))
+            .collect();
+        assert!(gains.iter().any(|&g| g < 1.0), "sway never blocked");
+        assert!(gains.iter().any(|&g| g == 1.0), "sway never cleared");
+    }
+
+    #[test]
+    fn writer_body_blocks_far_antennas_more() {
+        // The body stands behind the tag: paths to antennas roughly in
+        // front pass nowhere near it.
+        let body = Blocker::writer_body((1.3, 1.0), 2.0);
+        let tag = Point3::new(1.3, 2.0, 1.0);
+        let front = body.path_gain(Point3::on_wall(1.3, 1.0), tag, 0.0);
+        assert_eq!(front, 1.0, "front path should be clear");
+    }
+
+    #[test]
+    fn combined_gain_multiplies() {
+        let b1 = Blocker::new(Point3::new(0.0, 1.0, 1.0), 0.2, 0.5);
+        let b2 = Blocker::new(Point3::new(0.0, 1.5, 1.0), 0.2, 0.4);
+        let antenna = Point3::on_wall(0.0, 1.0);
+        let tag = Point3::new(0.0, 2.0, 1.0);
+        let g = combined_gain(&[b1, b2], antenna, tag, 0.0);
+        assert!((g - 0.2).abs() < 1e-12);
+        assert_eq!(combined_gain(&[], antenna, tag, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn rejects_bad_radius() {
+        let _ = Blocker::new(Point3::on_wall(0.0, 0.0), 0.0, 0.5);
+    }
+}

@@ -1,0 +1,211 @@
+//! Fault injection for read streams.
+//!
+//! Following the practice of smoltcp's examples, every demo binary in this
+//! workspace can degrade its input on purpose to show how the algorithms
+//! respond to adverse conditions. The injector operates on an ordered
+//! stream of [`PhaseRead`]s and can:
+//!
+//! * drop individual reads with a configurable probability,
+//! * corrupt a read's phase into a uniform outlier,
+//! * drop bursts of consecutive reads (e.g. a person blocking the path).
+//!
+//! The injector is deterministic under a seed, so experiments remain
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfidraw_core::phase::wrap_tau;
+use rfidraw_core::stream::PhaseRead;
+
+/// Fault-injection parameters. The default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of dropping each read.
+    pub drop_chance: f64,
+    /// Probability of corrupting each (non-dropped) read's phase.
+    pub corrupt_chance: f64,
+    /// Probability, per read, of starting a drop burst.
+    pub burst_chance: f64,
+    /// Number of consecutive reads a burst removes.
+    pub burst_len: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            burst_chance: 0.0,
+            burst_len: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+            ("burst_chance", self.burst_chance),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+    }
+}
+
+/// Applies a [`FaultConfig`] to read streams, deterministically per seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: StdRng,
+    burst_remaining: usize,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            burst_remaining: 0,
+        }
+    }
+
+    /// Passes one read through the injector: `None` if dropped, possibly
+    /// corrupted otherwise.
+    pub fn push(&mut self, read: PhaseRead) -> Option<PhaseRead> {
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            return None;
+        }
+        if self.cfg.burst_chance > 0.0 && self.rng.gen_range(0.0..1.0) < self.cfg.burst_chance {
+            self.burst_remaining = self.cfg.burst_len.saturating_sub(1);
+            return None;
+        }
+        if self.cfg.drop_chance > 0.0 && self.rng.gen_range(0.0..1.0) < self.cfg.drop_chance {
+            return None;
+        }
+        if self.cfg.corrupt_chance > 0.0 && self.rng.gen_range(0.0..1.0) < self.cfg.corrupt_chance
+        {
+            let phase = self.rng.gen_range(0.0..std::f64::consts::TAU);
+            return Some(PhaseRead {
+                phase: wrap_tau(phase),
+                ..read
+            });
+        }
+        Some(read)
+    }
+
+    /// Applies the injector to a whole stream, preserving order.
+    pub fn apply(&mut self, reads: &[PhaseRead]) -> Vec<PhaseRead> {
+        reads.iter().filter_map(|&r| self.push(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_core::array::AntennaId;
+
+    fn stream(n: usize) -> Vec<PhaseRead> {
+        (0..n)
+            .map(|i| PhaseRead {
+                t: i as f64 * 0.01,
+                antenna: AntennaId(1),
+                phase: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_config_is_transparent() {
+        let mut inj = FaultInjector::new(FaultConfig::default(), 1);
+        let s = stream(100);
+        assert_eq!(inj.apply(&s), s);
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.3,
+                ..FaultConfig::default()
+            },
+            42,
+        );
+        let out = inj.apply(&stream(10_000));
+        let rate = 1.0 - out.len() as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_changes_phase_not_timing() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                corrupt_chance: 1.0,
+                ..FaultConfig::default()
+            },
+            7,
+        );
+        let s = stream(100);
+        let out = inj.apply(&s);
+        assert_eq!(out.len(), 100);
+        let changed = out.iter().filter(|r| r.phase != 1.0).count();
+        assert!(changed > 90);
+        for (a, b) in out.iter().zip(&s) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.antenna, b.antenna);
+        }
+    }
+
+    #[test]
+    fn bursts_remove_consecutive_runs() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                burst_chance: 0.01,
+                burst_len: 20,
+                ..FaultConfig::default()
+            },
+            11,
+        );
+        let out = inj.apply(&stream(10_000));
+        assert!(out.len() < 10_000, "no bursts triggered");
+        // The gap structure must contain at least one run of ≥ 20 missing
+        // samples (consecutive timestamps 0.01 apart).
+        let mut max_gap = 0.0_f64;
+        for w in out.windows(2) {
+            max_gap = max_gap.max(w[1].t - w[0].t);
+        }
+        assert!(max_gap >= 0.20 - 1e-9, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let cfg = FaultConfig {
+            drop_chance: 0.2,
+            corrupt_chance: 0.1,
+            burst_chance: 0.005,
+            burst_len: 5,
+        };
+        let mut a = FaultInjector::new(cfg, 99);
+        let mut b = FaultInjector::new(cfg, 99);
+        let s = stream(1000);
+        assert_eq!(a.apply(&s), b.apply(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_chance")]
+    fn rejects_invalid_probability() {
+        let _ = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 1.5,
+                ..FaultConfig::default()
+            },
+            0,
+        );
+    }
+}

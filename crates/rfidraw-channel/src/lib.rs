@@ -1,0 +1,43 @@
+//! # rfidraw-channel
+//!
+//! Synthetic UHF RFID backscatter channel for the RF-IDraw reproduction.
+//!
+//! The original paper measures phases with commercial readers in a real
+//! room; this crate substitutes that hardware with a physics-based forward
+//! model producing the same observable — a wrapped per-read phase report —
+//! from tag and antenna geometry. Every error source the paper discusses is
+//! an explicit, controllable parameter:
+//!
+//! * **round-trip phase** (§6 fn. 3): `φ = −2π·2d/λ` plus a per-reader
+//!   constant offset (uncalibrated across readers, zero across the ports of
+//!   one reader);
+//! * **phase noise** (§3.3): wrapped Gaussian on each read;
+//! * **reader quantization** (§3.3 "resolution δ"): the reported phase is
+//!   quantized to a configurable number of steps per turn;
+//! * **multipath** (§8.1): additional scatter paths summed coherently into
+//!   the backscatter channel, with LOS and NLOS presets ([`Scenario`]);
+//! * **range-limited powering** (§8 fn. 5): read success probability decays
+//!   past the tag wake-up range and vanishes at the hard range limit;
+//! * **fault injection** ([`fault`]): drops, phase outliers and bursts, in
+//!   the spirit of smoltcp's example fault injectors.
+//!
+//! The main entry point is [`Channel`], which turns `(antenna, tag
+//! position, time)` into `Option<PhaseRead>` — exactly what a reader port
+//! delivers (or fails to deliver) for one tag reply.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockage;
+pub mod fault;
+pub mod model;
+pub mod multipath;
+pub mod noise;
+pub mod scenario;
+
+pub use blockage::{combined_gain, Blocker};
+pub use fault::{FaultConfig, FaultInjector};
+pub use model::{Channel, ChannelConfig, Observation};
+pub use multipath::Reflector;
+pub use noise::{PhaseQuantizer, WrappedGaussian};
+pub use scenario::Scenario;

@@ -1,0 +1,372 @@
+//! The end-to-end channel model: geometry in, reader phase reports out.
+//!
+//! [`Channel`] composes the pieces of this crate into the single operation
+//! the protocol simulator needs: *attempt one read of the tag through one
+//! antenna*. A read can fail (the tag did not harvest enough energy — §8
+//! footnote 5); a successful read yields a [`PhaseRead`] whose phase has
+//! passed through multipath, the per-reader offset, wrapped Gaussian noise
+//! and reader quantization, plus an RSSI for diagnostics.
+
+use crate::multipath::{channel_observables, Reflector};
+use crate::noise::{PhaseQuantizer, WrappedGaussian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfidraw_core::array::{AntennaId, Deployment, ReaderId};
+use rfidraw_core::geom::Point3;
+use rfidraw_core::phase::wrap_tau;
+use rfidraw_core::stream::PhaseRead;
+use std::collections::BTreeMap;
+use std::f64::consts::TAU;
+
+/// Channel configuration. See [`crate::Scenario`] for presets.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Per-read wrapped Gaussian phase noise.
+    pub phase_noise: WrappedGaussian,
+    /// Reader phase quantization (`None` = ideal continuous reporting).
+    pub quantizer: Option<PhaseQuantizer>,
+    /// Direct-path amplitude gain: 1.0 in LOS, < 1 when obstructed.
+    pub direct_gain: f64,
+    /// Environment scatterers.
+    pub reflectors: Vec<Reflector>,
+    /// Up to this distance (m) the tag reliably wakes; beyond it the read
+    /// success probability decays linearly…
+    pub wake_range: f64,
+    /// …reaching zero at this hard range limit (m).
+    pub max_range: f64,
+    /// Success probability within the wake range (captures background
+    /// collisions/CRC failures independent of range).
+    pub base_success: f64,
+    /// Moving body blockers shadowing antenna–tag paths over time.
+    pub blockers: Vec<crate::blockage::Blocker>,
+}
+
+impl ChannelConfig {
+    fn validate(&self) {
+        assert!(
+            self.direct_gain.is_finite() && self.direct_gain >= 0.0,
+            "direct gain must be ≥ 0"
+        );
+        assert!(
+            self.wake_range > 0.0 && self.max_range > self.wake_range,
+            "need 0 < wake_range < max_range, got {} / {}",
+            self.wake_range,
+            self.max_range
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.base_success),
+            "base success must be a probability"
+        );
+    }
+}
+
+/// A successful read: the phase report plus link diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The phase report, as the tracker consumes it.
+    pub read: PhaseRead,
+    /// Received signal strength (dB, relative to 1 m free-space one-way).
+    pub rssi_db: f64,
+}
+
+/// The stateful channel simulator.
+///
+/// Holds the per-reader phase offsets (drawn once — they are constants on
+/// real hardware until a reader restarts) and the noise RNG.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    dep: Deployment,
+    cfg: ChannelConfig,
+    reader_offsets: BTreeMap<ReaderId, f64>,
+    rng: StdRng,
+}
+
+impl Channel {
+    /// Creates a channel. `seed` drives both the per-reader offsets and all
+    /// per-read randomness, making simulations reproducible.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(dep: Deployment, cfg: ChannelConfig, seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reader_offsets = BTreeMap::new();
+        for a in dep.antennas() {
+            reader_offsets
+                .entry(a.reader)
+                .or_insert_with(|| rng.gen_range(0.0..TAU));
+        }
+        Self {
+            dep,
+            cfg,
+            reader_offsets,
+            rng,
+        }
+    }
+
+    /// The deployment this channel models.
+    pub fn deployment(&self) -> &Deployment {
+        &self.dep
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// The constant phase offset of a reader (for tests; unknown to the
+    /// tracking algorithms, as on real hardware).
+    pub fn reader_offset(&self, reader: ReaderId) -> Option<f64> {
+        self.reader_offsets.get(&reader).copied()
+    }
+
+    /// Probability that a read attempt through `antenna` succeeds for a tag
+    /// at `tag`.
+    pub fn success_probability(&self, antenna: AntennaId, tag: Point3) -> f64 {
+        let a = match self.dep.antenna(antenna) {
+            Some(a) => a,
+            None => return 0.0,
+        };
+        let d = a.pos.dist(tag);
+        if d <= self.cfg.wake_range {
+            self.cfg.base_success
+        } else if d >= self.cfg.max_range {
+            0.0
+        } else {
+            let f = 1.0 - (d - self.cfg.wake_range) / (self.cfg.max_range - self.cfg.wake_range);
+            self.cfg.base_success * f
+        }
+    }
+
+    /// The noiseless measured phase (multipath and reader offset included,
+    /// noise and quantization excluded), wrapped to `[0, 2π)`.
+    pub fn clean_phase(&self, antenna: AntennaId, tag: Point3) -> f64 {
+        let a = self
+            .dep
+            .antenna(antenna)
+            .unwrap_or_else(|| panic!("unknown antenna {antenna:?}"));
+        let (phase, _) = channel_observables(
+            self.dep.wavelength(),
+            a.pos,
+            tag,
+            self.cfg.direct_gain,
+            &self.cfg.reflectors,
+            self.dep.path_factor(),
+        );
+        wrap_tau(phase + self.reader_offsets[&a.reader])
+    }
+
+    /// Attempts one read. Returns `None` when the tag fails to respond.
+    pub fn try_read(&mut self, antenna: AntennaId, tag: Point3, t: f64) -> Option<Observation> {
+        let p = self.success_probability(antenna, tag);
+        if p <= 0.0 || self.rng.gen_range(0.0..1.0) >= p {
+            return None;
+        }
+        let a = self.dep.antenna(antenna).expect("validated by success_probability");
+        // Dynamic body blockage attenuates the direct path; a heavily
+        // shadowed reply usually fails to decode at all.
+        let block = crate::blockage::combined_gain(&self.cfg.blockers, a.pos, tag, t);
+        if block < 1.0 && self.rng.gen_range(0.0..1.0) > block {
+            return None;
+        }
+        let (phase, power) = channel_observables(
+            self.dep.wavelength(),
+            a.pos,
+            tag,
+            self.cfg.direct_gain * block,
+            &self.cfg.reflectors,
+            self.dep.path_factor(),
+        );
+        let noisy = phase + self.reader_offsets[&a.reader] + self.cfg.phase_noise.sample(&mut self.rng);
+        let reported = match self.cfg.quantizer {
+            Some(q) => q.quantize(noisy),
+            None => wrap_tau(noisy),
+        };
+        Some(Observation {
+            read: PhaseRead {
+                t,
+                antenna,
+                phase: reported,
+            },
+            rssi_db: 10.0 * power.log10(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rfidraw_core::geom::{Plane, Point2};
+
+    fn channel(seed: u64) -> Channel {
+        Channel::new(
+            Deployment::paper_default(),
+            Scenario::Los.config(),
+            seed,
+        )
+    }
+
+    fn tag() -> Point3 {
+        Plane::at_depth(2.0).lift(Point2::new(1.2, 1.0))
+    }
+
+    #[test]
+    fn reads_succeed_in_range() {
+        let mut ch = channel(7);
+        let mut ok = 0;
+        for i in 0..200 {
+            if ch.try_read(AntennaId(1), tag(), i as f64 * 0.01).is_some() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 150, "only {ok}/200 reads succeeded at 2 m");
+    }
+
+    #[test]
+    fn reads_fail_beyond_max_range() {
+        let mut ch = channel(7);
+        let far = Point3::new(1.2, 40.0, 1.0);
+        for i in 0..100 {
+            assert!(ch.try_read(AntennaId(1), far, i as f64 * 0.01).is_none());
+        }
+        assert_eq!(ch.success_probability(AntennaId(1), far), 0.0);
+    }
+
+    #[test]
+    fn success_probability_decays_between_wake_and_max() {
+        let ch = channel(7);
+        let cfg = ch.config();
+        let near = Point3::new(0.0, cfg.wake_range * 0.5, 2.6);
+        let mid = Point3::new(0.0, (cfg.wake_range + cfg.max_range) / 2.0, 2.6);
+        let p_near = ch.success_probability(AntennaId(1), near);
+        let p_mid = ch.success_probability(AntennaId(1), mid);
+        assert!(p_near > p_mid && p_mid > 0.0);
+    }
+
+    #[test]
+    fn same_reader_ports_share_offset_and_cancel_in_pairs() {
+        // Use a multipath-free config so the clean phase is purely geometric.
+        let mut cfg = Scenario::Los.config();
+        cfg.reflectors.clear();
+        let ch = Channel::new(Deployment::paper_default(), cfg, 99);
+        let t = tag();
+        // Antennas 1 and 2 share reader 1: the pair phase difference must be
+        // offset-free, i.e. match the geometric prediction.
+        let d1 = ch.clean_phase(AntennaId(1), t);
+        let d2 = ch.clean_phase(AntennaId(2), t);
+        let dep = ch.deployment();
+        let pair = rfidraw_core::array::AntennaPair::new(AntennaId(2), AntennaId(1));
+        // Δφ_{1,2} = φ_1 − φ_2 should equal 2π·pair_turns(<2,1>) mod 2π.
+        let expected = rfidraw_core::phase::wrap_pi(TAU * dep.pair_turns(pair, t));
+        let got = rfidraw_core::phase::wrap_pi(d1 - d2);
+        assert!(
+            (rfidraw_core::phase::wrap_pi(got - expected)).abs() < 1e-9,
+            "pair difference {got} vs geometric {expected}"
+        );
+    }
+
+    #[test]
+    fn cross_reader_phases_do_not_cancel() {
+        // The same comparison across readers 1 and 2 picks up the offset
+        // difference — the reason the paper never pairs across readers.
+        let ch = channel(12345);
+        let t = tag();
+        let o1 = ch.reader_offset(ReaderId(1)).unwrap();
+        let o2 = ch.reader_offset(ReaderId(2)).unwrap();
+        assert!(
+            rfidraw_core::phase::wrap_pi(o1 - o2).abs() > 1e-3,
+            "offsets collided; reseed the test"
+        );
+        let d1 = ch.clean_phase(AntennaId(1), t); // reader 1
+        let d5 = ch.clean_phase(AntennaId(5), t); // reader 2
+        let a1 = ch.deployment().antenna(AntennaId(1)).unwrap().pos;
+        let a5 = ch.deployment().antenna(AntennaId(5)).unwrap().pos;
+        let lambda = ch.deployment().wavelength().meters();
+        let geometric = rfidraw_core::phase::wrap_pi(
+            TAU * 2.0 * (t.dist(a5) - t.dist(a1)) / lambda,
+        );
+        let got = rfidraw_core::phase::wrap_pi(d1 - d5);
+        let err = rfidraw_core::phase::wrap_pi(got - geometric).abs();
+        assert!(err > 1e-3, "cross-reader offset unexpectedly cancelled");
+    }
+
+    #[test]
+    fn quantizer_limits_phase_values() {
+        let dep = Deployment::paper_default();
+        let mut cfg = Scenario::Los.config();
+        cfg.quantizer = Some(PhaseQuantizer::new(64));
+        cfg.phase_noise = WrappedGaussian::new(0.0);
+        let mut ch = Channel::new(dep, cfg, 5);
+        let delta = TAU / 64.0;
+        for i in 0..50 {
+            if let Some(o) = ch.try_read(AntennaId(1), tag(), i as f64 * 0.01) {
+                let steps = o.read.phase / delta;
+                assert!((steps - steps.round()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_channels_are_reproducible() {
+        let mut a = channel(2024);
+        let mut b = channel(2024);
+        for i in 0..50 {
+            let t = i as f64 * 0.01;
+            assert_eq!(a.try_read(AntennaId(3), tag(), t), b.try_read(AntennaId(3), tag(), t));
+        }
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let mut ch = channel(3);
+        let near = Plane::at_depth(2.0).lift(Point2::new(1.3, 1.3));
+        let far = Plane::at_depth(4.5).lift(Point2::new(1.3, 1.3));
+        let o_near = (0..100)
+            .find_map(|i| ch.try_read(AntennaId(1), near, i as f64 * 0.01))
+            .expect("some near read succeeds");
+        let o_far = (0..100)
+            .find_map(|i| ch.try_read(AntennaId(1), far, i as f64 * 0.01))
+            .expect("some far read succeeds");
+        assert!(o_near.rssi_db > o_far.rssi_db);
+    }
+
+    #[test]
+    fn blockers_suppress_reads_on_shadowed_paths() {
+        let mut cfg = Scenario::Los.config();
+        // A static, heavy blocker parked on the path from antenna 1
+        // (on the left edge, top) to the tag.
+        let dep = Deployment::paper_default();
+        let a1 = dep.antenna(AntennaId(1)).unwrap().pos;
+        let t = tag();
+        let mid = Point3::new((a1.x + t.x) / 2.0, (a1.y + t.y) / 2.0, 1.0);
+        let mut blocker = crate::blockage::Blocker::new(mid, 0.3, 0.02);
+        blocker.sway_amplitude = 0.0;
+        cfg.blockers = vec![blocker];
+        let mut ch = Channel::new(dep, cfg, 55);
+        let mut blocked_ok = 0;
+        let mut clear_ok = 0;
+        for i in 0..300 {
+            let tt = i as f64 * 0.01;
+            if ch.try_read(AntennaId(1), t, tt).is_some() {
+                blocked_ok += 1;
+            }
+            // Antenna 3 (bottom-right) has a different path geometry.
+            if ch.try_read(AntennaId(3), t, tt).is_some() {
+                clear_ok += 1;
+            }
+        }
+        assert!(
+            blocked_ok * 4 < clear_ok,
+            "blocked antenna read {blocked_ok} vs clear {clear_ok}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wake_range")]
+    fn config_rejects_inverted_ranges() {
+        let mut cfg = Scenario::Los.config();
+        cfg.max_range = cfg.wake_range - 1.0;
+        let _ = Channel::new(Deployment::paper_default(), cfg, 0);
+    }
+}

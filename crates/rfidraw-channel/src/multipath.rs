@@ -1,0 +1,168 @@
+//! Coherent multipath for the backscatter channel (paper §8.1).
+//!
+//! Besides the direct antenna–tag path, energy travels via scatterers
+//! (walls, cubicle separators, furniture). Each [`Reflector`] contributes a
+//! one-way path `antenna → reflector → tag` whose complex amplitude sums
+//! with the direct path. Backscatter squares the one-way channel (forward
+//! and reverse paths through the same environment), so the measured phase
+//! is `2·arg(g)` for the one-way sum `g` — which collapses to the familiar
+//! `−2π·2d/λ` when only the direct path exists.
+//!
+//! In NLOS the direct path is attenuated (`direct_gain < 1`) and reflectors
+//! dominate more often; the *dominant*-path phase then drives the trace,
+//! which is precisely why the paper finds RF-IDraw's shape reconstruction
+//! robust in NLOS while absolute positioning degrades (§8.1).
+
+use rfidraw_core::geom::Point3;
+use rfidraw_core::phase::Wavelength;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// One point scatterer contributing an indirect path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reflector {
+    /// Scatterer position.
+    pub point: Point3,
+    /// Reflection amplitude coefficient in `[0, 1]` applied on top of the
+    /// path loss of the longer indirect path.
+    pub coefficient: f64,
+}
+
+impl Reflector {
+    /// Creates a reflector.
+    ///
+    /// # Panics
+    /// Panics if the coefficient is outside `[0, 1]`.
+    pub fn new(point: Point3, coefficient: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&coefficient),
+            "reflection coefficient must be in [0, 1], got {coefficient}"
+        );
+        Self { point, coefficient }
+    }
+}
+
+/// The one-way complex channel between an antenna and the tag:
+/// direct path (scaled by `direct_gain`) plus every reflector path, with
+/// `1/d` amplitude path loss. Returns `(re, im)`.
+pub fn one_way_channel(
+    wavelength: Wavelength,
+    antenna: Point3,
+    tag: Point3,
+    direct_gain: f64,
+    reflectors: &[Reflector],
+) -> (f64, f64) {
+    let mut re = 0.0;
+    let mut im = 0.0;
+    let mut add_path = |len: f64, amp: f64| {
+        // Guard against degenerate zero-length paths.
+        let len = len.max(1e-3);
+        let a = amp / len;
+        let theta = -TAU * wavelength.turns_over(len);
+        re += a * theta.cos();
+        im += a * theta.sin();
+    };
+    add_path(antenna.dist(tag), direct_gain);
+    for r in reflectors {
+        let len = antenna.dist(r.point) + r.point.dist(tag);
+        add_path(len, r.coefficient);
+    }
+    (re, im)
+}
+
+/// The phase a receiver measures through this channel: `path_factor ·
+/// arg(g)` radians (any branch; the caller wraps/quantizes), plus the
+/// one-way power `|g|²` for RSSI purposes. `path_factor` is 2 for
+/// monostatic backscatter (the forward and reverse channels are identical,
+/// `h = g²`) and 1 for an active transmitter (the §9.3 WiFi setting).
+pub fn channel_observables(
+    wavelength: Wavelength,
+    antenna: Point3,
+    tag: Point3,
+    direct_gain: f64,
+    reflectors: &[Reflector],
+    path_factor: f64,
+) -> (f64, f64) {
+    let (re, im) = one_way_channel(wavelength, antenna, tag, direct_gain, reflectors);
+    let phase = path_factor * im.atan2(re);
+    let power = re * re + im * im;
+    (phase, power)
+}
+
+/// [`channel_observables`] specialized to monostatic backscatter RFID.
+pub fn backscatter_observables(
+    wavelength: Wavelength,
+    antenna: Point3,
+    tag: Point3,
+    direct_gain: f64,
+    reflectors: &[Reflector],
+) -> (f64, f64) {
+    channel_observables(wavelength, antenna, tag, direct_gain, reflectors, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_core::phase::wrap_tau;
+
+    fn wl() -> Wavelength {
+        Wavelength::paper_default()
+    }
+
+    #[test]
+    fn clean_channel_matches_analytic_phase() {
+        let antenna = Point3::on_wall(0.0, 0.0);
+        let tag = Point3::new(1.0, 2.0, 0.5);
+        let (phase, power) = backscatter_observables(wl(), antenna, tag, 1.0, &[]);
+        let d = antenna.dist(tag);
+        let expected = -TAU * 2.0 * d / wl().meters();
+        assert!(
+            (wrap_tau(phase) - wrap_tau(expected)).abs() < 1e-9
+                || (wrap_tau(phase) - wrap_tau(expected)).abs() > TAU - 1e-9,
+            "phase {phase} vs expected {expected}"
+        );
+        assert!((power - 1.0 / (d * d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_reflector_perturbs_phase_slightly() {
+        let antenna = Point3::on_wall(0.0, 0.0);
+        let tag = Point3::new(1.0, 2.0, 0.5);
+        let refl = Reflector::new(Point3::new(3.0, 1.0, 1.0), 0.2);
+        let (clean, _) = backscatter_observables(wl(), antenna, tag, 1.0, &[]);
+        let (dirty, _) = backscatter_observables(wl(), antenna, tag, 1.0, &[refl]);
+        let diff = rfidraw_core::phase::wrap_pi(dirty - clean).abs();
+        assert!(diff > 0.0, "reflector had no effect");
+        // A 0.2-coefficient path over a much longer route stays a
+        // perturbation, not a takeover.
+        assert!(diff < 0.7, "perturbation {diff} rad too large");
+    }
+
+    #[test]
+    fn attenuated_direct_path_lets_reflection_dominate() {
+        let antenna = Point3::on_wall(0.0, 0.0);
+        let tag = Point3::new(1.0, 2.0, 0.5);
+        let refl = Reflector::new(Point3::new(0.5, 1.0, 0.2), 0.9);
+        // Direct gain 0.05: the reflected path now carries more amplitude.
+        let (_, power_direct_only) = backscatter_observables(wl(), antenna, tag, 0.05, &[]);
+        let (_, power_with_refl) =
+            backscatter_observables(wl(), antenna, tag, 0.05, &[refl]);
+        assert!(power_with_refl > power_direct_only);
+    }
+
+    #[test]
+    fn power_decays_with_distance() {
+        let antenna = Point3::on_wall(0.0, 0.0);
+        let near = Point3::new(0.0, 2.0, 0.0);
+        let far = Point3::new(0.0, 5.0, 0.0);
+        let (_, p_near) = backscatter_observables(wl(), antenna, near, 1.0, &[]);
+        let (_, p_far) = backscatter_observables(wl(), antenna, far, 1.0, &[]);
+        assert!(p_near > p_far * 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reflection coefficient")]
+    fn reflector_rejects_bad_coefficient() {
+        let _ = Reflector::new(Point3::on_wall(0.0, 0.0), 1.5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Phase noise and reader quantization (paper §3.3).
+//!
+//! Real reader phase reports carry two imperfections the paper reasons
+//! about explicitly: random wireless noise (modelled here as a wrapped
+//! Gaussian added to the true phase) and the finite resolution δ with which
+//! the hardware expresses a phase (modelled as uniform quantization of the
+//! turn). Commercial UHF readers report phase in 12-bit-like steps;
+//! [`PhaseQuantizer::reader_default`] uses 4096 steps per turn.
+
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Wrapped Gaussian phase noise of configurable standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrappedGaussian {
+    /// Standard deviation before wrapping (radians).
+    pub std: f64,
+}
+
+impl WrappedGaussian {
+    /// Creates a noise source. A std of 0 is allowed (no noise).
+    ///
+    /// # Panics
+    /// Panics if `std` is negative or non-finite.
+    pub fn new(std: f64) -> Self {
+        assert!(std.is_finite() && std >= 0.0, "noise std must be ≥ 0, got {std}");
+        Self { std }
+    }
+
+    /// Draws one noise sample (radians, unwrapped Gaussian; the caller wraps
+    /// the sum). Uses Box–Muller so only `rand::Rng` is required.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std == 0.0 {
+            return 0.0;
+        }
+        // Box–Muller transform.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+        z * self.std
+    }
+}
+
+/// Uniform quantization of a phase to `steps` levels per turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseQuantizer {
+    steps: u32,
+}
+
+impl PhaseQuantizer {
+    /// Creates a quantizer with the given number of steps per turn.
+    ///
+    /// # Panics
+    /// Panics if `steps` is zero.
+    pub fn new(steps: u32) -> Self {
+        assert!(steps > 0, "quantizer needs at least one step");
+        Self { steps }
+    }
+
+    /// A typical commercial reader: 4096 steps per turn
+    /// (δ = 2π/4096 ≈ 1.5 mrad).
+    pub fn reader_default() -> Self {
+        Self::new(4096)
+    }
+
+    /// Number of steps per turn.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// The resolution δ in radians.
+    pub fn delta(&self) -> f64 {
+        TAU / self.steps as f64
+    }
+
+    /// Quantizes a phase (any branch) to the nearest level, returning a
+    /// value in `[0, 2π)`.
+    pub fn quantize(&self, phase: f64) -> f64 {
+        let d = self.delta();
+        let q = (phase.rem_euclid(TAU) / d).round() * d;
+        if q >= TAU {
+            0.0
+        } else {
+            q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_std_is_silent() {
+        let n = WrappedGaussian::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(n.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_std() {
+        let n = WrappedGaussian::new(0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.3).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "noise std")]
+    fn rejects_negative_std() {
+        let _ = WrappedGaussian::new(-0.1);
+    }
+
+    #[test]
+    fn quantizer_resolution() {
+        let q = PhaseQuantizer::reader_default();
+        assert_eq!(q.steps(), 4096);
+        assert!((q.delta() - TAU / 4096.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_half_delta() {
+        let q = PhaseQuantizer::new(256);
+        for i in 0..1000 {
+            let phase = i as f64 * 0.013 - 3.0;
+            let out = q.quantize(phase);
+            assert!((0.0..TAU).contains(&out));
+            let err = (out - phase.rem_euclid(TAU)).abs();
+            let err = err.min(TAU - err);
+            assert!(err <= q.delta() / 2.0 + 1e-12, "error {err} at {phase}");
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let q = PhaseQuantizer::new(128);
+        for i in 0..200 {
+            let phase = i as f64 * 0.037;
+            let once = q.quantize(phase);
+            assert_eq!(once, q.quantize(once));
+        }
+    }
+
+    #[test]
+    fn quantize_wraps_top_level_to_zero() {
+        let q = PhaseQuantizer::new(8);
+        // A phase just below 2π rounds up to the top level, which is 0.
+        let out = q.quantize(TAU - 1e-9);
+        assert_eq!(out, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! LOS / NLOS channel presets matching the paper's two environments (§8).
+//!
+//! * **LOS** — the 5×6 m VICON room: clear direct path, mild residual
+//!   multipath from walls, standard reader quantization.
+//! * **NLOS** — the 8×12 m office lounge divided by 2.5 m tall, 20 cm thick
+//!   double-layer wooden separators: the direct path is attenuated by the
+//!   wood, and stronger scattered paths (cubicle frames, walls) matter more.
+//!
+//! The numbers are calibrated so that the reproduction's headline results
+//! land in the paper's regimes (see `EXPERIMENTS.md`): trajectory errors of
+//! a few centimetres for RF-IDraw vs tens of centimetres for the baseline,
+//! with NLOS hurting the baseline far more than RF-IDraw.
+
+use crate::model::ChannelConfig;
+use crate::multipath::Reflector;
+use crate::noise::{PhaseQuantizer, WrappedGaussian};
+use rfidraw_core::geom::Point3;
+
+/// The two evaluation environments of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Line of sight (the VICON room).
+    Los,
+    /// Non-line-of-sight (the cubicle-divided office lounge).
+    Nlos,
+}
+
+impl Scenario {
+    /// The channel configuration for this scenario.
+    pub fn config(self) -> ChannelConfig {
+        match self {
+            Scenario::Los => ChannelConfig {
+                phase_noise: WrappedGaussian::new(0.20),
+                quantizer: Some(PhaseQuantizer::reader_default()),
+                direct_gain: 1.0,
+                // Lab walls, floor, metal equipment racks: the VICON room
+                // is cluttered, and multipath — not thermal noise — is what
+                // limits real phase-based tracking (§8.1).
+                reflectors: vec![
+                    Reflector::new(Point3::new(-1.5, 2.5, 1.0), 0.30),
+                    Reflector::new(Point3::new(4.5, 3.0, 0.5), 0.28),
+                    Reflector::new(Point3::new(1.2, 4.8, 2.2), 0.26),
+                    Reflector::new(Point3::new(3.0, 1.5, 0.1), 0.24),
+                    Reflector::new(Point3::new(-0.8, 1.8, 2.3), 0.22),
+                    Reflector::new(Point3::new(3.8, 4.2, 1.6), 0.22),
+                    Reflector::new(Point3::new(0.3, 3.6, 0.2), 0.20),
+                    Reflector::new(Point3::new(2.2, 2.8, 2.5), 0.20),
+                ],
+                wake_range: 5.2,
+                max_range: 7.0,
+                base_success: 0.97,
+                blockers: vec![],
+            },
+            Scenario::Nlos => ChannelConfig {
+                phase_noise: WrappedGaussian::new(0.30),
+                quantizer: Some(PhaseQuantizer::reader_default()),
+                // Two layers of 10 cm wood attenuate the direct path.
+                direct_gain: 0.40,
+                // Cubicle frames and lounge walls scatter strongly; with
+                // the direct path attenuated, these often dominate.
+                reflectors: vec![
+                    Reflector::new(Point3::new(-2.0, 3.5, 1.2), 0.28),
+                    Reflector::new(Point3::new(5.0, 2.5, 0.8), 0.26),
+                    Reflector::new(Point3::new(1.5, 6.0, 2.0), 0.24),
+                    Reflector::new(Point3::new(0.5, 1.2, 2.4), 0.22),
+                    Reflector::new(Point3::new(-1.2, 2.0, 2.2), 0.22),
+                    Reflector::new(Point3::new(4.2, 4.5, 1.5), 0.20),
+                    Reflector::new(Point3::new(0.8, 5.2, 0.3), 0.20),
+                    Reflector::new(Point3::new(2.8, 1.6, 2.4), 0.18),
+                ],
+                wake_range: 5.0,
+                max_range: 6.5,
+                base_success: 0.93,
+                blockers: vec![],
+            },
+        }
+    }
+
+    /// Human-readable label used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Los => "LOS",
+            Scenario::Nlos => "NLOS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_scenarios_validate() {
+        // Constructing a channel validates the config; do it for both.
+        use rfidraw_core::array::Deployment;
+        for s in [Scenario::Los, Scenario::Nlos] {
+            let _ = crate::Channel::new(Deployment::paper_default(), s.config(), 1);
+        }
+    }
+
+    #[test]
+    fn nlos_is_harsher_than_los() {
+        let los = Scenario::Los.config();
+        let nlos = Scenario::Nlos.config();
+        assert!(nlos.phase_noise.std > los.phase_noise.std);
+        assert!(nlos.direct_gain < los.direct_gain);
+        // What matters is multipath *relative to the direct path*.
+        let rel = |cfg: &crate::ChannelConfig| {
+            cfg.reflectors.iter().map(|r| r.coefficient).sum::<f64>() / cfg.direct_gain
+        };
+        assert!(rel(&nlos) > rel(&los));
+        assert!(nlos.base_success < los.base_success);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Scenario::Los.label(), Scenario::Nlos.label());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the channel substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfidraw_channel::noise::{PhaseQuantizer, WrappedGaussian};
+use rfidraw_channel::multipath::{backscatter_observables, one_way_channel, Reflector};
+use rfidraw_channel::fault::{FaultConfig, FaultInjector};
+use rfidraw_core::array::AntennaId;
+use rfidraw_core::geom::Point3;
+use rfidraw_core::phase::Wavelength;
+use rfidraw_core::stream::PhaseRead;
+use std::f64::consts::TAU;
+
+proptest! {
+    #[test]
+    fn quantizer_output_is_on_grid_and_close(
+        steps in 2u32..8192,
+        phase in -100.0f64..100.0,
+    ) {
+        let q = PhaseQuantizer::new(steps);
+        let out = q.quantize(phase);
+        prop_assert!((0.0..TAU).contains(&out));
+        // On-grid.
+        let ratio = out / q.delta();
+        prop_assert!((ratio - ratio.round()).abs() < 1e-6);
+        // Close to the input modulo 2π.
+        let err = (out - phase.rem_euclid(TAU)).abs();
+        let err = err.min(TAU - err);
+        prop_assert!(err <= q.delta() / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn noise_is_zero_mean_at_any_std(std in 0.0f64..1.0, seed in 0u64..1000) {
+        let n = WrappedGaussian::new(std);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean: f64 = (0..2000).map(|_| n.sample(&mut rng)).sum::<f64>() / 2000.0;
+        prop_assert!(mean.abs() < 0.1 + std * 0.1, "mean {mean} at std {std}");
+    }
+
+    #[test]
+    fn clean_channel_power_follows_inverse_square(
+        depth in 0.5f64..10.0, x in -3.0f64..3.0, z in 0.0f64..3.0,
+    ) {
+        let wl = Wavelength::paper_default();
+        let ant = Point3::on_wall(0.0, 1.0);
+        let tag = Point3::new(x, depth, z);
+        let (_, power) = backscatter_observables(wl, ant, tag, 1.0, &[]);
+        let d = ant.dist(tag);
+        prop_assert!((power - 1.0 / (d * d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multipath_amplitude_is_bounded_by_path_sum(
+        coeff in 0.0f64..1.0, rx in -3.0f64..3.0, rz in 0.0f64..3.0,
+    ) {
+        let wl = Wavelength::paper_default();
+        let ant = Point3::on_wall(0.0, 0.0);
+        let tag = Point3::new(1.0, 2.0, 1.0);
+        let refl = Reflector::new(Point3::new(rx, 1.5, rz), coeff);
+        let (re, im) = one_way_channel(wl, ant, tag, 1.0, &[refl]);
+        let amp = (re * re + im * im).sqrt();
+        let d_direct = ant.dist(tag).max(1e-3);
+        let d_refl = (ant.dist(refl.point) + refl.point.dist(tag)).max(1e-3);
+        let bound = 1.0 / d_direct + coeff / d_refl;
+        prop_assert!(amp <= bound + 1e-9, "amp {amp} > bound {bound}");
+    }
+
+    #[test]
+    fn fault_injector_never_reorders_or_invents(
+        drop in 0.0f64..0.9,
+        corrupt in 0.0f64..0.9,
+        seed in 0u64..500,
+        n in 1usize..200,
+    ) {
+        let cfg = FaultConfig {
+            drop_chance: drop,
+            corrupt_chance: corrupt,
+            ..FaultConfig::default()
+        };
+        let reads: Vec<PhaseRead> = (0..n)
+            .map(|i| PhaseRead {
+                t: i as f64 * 0.01,
+                antenna: AntennaId(1),
+                phase: 0.5,
+            })
+            .collect();
+        let mut inj = FaultInjector::new(cfg, seed);
+        let out = inj.apply(&reads);
+        prop_assert!(out.len() <= reads.len());
+        for w in out.windows(2) {
+            prop_assert!(w[0].t < w[1].t, "reordered output");
+        }
+        for r in &out {
+            // Every surviving read's timestamp exists in the input.
+            prop_assert!(reads.iter().any(|x| x.t == r.t));
+            prop_assert!((0.0..TAU).contains(&r.phase) || r.phase == 0.5);
+        }
+    }
+}

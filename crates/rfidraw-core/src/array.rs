@@ -1,0 +1,566 @@
+//! Antennas, antenna pairs, and deployments (paper §3.4–3.5, §6, Fig. 6d).
+//!
+//! A [`Deployment`] describes where every reader antenna sits on the wall,
+//! which reader owns it, and how antennas are grouped into the three kinds of
+//! pairs RF-IDraw uses:
+//!
+//! * **wide pairs** — large separation (8λ edges and diagonals of the
+//!   square formed by antennas 1–4). Their grating lobes provide resolution.
+//! * **coarse primary pairs** — the two λ/4-separated pairs (<5,6>, <7,8>),
+//!   each producing one unambiguous wide beam (λ/2 effective separation for
+//!   backscatter, §6).
+//! * **coarse refine pairs** — the cross pairs among antennas 5–8
+//!   (<5,7>, <5,8>, <6,7>, <6,8>) used to sharpen the coarse filter
+//!   (Fig. 6c).
+//!
+//! Commercial readers expose no phase offset between their own ports but an
+//! unknown offset across readers, so the paper only ever pairs antennas of
+//! the same reader (§3.5). [`Deployment`] enforces this invariant at
+//! construction.
+
+use crate::geom::Point3;
+use crate::phase::Wavelength;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one physical antenna within a deployment (paper numbers 1–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AntennaId(pub u8);
+
+/// Identifies one RFID reader (the prototype uses two 4-port readers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReaderId(pub u8);
+
+/// One reader antenna: identity, owning reader, and wall position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    /// The antenna's identity.
+    pub id: AntennaId,
+    /// The reader whose port this antenna is connected to.
+    pub reader: ReaderId,
+    /// Position on the wall (always `y = 0` in the paper deployment, but
+    /// arbitrary 3-D positions are allowed for custom setups).
+    pub pos: Point3,
+}
+
+/// An ordered pair of antennas `<i, j>` whose phase difference
+/// `Δφ_{j,i} = φ_j − φ_i` is used for positioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AntennaPair {
+    /// First antenna of the pair.
+    pub i: AntennaId,
+    /// Second antenna of the pair.
+    pub j: AntennaId,
+}
+
+impl AntennaPair {
+    /// Creates the pair `<i, j>`.
+    ///
+    /// # Panics
+    /// Panics if `i == j`: a pair needs two distinct antennas.
+    pub fn new(i: AntennaId, j: AntennaId) -> Self {
+        assert!(i != j, "an antenna pair needs two distinct antennas, got {i:?} twice");
+        Self { i, j }
+    }
+}
+
+/// The role a pair plays in the multi-resolution algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairRole {
+    /// Widely separated: many grating lobes, defines resolution (stage 2).
+    Wide,
+    /// λ/2-effective separation: one wide unambiguous beam (stage 1 filter).
+    CoarsePrimary,
+    /// Intermediate separation among antennas 5–8: refines the coarse filter.
+    CoarseRefine,
+}
+
+/// A complete antenna deployment plus the carrier it operates on.
+///
+/// Construct the paper's 8-antenna setup with [`Deployment::paper_default`],
+/// or build custom layouts with [`DeploymentBuilder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    wavelength: Wavelength,
+    path_factor: f64,
+    antennas: Vec<Antenna>,
+    wide_pairs: Vec<AntennaPair>,
+    coarse_primary_pairs: Vec<AntennaPair>,
+    coarse_refine_pairs: Vec<AntennaPair>,
+}
+
+impl Deployment {
+    /// The paper's prototype deployment (§6, Fig. 6d) at carrier 922 MHz:
+    ///
+    /// * antennas 1–4 (reader 1) on the corners of an 8λ × 8λ square,
+    ///   corner at the origin of the wall plane;
+    /// * antennas 5,6 (reader 2) a vertical λ/4 pair centred on the left
+    ///   edge; antennas 7,8 (reader 2) a horizontal λ/4 pair centred on the
+    ///   bottom edge;
+    /// * path factor 2 (backscatter round trip).
+    ///
+    /// The square spans `x, z ∈ [0, 8λ] ≈ [0, 2.6 m]`.
+    pub fn paper_default() -> Self {
+        Self::paper_with_wavelength(Wavelength::paper_default())
+    }
+
+    /// The paper deployment scaled to an arbitrary carrier wavelength.
+    pub fn paper_with_wavelength(wavelength: Wavelength) -> Self {
+        Self::square_with_side(wavelength, 8.0)
+    }
+
+    /// The paper's geometry with a configurable square side (in
+    /// wavelengths) — used by the separation-ablation experiments. The
+    /// tight pairs stay at λ/4.
+    ///
+    /// # Panics
+    /// Panics unless `side_lambdas` is finite and ≥ 1 (smaller squares
+    /// would overlap the tight pairs).
+    pub fn square_with_side(wavelength: Wavelength, side_lambdas: f64) -> Self {
+        assert!(
+            side_lambdas.is_finite() && side_lambdas >= 1.0,
+            "square side must be ≥ 1λ, got {side_lambdas}"
+        );
+        let lambda = wavelength.meters();
+        let side = side_lambdas * lambda;
+        let q = lambda / 8.0; // half of the λ/4 tight-pair separation
+        let mid = side / 2.0;
+
+        let r1 = ReaderId(1);
+        let r2 = ReaderId(2);
+        let a = |n: u8, reader: ReaderId, x: f64, z: f64| Antenna {
+            id: AntennaId(n),
+            reader,
+            pos: Point3::on_wall(x, z),
+        };
+
+        let mut b = DeploymentBuilder::new(wavelength).backscatter(true);
+        // Reader 1: the wide square, Fig 6(d) numbering
+        // (1 top-left, 2 bottom-left, 3 bottom-right, 4 top-right).
+        b = b
+            .antenna(a(1, r1, 0.0, side))
+            .antenna(a(2, r1, 0.0, 0.0))
+            .antenna(a(3, r1, side, 0.0))
+            .antenna(a(4, r1, side, side));
+        // Reader 2: tight pairs. <5,6> vertical on the left edge,
+        // <7,8> horizontal on the bottom edge.
+        b = b
+            .antenna(a(5, r2, 0.0, mid + q))
+            .antenna(a(6, r2, 0.0, mid - q))
+            .antenna(a(7, r2, mid - q, 0.0))
+            .antenna(a(8, r2, mid + q, 0.0));
+
+        let p = |i: u8, j: u8| AntennaPair::new(AntennaId(i), AntennaId(j));
+        // All six pairs among the square corners (edges + diagonals, Fig 6a).
+        for (i, j) in [(1, 2), (2, 3), (3, 4), (1, 4), (1, 3), (2, 4)] {
+            b = b.pair(p(i, j), PairRole::Wide);
+        }
+        b = b.pair(p(5, 6), PairRole::CoarsePrimary);
+        b = b.pair(p(7, 8), PairRole::CoarsePrimary);
+        for (i, j) in [(5, 7), (5, 8), (6, 7), (6, 8)] {
+            b = b.pair(p(i, j), PairRole::CoarseRefine);
+        }
+        b.build()
+    }
+
+    /// The carrier wavelength.
+    pub fn wavelength(&self) -> Wavelength {
+        self.wavelength
+    }
+
+    /// Path-length multiplier: 2.0 for backscatter RFIDs (round trip),
+    /// 1.0 for an active RF transmitter.
+    pub fn path_factor(&self) -> f64 {
+        self.path_factor
+    }
+
+    /// All antennas in the deployment.
+    pub fn antennas(&self) -> &[Antenna] {
+        &self.antennas
+    }
+
+    /// Looks up one antenna by id.
+    pub fn antenna(&self, id: AntennaId) -> Option<&Antenna> {
+        self.antennas.iter().find(|a| a.id == id)
+    }
+
+    /// The widely-separated pairs (stage-2 resolution, Fig. 6a).
+    pub fn wide_pairs(&self) -> &[AntennaPair] {
+        &self.wide_pairs
+    }
+
+    /// The λ/2-effective unambiguous pairs (stage-1 filter, Fig. 6b).
+    pub fn coarse_primary_pairs(&self) -> &[AntennaPair] {
+        &self.coarse_primary_pairs
+    }
+
+    /// The intermediate pairs refining the coarse filter (Fig. 6c).
+    pub fn coarse_refine_pairs(&self) -> &[AntennaPair] {
+        &self.coarse_refine_pairs
+    }
+
+    /// All coarse pairs: primary followed by refine.
+    pub fn coarse_pairs(&self) -> impl Iterator<Item = &AntennaPair> {
+        self.coarse_primary_pairs.iter().chain(&self.coarse_refine_pairs)
+    }
+
+    /// All pairs of every role.
+    pub fn all_pairs(&self) -> impl Iterator<Item = &AntennaPair> {
+        self.wide_pairs.iter().chain(self.coarse_pairs())
+    }
+
+    /// Physical separation of a pair (m).
+    ///
+    /// # Panics
+    /// Panics if either antenna is unknown (deployment construction already
+    /// validated every registered pair, so this only fires for foreign ids).
+    pub fn separation(&self, pair: AntennaPair) -> f64 {
+        let (ai, aj) = self.lookup(pair);
+        ai.pos.dist(aj.pos)
+    }
+
+    /// Effective separation: physical separation × path factor.
+    ///
+    /// This is the separation that determines lobe structure — a λ/4
+    /// backscatter pair behaves like a λ/2 one-way pair.
+    pub fn effective_separation(&self, pair: AntennaPair) -> f64 {
+        self.separation(pair) * self.path_factor
+    }
+
+    /// The pair's distance difference at a 3-D point, expressed in *turns*:
+    /// `path_factor · (d(P, i) − d(P, j)) / λ` — the left side of Eq. 2.
+    ///
+    /// At the tag's true position this value differs from the measured
+    /// `Δφ_{j,i} / 2π` by exactly an integer (the lobe index `k`).
+    pub fn pair_turns(&self, pair: AntennaPair, p: Point3) -> f64 {
+        let (ai, aj) = self.lookup(pair);
+        let dd = p.dist(ai.pos) - p.dist(aj.pos);
+        self.path_factor * dd / self.wavelength.meters()
+    }
+
+    /// Maximum grating-lobe index magnitude for this pair: `|k| ≤
+    /// path_factor · D / λ` since `|Δd| ≤ D`.
+    pub fn max_lobe_index(&self, pair: AntennaPair) -> i64 {
+        (self.effective_separation(pair) / self.wavelength.meters()).floor() as i64
+    }
+
+    /// Number of grating lobes this pair exhibits, `max(1, 2D_eff/λ)`
+    /// (§3.2: `K` lobes for `D = K·λ/2`).
+    pub fn lobe_count(&self, pair: AntennaPair) -> usize {
+        let k = (2.0 * self.effective_separation(pair) / self.wavelength.meters()).floor() as usize;
+        k.max(1)
+    }
+
+    /// True when the pair produces a single beam (no ambiguity): effective
+    /// separation ≤ λ/2.
+    pub fn is_unambiguous(&self, pair: AntennaPair) -> bool {
+        self.effective_separation(pair) <= self.wavelength.meters() / 2.0 + 1e-12
+    }
+
+    fn lookup(&self, pair: AntennaPair) -> (&Antenna, &Antenna) {
+        let ai = self
+            .antenna(pair.i)
+            .unwrap_or_else(|| panic!("unknown antenna {:?} in pair", pair.i));
+        let aj = self
+            .antenna(pair.j)
+            .unwrap_or_else(|| panic!("unknown antenna {:?} in pair", pair.j));
+        (ai, aj)
+    }
+}
+
+/// Builds custom [`Deployment`]s, validating the same-reader pairing rule.
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder {
+    wavelength: Wavelength,
+    path_factor: f64,
+    antennas: Vec<Antenna>,
+    pairs: Vec<(AntennaPair, PairRole)>,
+}
+
+impl DeploymentBuilder {
+    /// Starts a deployment on the given carrier. Defaults to backscatter
+    /// (path factor 2).
+    pub fn new(wavelength: Wavelength) -> Self {
+        Self {
+            wavelength,
+            path_factor: 2.0,
+            antennas: Vec::new(),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Selects backscatter (RFID, path factor 2) or one-way (active
+    /// transmitter, path factor 1) propagation.
+    pub fn backscatter(mut self, yes: bool) -> Self {
+        self.path_factor = if yes { 2.0 } else { 1.0 };
+        self
+    }
+
+    /// Registers an antenna.
+    ///
+    /// # Panics
+    /// Panics on duplicate antenna ids.
+    pub fn antenna(mut self, antenna: Antenna) -> Self {
+        assert!(
+            self.antennas.iter().all(|a| a.id != antenna.id),
+            "duplicate antenna id {:?}",
+            antenna.id
+        );
+        self.antennas.push(antenna);
+        self
+    }
+
+    /// Registers a pair with its algorithmic role.
+    pub fn pair(mut self, pair: AntennaPair, role: PairRole) -> Self {
+        self.pairs.push((pair, role));
+        self
+    }
+
+    /// Finalizes the deployment.
+    ///
+    /// # Panics
+    /// Panics if any pair references an unknown antenna, crosses readers
+    /// (phase offsets between readers are uncalibrated — §3.5), or if a
+    /// `CoarsePrimary` pair is not actually unambiguous.
+    pub fn build(self) -> Deployment {
+        let find = |id: AntennaId| {
+            self.antennas
+                .iter()
+                .find(|a| a.id == id)
+                .unwrap_or_else(|| panic!("pair references unknown antenna {id:?}"))
+        };
+        let mut wide = Vec::new();
+        let mut primary = Vec::new();
+        let mut refine = Vec::new();
+        for &(pair, role) in &self.pairs {
+            let (ai, aj) = (find(pair.i), find(pair.j));
+            assert!(
+                ai.reader == aj.reader,
+                "pair <{:?},{:?}> crosses readers {:?}/{:?}: cross-reader phase \
+                 offsets are uncalibrated and such pairs are invalid (paper §3.5)",
+                pair.i,
+                pair.j,
+                ai.reader,
+                aj.reader
+            );
+            match role {
+                PairRole::Wide => wide.push(pair),
+                PairRole::CoarsePrimary => primary.push(pair),
+                PairRole::CoarseRefine => refine.push(pair),
+            }
+        }
+        let d = Deployment {
+            wavelength: self.wavelength,
+            path_factor: self.path_factor,
+            antennas: self.antennas,
+            wide_pairs: wide,
+            coarse_primary_pairs: primary,
+            coarse_refine_pairs: refine,
+        };
+        for &pair in &d.coarse_primary_pairs {
+            assert!(
+                d.is_unambiguous(pair),
+                "coarse primary pair <{:?},{:?}> has effective separation {:.3} m > λ/2 \
+                 = {:.3} m and would produce grating lobes",
+                pair.i,
+                pair.j,
+                d.effective_separation(pair),
+                d.wavelength.meters() / 2.0
+            );
+        }
+        d
+    }
+}
+
+/// Convenience: a uniform linear array of `n` antennas for the baseline
+/// scheme, starting at `start` and stepping by `step` (both on the wall).
+///
+/// Returns the antennas with consecutive ids beginning at `first_id`.
+pub fn uniform_linear_array(
+    first_id: u8,
+    reader: ReaderId,
+    start: Point3,
+    step: Point3,
+    n: u8,
+) -> Vec<Antenna> {
+    (0..n)
+        .map(|k| Antenna {
+            id: AntennaId(first_id + k),
+            reader,
+            pos: Point3::new(
+                start.x + step.x * k as f64,
+                start.y + step.y * k as f64,
+                start.z + step.z * k as f64,
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Plane;
+    use crate::geom::Point2;
+
+    #[test]
+    fn paper_default_has_eight_antennas_and_twelve_pairs() {
+        let d = Deployment::paper_default();
+        assert_eq!(d.antennas().len(), 8);
+        assert_eq!(d.wide_pairs().len(), 6);
+        assert_eq!(d.coarse_primary_pairs().len(), 2);
+        assert_eq!(d.coarse_refine_pairs().len(), 4);
+        assert_eq!(d.all_pairs().count(), 12);
+    }
+
+    #[test]
+    fn paper_default_edge_separation_is_8_lambda() {
+        let d = Deployment::paper_default();
+        let lambda = d.wavelength().meters();
+        let edge = AntennaPair::new(AntennaId(1), AntennaId(2));
+        assert!((d.separation(edge) - 8.0 * lambda).abs() < 1e-9);
+        // Diagonal pairs are 8√2 λ apart.
+        let diag = AntennaPair::new(AntennaId(1), AntennaId(3));
+        assert!((d.separation(diag) - 8.0 * std::f64::consts::SQRT_2 * lambda).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_default_tight_pairs_are_quarter_lambda_and_unambiguous() {
+        let d = Deployment::paper_default();
+        let lambda = d.wavelength().meters();
+        for &pair in d.coarse_primary_pairs() {
+            assert!((d.separation(pair) - lambda / 4.0).abs() < 1e-9);
+            assert!(d.is_unambiguous(pair));
+            assert_eq!(d.lobe_count(pair), 1);
+        }
+    }
+
+    #[test]
+    fn wide_pairs_have_many_lobes() {
+        let d = Deployment::paper_default();
+        let edge = AntennaPair::new(AntennaId(1), AntennaId(2));
+        // Effective separation 16λ ⇒ 32 lobes (K = 2·D_eff/λ).
+        assert_eq!(d.lobe_count(edge), 32);
+        assert!(!d.is_unambiguous(edge));
+        assert_eq!(d.max_lobe_index(edge), 16);
+    }
+
+    #[test]
+    fn pair_turns_is_integer_at_true_position_offset_by_measured_phase() {
+        // pair_turns at any point is path_factor·Δd/λ; sanity: antisymmetric
+        // in pair order and zero on the perpendicular bisector plane.
+        let d = Deployment::paper_default();
+        let edge = AntennaPair::new(AntennaId(1), AntennaId(2));
+        let plane = Plane::at_depth(2.0);
+        // Antennas 1 and 2 sit at (0, side) and (0, 0): the bisector is the
+        // horizontal plane z = side/2.
+        let side = 8.0 * d.wavelength().meters();
+        let p_mid = plane.lift(Point2::new(1.0, side / 2.0));
+        assert!(d.pair_turns(edge, p_mid).abs() < 1e-9);
+        let p = plane.lift(Point2::new(0.3, 1.7));
+        let rev = AntennaPair::new(AntennaId(2), AntennaId(1));
+        assert!((d.pair_turns(edge, p) + d.pair_turns(rev, p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_turns_bounded_by_effective_separation() {
+        let d = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        for pair in d.all_pairs() {
+            let bound = d.effective_separation(*pair) / d.wavelength().meters();
+            for (x, z) in [(0.0, 0.0), (3.0, 2.0), (-1.0, 0.5), (1.3, 1.3)] {
+                let t = d.pair_turns(*pair, plane.lift(Point2::new(x, z)));
+                assert!(
+                    t.abs() <= bound + 1e-9,
+                    "pair {pair:?} turns {t} exceeds bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses readers")]
+    fn builder_rejects_cross_reader_pairs() {
+        let wl = Wavelength::paper_default();
+        let _ = DeploymentBuilder::new(wl)
+            .antenna(Antenna {
+                id: AntennaId(1),
+                reader: ReaderId(1),
+                pos: Point3::on_wall(0.0, 0.0),
+            })
+            .antenna(Antenna {
+                id: AntennaId(2),
+                reader: ReaderId(2),
+                pos: Point3::on_wall(1.0, 0.0),
+            })
+            .pair(AntennaPair::new(AntennaId(1), AntennaId(2)), PairRole::Wide)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "would produce grating lobes")]
+    fn builder_rejects_ambiguous_primary_pair() {
+        let wl = Wavelength::paper_default();
+        let _ = DeploymentBuilder::new(wl)
+            .antenna(Antenna {
+                id: AntennaId(1),
+                reader: ReaderId(1),
+                pos: Point3::on_wall(0.0, 0.0),
+            })
+            .antenna(Antenna {
+                id: AntennaId(2),
+                reader: ReaderId(1),
+                pos: Point3::on_wall(1.0, 0.0),
+            })
+            .pair(
+                AntennaPair::new(AntennaId(1), AntennaId(2)),
+                PairRole::CoarsePrimary,
+            )
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate antenna id")]
+    fn builder_rejects_duplicate_ids() {
+        let wl = Wavelength::paper_default();
+        let a = Antenna {
+            id: AntennaId(1),
+            reader: ReaderId(1),
+            pos: Point3::on_wall(0.0, 0.0),
+        };
+        let _ = DeploymentBuilder::new(wl).antenna(a).antenna(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct antennas")]
+    fn pair_rejects_self_pairing() {
+        let _ = AntennaPair::new(AntennaId(1), AntennaId(1));
+    }
+
+    #[test]
+    fn uniform_linear_array_spacing() {
+        let arr = uniform_linear_array(
+            10,
+            ReaderId(3),
+            Point3::on_wall(0.0, 0.0),
+            Point3::on_wall(0.1, 0.0),
+            4,
+        );
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[0].id, AntennaId(10));
+        assert_eq!(arr[3].id, AntennaId(13));
+        assert!((arr[3].pos.x - 0.3).abs() < 1e-12);
+        assert!(arr.iter().all(|a| a.reader == ReaderId(3)));
+    }
+
+    #[test]
+    fn non_backscatter_path_factor() {
+        let d = DeploymentBuilder::new(Wavelength::paper_default())
+            .backscatter(false)
+            .antenna(Antenna {
+                id: AntennaId(1),
+                reader: ReaderId(1),
+                pos: Point3::on_wall(0.0, 0.0),
+            })
+            .build();
+        assert_eq!(d.path_factor(), 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Robust pre-filtering of phase-read streams.
+//!
+//! Real readers occasionally deliver garbage phases — a collision that
+//! slipped past the CRC, a reply captured mid-port-switch, multipath flutter
+//! when a hand crosses a path. A single outlier is poison for phase
+//! unwrapping: it injects a spurious ±2π step that corrupts *every*
+//! subsequent sample of that antenna. This module provides a
+//! Hampel-style outlier rejector that runs per antenna *before* unwrapping,
+//! using circular statistics (phases live on a circle, so the median and
+//! deviations are computed on angle differences, not raw values).
+
+use crate::array::AntennaId;
+use crate::phase::{wrap_pi, wrap_tau};
+use crate::stream::PhaseRead;
+use std::collections::BTreeMap;
+
+/// Configuration for [`hampel_filter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HampelConfig {
+    /// Half-width of the sliding window (samples on each side).
+    pub half_window: usize,
+    /// Rejection threshold in multiples of the window's median absolute
+    /// deviation (the classic Hampel uses 3).
+    pub n_sigmas: f64,
+    /// Deviation floor (radians): windows of near-identical phases would
+    /// otherwise reject everything.
+    pub mad_floor: f64,
+}
+
+impl Default for HampelConfig {
+    fn default() -> Self {
+        Self {
+            half_window: 4,
+            n_sigmas: 4.0,
+            mad_floor: 0.05,
+        }
+    }
+}
+
+impl HampelConfig {
+    fn validate(&self) {
+        assert!(self.half_window >= 1, "window must have at least one neighbour");
+        assert!(self.n_sigmas > 0.0, "n_sigmas must be positive");
+        assert!(self.mad_floor >= 0.0, "MAD floor must be non-negative");
+    }
+}
+
+/// Circular median of a set of angles, computed as the sample minimizing
+/// the sum of absolute circular deviations (exact for the small windows
+/// used here).
+fn circular_median(angles: &[f64]) -> f64 {
+    debug_assert!(!angles.is_empty());
+    let mut best = angles[0];
+    let mut best_cost = f64::INFINITY;
+    for &candidate in angles {
+        let cost: f64 = angles
+            .iter()
+            .map(|&a| wrap_pi(a - candidate).abs())
+            .sum();
+        if cost < best_cost {
+            best_cost = cost;
+            best = candidate;
+        }
+    }
+    wrap_tau(best)
+}
+
+/// Removes per-antenna phase outliers from a read stream.
+///
+/// For each read, the circular median and median-absolute-deviation of its
+/// per-antenna sliding window are computed; reads deviating by more than
+/// `n_sigmas × MAD` (with a floor) are dropped. Order is preserved; reads
+/// from antennas with fewer samples than one full window pass through
+/// unfiltered (not enough evidence to reject anything).
+pub fn hampel_filter(reads: &[PhaseRead], cfg: HampelConfig) -> Vec<PhaseRead> {
+    cfg.validate();
+    // Group indices per antenna, in time order.
+    let mut per_antenna: BTreeMap<AntennaId, Vec<usize>> = BTreeMap::new();
+    let mut order: Vec<usize> = (0..reads.len()).collect();
+    order.sort_by(|&a, &b| reads[a].t.partial_cmp(&reads[b].t).expect("finite times"));
+    for &i in &order {
+        per_antenna.entry(reads[i].antenna).or_default().push(i);
+    }
+
+    let mut keep = vec![true; reads.len()];
+    for indices in per_antenna.values() {
+        let w = cfg.half_window;
+        if indices.len() < 2 * w + 1 {
+            continue;
+        }
+        for (pos, &idx) in indices.iter().enumerate() {
+            let lo = pos.saturating_sub(w);
+            let hi = (pos + w + 1).min(indices.len());
+            let window: Vec<f64> = indices[lo..hi]
+                .iter()
+                .map(|&j| reads[j].phase)
+                .collect();
+            let med = circular_median(&window);
+            let mut devs: Vec<f64> = window
+                .iter()
+                .map(|&a| wrap_pi(a - med).abs())
+                .collect();
+            devs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mad = devs[devs.len() / 2].max(cfg.mad_floor);
+            let dev = wrap_pi(reads[idx].phase - med).abs();
+            if dev > cfg.n_sigmas * mad {
+                keep[idx] = false;
+            }
+        }
+    }
+    reads
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| *r)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_reads(n: usize) -> Vec<PhaseRead> {
+        (0..n)
+            .map(|i| PhaseRead {
+                t: i as f64 * 0.02,
+                antenna: AntennaId(1),
+                phase: wrap_tau(0.08 * i as f64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_passes_untouched() {
+        let reads = ramp_reads(100);
+        let out = hampel_filter(&reads, HampelConfig::default());
+        assert_eq!(out, reads);
+    }
+
+    #[test]
+    fn single_outlier_is_removed() {
+        let mut reads = ramp_reads(100);
+        reads[50].phase = wrap_tau(reads[50].phase + 2.5);
+        let out = hampel_filter(&reads, HampelConfig::default());
+        assert_eq!(out.len(), 99);
+        assert!(out.iter().all(|r| (r.t - 1.0).abs() > 1e-9), "outlier survived");
+    }
+
+    #[test]
+    fn burst_of_outliers_is_removed() {
+        let mut reads = ramp_reads(200);
+        for i in [60, 61, 62] {
+            reads[i].phase = wrap_tau(reads[i].phase + 3.0);
+        }
+        let cfg = HampelConfig {
+            half_window: 6,
+            ..HampelConfig::default()
+        };
+        let out = hampel_filter(&reads, cfg);
+        assert!(out.len() <= 197, "burst survived: {} reads kept", out.len());
+    }
+
+    #[test]
+    fn wrap_boundary_is_not_an_outlier() {
+        // A phase ramp crossing 2π must not be flagged: circular statistics
+        // see it as smooth.
+        let reads: Vec<PhaseRead> = (0..100)
+            .map(|i| PhaseRead {
+                t: i as f64 * 0.02,
+                antenna: AntennaId(1),
+                phase: wrap_tau(6.0 + 0.05 * i as f64), // crosses 2π early on
+            })
+            .collect();
+        let out = hampel_filter(&reads, HampelConfig::default());
+        assert_eq!(out.len(), 100, "wrap crossing was misflagged");
+    }
+
+    #[test]
+    fn short_streams_pass_through() {
+        let reads = ramp_reads(5);
+        let out = hampel_filter(&reads, HampelConfig::default());
+        assert_eq!(out, reads);
+    }
+
+    #[test]
+    fn antennas_are_filtered_independently() {
+        let mut reads = ramp_reads(60);
+        // A second, clean antenna interleaved.
+        for i in 0..60 {
+            reads.push(PhaseRead {
+                t: i as f64 * 0.02 + 0.01,
+                antenna: AntennaId(2),
+                phase: wrap_tau(1.0 + 0.03 * i as f64),
+            });
+        }
+        reads[30].phase = wrap_tau(reads[30].phase + 3.0); // antenna 1 outlier
+        let out = hampel_filter(&reads, HampelConfig::default());
+        let a2 = out.iter().filter(|r| r.antenna == AntennaId(2)).count();
+        assert_eq!(a2, 60, "the clean antenna lost reads");
+        let a1 = out.iter().filter(|r| r.antenna == AntennaId(1)).count();
+        assert_eq!(a1, 59);
+    }
+
+    #[test]
+    fn circular_median_handles_wrap() {
+        // Angles clustered around 0 from both sides.
+        let med = circular_median(&[0.1, 6.2, 0.05, 6.25, 0.0]);
+        let dev = wrap_pi(med).abs();
+        assert!(dev < 0.2, "median {med} not near 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neighbour")]
+    fn rejects_zero_window() {
+        let _ = hampel_filter(
+            &[],
+            HampelConfig {
+                half_window: 0,
+                ..HampelConfig::default()
+            },
+        );
+    }
+}

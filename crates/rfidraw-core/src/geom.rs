@@ -1,0 +1,318 @@
+//! Geometric primitives: 2-D/3-D points and the virtual-screen plane.
+//!
+//! RF-IDraw's geometry is deliberately simple. Antennas live on a wall
+//! (the plane `y = 0`); the user writes on a plane parallel to it at depth
+//! `y > 0`. Search algorithms iterate 2-D points of the writing plane and
+//! lift them into 3-D only to compute exact antenna–tag distances.
+//! All coordinates are in metres.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D writing plane: `x` horizontal, `z` vertical (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate within the plane (m).
+    pub x: f64,
+    /// Vertical coordinate within the plane (m).
+    pub z: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its horizontal and vertical coordinates.
+    pub const fn new(x: f64, z: f64) -> Self {
+        Self { x, z }
+    }
+
+    /// Euclidean distance to another 2-D point.
+    pub fn dist(&self, other: Point2) -> f64 {
+        (*self - other).norm()
+    }
+
+    /// Euclidean norm treating the point as a vector from the origin.
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.z)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(&self, other: Point2, t: f64) -> Point2 {
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.z + (other.z - self.z) * t,
+        )
+    }
+
+    /// True when both coordinates are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.z.is_finite()
+    }
+}
+
+impl std::ops::Add for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.z + rhs.z)
+    }
+}
+
+impl std::ops::Sub for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.z - rhs.z)
+    }
+}
+
+impl std::ops::Mul<f64> for Point2 {
+    type Output = Point2;
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.z * rhs)
+    }
+}
+
+impl std::ops::Neg for Point2 {
+    type Output = Point2;
+    fn neg(self) -> Point2 {
+        Point2::new(-self.x, -self.z)
+    }
+}
+
+/// A point in 3-D space: `x` horizontal along the wall, `y` depth away from
+/// the wall (towards the user), `z` vertical (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// Horizontal coordinate along the wall (m).
+    pub x: f64,
+    /// Depth away from the wall, towards the user (m).
+    pub y: f64,
+    /// Vertical coordinate (m).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a 3-D point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// A point on the wall plane (`y = 0`), where antennas are mounted.
+    pub const fn on_wall(x: f64, z: f64) -> Self {
+        Self { x, y: 0.0, z }
+    }
+
+    /// Euclidean distance to another 3-D point.
+    pub fn dist(&self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+impl std::ops::Sub for Point3 {
+    type Output = Point3;
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+/// The virtual writing plane: parallel to the antenna wall at a fixed depth.
+///
+/// This is the surface that RF-IDraw turns into a touch screen. Search
+/// algorithms enumerate [`Point2`]s of this plane; [`Plane::lift`] converts
+/// them into [`Point3`]s for distance computations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plane {
+    /// Distance from the antenna wall to the writing plane (m).
+    pub depth: f64,
+}
+
+impl Plane {
+    /// A writing plane at the given depth from the antenna wall (m).
+    ///
+    /// # Panics
+    /// Panics if `depth` is not a finite positive number: a writing plane
+    /// coincident with (or behind) the antenna wall is meaningless.
+    pub fn at_depth(depth: f64) -> Self {
+        assert!(
+            depth.is_finite() && depth > 0.0,
+            "writing-plane depth must be finite and positive, got {depth}"
+        );
+        Self { depth }
+    }
+
+    /// Lifts a 2-D point of the writing plane into 3-D space.
+    pub fn lift(&self, p: Point2) -> Point3 {
+        Point3::new(p.x, self.depth, p.z)
+    }
+
+    /// Distance from a point of the writing plane to an arbitrary 3-D point
+    /// (typically an antenna on the wall).
+    pub fn dist_to(&self, p: Point2, target: Point3) -> f64 {
+        self.lift(p).dist(target)
+    }
+}
+
+/// An axis-aligned rectangle in the writing plane, used to bound searches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner (smallest `x` and `z`).
+    pub min: Point2,
+    /// Maximum corner (largest `x` and `z`).
+    pub max: Point2,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners, normalizing order.
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Self {
+            min: Point2::new(a.x.min(b.x), a.z.min(b.z)),
+            max: Point2::new(a.x.max(b.x), a.z.max(b.z)),
+        }
+    }
+
+    /// Width along `x` (m).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along `z` (m).
+    pub fn height(&self) -> f64 {
+        self.max.z - self.min.z
+    }
+
+    /// Whether the rectangle contains the point (inclusive bounds).
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.z >= self.min.z && p.z <= self.max.z
+    }
+
+    /// The centre of the rectangle.
+    pub fn center(&self) -> Point2 {
+        Point2::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.z + self.max.z),
+        )
+    }
+
+    /// Grows the rectangle by `margin` on every side.
+    pub fn expand(&self, margin: f64) -> Rect {
+        Rect {
+            min: Point2::new(self.min.x - margin, self.min.z - margin),
+            max: Point2::new(self.max.x + margin, self.max.z + margin),
+        }
+    }
+
+    /// Smallest rectangle containing all points; `None` for an empty slice.
+    pub fn bounding(points: &[Point2]) -> Option<Rect> {
+        let first = points.first()?;
+        let mut r = Rect { min: *first, max: *first };
+        for p in &points[1..] {
+            r.min.x = r.min.x.min(p.x);
+            r.min.z = r.min.z.min(p.z);
+            r.max.x = r.max.x.max(p.x);
+            r.max.z = r.max.z.max(p.z);
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point2_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -1.0);
+        assert_eq!(a + b, Point2::new(4.0, 1.0));
+        assert_eq!(b - a, Point2::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(-a, Point2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn point2_distance_is_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert!((a.dist(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point2_lerp_endpoints_and_midpoint() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn point3_distance_is_euclidean() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(a.dist(b), 0.0);
+        let c = Point3::new(1.0, 4.0, 3.0);
+        assert!((a.dist(c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_lift_preserves_xz_and_sets_depth() {
+        let plane = Plane::at_depth(2.0);
+        let p = plane.lift(Point2::new(0.5, 1.5));
+        assert_eq!(p, Point3::new(0.5, 2.0, 1.5));
+    }
+
+    #[test]
+    fn plane_distance_includes_depth() {
+        let plane = Plane::at_depth(2.0);
+        let antenna = Point3::on_wall(0.0, 0.0);
+        // Point directly in front of the antenna: distance equals depth.
+        let d = plane.dist_to(Point2::new(0.0, 0.0), antenna);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "writing-plane depth")]
+    fn plane_rejects_zero_depth() {
+        let _ = Plane::at_depth(0.0);
+    }
+
+    #[test]
+    fn rect_normalizes_corner_order() {
+        let r = Rect::new(Point2::new(2.0, -1.0), Point2::new(-1.0, 3.0));
+        assert_eq!(r.min, Point2::new(-1.0, -1.0));
+        assert_eq!(r.max, Point2::new(2.0, 3.0));
+        assert!((r.width() - 3.0).abs() < 1e-12);
+        assert!((r.height() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_contains_boundary_points() {
+        let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        assert!(r.contains(Point2::new(0.0, 0.0)));
+        assert!(r.contains(Point2::new(1.0, 1.0)));
+        assert!(r.contains(Point2::new(0.5, 0.5)));
+        assert!(!r.contains(Point2::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn rect_bounding_covers_all_points() {
+        let pts = [
+            Point2::new(0.0, 5.0),
+            Point2::new(-2.0, 1.0),
+            Point2::new(3.0, -1.0),
+        ];
+        let r = Rect::bounding(&pts).unwrap();
+        for p in pts {
+            assert!(r.contains(p));
+        }
+        assert_eq!(r.min, Point2::new(-2.0, -1.0));
+        assert_eq!(r.max, Point2::new(3.0, 5.0));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn rect_expand_grows_every_side() {
+        let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)).expand(0.5);
+        assert_eq!(r.min, Point2::new(-0.5, -0.5));
+        assert_eq!(r.max, Point2::new(1.5, 1.5));
+    }
+}

@@ -1,0 +1,270 @@
+//! Grating-lobe structure of an antenna pair (paper §3.2–§3.3, Eq. 3–5).
+//!
+//! For a pair with effective separation `D` and measured phase difference
+//! `Δφ`, every angle `θ` with
+//!
+//! ```text
+//! cos θ = (λ/D)·(Δφ/2π + k),   k ∈ ℤ,  |cos θ| ≤ 1        (Eq. 4)
+//! ```
+//!
+//! is consistent with the measurement. Each valid `k` is one *grating lobe*.
+//! This module enumerates lobes, renders beam patterns (used by the Fig. 2–4
+//! reproductions), and quantifies the two properties that make wide pairs
+//! attractive (§3.3): angular **resolution** (the quantization step of
+//! `cos θ` shrinks as `λ/D`) and **robustness to noise** (phase noise `φ_n`
+//! perturbs `cos θ` by only `(λ/D)·φ_n/2π`).
+//!
+//! Angles here are spatial angles measured from the pair's **axis** (the
+//! line through the two antennas), exactly as in the paper's Fig. 5: `θ = 0`
+//! points along the axis from antenna `j` towards antenna `i`.
+
+use std::f64::consts::TAU;
+
+/// The far-field view of one antenna pair: its effective separation in
+/// wavelengths, `D_eff / λ` (already including any backscatter path factor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairGeometry {
+    /// Effective separation divided by the wavelength.
+    pub d_over_lambda: f64,
+}
+
+impl PairGeometry {
+    /// Creates the geometry from `D_eff / λ`.
+    ///
+    /// # Panics
+    /// Panics unless the ratio is finite and positive.
+    pub fn new(d_over_lambda: f64) -> Self {
+        assert!(
+            d_over_lambda.is_finite() && d_over_lambda > 0.0,
+            "D/λ must be finite and positive, got {d_over_lambda}"
+        );
+        Self { d_over_lambda }
+    }
+
+    /// All `cos θ` values consistent with a measured phase difference
+    /// `delta_phi` (radians): one entry per grating lobe, ascending.
+    pub fn aoa_candidates(&self, delta_phi: f64) -> Vec<f64> {
+        let base = delta_phi / TAU;
+        let mut out = Vec::new();
+        // k ranges over integers with |base + k| ≤ D/λ (Eq. 2's k-range).
+        let lo = (-self.d_over_lambda - base).ceil() as i64;
+        let hi = (self.d_over_lambda - base).floor() as i64;
+        for k in lo..=hi {
+            let c = (base + k as f64) / self.d_over_lambda;
+            if c.abs() <= 1.0 {
+                out.push(c);
+            }
+        }
+        out.sort_by(|a, b| a.partial_cmp(b).expect("cosθ candidates are finite"));
+        out
+    }
+
+    /// Number of grating lobes for a given measurement.
+    pub fn lobe_count(&self, delta_phi: f64) -> usize {
+        self.aoa_candidates(delta_phi).len()
+    }
+
+    /// Two-element interferometric beam pattern, normalized to `[0, 1]`:
+    /// the likelihood that a source at angle `θ` (from the pair axis)
+    /// produced the measured `delta_phi`.
+    ///
+    /// `P(θ) = cos²( π·(D/λ·cosθ − Δφ/2π) )` — unity exactly on every
+    /// grating lobe, zero midway between lobes.
+    pub fn beam_pattern(&self, delta_phi: f64, theta: f64) -> f64 {
+        let arg = self.d_over_lambda * theta.cos() - delta_phi / TAU;
+        let c = (std::f64::consts::PI * arg).cos();
+        c * c
+    }
+
+    /// Finest quantization step of `cos θ` when the hardware reports phase
+    /// with resolution `delta_phase` radians (§3.3 "Resolution"):
+    /// `(λ/D)·δ/2π`.
+    pub fn cos_theta_resolution(&self, delta_phase: f64) -> f64 {
+        delta_phase / TAU / self.d_over_lambda
+    }
+
+    /// Additive error in `cos θ` caused by phase noise `phase_noise` radians
+    /// (§3.3 "Robustness to Noise"): `(λ/D)·φ_n/2π`.
+    ///
+    /// The paper's example: `φ_n = π/5` gives 0.2 at `D = λ/2` but only
+    /// 0.0125 at `D = 8λ`.
+    pub fn cos_theta_noise_error(&self, phase_noise: f64) -> f64 {
+        phase_noise / TAU / self.d_over_lambda
+    }
+
+    /// Approximate half-power (−3 dB) full width of one lobe in `cos θ`
+    /// space: the pattern `cos²(π·D/λ·(cosθ − c₀))` falls to ½ when the
+    /// argument moves by 1/4 turn, so the full width is `1/(2·D/λ)`.
+    pub fn lobe_half_power_width_cos(&self) -> f64 {
+        0.5 / self.d_over_lambda
+    }
+}
+
+/// Classic N-element uniform-linear-array factor, normalized to `[0, 1]`.
+///
+/// `AF(θ) = |sin(N·ψ/2) / (N·sin(ψ/2))|²` with
+/// `ψ = 2π·(s/λ)·(cosθ − cosθ₀)`, spacing `s`, steering angle `θ₀`.
+/// Used by the Fig. 2 reproduction to contrast a standard 2- and 4-antenna
+/// array's beam with RF-IDraw's pair patterns.
+pub fn array_factor(n: usize, spacing_over_lambda: f64, theta: f64, steer: f64) -> f64 {
+    assert!(n >= 1, "array needs at least one element");
+    let psi = TAU * spacing_over_lambda * (theta.cos() - steer.cos());
+    let half = psi / 2.0;
+    if half.sin().abs() < 1e-12 {
+        return 1.0; // main-lobe (or grating-lobe) peak, by L'Hôpital
+    }
+    let num = (n as f64 * half).sin();
+    let den = n as f64 * half.sin();
+    let af = num / den;
+    af * af
+}
+
+/// Half-power beamwidth (radians) of an N-element ULA steered broadside,
+/// found numerically by scanning the array factor around `θ = π/2`.
+///
+/// Returns the full angular width where the pattern first drops below 0.5 on
+/// each side of broadside.
+pub fn half_power_beamwidth(n: usize, spacing_over_lambda: f64) -> f64 {
+    let steer = std::f64::consts::FRAC_PI_2;
+    let step = 1e-4;
+    let mut lo = steer;
+    while lo > 0.0 && array_factor(n, spacing_over_lambda, lo, steer) >= 0.5 {
+        lo -= step;
+    }
+    let mut hi = steer;
+    while hi < std::f64::consts::PI && array_factor(n, spacing_over_lambda, hi, steer) >= 0.5 {
+        hi += step;
+    }
+    hi - lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn half_lambda_pair_has_single_lobe() {
+        let g = PairGeometry::new(0.5);
+        for dphi in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            assert_eq!(g.lobe_count(dphi), 1, "Δφ = {dphi}");
+        }
+    }
+
+    #[test]
+    fn lobe_count_grows_linearly_with_separation() {
+        // §3.2: D = K·λ/2 yields K lobes (within ±1 depending on Δφ).
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let g = PairGeometry::new(k as f64 / 2.0);
+            let n = g.lobe_count(1.234);
+            assert!(
+                n == k || n == k + 1,
+                "D = {}λ/2 produced {n} lobes, expected ~{k}",
+                k
+            );
+        }
+    }
+
+    #[test]
+    fn aoa_candidates_are_valid_cosines_and_sorted() {
+        let g = PairGeometry::new(8.0);
+        let c = g.aoa_candidates(2.1);
+        assert!(!c.is_empty());
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert!(c.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn aoa_candidates_contain_true_angle() {
+        // Forward problem: a source at θ produces Δφ = 2π·D/λ·cosθ (wrapped);
+        // the candidate set must contain cosθ.
+        let g = PairGeometry::new(8.0);
+        for theta_deg in [10.0, 45.0, 90.0, 120.0, 170.0] {
+            let theta = theta_deg as f64 * PI / 180.0;
+            let dphi = crate::phase::wrap_pi(TAU * g.d_over_lambda * theta.cos());
+            let c = g.aoa_candidates(dphi);
+            let best = c
+                .iter()
+                .map(|v| (v - theta.cos()).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 1e-9, "θ = {theta_deg}°: nearest candidate off by {best}");
+        }
+    }
+
+    #[test]
+    fn beam_pattern_peaks_on_lobes() {
+        let g = PairGeometry::new(8.0);
+        let theta_true = 1.1_f64;
+        let dphi = TAU * g.d_over_lambda * theta_true.cos();
+        assert!((g.beam_pattern(dphi, theta_true) - 1.0).abs() < 1e-9);
+        // Every candidate angle is also a peak (that's what ambiguity means).
+        for c in g.aoa_candidates(crate::phase::wrap_pi(dphi)) {
+            let theta = c.acos();
+            assert!(g.beam_pattern(dphi, theta) > 1.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn beam_pattern_is_bounded() {
+        let g = PairGeometry::new(4.0);
+        for i in 0..=180 {
+            let theta = i as f64 * PI / 180.0;
+            let p = g.beam_pattern(0.7, theta);
+            assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+    }
+
+    #[test]
+    fn resolution_and_noise_shrink_with_separation() {
+        // §3.3 worked example: φn = π/5 ⇒ 0.2 error at λ/2, 0.0125 at 8λ.
+        let tight = PairGeometry::new(0.5);
+        let wide = PairGeometry::new(8.0);
+        let noise = PI / 5.0;
+        assert!((tight.cos_theta_noise_error(noise) - 0.2).abs() < 1e-12);
+        assert!((wide.cos_theta_noise_error(noise) - 0.0125).abs() < 1e-12);
+        // Resolution scales identically.
+        let delta = 0.01;
+        assert!(tight.cos_theta_resolution(delta) > wide.cos_theta_resolution(delta) * 15.9);
+    }
+
+    #[test]
+    fn lobe_width_shrinks_with_separation() {
+        let w_tight = PairGeometry::new(0.5).lobe_half_power_width_cos();
+        let w_wide = PairGeometry::new(8.0).lobe_half_power_width_cos();
+        assert!((w_tight / w_wide - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn array_factor_peak_at_steering_angle() {
+        for n in [2, 4, 8] {
+            let af = array_factor(n, 0.5, FRAC_PI_2, FRAC_PI_2);
+            assert!((af - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn array_factor_narrows_with_more_elements() {
+        // Fig. 2: a 4-antenna array has a narrower beam than a 2-antenna one.
+        let bw2 = half_power_beamwidth(2, 0.5);
+        let bw4 = half_power_beamwidth(4, 0.5);
+        assert!(
+            bw4 < bw2 * 0.6,
+            "4-element beamwidth {bw4:.3} not much narrower than 2-element {bw2:.3}"
+        );
+    }
+
+    #[test]
+    fn array_factor_is_bounded() {
+        for i in 0..=360 {
+            let theta = i as f64 * PI / 360.0;
+            let af = array_factor(4, 0.5, theta, FRAC_PI_2);
+            assert!((0.0..=1.0 + 1e-9).contains(&af), "AF({theta}) = {af}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "D/λ must be finite and positive")]
+    fn pair_geometry_rejects_zero() {
+        let _ = PairGeometry::new(0.0);
+    }
+}

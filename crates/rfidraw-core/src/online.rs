@@ -1,0 +1,509 @@
+//! Real-time (streaming) tracking.
+//!
+//! The paper's prototype "ran [the algorithms] in real-time" (§6): reads
+//! arrive one by one from the readers, and the system must maintain a live
+//! position estimate. [`OnlineTracker`] is that incremental pipeline:
+//!
+//! 1. **warm-up** — per-antenna phases are unwrapped incrementally; a
+//!    snapshot is emitted whenever every needed antenna brackets the next
+//!    tick;
+//! 2. **acquisition** — the first snapshot runs multi-resolution
+//!    positioning; each candidate seeds a lobe-locked trace;
+//! 3. **tracking** — every new snapshot advances all candidate traces one
+//!    tick; the best-cumulative-vote candidate provides the live estimate,
+//!    and hopeless candidates are pruned to bound the per-tick cost.
+//!
+//! The offline batch pipeline (`SnapshotBuilder` + `MultiResPositioner` +
+//! `TrajectoryTracer::trace_candidates`) remains the reference; this module
+//! reuses the same tracer via its incremental API, so both paths share the
+//! vote arithmetic.
+
+use crate::array::{AntennaId, AntennaPair, Deployment};
+use crate::geom::{Plane, Point2};
+use crate::phase::{unwrap_step, wrap_pi, wrap_tau};
+use crate::position::{Candidate, MultiResConfig, MultiResPositioner};
+use crate::stream::{PairSnapshot, PhaseRead};
+use crate::trace::{TraceConfig, TrajectoryTracer};
+use crate::vote::PairMeasurement;
+use std::collections::BTreeMap;
+use std::f64::consts::TAU;
+
+/// Online-tracker tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineConfig {
+    /// Snapshot period (s).
+    pub tick: f64,
+    /// Candidates whose cumulative vote falls behind the best by more than
+    /// this many turns² are dropped (the over-constrained system's
+    /// incoherence signal, §5.2). `f64::INFINITY` disables pruning.
+    pub prune_margin: f64,
+    /// Ticks to wait before pruning starts (votes need time to separate).
+    pub prune_after: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            tick: 0.04,
+            prune_margin: 0.5,
+            prune_after: 25,
+        }
+    }
+}
+
+/// Events produced by feeding reads to the tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineEvent {
+    /// Acquisition finished with this many candidate starting positions.
+    Acquired {
+        /// Number of candidates the positioner proposed.
+        candidates: usize,
+    },
+    /// A new live position estimate (the best candidate's newest point).
+    Position {
+        /// Tick timestamp (s).
+        t: f64,
+        /// Estimated position.
+        pos: Point2,
+    },
+    /// A candidate was pruned; `remaining` are still alive.
+    Pruned {
+        /// Candidates still alive.
+        remaining: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct AntennaState {
+    prev: Option<(f64, f64)>,
+    last: Option<(f64, f64)>,
+}
+
+#[derive(Debug, Clone)]
+struct CandidateTrace {
+    locked: Vec<(AntennaPair, i64)>,
+    points: Vec<Point2>,
+    cumulative_vote: f64,
+    alive: bool,
+}
+
+/// The streaming tracker.
+#[derive(Debug, Clone)]
+pub struct OnlineTracker {
+    cfg: OnlineConfig,
+    positioner: MultiResPositioner,
+    tracer: TrajectoryTracer,
+    pairs: Vec<AntennaPair>,
+    antennas: Vec<AntennaId>,
+    states: BTreeMap<AntennaId, AntennaState>,
+    next_tick: Option<f64>,
+    traces: Vec<CandidateTrace>,
+    ticks_done: usize,
+}
+
+impl OnlineTracker {
+    /// Creates a tracker.
+    ///
+    /// # Panics
+    /// Panics on invalid configs (see [`MultiResPositioner::new`] and
+    /// [`TrajectoryTracer::new`]) or a non-positive tick.
+    pub fn new(
+        dep: Deployment,
+        plane: Plane,
+        position_cfg: MultiResConfig,
+        trace_cfg: TraceConfig,
+        cfg: OnlineConfig,
+    ) -> Self {
+        assert!(cfg.tick.is_finite() && cfg.tick > 0.0, "tick must be positive");
+        let pairs: Vec<AntennaPair> = dep.all_pairs().copied().collect();
+        let mut antennas: Vec<AntennaId> = pairs.iter().flat_map(|p| [p.i, p.j]).collect();
+        antennas.sort();
+        antennas.dedup();
+        let states = antennas
+            .iter()
+            .map(|&a| {
+                (
+                    a,
+                    AntennaState {
+                        prev: None,
+                        last: None,
+                    },
+                )
+            })
+            .collect();
+        let positioner = MultiResPositioner::new(dep.clone(), plane, position_cfg);
+        let tracer = TrajectoryTracer::new(dep, plane, trace_cfg);
+        Self {
+            cfg,
+            positioner,
+            tracer,
+            pairs,
+            antennas,
+            states,
+            next_tick: None,
+            traces: Vec::new(),
+            ticks_done: 0,
+        }
+    }
+
+    /// Whether acquisition has completed.
+    pub fn is_tracking(&self) -> bool {
+        !self.traces.is_empty()
+    }
+
+    /// The best candidate's trajectory so far (empty before acquisition).
+    pub fn trajectory(&self) -> &[Point2] {
+        match self.best_index() {
+            Some(i) => &self.traces[i].points,
+            None => &[],
+        }
+    }
+
+    /// The live position estimate.
+    pub fn current_estimate(&self) -> Option<Point2> {
+        self.best_index()
+            .and_then(|i| self.traces[i].points.last().copied())
+    }
+
+    /// Number of still-alive candidates.
+    pub fn alive_candidates(&self) -> usize {
+        self.traces.iter().filter(|t| t.alive).count()
+    }
+
+    fn best_index(&self) -> Option<usize> {
+        self.traces
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.alive)
+            .max_by(|a, b| {
+                a.1.cumulative_vote
+                    .partial_cmp(&b.1.cumulative_vote)
+                    .expect("finite votes")
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Feeds one read; returns whatever events it triggered.
+    ///
+    /// Reads must be fed in non-decreasing time order per antenna (the
+    /// order a reader produces them). Unknown antennas are ignored.
+    pub fn push(&mut self, read: PhaseRead) -> Vec<OnlineEvent> {
+        let Some(state) = self.states.get_mut(&read.antenna) else {
+            return Vec::new();
+        };
+        let unwrapped = match state.last {
+            None => wrap_tau(read.phase),
+            Some((_, prev_phase)) => unwrap_step(prev_phase, read.phase),
+        };
+        state.prev = state.last;
+        state.last = Some((read.t, unwrapped));
+
+        // Initialize the tick clock once every antenna has two samples.
+        if self.next_tick.is_none()
+            && self
+                .states
+                .values()
+                .all(|s| s.prev.is_some() && s.last.is_some())
+        {
+            let t0 = self
+                .states
+                .values()
+                .map(|s| s.prev.expect("checked").0)
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.next_tick = Some(t0);
+        }
+
+        let mut events = Vec::new();
+        // Emit every tick all antennas can bracket.
+        while let Some(tick_t) = self.next_tick {
+            let ready = self
+                .states
+                .values()
+                .all(|s| matches!(s.last, Some((t, _)) if t >= tick_t));
+            if !ready {
+                break;
+            }
+            let snap = self.snapshot_at(tick_t);
+            events.extend(self.consume_snapshot(snap));
+            self.next_tick = Some(tick_t + self.cfg.tick);
+        }
+        events
+    }
+
+    /// Interpolates every antenna at `tick_t` and forms the pair snapshot.
+    fn snapshot_at(&self, tick_t: f64) -> PairSnapshot {
+        let mut phases: BTreeMap<AntennaId, f64> = BTreeMap::new();
+        for &ant in &self.antennas {
+            let s = &self.states[&ant];
+            let (t1, p1) = s.last.expect("checked by caller");
+            let phi = match s.prev {
+                Some((t0, p0)) if t1 > t0 && tick_t < t1 => {
+                    p0 + (p1 - p0) * ((tick_t - t0) / (t1 - t0)).clamp(0.0, 1.0)
+                }
+                _ => p1,
+            };
+            phases.insert(ant, phi);
+        }
+        let mut wrapped = Vec::with_capacity(self.pairs.len());
+        let mut turns = Vec::with_capacity(self.pairs.len());
+        for &pair in &self.pairs {
+            let d = phases[&pair.j] - phases[&pair.i];
+            wrapped.push(PairMeasurement::new(pair, wrap_pi(d)));
+            turns.push((pair, d / TAU));
+        }
+        PairSnapshot {
+            t: tick_t,
+            wrapped,
+            unwrapped_turns: turns,
+        }
+    }
+
+    fn consume_snapshot(&mut self, snap: PairSnapshot) -> Vec<OnlineEvent> {
+        let mut events = Vec::new();
+        if self.traces.is_empty() {
+            // Acquisition on the first snapshot.
+            let candidates: Vec<Candidate> = self.positioner.locate(&snap.wrapped);
+            for c in &candidates {
+                let locked = self.tracer.lock_lobes(&snap, c.position);
+                self.traces.push(CandidateTrace {
+                    locked,
+                    points: vec![c.position],
+                    cumulative_vote: c.vote,
+                    alive: true,
+                });
+            }
+            events.push(OnlineEvent::Acquired {
+                candidates: self.traces.len(),
+            });
+            if let Some(pos) = self.current_estimate() {
+                events.push(OnlineEvent::Position { t: snap.t, pos });
+            }
+            return events;
+        }
+
+        for trace in self.traces.iter_mut().filter(|t| t.alive) {
+            let prev = *trace.points.last().expect("traces start non-empty");
+            let (next, vote) = self.tracer.advance(prev, &snap, &trace.locked);
+            trace.points.push(next);
+            trace.cumulative_vote += vote;
+        }
+        self.ticks_done += 1;
+
+        // Prune hopeless candidates once votes have had time to separate.
+        if self.ticks_done >= self.cfg.prune_after && self.cfg.prune_margin.is_finite() {
+            if let Some(best) = self.best_index() {
+                let best_vote = self.traces[best].cumulative_vote;
+                let margin = self.cfg.prune_margin;
+                let mut pruned = false;
+                for (i, t) in self.traces.iter_mut().enumerate() {
+                    if i != best && t.alive && t.cumulative_vote < best_vote - margin {
+                        t.alive = false;
+                        pruned = true;
+                    }
+                }
+                if pruned {
+                    events.push(OnlineEvent::Pruned {
+                        remaining: self.traces.iter().filter(|t| t.alive).count(),
+                    });
+                }
+            }
+        }
+
+        if let Some(pos) = self.current_estimate() {
+            events.push(OnlineEvent::Position { t: snap.t, pos });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::trace::ideal_snapshots;
+
+    fn setup() -> (Deployment, Plane, OnlineTracker) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let region = Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7));
+        let mut mcfg = MultiResConfig::for_region(region);
+        mcfg.fine_resolution = 0.02;
+        let tracker = OnlineTracker::new(
+            dep.clone(),
+            plane,
+            mcfg,
+            TraceConfig::default(),
+            OnlineConfig {
+                tick: 0.04,
+                prune_margin: 0.3,
+                prune_after: 10,
+            },
+        );
+        (dep, plane, tracker)
+    }
+
+    /// Generates the ideal interleaved read stream for a moving tag: every
+    /// antenna read every `per_antenna_dt`, slightly staggered.
+    fn reads_for_path(
+        dep: &Deployment,
+        plane: Plane,
+        path: &[Point2],
+        duration: f64,
+    ) -> Vec<PhaseRead> {
+        let mut reads = Vec::new();
+        let antennas: Vec<AntennaId> = dep.antennas().iter().map(|a| a.id).collect();
+        let per_antenna_dt = 0.02;
+        let mut t = 0.0;
+        while t < duration {
+            for (i, &ant) in antennas.iter().enumerate() {
+                let tt = t + i as f64 * (per_antenna_dt / antennas.len() as f64);
+                let frac = (tt / duration).clamp(0.0, 1.0);
+                let idx = ((path.len() - 1) as f64 * frac) as usize;
+                let p = plane.lift(path[idx.min(path.len() - 1)]);
+                let a = dep.antenna(ant).unwrap();
+                let phase = wrap_tau(
+                    -TAU * dep.path_factor() * p.dist(a.pos) / dep.wavelength().meters(),
+                );
+                reads.push(PhaseRead { t: tt, antenna: ant, phase });
+            }
+            t += per_antenna_dt;
+        }
+        reads
+    }
+
+    fn circle_path() -> Vec<Point2> {
+        (0..200)
+            .map(|i| {
+                let a = TAU * i as f64 / 200.0;
+                Point2::new(1.4 + 0.1 * a.cos(), 1.0 + 0.1 * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_tracker_acquires_and_tracks() {
+        let (dep, plane, mut tracker) = setup();
+        let path = circle_path();
+        let reads = reads_for_path(&dep, plane, &path, 4.0);
+        let mut acquired = false;
+        let mut positions = 0;
+        for r in reads {
+            for e in tracker.push(r) {
+                match e {
+                    OnlineEvent::Acquired { candidates } => {
+                        acquired = true;
+                        assert!(candidates >= 1);
+                    }
+                    OnlineEvent::Position { pos, .. } => {
+                        positions += 1;
+                        assert!(pos.is_finite());
+                    }
+                    OnlineEvent::Pruned { remaining } => assert!(remaining >= 1),
+                }
+            }
+        }
+        assert!(acquired, "tracker never acquired");
+        assert!(positions > 50, "only {positions} live estimates");
+        assert!(tracker.is_tracking());
+
+        // The live trajectory matches the circle after removing the offset.
+        let traj = tracker.trajectory();
+        assert!(traj.len() > 50);
+        let center_est = {
+            let mut c = Point2::new(0.0, 0.0);
+            for p in traj {
+                c = c + *p;
+            }
+            c * (1.0 / traj.len() as f64)
+        };
+        assert!(
+            center_est.dist(Point2::new(1.4, 1.0)) < 0.15,
+            "circle centre estimate {center_est:?}"
+        );
+    }
+
+    #[test]
+    fn online_matches_offline_tracing() {
+        // The streaming path must agree with the batch path on the same
+        // noise-free data.
+        let (dep, plane, mut tracker) = setup();
+        let path = circle_path();
+        let reads = reads_for_path(&dep, plane, &path, 4.0);
+        for r in reads {
+            tracker.push(r);
+        }
+        let online = tracker.trajectory().to_vec();
+        assert!(online.len() > 10);
+
+        // Offline: ideal snapshots along the same (resampled) truth.
+        let truth: Vec<Point2> = (0..online.len())
+            .map(|i| {
+                let frac = i as f64 / (online.len() - 1) as f64;
+                let idx = ((path.len() - 1) as f64 * frac) as usize;
+                path[idx]
+            })
+            .collect();
+        let snaps = ideal_snapshots(&dep, plane, &truth, 0.04);
+        let tracer = TrajectoryTracer::new(dep, plane, TraceConfig::default());
+        let offline = tracer.trace_from(
+            Candidate {
+                position: truth[0],
+                vote: 0.0,
+            },
+            &snaps,
+        );
+        // Both should lie within a few centimetres of the truth throughout.
+        for (o, t) in online.iter().zip(&truth) {
+            assert!(o.dist(*t) < 0.10, "online {o:?} vs truth {t:?}");
+        }
+        for (o, t) in offline.points.iter().zip(&truth) {
+            assert!(o.dist(*t) < 0.05, "offline {o:?} vs truth {t:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_candidates() {
+        let (dep, plane, mut tracker) = setup();
+        let path = circle_path();
+        let reads = reads_for_path(&dep, plane, &path, 4.0);
+        let mut saw_prune = false;
+        let mut initial_candidates = 0;
+        for r in reads {
+            for e in tracker.push(r) {
+                match e {
+                    OnlineEvent::Acquired { candidates } => initial_candidates = candidates,
+                    OnlineEvent::Pruned { .. } => saw_prune = true,
+                    _ => {}
+                }
+            }
+        }
+        // Pruning only happens when acquisition was ambiguous; either way
+        // the tracker must end with at least one live candidate.
+        assert!(tracker.alive_candidates() >= 1);
+        if initial_candidates > 1 {
+            assert!(
+                saw_prune || tracker.alive_candidates() == initial_candidates,
+                "ambiguous acquisition should eventually prune or keep all"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_antennas_are_ignored() {
+        let (_, _, mut tracker) = setup();
+        let events = tracker.push(PhaseRead {
+            t: 0.0,
+            antenna: AntennaId(99),
+            phase: 1.0,
+        });
+        assert!(events.is_empty());
+        assert!(!tracker.is_tracking());
+    }
+
+    #[test]
+    fn no_estimate_before_acquisition() {
+        let (_, _, tracker) = setup();
+        assert_eq!(tracker.current_estimate(), None);
+        assert!(tracker.trajectory().is_empty());
+    }
+}

@@ -1,0 +1,336 @@
+//! Two-stage multi-resolution positioning (paper §5.1, Fig. 6).
+//!
+//! Stage 1 evaluates the votes of the **coarse** pairs (the unambiguous
+//! λ/2-effective pairs plus the intermediate refine pairs among antennas
+//! 5–8) on a coarse grid, and keeps the best-voted region as a *spatial
+//! filter* (Fig. 6b–c). Stage 2 evaluates the **wide** pairs' votes on a
+//! fine grid restricted to that filter: the surviving grating-lobe
+//! intersections are the candidate positions (Fig. 6d), ranked by their
+//! total vote from *all* pairs.
+//!
+//! The positioner returns several candidates (not just the best) because
+//! residual ambiguity is resolved later by trajectory tracing (§5.2): the
+//! candidate whose traced trajectory keeps the highest cumulative vote wins.
+
+use crate::array::Deployment;
+use crate::geom::{Plane, Point2, Rect};
+use crate::grid::{Grid2, VoteMap};
+use crate::vote::PairMeasurement;
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters for [`MultiResPositioner`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiResConfig {
+    /// Region of the writing plane to search.
+    pub region: Rect,
+    /// Stage-1 grid cell size (m). The coarse beams are wide; 5 cm suffices.
+    pub coarse_resolution: f64,
+    /// Stage-2 grid cell size (m). Must resolve individual grating lobes;
+    /// 1 cm for the paper geometry.
+    pub fine_resolution: f64,
+    /// Fraction of coarse cells kept as the stage-1 spatial filter.
+    pub coarse_keep_fraction: f64,
+    /// Maximum number of candidate positions returned.
+    pub max_candidates: usize,
+    /// Minimum separation between returned candidates (m) — non-maximum
+    /// suppression radius, of the order of the lobe spacing.
+    pub candidate_separation: f64,
+}
+
+impl MultiResConfig {
+    /// Sensible defaults for the paper's room-scale deployment: searches
+    /// `region` at 5 cm/1 cm, keeps 8% of the coarse map, and returns up to
+    /// 3 candidates at least 15 cm apart.
+    pub fn for_region(region: Rect) -> Self {
+        Self {
+            region,
+            coarse_resolution: 0.05,
+            fine_resolution: 0.01,
+            coarse_keep_fraction: 0.08,
+            max_candidates: 3,
+            candidate_separation: 0.15,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.fine_resolution <= self.coarse_resolution,
+            "fine resolution {} must not exceed coarse resolution {}",
+            self.fine_resolution,
+            self.coarse_resolution
+        );
+        assert!(self.max_candidates >= 1, "must request at least one candidate");
+        assert!(
+            self.coarse_keep_fraction > 0.0 && self.coarse_keep_fraction <= 1.0,
+            "coarse_keep_fraction must be in (0, 1]"
+        );
+    }
+}
+
+/// One candidate position with its total vote from all pairs (≤ 0, higher
+/// is better).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The candidate position in the writing plane.
+    pub position: Point2,
+    /// Total vote from all antenna pairs at that position.
+    pub vote: f64,
+}
+
+/// Intermediate products of one positioning pass, exposed for the Fig. 6
+/// walk-through and for diagnosis.
+#[derive(Debug, Clone)]
+pub struct PositioningStages {
+    /// Stage-1 vote map from the coarse pairs (Fig. 6c).
+    pub coarse_map: VoteMap,
+    /// The spatial-filter mask on the *fine* grid.
+    pub fine_mask: Vec<bool>,
+    /// Stage-2 vote map (all pairs, masked to the filter — Fig. 6d).
+    pub fine_map: VoteMap,
+    /// Final ranked candidates.
+    pub candidates: Vec<Candidate>,
+}
+
+/// The multi-resolution positioning engine.
+#[derive(Debug, Clone)]
+pub struct MultiResPositioner {
+    dep: Deployment,
+    plane: Plane,
+    config: MultiResConfig,
+}
+
+impl MultiResPositioner {
+    /// Creates a positioner for one deployment, writing plane and config.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (see [`MultiResConfig`])
+    /// or the deployment lacks coarse or wide pairs.
+    pub fn new(dep: Deployment, plane: Plane, config: MultiResConfig) -> Self {
+        config.validate();
+        assert!(
+            !dep.wide_pairs().is_empty(),
+            "multi-resolution positioning needs widely-spaced pairs"
+        );
+        assert!(
+            !dep.coarse_primary_pairs().is_empty(),
+            "multi-resolution positioning needs unambiguous coarse pairs"
+        );
+        Self { dep, plane, config }
+    }
+
+    /// The deployment in use.
+    pub fn deployment(&self) -> &Deployment {
+        &self.dep
+    }
+
+    /// The writing plane in use.
+    pub fn plane(&self) -> Plane {
+        self.plane
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultiResConfig {
+        &self.config
+    }
+
+    /// Runs both stages and returns the ranked candidates.
+    ///
+    /// `measurements` must contain one entry per deployment pair (missing
+    /// pairs are tolerated — their votes are simply absent — but at least
+    /// one coarse and one wide measurement are required).
+    ///
+    /// # Panics
+    /// Panics if the measurement set contains no coarse or no wide pair.
+    pub fn locate(&self, measurements: &[PairMeasurement]) -> Vec<Candidate> {
+        self.locate_with_stages(measurements).candidates
+    }
+
+    /// Runs both stages, returning every intermediate product.
+    pub fn locate_with_stages(&self, measurements: &[PairMeasurement]) -> PositioningStages {
+        let (coarse_ms, wide_ms) = self.split(measurements);
+        assert!(
+            !coarse_ms.is_empty(),
+            "no coarse-pair measurements supplied to locate()"
+        );
+        assert!(
+            !wide_ms.is_empty(),
+            "no wide-pair measurements supplied to locate()"
+        );
+
+        // Stage 1: coarse spatial filter (Fig. 6b–c).
+        let coarse_grid = Grid2::new(self.config.region, self.config.coarse_resolution);
+        let coarse_map = VoteMap::evaluate(&self.dep, &coarse_ms, self.plane, coarse_grid);
+        let coarse_mask = coarse_map.mask_top_fraction(self.config.coarse_keep_fraction);
+
+        // Lift the mask onto the fine grid.
+        let fine_grid = Grid2::new(self.config.region, self.config.fine_resolution);
+        let fine_mask: Vec<bool> = fine_grid
+            .iter()
+            .map(|(_, p)| {
+                let (ix, iz) = coarse_map.grid().nearest(p);
+                coarse_mask[coarse_map.grid().flat(ix, iz)]
+            })
+            .collect();
+
+        // Stage 2: all pairs on the filtered fine grid. Using all pairs (not
+        // just wide ones) ranks candidates by their total vote, as §5.1
+        // prescribes; the wide pairs dominate the local structure while the
+        // coarse pairs keep penalizing the wrong region.
+        let all_ms: Vec<PairMeasurement> =
+            wide_ms.iter().chain(coarse_ms.iter()).copied().collect();
+        let fine_map =
+            VoteMap::evaluate_masked(&self.dep, &all_ms, self.plane, fine_grid, &fine_mask);
+
+        let candidates = fine_map
+            .peaks(self.config.max_candidates, self.config.candidate_separation)
+            .into_iter()
+            .map(|(position, vote)| Candidate { position, vote })
+            .collect();
+
+        PositioningStages {
+            coarse_map,
+            fine_mask,
+            fine_map,
+            candidates,
+        }
+    }
+
+    /// Splits a measurement set into (coarse, wide) according to the pair
+    /// roles registered in the deployment. Unknown pairs are ignored.
+    fn split(
+        &self,
+        measurements: &[PairMeasurement],
+    ) -> (Vec<PairMeasurement>, Vec<PairMeasurement>) {
+        let mut coarse = Vec::new();
+        let mut wide = Vec::new();
+        for m in measurements {
+            if self.dep.wide_pairs().contains(&m.pair) {
+                wide.push(*m);
+            } else if self.dep.coarse_pairs().any(|p| *p == m.pair) {
+                coarse.push(*m);
+            }
+        }
+        (coarse, wide)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Deployment;
+    use crate::vote::ideal_measurements;
+
+    fn setup(truth: Point2) -> (MultiResPositioner, Vec<PairMeasurement>) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0));
+        let ms = ideal_measurements(&dep, dep.all_pairs(), plane.lift(truth));
+        let mut config = MultiResConfig::for_region(region);
+        // Coarser fine grid keeps the tests fast; 2 cm still resolves lobes.
+        config.fine_resolution = 0.02;
+        (MultiResPositioner::new(dep, plane, config), ms)
+    }
+
+    #[test]
+    fn locate_finds_noise_free_truth() {
+        let truth = Point2::new(1.2, 0.9);
+        let (pos, ms) = setup(truth);
+        let candidates = pos.locate(&ms);
+        assert!(!candidates.is_empty());
+        let best = candidates[0];
+        assert!(
+            best.position.dist(truth) <= 0.05,
+            "best candidate {:?} vs truth {truth:?}",
+            best.position
+        );
+        assert!(best.vote > -1e-2, "best vote {}", best.vote);
+    }
+
+    #[test]
+    fn candidates_are_ranked_and_separated() {
+        let truth = Point2::new(1.8, 1.2);
+        let (pos, ms) = setup(truth);
+        let candidates = pos.locate(&ms);
+        for w in candidates.windows(2) {
+            assert!(w[0].vote >= w[1].vote);
+            assert!(w[0].position.dist(w[1].position) >= 0.15 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn stage1_filter_removes_most_of_the_plane() {
+        let truth = Point2::new(1.0, 1.0);
+        let (pos, ms) = setup(truth);
+        let stages = pos.locate_with_stages(&ms);
+        let coverage = VoteMap::mask_coverage(&stages.fine_mask);
+        assert!(
+            coverage <= 0.12,
+            "coarse filter keeps {coverage:.2} of the plane"
+        );
+        // And the filter still contains the truth.
+        let g = stages.fine_map.grid().clone();
+        let (ix, iz) = g.nearest(truth);
+        assert!(stages.fine_mask[g.flat(ix, iz)]);
+    }
+
+    #[test]
+    fn wide_pairs_alone_would_be_ambiguous() {
+        // Sanity for the paper's core claim: without the coarse filter,
+        // several near-perfect candidates exist.
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let truth = Point2::new(1.5, 1.0);
+        let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0));
+        let ms = ideal_measurements(&dep, dep.wide_pairs(), plane.lift(truth));
+        let map = VoteMap::evaluate(&dep, &ms, plane, Grid2::new(region, 0.02));
+        let peaks = map.peaks(10, 0.15);
+        let near_perfect = peaks.iter().filter(|(_, v)| *v > -0.01).count();
+        assert!(
+            near_perfect >= 2,
+            "expected residual ambiguity, found {near_perfect} strong peaks"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no wide-pair measurements")]
+    fn locate_requires_wide_measurements() {
+        let truth = Point2::new(1.0, 1.0);
+        let (pos, ms) = setup(truth);
+        let coarse_only: Vec<_> = ms
+            .iter()
+            .filter(|m| pos.deployment().coarse_pairs().any(|p| *p == m.pair))
+            .copied()
+            .collect();
+        let _ = pos.locate(&coarse_only);
+    }
+
+    #[test]
+    #[should_panic(expected = "fine resolution")]
+    fn config_rejects_inverted_resolutions() {
+        let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let mut c = MultiResConfig::for_region(region);
+        c.fine_resolution = 0.2;
+        c.coarse_resolution = 0.1;
+        MultiResConfig::validate(&c);
+    }
+
+    #[test]
+    fn locate_works_at_several_depths() {
+        for depth in [2.0, 3.0, 5.0] {
+            let dep = Deployment::paper_default();
+            let plane = Plane::at_depth(depth);
+            let truth = Point2::new(1.3, 1.1);
+            let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0));
+            let ms = ideal_measurements(&dep, dep.all_pairs(), plane.lift(truth));
+            let mut config = MultiResConfig::for_region(region);
+            config.fine_resolution = 0.02;
+            let pos = MultiResPositioner::new(dep, plane, config);
+            let best = pos.locate(&ms)[0];
+            assert!(
+                best.position.dist(truth) <= 0.06,
+                "depth {depth}: {:?} vs {truth:?}",
+                best.position
+            );
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! From raw reader output to per-pair phase snapshots (paper §6).
+//!
+//! A commercial RFID reader does not sample all antennas simultaneously: it
+//! cycles through its ports, and tag replies arrive whenever singulation
+//! succeeds. What the tracker actually receives is an *asynchronous* stream
+//! of [`PhaseRead`]s — `(time, antenna, wrapped phase)` triples. The MATLAB
+//! prototype leaves this glue implicit; here it is explicit:
+//!
+//! 1. group reads per antenna and unwrap each antenna's phase over time
+//!    (valid while the tag moves little enough that the true phase changes
+//!    by less than π between consecutive same-antenna reads);
+//! 2. linearly interpolate every antenna's unwrapped phase onto a common
+//!    tick grid;
+//! 3. form pair differences: wrapped ones for positioning, continuously
+//!    unwrapped ones (in turns) for lobe-locked tracing.
+
+use crate::array::{AntennaId, AntennaPair};
+use crate::phase::{unwrap_step, wrap_pi, wrap_tau};
+use crate::vote::PairMeasurement;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::f64::consts::TAU;
+
+/// One raw phase report from a reader: at time `t` (seconds), the port
+/// connected to `antenna` measured wrapped `phase` (radians).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRead {
+    /// Report timestamp (s).
+    pub t: f64,
+    /// Which antenna heard the reply.
+    pub antenna: AntennaId,
+    /// Wrapped phase as reported by the reader (radians, any branch).
+    pub phase: f64,
+}
+
+/// All pair phase-differences at one tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairSnapshot {
+    /// Tick timestamp (s).
+    pub t: f64,
+    /// Wrapped phase differences, one per pair — input to positioning.
+    pub wrapped: Vec<PairMeasurement>,
+    /// Continuously-unwrapped phase differences in turns, one per pair in
+    /// the same order — input to lobe-locked tracing. Consecutive snapshots
+    /// from one [`SnapshotBuilder::build`] call are mutually continuous.
+    pub unwrapped_turns: Vec<(AntennaPair, f64)>,
+}
+
+impl PairSnapshot {
+    /// Looks up the unwrapped turns for a pair, if present.
+    pub fn turns_of(&self, pair: AntennaPair) -> Option<f64> {
+        self.unwrapped_turns
+            .iter()
+            .find(|(p, _)| *p == pair)
+            .map(|(_, t)| *t)
+    }
+}
+
+/// Problems turning a read stream into snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// An antenna required by some pair never appears in the stream, or has
+    /// fewer than two reads (interpolation impossible).
+    InsufficientReads {
+        /// The starved antenna.
+        antenna: AntennaId,
+        /// How many reads it had.
+        got: usize,
+    },
+    /// The time intervals covered by the per-antenna series do not overlap.
+    NoCommonSpan,
+    /// An antenna's consecutive reads are separated by more than the
+    /// configured maximum gap, making its phase unwrap untrustworthy.
+    GapTooLarge {
+        /// The antenna with the gap.
+        antenna: AntennaId,
+        /// The offending gap (s).
+        gap: f64,
+        /// The configured limit (s).
+        limit: f64,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::InsufficientReads { antenna, got } => write!(
+                f,
+                "antenna {antenna:?} has {got} read(s); at least 2 are needed to interpolate"
+            ),
+            StreamError::NoCommonSpan => {
+                write!(f, "the per-antenna read series share no common time span")
+            }
+            StreamError::GapTooLarge { antenna, gap, limit } => write!(
+                f,
+                "antenna {antenna:?} has a {gap:.3}s gap between reads (limit {limit:.3}s); \
+                 phase unwrapping across it is unreliable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Builds tick-aligned [`PairSnapshot`]s from asynchronous [`PhaseRead`]s.
+#[derive(Debug, Clone)]
+pub struct SnapshotBuilder {
+    pairs: Vec<AntennaPair>,
+    tick: f64,
+    max_gap: Option<f64>,
+}
+
+impl SnapshotBuilder {
+    /// Creates a builder producing snapshots for `pairs` every `tick`
+    /// seconds.
+    ///
+    /// # Panics
+    /// Panics if `tick` is not finite-positive or `pairs` is empty.
+    pub fn new(pairs: Vec<AntennaPair>, tick: f64) -> Self {
+        assert!(tick.is_finite() && tick > 0.0, "tick must be positive, got {tick}");
+        assert!(!pairs.is_empty(), "snapshot builder needs at least one pair");
+        Self {
+            pairs,
+            tick,
+            max_gap: None,
+        }
+    }
+
+    /// Rejects streams where any needed antenna goes silent for longer than
+    /// `gap` seconds (see [`StreamError::GapTooLarge`]).
+    pub fn with_max_gap(mut self, gap: f64) -> Self {
+        assert!(gap.is_finite() && gap > 0.0, "max gap must be positive, got {gap}");
+        self.max_gap = Some(gap);
+        self
+    }
+
+    /// The snapshot period (s).
+    pub fn tick(&self) -> f64 {
+        self.tick
+    }
+
+    /// Converts a read stream into snapshots.
+    ///
+    /// Reads need not be sorted. Reads from antennas not referenced by any
+    /// pair are ignored. Returns an empty vector when the common span is
+    /// shorter than one tick.
+    pub fn build(&self, reads: &[PhaseRead]) -> Result<Vec<PairSnapshot>, StreamError> {
+        let needed: Vec<AntennaId> = {
+            let mut v: Vec<AntennaId> = self
+                .pairs
+                .iter()
+                .flat_map(|p| [p.i, p.j])
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+
+        // Group and sort reads per needed antenna.
+        let mut series: BTreeMap<AntennaId, Vec<(f64, f64)>> =
+            needed.iter().map(|&a| (a, Vec::new())).collect();
+        for r in reads {
+            if let Some(s) = series.get_mut(&r.antenna) {
+                s.push((r.t, r.phase));
+            }
+        }
+
+        // Unwrap each series in time order.
+        let mut unwrapped: BTreeMap<AntennaId, Vec<(f64, f64)>> = BTreeMap::new();
+        for (&ant, s) in series.iter_mut() {
+            if s.len() < 2 {
+                return Err(StreamError::InsufficientReads {
+                    antenna: ant,
+                    got: s.len(),
+                });
+            }
+            s.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+            if let Some(limit) = self.max_gap {
+                for w in s.windows(2) {
+                    let gap = w[1].0 - w[0].0;
+                    if gap > limit {
+                        return Err(StreamError::GapTooLarge {
+                            antenna: ant,
+                            gap,
+                            limit,
+                        });
+                    }
+                }
+            }
+            let mut out = Vec::with_capacity(s.len());
+            let mut prev = wrap_tau(s[0].1);
+            out.push((s[0].0, prev));
+            for &(t, phi) in &s[1..] {
+                prev = unwrap_step(prev, phi);
+                out.push((t, prev));
+            }
+            unwrapped.insert(ant, out);
+        }
+
+        // Common span across all needed antennas.
+        let t0 = unwrapped
+            .values()
+            .map(|s| s[0].0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let t1 = unwrapped
+            .values()
+            .map(|s| s[s.len() - 1].0)
+            .fold(f64::INFINITY, f64::min);
+        if !(t1 - t0).is_finite() || t1 <= t0 {
+            return Err(StreamError::NoCommonSpan);
+        }
+
+        let n_ticks = ((t1 - t0) / self.tick).floor() as usize + 1;
+        let mut snapshots = Vec::with_capacity(n_ticks);
+        // Per-antenna cursor for O(reads + ticks) interpolation.
+        let mut cursors: BTreeMap<AntennaId, usize> =
+            unwrapped.keys().map(|&a| (a, 0usize)).collect();
+
+        for n in 0..n_ticks {
+            let t = t0 + n as f64 * self.tick;
+            let mut phases: BTreeMap<AntennaId, f64> = BTreeMap::new();
+            for (&ant, s) in &unwrapped {
+                let cur = cursors.get_mut(&ant).expect("cursor exists");
+                while *cur + 1 < s.len() - 1 && s[*cur + 1].0 <= t {
+                    *cur += 1;
+                }
+                // s[cur].0 <= t <= s[cur+1].0 within the common span.
+                let (ta, pa) = s[*cur];
+                let (tb, pb) = s[*cur + 1];
+                let phi = if tb > ta {
+                    pa + (pb - pa) * ((t - ta) / (tb - ta)).clamp(0.0, 1.0)
+                } else {
+                    pa
+                };
+                phases.insert(ant, phi);
+            }
+            let mut wrapped = Vec::with_capacity(self.pairs.len());
+            let mut turns = Vec::with_capacity(self.pairs.len());
+            for &pair in &self.pairs {
+                let phi_i = phases[&pair.i];
+                let phi_j = phases[&pair.j];
+                let dphi = phi_j - phi_i;
+                wrapped.push(PairMeasurement::new(pair, wrap_pi(dphi)));
+                turns.push((pair, dphi / TAU));
+            }
+            snapshots.push(PairSnapshot {
+                t,
+                wrapped,
+                unwrapped_turns: turns,
+            });
+        }
+        Ok(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{AntennaId, AntennaPair};
+
+    fn aid(n: u8) -> AntennaId {
+        AntennaId(n)
+    }
+
+    fn pair(i: u8, j: u8) -> AntennaPair {
+        AntennaPair::new(aid(i), aid(j))
+    }
+
+    /// Interleaved reads of two antennas whose true phases are linear ramps.
+    fn ramp_reads(rate_a: f64, rate_b: f64, dt: f64, n: usize) -> Vec<PhaseRead> {
+        let mut reads = Vec::new();
+        for k in 0..n {
+            let t = k as f64 * dt;
+            reads.push(PhaseRead {
+                t,
+                antenna: aid(1),
+                phase: wrap_tau(rate_a * t),
+            });
+            // Antenna 2 read slightly offset in time (port multiplexing).
+            let t2 = t + dt / 2.0;
+            reads.push(PhaseRead {
+                t: t2,
+                antenna: aid(2),
+                phase: wrap_tau(1.0 + rate_b * t2),
+            });
+        }
+        reads
+    }
+
+    #[test]
+    fn snapshots_track_linear_phase_difference() {
+        let reads = ramp_reads(2.0, 5.0, 0.05, 100);
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        let snaps = b.build(&reads).unwrap();
+        assert!(snaps.len() > 30);
+        for s in &snaps {
+            // True difference: (1 + 5t) − 2t = 1 + 3t (up to a 2π branch
+            // fixed at the first sample).
+            let expected = 1.0 + 3.0 * s.t;
+            let got = s.unwrapped_turns[0].1 * TAU;
+            let err = (got - expected).rem_euclid(TAU).min(
+                (expected - got).rem_euclid(TAU),
+            );
+            assert!(err < 1e-6, "t={}: got {got}, expected {expected}", s.t);
+            // Wrapped and unwrapped agree modulo 2π.
+            let w = s.wrapped[0].delta_phi;
+            assert!((wrap_pi(got) - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrapped_series_is_continuous() {
+        // A fast ramp wraps many times; the unwrapped difference must never
+        // jump by more than the per-tick change.
+        let reads = ramp_reads(0.0, 50.0, 0.01, 500);
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.02);
+        let snaps = b.build(&reads).unwrap();
+        for w in snaps.windows(2) {
+            let d = (w[1].unwrapped_turns[0].1 - w[0].unwrapped_turns[0].1).abs();
+            // 50 rad/s · 0.02 s = 1 rad ≈ 0.16 turns per tick.
+            assert!(d < 0.2, "jump of {d} turns between ticks");
+        }
+    }
+
+    #[test]
+    fn reads_out_of_order_are_sorted() {
+        let mut reads = ramp_reads(2.0, 3.0, 0.05, 50);
+        reads.reverse();
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        assert!(b.build(&reads).is_ok());
+    }
+
+    #[test]
+    fn missing_antenna_is_reported() {
+        let reads = vec![
+            PhaseRead { t: 0.0, antenna: aid(1), phase: 0.0 },
+            PhaseRead { t: 1.0, antenna: aid(1), phase: 0.1 },
+        ];
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        match b.build(&reads) {
+            Err(StreamError::InsufficientReads { antenna, got }) => {
+                assert_eq!(antenna, aid(2));
+                assert_eq!(got, 0);
+            }
+            other => panic!("expected InsufficientReads, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_read_is_insufficient() {
+        let reads = vec![
+            PhaseRead { t: 0.0, antenna: aid(1), phase: 0.0 },
+            PhaseRead { t: 1.0, antenna: aid(1), phase: 0.1 },
+            PhaseRead { t: 0.5, antenna: aid(2), phase: 0.2 },
+        ];
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        assert!(matches!(
+            b.build(&reads),
+            Err(StreamError::InsufficientReads { got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn disjoint_spans_are_reported() {
+        let reads = vec![
+            PhaseRead { t: 0.0, antenna: aid(1), phase: 0.0 },
+            PhaseRead { t: 1.0, antenna: aid(1), phase: 0.1 },
+            PhaseRead { t: 2.0, antenna: aid(2), phase: 0.2 },
+            PhaseRead { t: 3.0, antenna: aid(2), phase: 0.3 },
+        ];
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        assert_eq!(b.build(&reads), Err(StreamError::NoCommonSpan));
+    }
+
+    #[test]
+    fn gap_limit_is_enforced() {
+        let reads = vec![
+            PhaseRead { t: 0.0, antenna: aid(1), phase: 0.0 },
+            PhaseRead { t: 5.0, antenna: aid(1), phase: 0.1 },
+            PhaseRead { t: 0.0, antenna: aid(2), phase: 0.2 },
+            PhaseRead { t: 5.0, antenna: aid(2), phase: 0.3 },
+        ];
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1).with_max_gap(1.0);
+        assert!(matches!(
+            b.build(&reads),
+            Err(StreamError::GapTooLarge { .. })
+        ));
+        // Without the limit, the same stream is accepted.
+        let b2 = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        assert!(b2.build(&reads).is_ok());
+    }
+
+    #[test]
+    fn irrelevant_antennas_are_ignored() {
+        let mut reads = ramp_reads(2.0, 3.0, 0.05, 50);
+        reads.push(PhaseRead { t: 0.3, antenna: aid(99), phase: 1.0 });
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        assert!(b.build(&reads).is_ok());
+    }
+
+    #[test]
+    fn turns_of_finds_pairs() {
+        let reads = ramp_reads(2.0, 3.0, 0.05, 50);
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        let snaps = b.build(&reads).unwrap();
+        let s = &snaps[0];
+        assert!(s.turns_of(pair(1, 2)).is_some());
+        assert!(s.turns_of(pair(1, 3)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn builder_rejects_bad_tick() {
+        let _ = SnapshotBuilder::new(vec![pair(1, 2)], 0.0);
+    }
+}

@@ -1,0 +1,568 @@
+//! Lobe-locked trajectory tracing (paper §4 and §5.2).
+//!
+//! Tracing exploits two facts about grating lobes:
+//!
+//! * all lobes of a pair **rotate together** as the source moves, so even a
+//!   wrong (but nearby) lobe reproduces the trajectory *shape* with only an
+//!   absolute offset and mild distortion (§4, Fig. 7);
+//! * the system is **over-constrained** — six wide pairs constrain a 2-D
+//!   position — so locking the wrong lobes makes the per-tick total vote
+//!   degrade over the trajectory, revealing bad initial candidates (§5.2,
+//!   Fig. 10f).
+//!
+//! The tracer therefore: seeds one trace per candidate initial position,
+//! locks each wide pair to the grating lobe nearest that seed (a fixed
+//! integer `k` against the continuously-unwrapped pair phase), advances tick
+//! by tick by maximizing the total fixed-lobe vote within a small vicinity
+//! of the previous point, and finally returns the trace whose cumulative
+//! vote is highest.
+
+use crate::array::{AntennaPair, Deployment};
+use crate::geom::{Plane, Point2};
+use crate::position::Candidate;
+use crate::stream::PairSnapshot;
+use crate::vote::PairMeasurement;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Tuning parameters for [`TrajectoryTracer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Search radius around the previous position per tick (m). Bounds the
+    /// trackable speed at `vicinity_radius / tick`.
+    pub vicinity_radius: f64,
+    /// Resolution of the per-tick local search (m).
+    pub step_resolution: f64,
+    /// Whether the coarse pairs' (nearest-lobe) votes join the per-tick
+    /// objective. They anchor the absolute position; the wide pairs' locked
+    /// lobes dominate the local shape either way.
+    pub include_coarse: bool,
+    /// Centred moving-average window applied to the output trajectory
+    /// (ticks; 1 disables smoothing).
+    pub smooth_window: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            vicinity_radius: 0.10,
+            step_resolution: 0.005,
+            include_coarse: true,
+            smooth_window: 3,
+        }
+    }
+}
+
+impl TraceConfig {
+    fn validate(&self) {
+        assert!(
+            self.vicinity_radius.is_finite() && self.vicinity_radius > 0.0,
+            "vicinity radius must be positive"
+        );
+        assert!(
+            self.step_resolution.is_finite()
+                && self.step_resolution > 0.0
+                && self.step_resolution <= self.vicinity_radius,
+            "step resolution must be positive and no larger than the vicinity radius"
+        );
+        assert!(self.smooth_window >= 1, "smoothing window must be at least 1");
+    }
+}
+
+/// A reconstructed trajectory for one candidate initial position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceResult {
+    /// The candidate this trace started from.
+    pub initial: Candidate,
+    /// The locked lobe index per wide pair.
+    pub locked_lobes: Vec<(AntennaPair, i64)>,
+    /// Reconstructed positions, one per snapshot (smoothed).
+    pub points: Vec<Point2>,
+    /// Total vote of the chosen point at every tick (Fig. 10f).
+    pub per_step_votes: Vec<f64>,
+    /// Sum of the per-step votes — the trace-selection criterion.
+    pub total_vote: f64,
+}
+
+/// The trajectory tracing engine.
+#[derive(Debug, Clone)]
+pub struct TrajectoryTracer {
+    dep: Deployment,
+    plane: Plane,
+    config: TraceConfig,
+    /// Precomputed local-search offsets within the vicinity disc.
+    offsets: Vec<Point2>,
+    /// Pre-resolved wide-pair geometry: `(pair, pos_i, pos_j)` — avoids
+    /// antenna lookups in the per-tick hot loop.
+    wide_geom: Vec<(AntennaPair, crate::geom::Point3, crate::geom::Point3)>,
+    /// Pre-resolved coarse-pair geometry, same layout.
+    coarse_geom: Vec<(AntennaPair, crate::geom::Point3, crate::geom::Point3)>,
+    /// `path_factor / λ`, the distance-difference-to-turns factor.
+    turns_factor: f64,
+}
+
+impl TrajectoryTracer {
+    /// Creates a tracer.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a deployment without wide
+    /// pairs.
+    pub fn new(dep: Deployment, plane: Plane, config: TraceConfig) -> Self {
+        config.validate();
+        assert!(!dep.wide_pairs().is_empty(), "tracing needs wide pairs");
+        let r = config.vicinity_radius;
+        let s = config.step_resolution;
+        let n = (r / s).floor() as i64;
+        let mut offsets = Vec::new();
+        for iz in -n..=n {
+            for ix in -n..=n {
+                let o = Point2::new(ix as f64 * s, iz as f64 * s);
+                if o.norm() <= r + 1e-12 {
+                    offsets.push(o);
+                }
+            }
+        }
+        let resolve = |pairs: &[AntennaPair]| {
+            pairs
+                .iter()
+                .map(|&pair| {
+                    let pi = dep.antenna(pair.i).expect("validated pair").pos;
+                    let pj = dep.antenna(pair.j).expect("validated pair").pos;
+                    (pair, pi, pj)
+                })
+                .collect::<Vec<_>>()
+        };
+        let wide_geom = resolve(dep.wide_pairs());
+        let coarse_pairs: Vec<AntennaPair> = dep.coarse_pairs().copied().collect();
+        let coarse_geom = resolve(&coarse_pairs);
+        let turns_factor = dep.path_factor() / dep.wavelength().meters();
+        Self {
+            dep,
+            plane,
+            config,
+            offsets,
+            wide_geom,
+            coarse_geom,
+            turns_factor,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Locks each wide pair to the grating lobe nearest `position`, given a
+    /// snapshot's unwrapped phases — the first step of any trace, exposed
+    /// for incremental (online) tracking.
+    ///
+    /// # Panics
+    /// Panics if the snapshot lacks a wide pair.
+    pub fn lock_lobes(&self, snap: &PairSnapshot, position: Point2) -> Vec<(AntennaPair, i64)> {
+        let p3 = self.plane.lift(position);
+        self.dep
+            .wide_pairs()
+            .iter()
+            .map(|&pair| {
+                let turns = snap
+                    .turns_of(pair)
+                    .unwrap_or_else(|| panic!("snapshot lacks wide pair {pair:?}"));
+                let k = crate::vote::lock_lobe(&self.dep, pair, turns, p3);
+                (pair, k)
+            })
+            .collect()
+    }
+
+    /// Advances one tick from `prev` using `snap` and the locked lobes;
+    /// returns the new point and its total vote. This is the incremental
+    /// core of [`TrajectoryTracer::trace_from`], exposed for online use.
+    ///
+    /// # Panics
+    /// Panics if the snapshot lacks a locked wide pair.
+    pub fn advance(
+        &self,
+        prev: Point2,
+        snap: &PairSnapshot,
+        locked: &[(AntennaPair, i64)],
+    ) -> (Point2, f64) {
+        let mut wide_targets = Vec::with_capacity(self.wide_geom.len());
+        for (idx, (pair, pi, pj)) in self.wide_geom.iter().enumerate() {
+            let turns = snap
+                .turns_of(*pair)
+                .unwrap_or_else(|| panic!("snapshot lacks wide pair {pair:?}"));
+            wide_targets.push((*pi, *pj, turns + locked[idx].1 as f64));
+        }
+        let mut coarse_targets = Vec::new();
+        if self.config.include_coarse {
+            for (pair, pi, pj) in &self.coarse_geom {
+                if let Some(m) = snap.wrapped.iter().find(|m| m.pair == *pair) {
+                    coarse_targets.push((*pi, *pj, m.turns()));
+                }
+            }
+        }
+        self.step(prev, &wide_targets, &coarse_targets)
+    }
+
+    /// Traces from one initial position through the snapshot sequence.
+    ///
+    /// The lobes are locked against the *first* snapshot; every subsequent
+    /// snapshot contributes one traced point.
+    ///
+    /// # Panics
+    /// Panics if `snapshots` is empty.
+    pub fn trace_from(&self, initial: Candidate, snapshots: &[PairSnapshot]) -> TraceResult {
+        assert!(!snapshots.is_empty(), "cannot trace an empty snapshot sequence");
+        let locked = self.lock_lobes(&snapshots[0], initial.position);
+
+        let mut points = Vec::with_capacity(snapshots.len());
+        let mut votes = Vec::with_capacity(snapshots.len());
+        let mut prev = initial.position;
+        // Per-snapshot vote targets, in turns, against precomputed geometry.
+        let mut wide_targets = Vec::with_capacity(self.wide_geom.len());
+        let mut coarse_targets = Vec::with_capacity(self.coarse_geom.len());
+        for snap in snapshots {
+            wide_targets.clear();
+            for (idx, (pair, pi, pj)) in self.wide_geom.iter().enumerate() {
+                let turns = snap
+                    .turns_of(*pair)
+                    .unwrap_or_else(|| panic!("snapshot lacks wide pair {pair:?}"));
+                let k = locked[idx].1;
+                wide_targets.push((*pi, *pj, turns + k as f64));
+            }
+            coarse_targets.clear();
+            if self.config.include_coarse {
+                for (pair, pi, pj) in &self.coarse_geom {
+                    if let Some(m) = snap.wrapped.iter().find(|m| m.pair == *pair) {
+                        coarse_targets.push((*pi, *pj, m.turns()));
+                    }
+                }
+            }
+            let (best, vote) = self.step(prev, &wide_targets, &coarse_targets);
+            points.push(best);
+            votes.push(vote);
+            prev = best;
+        }
+
+        let smoothed = moving_average(&points, self.config.smooth_window);
+        let total_vote = votes.iter().sum();
+        TraceResult {
+            initial,
+            locked_lobes: locked,
+            points: smoothed,
+            per_step_votes: votes,
+            total_vote,
+        }
+    }
+
+    /// Traces every candidate and returns `(winner_index, all_traces)`;
+    /// the winner has the highest cumulative vote (§5.2).
+    ///
+    /// # Panics
+    /// Panics if `candidates` or `snapshots` is empty.
+    pub fn trace_candidates(
+        &self,
+        candidates: &[Candidate],
+        snapshots: &[PairSnapshot],
+    ) -> (usize, Vec<TraceResult>) {
+        assert!(!candidates.is_empty(), "no candidate initial positions to trace");
+        let traces: Vec<TraceResult> = candidates
+            .iter()
+            .map(|&c| self.trace_from(c, snapshots))
+            .collect();
+        let winner = traces
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.total_vote
+                    .partial_cmp(&b.1.total_vote)
+                    .expect("finite votes")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one trace");
+        (winner, traces)
+    }
+
+    /// One tracing step: the vicinity point with the best total vote.
+    ///
+    /// `wide_targets` are `(pos_i, pos_j, target_turns)` with the locked
+    /// lobe folded into the target (fixed-lobe quadratic penalty);
+    /// `coarse_targets` are `(pos_i, pos_j, measured_turns)` scored against
+    /// the nearest lobe.
+    fn step(
+        &self,
+        prev: Point2,
+        wide_targets: &[(crate::geom::Point3, crate::geom::Point3, f64)],
+        coarse_targets: &[(crate::geom::Point3, crate::geom::Point3, f64)],
+    ) -> (Point2, f64) {
+        let mut best = prev;
+        let mut best_vote = f64::NEG_INFINITY;
+        for off in &self.offsets {
+            let p2 = prev + *off;
+            let p3 = self.plane.lift(p2);
+            let mut v = 0.0;
+            for &(pi, pj, target) in wide_targets {
+                let turns = self.turns_factor * (p3.dist(pi) - p3.dist(pj));
+                let r = turns - target;
+                v -= r * r;
+            }
+            for &(pi, pj, measured) in coarse_targets {
+                let turns = self.turns_factor * (p3.dist(pi) - p3.dist(pj));
+                let f = crate::phase::frac_dist_to_integer(turns - measured);
+                v -= f * f;
+            }
+            if v > best_vote {
+                best_vote = v;
+                best = p2;
+            }
+        }
+        (best, best_vote)
+    }
+}
+
+/// Centred moving average over a point sequence (window 1 = identity).
+/// Endpoints use the available one-sided samples, so output length equals
+/// input length.
+pub fn moving_average(points: &[Point2], window: usize) -> Vec<Point2> {
+    assert!(window >= 1, "window must be at least 1");
+    if window == 1 || points.len() <= 2 {
+        return points.to_vec();
+    }
+    let half = window / 2;
+    (0..points.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(points.len());
+            let n = (hi - lo) as f64;
+            let mut acc = Point2::new(0.0, 0.0);
+            for p in &points[lo..hi] {
+                acc = acc + *p;
+            }
+            acc * (1.0 / n)
+        })
+        .collect()
+}
+
+/// Noise-free snapshots along a known path: the forward model used by tests
+/// and figure harnesses (realistic streams come from `rfidraw-protocol` via
+/// [`crate::stream::SnapshotBuilder`]).
+///
+/// The unwrapped turns are exact (`pair_turns` along the path is continuous
+/// by construction), and the wrapped measurements are their 2π reductions.
+pub fn ideal_snapshots(
+    dep: &Deployment,
+    plane: Plane,
+    path: &[Point2],
+    tick: f64,
+) -> Vec<PairSnapshot> {
+    let pairs: Vec<AntennaPair> = dep.all_pairs().copied().collect();
+    path.iter()
+        .enumerate()
+        .map(|(n, &p2)| {
+            let p3 = plane.lift(p2);
+            let mut wrapped = Vec::with_capacity(pairs.len());
+            let mut turns = Vec::with_capacity(pairs.len());
+            for &pair in &pairs {
+                let t = dep.pair_turns(pair, p3);
+                turns.push((pair, t));
+                wrapped.push(PairMeasurement::new(pair, crate::phase::wrap_pi(TAU * t)));
+            }
+            PairSnapshot {
+                t: n as f64 * tick,
+                wrapped,
+                unwrapped_turns: turns,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Deployment;
+    use crate::geom::Plane;
+
+    fn letter_q_path() -> Vec<Point2> {
+        // A coarse handwritten-'q'-like path: a loop plus a descender,
+        // ~15 cm tall, centred near (1.3, 1.0).
+        let mut path = Vec::new();
+        let c = Point2::new(1.3, 1.05);
+        for i in 0..=40 {
+            let a = TAU * i as f64 / 40.0;
+            path.push(Point2::new(c.x + 0.05 * a.cos(), c.z + 0.05 * a.sin()));
+        }
+        for i in 1..=30 {
+            let t = i as f64 / 30.0;
+            path.push(Point2::new(c.x + 0.05, c.z - 0.15 * t));
+        }
+        path
+    }
+
+    fn dense(path: &[Point2], per_seg: usize) -> Vec<Point2> {
+        let mut out = Vec::new();
+        for w in path.windows(2) {
+            for k in 0..per_seg {
+                out.push(w[0].lerp(w[1], k as f64 / per_seg as f64));
+            }
+        }
+        out.push(*path.last().unwrap());
+        out
+    }
+
+    fn setup() -> (Deployment, Plane, TrajectoryTracer) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let tracer = TrajectoryTracer::new(dep.clone(), plane, TraceConfig::default());
+        (dep, plane, tracer)
+    }
+
+    #[test]
+    fn traces_noise_free_path_exactly() {
+        let (dep, plane, tracer) = setup();
+        let path = dense(&letter_q_path(), 3);
+        let snaps = ideal_snapshots(&dep, plane, &path, 0.02);
+        let start = Candidate {
+            position: path[0],
+            vote: 0.0,
+        };
+        let result = tracer.trace_from(start, &snaps);
+        assert_eq!(result.points.len(), path.len());
+        let max_err = result
+            .points
+            .iter()
+            .zip(&path)
+            .map(|(a, b)| a.dist(*b))
+            .fold(0.0_f64, f64::max);
+        assert!(max_err < 0.02, "max tracing error {max_err} m");
+        assert!(result.total_vote > -0.5, "total vote {}", result.total_vote);
+    }
+
+    #[test]
+    fn wrong_adjacent_lobe_preserves_shape() {
+        // §4 / Fig. 7(a): start from an offset position that locks adjacent
+        // lobes; the reconstructed shape must match the truth up to a shift.
+        let (dep, plane, tracer) = setup();
+        let path = dense(&letter_q_path(), 3);
+        let snaps = ideal_snapshots(&dep, plane, &path, 0.02);
+        // ~13 cm offset start: the paper's "adjacent lobe" regime.
+        let offset_start = Candidate {
+            position: path[0] + Point2::new(0.10, 0.08),
+            vote: 0.0,
+        };
+        let result = tracer.trace_from(offset_start, &snaps);
+        // Remove the initial offset, then compare shapes point by point.
+        let shift = result.points[0] - path[0];
+        let errs: Vec<f64> = result
+            .points
+            .iter()
+            .zip(&path)
+            .map(|(a, b)| (*a - shift).dist(*b))
+            .collect();
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(
+            mean_err < 0.05,
+            "shape error {mean_err:.3} m after removing offset"
+        );
+    }
+
+    #[test]
+    fn correct_start_outvotes_wrong_start() {
+        // §5.2: the over-constrained system gives the true start a higher
+        // cumulative vote than a wrong one.
+        let (dep, plane, tracer) = setup();
+        let path = dense(&letter_q_path(), 3);
+        let snaps = ideal_snapshots(&dep, plane, &path, 0.02);
+        let good = Candidate { position: path[0], vote: 0.0 };
+        let bad = Candidate {
+            position: path[0] + Point2::new(0.35, -0.25),
+            vote: 0.0,
+        };
+        let (winner, traces) = tracer.trace_candidates(&[bad, good], &snaps);
+        assert_eq!(winner, 1, "true start must win the vote");
+        assert!(traces[1].total_vote > traces[0].total_vote);
+    }
+
+    #[test]
+    fn per_step_votes_of_wrong_start_degrade() {
+        // Fig. 10(f): the wrong candidate's vote drops as the trace
+        // progresses while the good one stays near zero.
+        let (dep, plane, tracer) = setup();
+        let path = dense(&letter_q_path(), 3);
+        let snaps = ideal_snapshots(&dep, plane, &path, 0.02);
+        let good = tracer.trace_from(Candidate { position: path[0], vote: 0.0 }, &snaps);
+        let bad = tracer.trace_from(
+            Candidate {
+                position: path[0] + Point2::new(0.35, -0.25),
+                vote: 0.0,
+            },
+            &snaps,
+        );
+        let late = |v: &[f64]| {
+            let n = v.len();
+            v[(3 * n / 4)..].iter().sum::<f64>() / (n - 3 * n / 4) as f64
+        };
+        assert!(
+            late(&good.per_step_votes) > late(&bad.per_step_votes),
+            "good late vote {} vs bad {}",
+            late(&good.per_step_votes),
+            late(&bad.per_step_votes)
+        );
+    }
+
+    #[test]
+    fn moving_average_identity_and_smoothing() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 0.0),
+        ];
+        assert_eq!(moving_average(&pts, 1), pts);
+        let sm = moving_average(&pts, 3);
+        assert_eq!(sm.len(), pts.len());
+        // Interior points of an alternating series average towards 1/3 or 2/3.
+        assert!((sm[2].x - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty snapshot sequence")]
+    fn trace_rejects_empty_snapshots() {
+        let (_, _, tracer) = setup();
+        let _ = tracer.trace_from(
+            Candidate {
+                position: Point2::new(1.0, 1.0),
+                vote: 0.0,
+            },
+            &[],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "step resolution")]
+    fn config_rejects_step_larger_than_radius() {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let cfg = TraceConfig {
+            vicinity_radius: 0.01,
+            step_resolution: 0.05,
+            ..TraceConfig::default()
+        };
+        let _ = TrajectoryTracer::new(dep, plane, cfg);
+    }
+
+    #[test]
+    fn ideal_snapshots_are_consistent() {
+        let (dep, plane, _) = setup();
+        let path = vec![Point2::new(1.0, 1.0), Point2::new(1.05, 1.0)];
+        let snaps = ideal_snapshots(&dep, plane, &path, 0.1);
+        assert_eq!(snaps.len(), 2);
+        for s in &snaps {
+            assert_eq!(s.wrapped.len(), dep.all_pairs().count());
+            for (m, (pair, turns)) in s.wrapped.iter().zip(&s.unwrapped_turns) {
+                assert_eq!(m.pair, *pair);
+                let w = crate::phase::wrap_pi(TAU * turns);
+                assert!((w - m.delta_phi).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! 3-D extension: searching a volume instead of a known writing plane.
+//!
+//! The paper's prototype fixes the virtual screen at a known depth (the
+//! user stands 2–5 m from the wall) and the published trajectories are 2-D.
+//! Nothing in the voting math requires that: Eq. 2 constrains 3-D
+//! hyperboloids, so the same votes evaluated over a volume recover depth as
+//! well. This module provides a coarse depth scan — the practical use is
+//! auto-calibrating the writing-plane depth before running the fast 2-D
+//! pipeline, which is also how one would port RF-IDraw to settings where
+//! the user's distance is unknown (§9.3's WiFi discussion).
+//!
+//! Depth resolution is intrinsically poorer than in-plane resolution: all
+//! antennas sit on one wall, so range is only weakly constrained by the
+//! hyperbolae (this is the classic geometric-dilution effect). The tests
+//! assert a correspondingly looser bound.
+
+use crate::array::Deployment;
+use crate::geom::{Plane, Rect};
+#[cfg(test)]
+use crate::geom::Point2;
+use crate::position::{Candidate, MultiResConfig, MultiResPositioner};
+use crate::vote::PairMeasurement;
+
+/// The result of a depth scan: the best depth and the best candidate found
+/// on the plane at that depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthEstimate {
+    /// Estimated wall-to-plane distance (m).
+    pub depth: f64,
+    /// The best in-plane candidate at that depth.
+    pub candidate: Candidate,
+}
+
+/// Scans candidate depths, running the two-stage 2-D positioner on each
+/// plane, and returns the depth whose best candidate has the highest total
+/// vote.
+///
+/// `depths` must be a non-empty, strictly increasing list of candidate
+/// depths in metres.
+///
+/// # Panics
+/// Panics if `depths` is empty or non-increasing, or on invalid positioner
+/// configuration (see [`MultiResPositioner::new`]).
+pub fn estimate_depth(
+    dep: &Deployment,
+    measurements: &[PairMeasurement],
+    region: Rect,
+    depths: &[f64],
+    config: &MultiResConfig,
+) -> DepthEstimate {
+    assert!(!depths.is_empty(), "need at least one candidate depth");
+    assert!(
+        depths.windows(2).all(|w| w[0] < w[1]),
+        "candidate depths must be strictly increasing"
+    );
+    let mut best: Option<DepthEstimate> = None;
+    for &depth in depths {
+        let plane = Plane::at_depth(depth);
+        let mut cfg = config.clone();
+        cfg.region = region;
+        let positioner = MultiResPositioner::new(dep.clone(), plane, cfg);
+        let candidates = positioner.locate(measurements);
+        if let Some(&candidate) = candidates.first() {
+            if best.map_or(true, |b| candidate.vote > b.candidate.vote) {
+                best = Some(DepthEstimate { depth, candidate });
+            }
+        }
+    }
+    best.expect("at least one depth produced a candidate")
+}
+
+/// Uniformly spaced candidate depths over `[lo, hi]`.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi` and `steps ≥ 2`.
+pub fn depth_grid(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi, got {lo}..{hi}");
+    assert!(steps >= 2, "need at least two depth steps");
+    (0..steps)
+        .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+        .collect()
+}
+
+/// Point in 3-D reported by combining a depth estimate with its in-plane
+/// candidate.
+pub fn to_3d(est: &DepthEstimate) -> crate::geom::Point3 {
+    Plane::at_depth(est.depth).lift(est.candidate.position)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::ideal_measurements;
+
+    fn setup(truth2: Point2, depth: f64) -> (Deployment, Vec<PairMeasurement>, Rect) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(depth);
+        let ms = ideal_measurements(&dep, dep.all_pairs(), plane.lift(truth2));
+        let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.2));
+        (dep, ms, region)
+    }
+
+    fn fast_config(region: Rect) -> MultiResConfig {
+        let mut c = MultiResConfig::for_region(region);
+        c.fine_resolution = 0.03;
+        c.coarse_resolution = 0.06;
+        c
+    }
+
+    #[test]
+    fn depth_scan_recovers_true_depth_roughly() {
+        let truth = Point2::new(1.4, 1.1);
+        let true_depth = 2.0;
+        let (dep, ms, region) = setup(truth, true_depth);
+        let depths = depth_grid(1.0, 3.5, 11); // 0.25 m steps
+        let est = estimate_depth(&dep, &ms, region, &depths, &fast_config(region));
+        // Depth is weakly constrained (all antennas coplanar): allow 0.5 m.
+        assert!(
+            (est.depth - true_depth).abs() <= 0.5,
+            "estimated depth {} vs true {true_depth}",
+            est.depth
+        );
+        // In-plane estimate at the chosen depth is close to the truth.
+        assert!(
+            est.candidate.position.dist(truth) < 0.25,
+            "in-plane estimate {:?}",
+            est.candidate.position
+        );
+    }
+
+    #[test]
+    fn correct_depth_outvotes_wrong_depths() {
+        let truth = Point2::new(1.2, 0.9);
+        let (dep, ms, region) = setup(truth, 2.0);
+        let cfg = fast_config(region);
+        let scan = |d: f64| {
+            estimate_depth(&dep, &ms, region, &[d], &cfg).candidate.vote
+        };
+        let at_truth = scan(2.0);
+        let far_off = scan(3.4);
+        assert!(
+            at_truth > far_off,
+            "vote at true depth {at_truth} vs wrong depth {far_off}"
+        );
+    }
+
+    #[test]
+    fn depth_grid_is_inclusive_and_uniform() {
+        let g = depth_grid(1.0, 3.0, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[4] - 3.0).abs() < 1e-12);
+        for w in g.windows(2) {
+            assert!((w[1] - w[0] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_3d_lifts_correctly() {
+        let est = DepthEstimate {
+            depth: 2.5,
+            candidate: Candidate {
+                position: Point2::new(1.0, 1.5),
+                vote: 0.0,
+            },
+        };
+        let p = to_3d(&est);
+        assert_eq!(p.y, 2.5);
+        assert_eq!(p.x, 1.0);
+        assert_eq!(p.z, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_depths() {
+        let truth = Point2::new(1.0, 1.0);
+        let (dep, ms, region) = setup(truth, 2.0);
+        let _ = estimate_depth(&dep, &ms, region, &[2.0, 1.0], &fast_config(region));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two depth steps")]
+    fn depth_grid_rejects_single_step() {
+        let _ = depth_grid(1.0, 2.0, 1);
+    }
+}

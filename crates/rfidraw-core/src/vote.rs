@@ -1,0 +1,304 @@
+//! Per-pair votes on candidate positions (paper §5.1, Eq. 6–7).
+//!
+//! RF-IDraw's positioning is a voting scheme. An antenna pair `<i, j>` that
+//! measured phase difference `Δφ_{j,i}` votes on a point `P` according to
+//! how close `P` lies to one of the pair's beams:
+//!
+//! ```text
+//! V_{i,j}(P) = −min_k ‖ pf·Δd_{i,j}(P)/λ − Δφ_{j,i}/2π − k ‖²      (Eq. 7)
+//! ```
+//!
+//! where `pf` is the backscatter path factor and `Δd_{i,j}(P)` the exact
+//! distance difference (the hyperbola form of Eq. 2 — no far-field
+//! approximation). For an unambiguous (λ/2-effective) pair only `k = 0` is
+//! geometrically reachable, and Eq. 7 reduces to the paper's Eq. 6.
+//!
+//! Votes are ≤ 0, with 0 meaning "P lies exactly on a beam centre"; they are
+//! in units of *turns²*. The total vote of a point is the sum over pairs,
+//! and higher totals mean more likely positions.
+//!
+//! Two voting modes exist:
+//!
+//! * [`vote_nearest`] — minimizes over all lobes `k` (used by the
+//!   multi-resolution *positioning* stage, which must consider every lobe);
+//! * [`vote_fixed_lobe`] — evaluates one specific lobe `k` against a
+//!   *continuously unwrapped* phase difference (used by *trajectory
+//!   tracing*, which locks each pair to a single rotating lobe — §5.2).
+
+use crate::array::{AntennaPair, Deployment};
+use crate::geom::Point3;
+use crate::phase::{frac_dist_to_integer, nearest_lobe_index};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// One pair's measured (wrapped) phase difference `Δφ_{j,i} = φ_j − φ_i`,
+/// radians.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairMeasurement {
+    /// The pair that produced the measurement.
+    pub pair: AntennaPair,
+    /// Wrapped phase difference in radians.
+    pub delta_phi: f64,
+}
+
+impl PairMeasurement {
+    /// Creates a measurement; the phase may be in any representation, it is
+    /// used modulo 2π.
+    pub fn new(pair: AntennaPair, delta_phi: f64) -> Self {
+        Self { pair, delta_phi }
+    }
+
+    /// The measurement expressed in turns (`Δφ / 2π`).
+    pub fn turns(&self) -> f64 {
+        self.delta_phi / TAU
+    }
+}
+
+/// Eq. 7: the pair's vote on `p`, minimized over all grating lobes.
+///
+/// Always in `[−0.25, 0]`: the distance to the nearest integer is at most
+/// one half turn.
+pub fn vote_nearest(dep: &Deployment, m: &PairMeasurement, p: Point3) -> f64 {
+    let r = dep.pair_turns(m.pair, p) - m.turns();
+    let f = frac_dist_to_integer(r);
+    -(f * f)
+}
+
+/// Eq. 7 with `k` *fixed* and an unwrapped phase difference, for tracing.
+///
+/// `unwrapped_turns` is the continuously-unwrapped `Δφ_{j,i}/2π`; the residual
+/// is not reduced modulo 1, so leaving the locked lobe is penalized
+/// quadratically without bound.
+pub fn vote_fixed_lobe(
+    dep: &Deployment,
+    pair: AntennaPair,
+    unwrapped_turns: f64,
+    k: i64,
+    p: Point3,
+) -> f64 {
+    let r = dep.pair_turns(pair, p) - unwrapped_turns - k as f64;
+    -(r * r)
+}
+
+/// The lobe index a point would lock onto: the integer nearest to
+/// `pair_turns(P) − unwrapped_turns`.
+pub fn lock_lobe(dep: &Deployment, pair: AntennaPair, unwrapped_turns: f64, p: Point3) -> i64 {
+    nearest_lobe_index(dep.pair_turns(pair, p) - unwrapped_turns)
+}
+
+/// Total nearest-lobe vote of a point over a set of measurements.
+pub fn total_vote_nearest(dep: &Deployment, ms: &[PairMeasurement], p: Point3) -> f64 {
+    ms.iter().map(|m| vote_nearest(dep, m, p)).sum()
+}
+
+/// A measurement with its pair's antenna positions pre-resolved, for bulk
+/// grid evaluation (avoids per-vote antenna lookups).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedMeasurement {
+    /// Position of antenna `i`.
+    pub pos_i: Point3,
+    /// Position of antenna `j`.
+    pub pos_j: Point3,
+    /// Measured phase difference in turns.
+    pub turns: f64,
+}
+
+/// Resolves measurements against a deployment.
+///
+/// # Panics
+/// Panics if a measurement references an unknown antenna.
+pub fn resolve_measurements(dep: &Deployment, ms: &[PairMeasurement]) -> Vec<ResolvedMeasurement> {
+    ms.iter()
+        .map(|m| ResolvedMeasurement {
+            pos_i: dep
+                .antenna(m.pair.i)
+                .unwrap_or_else(|| panic!("unknown antenna {:?}", m.pair.i))
+                .pos,
+            pos_j: dep
+                .antenna(m.pair.j)
+                .unwrap_or_else(|| panic!("unknown antenna {:?}", m.pair.j))
+                .pos,
+            turns: m.turns(),
+        })
+        .collect()
+}
+
+/// Total nearest-lobe vote over pre-resolved measurements.
+/// `turns_factor` is `path_factor / λ`.
+pub fn total_vote_resolved(ms: &[ResolvedMeasurement], turns_factor: f64, p: Point3) -> f64 {
+    let mut v = 0.0;
+    for m in ms {
+        let turns = turns_factor * (p.dist(m.pos_i) - p.dist(m.pos_j));
+        let f = frac_dist_to_integer(turns - m.turns);
+        v -= f * f;
+    }
+    v
+}
+
+/// Noise-free forward model: the wrapped phase difference a pair would
+/// measure for a tag at `tag`. Used by tests and the figure harnesses;
+/// realistic measurements come from `rfidraw-channel`.
+pub fn ideal_measurement(dep: &Deployment, pair: AntennaPair, tag: Point3) -> PairMeasurement {
+    let phi = crate::phase::wrap_pi(TAU * dep.pair_turns(pair, tag));
+    PairMeasurement::new(pair, phi)
+}
+
+/// Ideal measurements for a whole set of pairs.
+pub fn ideal_measurements<'a>(
+    dep: &Deployment,
+    pairs: impl IntoIterator<Item = &'a AntennaPair>,
+    tag: Point3,
+) -> Vec<PairMeasurement> {
+    pairs
+        .into_iter()
+        .map(|&pair| ideal_measurement(dep, pair, tag))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{AntennaId, Deployment};
+    use crate::geom::{Plane, Point2};
+
+    fn setup() -> (Deployment, Plane) {
+        (Deployment::paper_default(), Plane::at_depth(2.0))
+    }
+
+    #[test]
+    fn vote_is_zero_at_true_position() {
+        let (dep, plane) = setup();
+        let tag = plane.lift(Point2::new(1.2, 0.9));
+        for pair in dep.all_pairs() {
+            let m = ideal_measurement(&dep, *pair, tag);
+            let v = vote_nearest(&dep, &m, tag);
+            assert!(v.abs() < 1e-18, "pair {pair:?} vote {v} at truth");
+        }
+    }
+
+    #[test]
+    fn vote_is_nonpositive_and_bounded() {
+        let (dep, plane) = setup();
+        let tag = plane.lift(Point2::new(1.2, 0.9));
+        for pair in dep.all_pairs() {
+            let m = ideal_measurement(&dep, *pair, tag);
+            for (x, z) in [(0.0, 0.0), (2.0, 1.0), (-0.5, 1.8), (3.0, 0.1)] {
+                let v = vote_nearest(&dep, &m, plane.lift(Point2::new(x, z)));
+                assert!((-0.25..=0.0).contains(&v), "vote {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_pair_vote_is_periodic_in_lobes() {
+        // Points on different lobes of the same pair all get vote 0.
+        let (dep, plane) = setup();
+        let pair = AntennaPair::new(AntennaId(1), AntennaId(2));
+        let tag = plane.lift(Point2::new(1.2, 0.9));
+        let m = ideal_measurement(&dep, pair, tag);
+        // Walk along z until pair_turns has changed by exactly 1 (the next
+        // lobe): that point must also vote ~0. Detect the crossing between
+        // scan steps and interpolate.
+        let t0 = dep.pair_turns(pair, tag);
+        let target = t0 - 1.0; // turns decrease as z grows for pair <1,2>
+        let turns_at = |z: f64| dep.pair_turns(pair, plane.lift(Point2::new(1.2, z)));
+        let mut z = 0.9;
+        let mut prev = t0;
+        for _ in 0..10_000 {
+            let z_next = z + 0.001;
+            let cur = turns_at(z_next);
+            if (prev - target) * (cur - target) <= 0.0 {
+                // Linear interpolation of the crossing point.
+                let f = (prev - target) / (prev - cur);
+                let z_star = z + 0.001 * f;
+                let p = plane.lift(Point2::new(1.2, z_star));
+                let v = vote_nearest(&dep, &m, p);
+                assert!(v > -1e-5, "next-lobe point votes {v}");
+                return;
+            }
+            z = z_next;
+            prev = cur;
+        }
+        panic!("never reached the next lobe while scanning");
+    }
+
+    #[test]
+    fn coarse_pair_vote_discriminates_direction() {
+        // An unambiguous pair must vote strictly worse for points far from
+        // the beam direction.
+        let (dep, plane) = setup();
+        let pair = dep.coarse_primary_pairs()[0];
+        let tag = plane.lift(Point2::new(1.3, 1.3));
+        let m = ideal_measurement(&dep, pair, tag);
+        let v_true = vote_nearest(&dep, &m, tag);
+        // <5,6> is a vertical pair: move far in z to change its angle.
+        let v_far = vote_nearest(&dep, &m, plane.lift(Point2::new(1.3, -2.0)));
+        assert!(v_true > v_far + 1e-4, "true {v_true} vs far {v_far}");
+    }
+
+    #[test]
+    fn fixed_lobe_vote_matches_nearest_on_locked_lobe() {
+        let (dep, plane) = setup();
+        let pair = AntennaPair::new(AntennaId(2), AntennaId(3));
+        let tag = plane.lift(Point2::new(1.0, 1.1));
+        let m = ideal_measurement(&dep, pair, tag);
+        let k = lock_lobe(&dep, pair, m.turns(), tag);
+        let v_fixed = vote_fixed_lobe(&dep, pair, m.turns(), k, tag);
+        assert!(v_fixed.abs() < 1e-18);
+        // A neighbouring point close to the same lobe agrees with nearest-lobe.
+        let p2 = plane.lift(Point2::new(1.01, 1.11));
+        let vn = vote_nearest(&dep, &m, p2);
+        let vf = vote_fixed_lobe(&dep, pair, m.turns(), k, p2);
+        assert!((vn - vf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_lobe_vote_penalizes_wrong_lobe_unboundedly() {
+        let (dep, plane) = setup();
+        let pair = AntennaPair::new(AntennaId(1), AntennaId(2));
+        let tag = plane.lift(Point2::new(1.2, 0.9));
+        let m = ideal_measurement(&dep, pair, tag);
+        let k = lock_lobe(&dep, pair, m.turns(), tag);
+        // Evaluate on a lobe three away: the fixed-lobe vote must be worse
+        // than −0.25 (the floor of the nearest-lobe vote), near −9.
+        let v = vote_fixed_lobe(&dep, pair, m.turns() + 3.0, k, tag);
+        assert!(v < -8.0, "wrong-lobe fixed vote {v} not strongly negative");
+    }
+
+    #[test]
+    fn total_vote_peaks_at_truth() {
+        let (dep, plane) = setup();
+        let tag = plane.lift(Point2::new(1.2, 0.9));
+        let ms = ideal_measurements(&dep, dep.all_pairs(), tag);
+        let v_true = total_vote_nearest(&dep, &ms, tag);
+        assert!(v_true.abs() < 1e-15);
+        for (x, z) in [(1.25, 0.9), (1.2, 0.95), (0.9, 1.2)] {
+            let v = total_vote_nearest(&dep, &ms, plane.lift(Point2::new(x, z)));
+            assert!(v < v_true, "({x},{z}) votes {v} ≥ truth {v_true}");
+        }
+    }
+
+    #[test]
+    fn ideal_measurement_phase_is_wrapped() {
+        let (dep, plane) = setup();
+        let tag = plane.lift(Point2::new(2.5, 0.2));
+        for pair in dep.all_pairs() {
+            let m = ideal_measurement(&dep, *pair, tag);
+            assert!(
+                (-std::f64::consts::PI..std::f64::consts::PI).contains(&m.delta_phi),
+                "phase {} not wrapped",
+                m.delta_phi
+            );
+        }
+    }
+
+    #[test]
+    fn lock_lobe_is_zero_for_unambiguous_pairs_at_truth() {
+        let (dep, plane) = setup();
+        let tag = plane.lift(Point2::new(1.3, 1.3));
+        for &pair in dep.coarse_primary_pairs() {
+            let m = ideal_measurement(&dep, pair, tag);
+            assert_eq!(lock_lobe(&dep, pair, m.turns(), tag), 0);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the core phase/vote/grid algebra.
+
+use proptest::prelude::*;
+use rfidraw_core::array::{AntennaPair, Deployment};
+use rfidraw_core::geom::{Plane, Point2, Rect};
+use rfidraw_core::grid::Grid2;
+use rfidraw_core::lobes::PairGeometry;
+use rfidraw_core::phase::{
+    frac_dist_to_integer, unwrap_series, wrap_pi, wrap_tau, Wavelength,
+};
+use rfidraw_core::vote::{ideal_measurement, vote_nearest};
+use std::f64::consts::{PI, TAU};
+
+proptest! {
+    #[test]
+    fn wrap_tau_is_in_range_and_congruent(theta in -1e6f64..1e6) {
+        let w = wrap_tau(theta);
+        prop_assert!((0.0..TAU).contains(&w));
+        let k = (w - theta) / TAU;
+        prop_assert!((k - k.round()).abs() < 1e-6, "w={w} theta={theta}");
+    }
+
+    #[test]
+    fn wrap_pi_is_in_range(theta in -1e6f64..1e6) {
+        let w = wrap_pi(theta);
+        prop_assert!((-PI..PI).contains(&w));
+    }
+
+    #[test]
+    fn unwrap_series_preserves_small_steps(
+        start in -10.0f64..10.0,
+        steps in proptest::collection::vec(-3.0f64..3.0, 1..100),
+    ) {
+        // Build a true phase path with |step| < π, wrap it, unwrap it, and
+        // check every step is recovered exactly.
+        let mut truth = vec![start];
+        for s in &steps {
+            let last = *truth.last().unwrap();
+            truth.push(last + s);
+        }
+        let wrapped: Vec<f64> = truth.iter().map(|&t| wrap_tau(t)).collect();
+        let un = unwrap_series(&wrapped);
+        for (uw, tw) in un.windows(2).zip(truth.windows(2)) {
+            prop_assert!(((uw[1] - uw[0]) - (tw[1] - tw[0])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frac_dist_is_bounded_and_periodic(x in -1e4f64..1e4) {
+        let f = frac_dist_to_integer(x);
+        prop_assert!((0.0..=0.5).contains(&f));
+        prop_assert!((frac_dist_to_integer(x + 1.0) - f).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aoa_candidates_are_valid_and_contain_truth(
+        d in 0.5f64..16.0,
+        theta in 0.05f64..3.09,
+    ) {
+        let g = PairGeometry::new(d);
+        let dphi = wrap_pi(TAU * d * theta.cos());
+        let cands = g.aoa_candidates(dphi);
+        prop_assert!(!cands.is_empty());
+        for c in &cands {
+            prop_assert!(c.abs() <= 1.0 + 1e-12);
+        }
+        let best = cands
+            .iter()
+            .map(|c| (c - theta.cos()).abs())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(best < 1e-6, "truth missing, nearest {best}");
+    }
+
+    #[test]
+    fn lobe_count_matches_k_formula(k in 1usize..40) {
+        // §3.2: D = K·λ/2 produces ~K lobes.
+        let g = PairGeometry::new(k as f64 / 2.0);
+        let n = g.lobe_count(1.0);
+        prop_assert!(n >= k && n <= k + 1, "K={k} gave {n}");
+    }
+
+    #[test]
+    fn vote_is_bounded_everywhere(
+        tx in 0.0f64..3.0, tz in 0.0f64..2.0,
+        px in -1.0f64..4.0, pz in -1.0f64..3.0,
+    ) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let tag = plane.lift(Point2::new(tx, tz));
+        let p = plane.lift(Point2::new(px, pz));
+        for pair in dep.all_pairs() {
+            let m = ideal_measurement(&dep, *pair, tag);
+            let v = vote_nearest(&dep, &m, p);
+            prop_assert!((-0.25..=0.0).contains(&v), "vote {v}");
+        }
+    }
+
+    #[test]
+    fn vote_is_zero_at_truth(tx in 0.0f64..3.0, tz in 0.0f64..2.0) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let tag = plane.lift(Point2::new(tx, tz));
+        for pair in dep.all_pairs() {
+            let m = ideal_measurement(&dep, *pair, tag);
+            prop_assert!(vote_nearest(&dep, &m, tag).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn pair_turns_antisymmetric(
+        tx in -2.0f64..5.0, tz in -2.0f64..4.0, depth in 0.5f64..6.0,
+    ) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(depth);
+        let p = plane.lift(Point2::new(tx, tz));
+        let a = AntennaPair::new(rfidraw_core::array::AntennaId(1), rfidraw_core::array::AntennaId(3));
+        let b = AntennaPair::new(rfidraw_core::array::AntennaId(3), rfidraw_core::array::AntennaId(1));
+        prop_assert!((dep.pair_turns(a, p) + dep.pair_turns(b, p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_flat_unflat_roundtrip(
+        w in 0.1f64..5.0, h in 0.1f64..5.0, res in 0.01f64..0.5,
+    ) {
+        let grid = Grid2::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(w, h)),
+            res,
+        );
+        // Sample a handful of indices rather than the whole grid.
+        let n = grid.len();
+        for idx in [0, n / 3, n / 2, n - 1] {
+            let (ix, iz) = grid.unflat(idx);
+            prop_assert_eq!(grid.flat(ix, iz), idx);
+        }
+    }
+
+    #[test]
+    fn grid_nearest_is_truly_nearest(
+        px in 0.0f64..2.0, pz in 0.0f64..2.0,
+    ) {
+        let grid = Grid2::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0)),
+            0.13,
+        );
+        let p = Point2::new(px, pz);
+        let (ix, iz) = grid.nearest(p);
+        let chosen = grid.point(ix, iz).dist(p);
+        // No lattice point is closer (check the 4 neighbours).
+        for (dx, dz) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+            let nx = ix as i64 + dx;
+            let nz = iz as i64 + dz;
+            if nx >= 0 && nz >= 0 && (nx as usize) < grid.nx() && (nz as usize) < grid.nz() {
+                let d = grid.point(nx as usize, nz as usize).dist(p);
+                prop_assert!(chosen <= d + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn wavelength_turns_scale_linearly(d in 0.0f64..100.0, f in 4e8f64..3e9) {
+        let wl = Wavelength::from_frequency_hz(f);
+        prop_assert!((wl.turns_over(2.0 * d) - 2.0 * wl.turns_over(d)).abs() < 1e-9);
+        prop_assert!((wl.phase_over(d) - TAU * wl.turns_over(d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_bounding_contains_inputs(
+        pts in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..50),
+    ) {
+        let points: Vec<Point2> = pts.iter().map(|&(x, z)| Point2::new(x, z)).collect();
+        let r = Rect::bounding(&points).unwrap();
+        for p in &points {
+            prop_assert!(r.contains(*p));
+        }
+    }
+}

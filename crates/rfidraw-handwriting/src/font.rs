@@ -1,0 +1,449 @@
+//! A single-stroke vector font for lowercase `a`–`z`.
+//!
+//! Each glyph is a set of polyline strokes in *em-box coordinates*:
+//! `x` grows rightwards from 0 to the glyph's advance width, `y` grows
+//! upwards with the baseline at 0, x-height at 0.5, ascenders at 1.0 and
+//! descenders reaching −0.35. The shapes are skeleton letterforms in the
+//! spirit of the Hershey simplex font: recognizable, unadorned, and made of
+//! few segments — exactly what a person traces when writing in the air.
+//!
+//! Curves are pre-sampled into short polylines so downstream code only ever
+//! deals with points.
+
+use rfidraw_core::geom::Point2;
+use std::f64::consts::{PI, TAU};
+
+/// One glyph: its strokes (each a polyline of at least two points, in
+/// drawing order) and its advance width in em units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Glyph {
+    /// The strokes, in the order a writer draws them.
+    pub strokes: Vec<Vec<Point2>>,
+    /// Horizontal space the glyph occupies (em units).
+    pub advance: f64,
+}
+
+impl Glyph {
+    /// Total drawn length of the glyph (em units).
+    pub fn ink_length(&self) -> f64 {
+        self.strokes
+            .iter()
+            .map(|s| s.windows(2).map(|w| w[0].dist(w[1])).sum::<f64>())
+            .sum()
+    }
+
+    /// Bounding box of all stroke points, `None` for an (impossible) empty
+    /// glyph.
+    pub fn bounds(&self) -> Option<rfidraw_core::geom::Rect> {
+        let pts: Vec<Point2> = self.strokes.iter().flatten().copied().collect();
+        rfidraw_core::geom::Rect::bounding(&pts)
+    }
+}
+
+/// Points on a circular arc, centre `(cx, cy)`, radius `r`, from angle `a0`
+/// to `a1` (radians, counter-clockwise positive), sampled into `n` segments.
+fn arc(cx: f64, cy: f64, r: f64, a0: f64, a1: f64, n: usize) -> Vec<Point2> {
+    (0..=n)
+        .map(|i| {
+            let a = a0 + (a1 - a0) * i as f64 / n as f64;
+            Point2::new(cx + r * a.cos(), cy + r * a.sin())
+        })
+        .collect()
+}
+
+/// A polyline from coordinate pairs.
+fn line(points: &[(f64, f64)]) -> Vec<Point2> {
+    points.iter().map(|&(x, z)| Point2::new(x, z)).collect()
+}
+
+/// Points on an axis-aligned elliptical arc.
+fn ellipse(cx: f64, cy: f64, rx: f64, ry: f64, a0: f64, a1: f64, n: usize) -> Vec<Point2> {
+    (0..=n)
+        .map(|i| {
+            let a = a0 + (a1 - a0) * i as f64 / n as f64;
+            Point2::new(cx + rx * a.cos(), cy + ry * a.sin())
+        })
+        .collect()
+}
+
+// Digit proportions: digits are drawn at cap height.
+const DIGIT_H: f64 = 0.7;
+
+// Common proportions.
+const XH: f64 = 0.5; // x-height
+const ASC: f64 = 1.0; // ascender height
+const DESC: f64 = -0.35; // descender depth
+const BOWL_R: f64 = 0.25; // default bowl radius
+
+/// The glyph for a lowercase letter; `None` for unsupported characters.
+pub fn glyph(c: char) -> Option<Glyph> {
+    let g = |strokes: Vec<Vec<Point2>>, advance: f64| Some(Glyph { strokes, advance });
+    let r = BOWL_R;
+    match c {
+        // Bowl + right stem, drawn as one stroke: start at the right of the
+        // bowl, swing counter-clockwise around, then down the stem.
+        'a' => {
+            let mut s = arc(r, r, r, 0.0, TAU * 0.95, 20);
+            s.extend(line(&[(2.0 * r, XH), (2.0 * r, 0.0)]));
+            g(vec![s], 2.0 * r + 0.05)
+        }
+        // Tall stem then bowl on the right.
+        'b' => {
+            let mut s = line(&[(0.0, ASC), (0.0, 0.0)]);
+            s.extend(arc(r, r, r, PI, -PI * 0.05, 18));
+            g(vec![s], 2.0 * r + 0.05)
+        }
+        // Open arc.
+        'c' => g(vec![arc(r, r, r, PI * 0.35, PI * 1.7, 18)], 2.0 * r),
+        // Bowl then tall stem on the right.
+        'd' => {
+            let mut s = line(&[(2.0 * r, ASC), (2.0 * r, 0.0)]);
+            s.extend(arc(r, r, r, 0.0, PI * 1.05, 18));
+            g(vec![s], 2.0 * r + 0.05)
+        }
+        // Horizontal bar, then the open arc sweeping over the top and
+        // around — the classic one-stroke 'e'.
+        'e' => {
+            let mut s = line(&[(0.04, r)]);
+            s.extend(arc(r, r, r - 0.04, 0.0, PI, 10));
+            s.extend(arc(r, r, r, PI, PI * 1.75, 12));
+            g(vec![s], 2.0 * r)
+        }
+        // Hook top, stem down, crossbar.
+        'f' => {
+            let mut s = arc(0.3, ASC - 0.15, 0.15, PI * 0.15, PI, 8);
+            s.extend(line(&[(0.15, ASC - 0.15), (0.15, 0.0)]));
+            g(vec![s, line(&[(0.0, XH), (0.35, XH)])], 0.47)
+        }
+        // Bowl, then descender with a hook.
+        'g' => {
+            let mut s = arc(r, r, r, PI * 0.1, PI * 1.9, 18);
+            s.extend(line(&[(2.0 * r, XH), (2.0 * r, DESC + 0.12)]));
+            s.extend(arc(2.0 * r - 0.12, DESC + 0.12, 0.12, 0.0, -PI * 0.9, 8));
+            g(vec![s], 2.0 * r + 0.05)
+        }
+        // Tall stem, arch to the right.
+        'h' => {
+            let mut s = line(&[(0.0, ASC), (0.0, 0.0), (0.0, XH - 0.21)]);
+            s.extend(arc(0.21, XH - 0.21, 0.21, PI, 0.0, 10));
+            s.extend(line(&[(0.42, 0.0)]));
+            g(vec![s], 0.47)
+        }
+        // Short stem (the dot is omitted, as in continuous air writing).
+        'i' => g(vec![line(&[(0.0, XH), (0.0, 0.0)])], 0.12),
+        // Descender stem with a hook.
+        'j' => {
+            let mut s = line(&[(0.24, XH), (0.24, DESC + 0.12)]);
+            s.extend(arc(0.12, DESC + 0.12, 0.12, 0.0, -PI * 0.9, 8));
+            g(vec![s], 0.3)
+        }
+        // Tall stem, then out-and-back diagonals.
+        'k' => g(
+            vec![
+                line(&[(0.0, ASC), (0.0, 0.0)]),
+                line(&[(0.32, XH), (0.02, 0.22), (0.34, 0.0)]),
+            ],
+            0.4,
+        ),
+        // Tall stem with a small exit foot (distinguishes 'l' from 'i'
+        // under the recognizer's scale normalization).
+        'l' => {
+            let mut s = line(&[(0.0, ASC), (0.0, 0.12)]);
+            s.extend(arc(0.12, 0.12, 0.12, PI, PI * 1.5, 5));
+            g(vec![s], 0.3)
+        }
+        // Stem plus two arches.
+        'm' => {
+            let mut s = line(&[(0.0, XH), (0.0, 0.0), (0.0, XH - 0.17)]);
+            s.extend(arc(0.17, XH - 0.17, 0.17, PI, 0.0, 8));
+            s.extend(line(&[(0.34, 0.0), (0.34, XH - 0.17)]));
+            s.extend(arc(0.51, XH - 0.17, 0.17, PI, 0.0, 8));
+            s.extend(line(&[(0.68, 0.0)]));
+            g(vec![s], 0.74)
+        }
+        // Stem plus one arch.
+        'n' => {
+            let mut s = line(&[(0.0, XH), (0.0, 0.0), (0.0, XH - 0.21)]);
+            s.extend(arc(0.21, XH - 0.21, 0.21, PI, 0.0, 10));
+            s.extend(line(&[(0.42, 0.0)]));
+            g(vec![s], 0.47)
+        }
+        // Full circle.
+        'o' => g(vec![arc(r, r, r, PI * 0.5, PI * 2.5, 22)], 2.0 * r),
+        // Descender stem, bowl on the right.
+        'p' => {
+            let mut s = line(&[(0.0, XH), (0.0, DESC)]);
+            s.extend(line(&[(0.0, XH - 0.1)]));
+            s.extend(arc(r, r, r, PI, -PI * 0.05, 18));
+            g(vec![s], 2.0 * r + 0.05)
+        }
+        // Bowl, then descender on the right — the paper's Fig. 7 letter.
+        'q' => {
+            let mut s = arc(r, r, r, PI * 0.1, PI * 1.9, 18);
+            s.extend(line(&[(2.0 * r, XH), (2.0 * r, DESC)]));
+            g(vec![s], 2.0 * r + 0.05)
+        }
+        // Stem plus a small shoulder arc.
+        'r' => {
+            let mut s = line(&[(0.0, XH), (0.0, 0.0), (0.0, XH - 0.2)]);
+            s.extend(arc(0.2, XH - 0.2, 0.2, PI, PI * 0.25, 8));
+            g(vec![s], 0.4)
+        }
+        // Two stacked arcs forming the s-curve.
+        's' => {
+            let mut s = arc(0.21, XH - 0.13, 0.13, PI * 0.25, PI * 1.1, 8);
+            s.extend(arc(0.15, 0.13, 0.13, PI * 0.1, -PI * 0.85, 8));
+            g(vec![s], 0.36)
+        }
+        // Stem with crossbar.
+        't' => g(
+            vec![
+                line(&[(0.15, ASC * 0.8), (0.15, 0.05), (0.28, 0.0)]),
+                line(&[(0.0, XH), (0.32, XH)]),
+            ],
+            0.36,
+        ),
+        // Cup plus right stem.
+        'u' => {
+            let mut s = line(&[(0.0, XH), (0.0, 0.21)]);
+            s.extend(arc(0.21, 0.21, 0.21, PI, TAU, 10));
+            s.extend(line(&[(0.42, XH), (0.42, 0.0)]));
+            g(vec![s], 0.47)
+        }
+        // Two diagonals.
+        'v' => g(vec![line(&[(0.0, XH), (0.19, 0.0), (0.38, XH)])], 0.42),
+        // Four diagonals.
+        'w' => g(
+            vec![line(&[
+                (0.0, XH),
+                (0.14, 0.0),
+                (0.28, XH * 0.7),
+                (0.42, 0.0),
+                (0.56, XH),
+            ])],
+            0.6,
+        ),
+        // Two crossing diagonals.
+        'x' => g(
+            vec![
+                line(&[(0.0, XH), (0.36, 0.0)]),
+                line(&[(0.36, XH), (0.0, 0.0)]),
+            ],
+            0.4,
+        ),
+        // A 'v' whose right diagonal continues into a descender.
+        'y' => g(
+            vec![line(&[(0.0, XH), (0.19, 0.0)]), line(&[(0.38, XH), (0.08, DESC)])],
+            0.42,
+        ),
+        // Zigzag.
+        'z' => g(
+            vec![line(&[(0.0, XH), (0.36, XH), (0.0, 0.0), (0.36, 0.0)])],
+            0.4,
+        ),
+        // ---- Digits (cap height 0.7, used for PIN-style input) ----
+        '0' => g(
+            vec![ellipse(0.2, DIGIT_H / 2.0, 0.2, DIGIT_H / 2.0, PI * 0.5, PI * 2.5, 22)],
+            0.45,
+        ),
+        '1' => g(
+            vec![line(&[(0.02, DIGIT_H - 0.15), (0.16, DIGIT_H), (0.16, 0.0)])],
+            0.22,
+        ),
+        '2' => {
+            let mut s = ellipse(0.18, DIGIT_H - 0.17, 0.18, 0.17, PI, 0.0, 10);
+            s.extend(line(&[(0.0, 0.0), (0.38, 0.0)]));
+            g(vec![s], 0.42)
+        }
+        '3' => {
+            let mut s = ellipse(0.17, DIGIT_H - 0.17, 0.17, 0.17, PI * 0.8, -PI * 0.45, 10);
+            s.extend(ellipse(0.18, 0.19, 0.19, 0.19, PI * 0.45, -PI * 0.8, 12));
+            g(vec![s], 0.42)
+        }
+        '4' => g(
+            vec![line(&[(0.28, 0.0), (0.28, DIGIT_H), (0.0, 0.2), (0.4, 0.2)])],
+            0.44,
+        ),
+        '5' => {
+            let mut s = line(&[(0.36, DIGIT_H), (0.04, DIGIT_H), (0.02, DIGIT_H * 0.55)]);
+            s.extend(ellipse(0.19, 0.21, 0.19, 0.21, PI * 0.75, -PI * 0.85, 12));
+            g(vec![s], 0.42)
+        }
+        '6' => {
+            let mut s = line(&[(0.33, DIGIT_H), (0.08, 0.3)]);
+            s.extend(ellipse(0.21, 0.17, 0.15, 0.17, PI * 0.75, PI * 0.75 - TAU, 16));
+            g(vec![s], 0.42)
+        }
+        '7' => g(
+            vec![line(&[(0.0, DIGIT_H), (0.38, DIGIT_H), (0.1, 0.0)])],
+            0.42,
+        ),
+        '8' => {
+            let mut s = ellipse(0.19, DIGIT_H - 0.16, 0.15, 0.16, PI * 0.5, PI * 2.5, 14);
+            s.extend(ellipse(0.19, 0.185, 0.185, 0.185, PI * 0.5, -PI * 1.5, 16));
+            g(vec![s], 0.42)
+        }
+        '9' => {
+            let mut s = ellipse(0.2, DIGIT_H - 0.2, 0.18, 0.2, 0.0, TAU * 0.95, 14);
+            s.extend(line(&[(0.38, DIGIT_H - 0.2), (0.3, 0.0)]));
+            g(vec![s], 0.42)
+        }
+        _ => None,
+    }
+}
+
+/// The lowercase letters the font supports.
+pub fn supported_chars() -> impl Iterator<Item = char> {
+    'a'..='z'
+}
+
+/// The digits the font supports (drawn at cap height, for PIN-style input).
+pub fn supported_digits() -> impl Iterator<Item = char> {
+    '0'..='9'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_lowercase_letter_has_a_glyph() {
+        for c in supported_chars() {
+            let gl = glyph(c).unwrap_or_else(|| panic!("no glyph for '{c}'"));
+            assert!(!gl.strokes.is_empty(), "'{c}' has no strokes");
+            for s in &gl.strokes {
+                assert!(s.len() >= 2, "'{c}' has a degenerate stroke");
+            }
+            assert!(gl.advance > 0.0, "'{c}' has no advance");
+            assert!(gl.ink_length() > 0.2, "'{c}' is nearly invisible");
+        }
+    }
+
+    #[test]
+    fn unsupported_characters_are_none() {
+        for c in ['A', 'Z', ' ', 'é', '!', '-'] {
+            assert!(glyph(c).is_none(), "'{c}' should be unsupported");
+        }
+    }
+
+    #[test]
+    fn every_digit_has_a_glyph_within_metrics() {
+        for c in supported_digits() {
+            let gl = glyph(c).unwrap_or_else(|| panic!("no glyph for '{c}'"));
+            assert!(!gl.strokes.is_empty());
+            assert!(gl.ink_length() > 0.4, "'{c}' is nearly invisible");
+            let b = gl.bounds().unwrap();
+            assert!(b.min.z >= -1e-9, "'{c}' dips below the baseline");
+            assert!(b.max.z <= DIGIT_H + 1e-9, "'{c}' exceeds cap height: {}", b.max.z);
+            assert!(b.min.x >= -1e-9, "'{c}' has ink left of the origin");
+            assert!(b.max.x <= gl.advance + 1e-9, "'{c}' overruns its advance");
+        }
+    }
+
+    #[test]
+    fn digits_are_mutually_distinct() {
+        let sig = |c: char| {
+            let gl = glyph(c).unwrap();
+            let b = gl.bounds().unwrap();
+            let start = gl.strokes[0][0];
+            (
+                (gl.ink_length() * 1000.0) as i64,
+                (b.width() * 1000.0) as i64,
+                ((start.x + start.z) * 1000.0) as i64,
+            )
+        };
+        let digits: Vec<char> = supported_digits().collect();
+        for (i, &a) in digits.iter().enumerate() {
+            for &b in &digits[i + 1..] {
+                assert_ne!(sig(a), sig(b), "'{a}' and '{b}' look identical");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_stay_inside_their_metrics() {
+        for c in supported_chars() {
+            let gl = glyph(c).unwrap();
+            let b = gl.bounds().unwrap();
+            assert!(b.min.z >= DESC - 1e-9, "'{c}' dips below the descender line");
+            assert!(b.max.z <= ASC + 1e-9, "'{c}' exceeds the ascender line");
+            assert!(b.min.x >= -1e-9, "'{c}' has ink left of the origin");
+            assert!(
+                b.max.x <= gl.advance + 1e-9,
+                "'{c}' has ink beyond its advance ({} > {})",
+                b.max.x,
+                gl.advance
+            );
+        }
+    }
+
+    #[test]
+    fn ascenders_and_descenders_are_where_expected() {
+        let tall = ['b', 'd', 'f', 'h', 'k', 'l'];
+        for c in tall {
+            let b = glyph(c).unwrap().bounds().unwrap();
+            assert!(b.max.z > 0.7, "'{c}' should be tall, max z {}", b.max.z);
+        }
+        let deep = ['g', 'j', 'p', 'q', 'y'];
+        for c in deep {
+            let b = glyph(c).unwrap().bounds().unwrap();
+            assert!(b.min.z < -0.2, "'{c}' should descend, min z {}", b.min.z);
+        }
+        let small = ['a', 'c', 'e', 'm', 'n', 'o', 'r', 's', 'u', 'v', 'w', 'x', 'z'];
+        for c in small {
+            let b = glyph(c).unwrap().bounds().unwrap();
+            assert!(
+                b.max.z <= XH + 1e-9 && b.min.z >= -1e-9,
+                "'{c}' should fit the x-height band, got {:?}",
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn stroke_points_are_finite() {
+        for c in supported_chars() {
+            for s in &glyph(c).unwrap().strokes {
+                for p in s {
+                    assert!(p.is_finite(), "'{c}' contains a non-finite point");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_letters_have_distinct_shapes() {
+        // Cheap sanity against copy-paste glyphs: compare total ink,
+        // bounding boxes and the drawing start point pairwise for letters
+        // that could be confused (the start point separates mirror pairs
+        // like b/d, which legitimately share ink and bounds).
+        let sig = |c: char| {
+            let gl = glyph(c).unwrap();
+            let b = gl.bounds().unwrap();
+            let start = gl.strokes[0][0];
+            let mid = gl.strokes[0][gl.strokes[0].len() / 2];
+            (
+                (gl.ink_length() * 1000.0) as i64,
+                (b.width() * 1000.0) as i64,
+                (b.height() * 1000.0) as i64,
+                gl.strokes.len(),
+                (start.x * 1000.0) as i64,
+                (start.z * 1000.0) as i64,
+                (mid.z * 1000.0) as i64,
+            )
+        };
+        let letters = ['b', 'd', 'p', 'q', 'u', 'n', 'm', 'w'];
+        for (i, &a) in letters.iter().enumerate() {
+            for &b in &letters[i + 1..] {
+                assert_ne!(sig(a), sig(b), "'{a}' and '{b}' look identical");
+            }
+        }
+    }
+
+    #[test]
+    fn arc_endpoints_are_exact() {
+        let a = arc(0.0, 0.0, 1.0, 0.0, PI, 10);
+        assert!((a[0].x - 1.0).abs() < 1e-12 && a[0].z.abs() < 1e-12);
+        assert!((a[10].x + 1.0).abs() < 1e-12 && a[10].z.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! Word layout: glyphs → one continuous in-air pen path.
+//!
+//! Writing in the air never lifts the pen: between strokes and between
+//! letters the hand simply travels to the next start point, and the RFID
+//! traces that connector too. [`layout_word`] therefore produces a single
+//! continuous polyline, in metres, annotated with which samples belong to
+//! which letter (connectors belong to no letter). Those per-letter spans
+//! are the "manual segmentation into words/letters" the paper applies
+//! before recognition (§6, §9.3).
+
+use crate::font::glyph;
+use rfidraw_core::geom::Point2;
+
+/// A laid-out word: a continuous path in metres plus letter annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordPath {
+    /// The word that was laid out.
+    pub word: String,
+    /// The continuous pen path. `x` grows rightwards, `z` upwards; the
+    /// baseline of the text sits at `z = 0` before any placement offset.
+    pub points: Vec<Point2>,
+    /// For each point, the index of the letter it belongs to within
+    /// `word`, or `None` on an inter-stroke/inter-letter connector.
+    pub letter_of: Vec<Option<usize>>,
+}
+
+impl WordPath {
+    /// The index range (into `points`) of one letter's ink.
+    pub fn letter_span(&self, letter: usize) -> Option<std::ops::Range<usize>> {
+        let first = self.letter_of.iter().position(|l| *l == Some(letter))?;
+        let last = self.letter_of.iter().rposition(|l| *l == Some(letter))?;
+        Some(first..last + 1)
+    }
+
+    /// Just the points of one letter (including any connector samples that
+    /// fall inside its span — harmless for recognition).
+    pub fn letter_points(&self, letter: usize) -> Vec<Point2> {
+        match self.letter_span(letter) {
+            Some(range) => self.points[range].to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Translates the whole path so its first point lands on `origin`.
+    pub fn place_at(mut self, origin: Point2) -> Self {
+        if let Some(&first) = self.points.first() {
+            let shift = origin - first;
+            for p in &mut self.points {
+                *p = *p + shift;
+            }
+        }
+        self
+    }
+
+    /// Total arc length of the path (m).
+    pub fn arc_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].dist(w[1]))
+            .sum()
+    }
+}
+
+/// Errors from laying out a word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The word contains a character the font does not cover.
+    UnsupportedChar(char),
+    /// The word is empty.
+    EmptyWord,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::UnsupportedChar(c) => {
+                write!(f, "character '{c}' is not in the a–z stroke font")
+            }
+            LayoutError::EmptyWord => write!(f, "cannot lay out an empty word"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Lays out `word` with the given x-height in metres (the paper's letters
+/// average ~10 cm wide, which corresponds to `x_height ≈ 0.1`) and
+/// `letter_gap` metres between letters.
+///
+/// The output is one continuous polyline: glyph strokes are connected in
+/// writing order by straight connectors (tagged `None` in `letter_of`).
+pub fn layout_word(word: &str, x_height: f64, letter_gap: f64) -> Result<WordPath, LayoutError> {
+    assert!(
+        x_height.is_finite() && x_height > 0.0,
+        "x-height must be positive, got {x_height}"
+    );
+    assert!(
+        letter_gap.is_finite() && letter_gap >= 0.0,
+        "letter gap must be non-negative"
+    );
+    if word.is_empty() {
+        return Err(LayoutError::EmptyWord);
+    }
+    // Em units are defined with x-height 0.5; scale so that it becomes
+    // `x_height` metres.
+    let scale = x_height / 0.5;
+
+    let mut points: Vec<Point2> = Vec::new();
+    let mut letter_of: Vec<Option<usize>> = Vec::new();
+    let mut cursor_x = 0.0;
+
+    for (li, c) in word.chars().enumerate() {
+        let gl = glyph(c).ok_or(LayoutError::UnsupportedChar(c))?;
+        for stroke in &gl.strokes {
+            let placed: Vec<Point2> = stroke
+                .iter()
+                .map(|p| Point2::new(cursor_x + p.x * scale, p.z * scale))
+                .collect();
+            // Connector from the current pen position to the stroke start.
+            if let (Some(&last), Some(&first)) = (points.last(), placed.first()) {
+                if last.dist(first) > 1e-9 {
+                    points.push(first);
+                    letter_of.push(None);
+                }
+            }
+            for &p in &placed {
+                points.push(p);
+                letter_of.push(Some(li));
+            }
+        }
+        cursor_x += gl.advance * scale + letter_gap;
+    }
+
+    Ok(WordPath {
+        word: word.to_string(),
+        points,
+        letter_of,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_produces_continuous_lettered_path() {
+        let wp = layout_word("clear", 0.1, 0.02).unwrap();
+        assert_eq!(wp.points.len(), wp.letter_of.len());
+        assert!(wp.points.len() > 50);
+        // Every letter of the word has ink.
+        for li in 0..5 {
+            let span = wp.letter_span(li).unwrap_or_else(|| panic!("letter {li} missing"));
+            assert!(!span.is_empty());
+        }
+        // Letters appear left to right.
+        let centers: Vec<f64> = (0..5)
+            .map(|li| {
+                let pts = wp.letter_points(li);
+                pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64
+            })
+            .collect();
+        for w in centers.windows(2) {
+            assert!(w[0] < w[1], "letters out of order: {centers:?}");
+        }
+    }
+
+    #[test]
+    fn letter_scale_matches_x_height() {
+        let wp = layout_word("o", 0.1, 0.0).unwrap();
+        let pts = wp.letter_points(0);
+        let r = rfidraw_core::geom::Rect::bounding(&pts).unwrap();
+        // An 'o' spans exactly the x-height band.
+        assert!((r.height() - 0.1).abs() < 0.01, "height {}", r.height());
+    }
+
+    #[test]
+    fn connectors_are_tagged_none() {
+        // 't' and 'x' are multi-stroke: connectors must appear.
+        let wp = layout_word("tx", 0.1, 0.02).unwrap();
+        assert!(
+            wp.letter_of.iter().any(|l| l.is_none()),
+            "expected connector samples"
+        );
+        // And the path is continuous: no huge jumps.
+        for w in wp.points.windows(2) {
+            assert!(w[0].dist(w[1]) < 0.3, "discontinuity of {}", w[0].dist(w[1]));
+        }
+    }
+
+    #[test]
+    fn place_at_translates_uniformly() {
+        let wp = layout_word("ab", 0.1, 0.02).unwrap();
+        let length = wp.arc_length();
+        let placed = wp.clone().place_at(Point2::new(1.0, 1.2));
+        assert_eq!(placed.points[0], Point2::new(1.0, 1.2));
+        assert!((placed.arc_length() - length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsupported_char_is_an_error() {
+        assert_eq!(
+            layout_word("naïve", 0.1, 0.02),
+            Err(LayoutError::UnsupportedChar('ï'))
+        );
+        assert_eq!(layout_word("", 0.1, 0.02), Err(LayoutError::EmptyWord));
+    }
+
+    #[test]
+    fn word_width_grows_with_length() {
+        let short = layout_word("in", 0.1, 0.02).unwrap();
+        let long = layout_word("information", 0.1, 0.02).unwrap();
+        let width = |wp: &WordPath| {
+            rfidraw_core::geom::Rect::bounding(&wp.points).unwrap().width()
+        };
+        assert!(width(&long) > width(&short) * 2.0);
+    }
+
+    #[test]
+    fn letter_span_of_missing_letter_is_none() {
+        let wp = layout_word("ab", 0.1, 0.02).unwrap();
+        assert!(wp.letter_span(5).is_none());
+    }
+}

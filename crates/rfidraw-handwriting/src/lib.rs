@@ -1,0 +1,35 @@
+//! # rfidraw-handwriting
+//!
+//! Synthetic in-air handwriting: the workload substrate of the RF-IDraw
+//! reproduction.
+//!
+//! The paper evaluates with five users writing 150 words (sampled from the
+//! top-5000 of the Corpus of Contemporary American English) in the air,
+//! with ~10 cm letters, and uses a VICON motion-capture rig for ground
+//! truth (§6, §8). This crate substitutes the humans and the VICON rig:
+//!
+//! * [`font`] — a single-stroke vector font for `a`–`z`, authored as
+//!   polyline skeletons in em-box coordinates;
+//! * [`layout`] — words laid out as one *continuous* pen path (in-air
+//!   writing never lifts the pen), with per-letter index spans — the
+//!   "manual segmentation" the paper performs (§9.3);
+//! * [`pen`] — constant-speed kinematic sampling plus per-user style
+//!   variation (slant, size jitter, smooth wobble);
+//! * [`corpus`] — an embedded frequent-word list standing in for COCA.
+//!
+//! The generator's path **is** the ground truth: trajectory-error CDFs
+//! compare reconstructions against it exactly as the paper compares against
+//! VICON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod font;
+pub mod layout;
+pub mod pen;
+
+pub use corpus::Corpus;
+pub use font::{glyph, Glyph};
+pub use layout::{layout_word, WordPath};
+pub use pen::{PenConfig, PenSample, Style, TimedPath};

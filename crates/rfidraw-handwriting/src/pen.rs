@@ -1,0 +1,358 @@
+//! Pen kinematics and per-user style variation.
+//!
+//! A laid-out [`crate::layout::WordPath`] is geometry; a *writer* turns it
+//! into a motion. [`PenConfig`] resamples the path at constant speed into
+//! timestamped samples (what the RFID physically does), and [`Style`]
+//! models how a specific user writes: slant, overall size deviation, and a
+//! smooth low-frequency wobble of the hand. Five seeded styles stand in for
+//! the paper's five users.
+
+use crate::layout::WordPath;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfidraw_core::geom::Point2;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// How a user writes: deterministic per-user distortion parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Style {
+    /// Italic shear: `x += slant · z` (dimensionless, ~±0.2).
+    pub slant: f64,
+    /// Multiplicative size deviation (1.0 = nominal).
+    pub size: f64,
+    /// Amplitude of the smooth hand wobble (m).
+    pub wobble_amp: f64,
+    /// Spatial frequency of the wobble (cycles per metre of arc length).
+    pub wobble_freq: f64,
+    /// Phase seed of the wobble.
+    pub wobble_phase: f64,
+}
+
+impl Style {
+    /// The neutral style: no distortion at all.
+    pub fn neutral() -> Self {
+        Self {
+            slant: 0.0,
+            size: 1.0,
+            wobble_amp: 0.0,
+            wobble_freq: 0.0,
+            wobble_phase: 0.0,
+        }
+    }
+
+    /// A reproducible per-user style: user `u` out of any number of users.
+    /// Styles are plausibly human: slants within ±0.18, sizes within ±12%,
+    /// millimetre-scale wobble.
+    pub fn user(u: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(0x5717_1e00 ^ u);
+        Self {
+            slant: rng.gen_range(-0.18..0.18),
+            size: rng.gen_range(0.88..1.12),
+            wobble_amp: rng.gen_range(0.001..0.004),
+            wobble_freq: rng.gen_range(3.0..8.0),
+            wobble_phase: rng.gen_range(0.0..TAU),
+        }
+    }
+
+    /// Applies the style to a point given its arc-length position `s` (m)
+    /// along the path and the word origin (about which shear/size act).
+    fn apply(&self, p: Point2, origin: Point2, s: f64) -> Point2 {
+        let rel = p - origin;
+        let sheared = Point2::new(rel.x + self.slant * rel.z, rel.z) * self.size;
+        let wob = self.wobble_amp;
+        let w = Point2::new(
+            wob * (TAU * self.wobble_freq * s + self.wobble_phase).sin(),
+            wob * (TAU * self.wobble_freq * s * 0.77 + 1.3 * self.wobble_phase).cos(),
+        );
+        origin + sheared + w
+    }
+}
+
+/// Kinematic sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PenConfig {
+    /// Writing speed along the path (m/s). Humans write in the air at
+    /// roughly 0.1–0.3 m/s.
+    pub speed: f64,
+    /// Output sample rate (Hz). Choose at least the snapshot rate of the
+    /// tracker.
+    pub sample_rate: f64,
+    /// Time at which the pen starts moving (s).
+    pub start_time: f64,
+}
+
+impl Default for PenConfig {
+    fn default() -> Self {
+        Self {
+            speed: 0.20,
+            sample_rate: 200.0,
+            start_time: 0.0,
+        }
+    }
+}
+
+/// One timestamped pen sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PenSample {
+    /// Sample time (s).
+    pub t: f64,
+    /// Pen position in the writing plane (m).
+    pub pos: Point2,
+    /// The letter being written, if any (`None` on connectors).
+    pub letter: Option<usize>,
+}
+
+/// A timed trajectory: the ground truth the evaluation compares against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedPath {
+    /// The word written.
+    pub word: String,
+    /// The samples, uniformly spaced in time.
+    pub samples: Vec<PenSample>,
+}
+
+impl TimedPath {
+    /// Just the positions.
+    pub fn positions(&self) -> Vec<Point2> {
+        self.samples.iter().map(|s| s.pos).collect()
+    }
+
+    /// Total duration (s).
+    pub fn duration(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Position at an arbitrary time, linearly interpolated and clamped to
+    /// the endpoints — the form the protocol simulator consumes.
+    pub fn position_at(&self, t: f64) -> Point2 {
+        let s = &self.samples;
+        if s.is_empty() {
+            return Point2::new(0.0, 0.0);
+        }
+        if t <= s[0].t {
+            return s[0].pos;
+        }
+        if t >= s[s.len() - 1].t {
+            return s[s.len() - 1].pos;
+        }
+        // Uniform spacing: index arithmetic instead of a search.
+        let dt = (s[s.len() - 1].t - s[0].t) / (s.len() - 1) as f64;
+        let f = (t - s[0].t) / dt;
+        let i = (f.floor() as usize).min(s.len() - 2);
+        s[i].pos.lerp(s[i + 1].pos, f - i as f64)
+    }
+
+    /// The sample index range of one letter.
+    pub fn letter_span(&self, letter: usize) -> Option<std::ops::Range<usize>> {
+        let first = self.samples.iter().position(|s| s.letter == Some(letter))?;
+        let last = self.samples.iter().rposition(|s| s.letter == Some(letter))?;
+        Some(first..last + 1)
+    }
+}
+
+/// Writes a laid-out word: applies `style`, then samples the path at
+/// constant `cfg.speed` and `cfg.sample_rate`.
+///
+/// # Panics
+/// Panics if the configuration is non-positive or the path has fewer than
+/// two points.
+pub fn write_word(path: &WordPath, style: Style, cfg: PenConfig) -> TimedPath {
+    assert!(cfg.speed.is_finite() && cfg.speed > 0.0, "pen speed must be positive");
+    assert!(
+        cfg.sample_rate.is_finite() && cfg.sample_rate > 0.0,
+        "sample rate must be positive"
+    );
+    assert!(path.points.len() >= 2, "path needs at least two points");
+
+    // Style the path first (so arc length reflects what the hand does).
+    let origin = path.points[0];
+    let mut styled: Vec<Point2> = Vec::with_capacity(path.points.len());
+    let mut s_acc = 0.0;
+    for (i, &p) in path.points.iter().enumerate() {
+        if i > 0 {
+            s_acc += path.points[i - 1].dist(p);
+        }
+        styled.push(style.apply(p, origin, s_acc));
+    }
+
+    // Cumulative arc length of the styled path.
+    let mut cum = Vec::with_capacity(styled.len());
+    cum.push(0.0);
+    for w in styled.windows(2) {
+        let last = *cum.last().expect("non-empty");
+        cum.push(last + w[0].dist(w[1]));
+    }
+    let total = *cum.last().expect("non-empty");
+    let duration = total / cfg.speed;
+    let n = (duration * cfg.sample_rate).ceil() as usize + 1;
+
+    let mut samples = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for k in 0..n {
+        let t = k as f64 / cfg.sample_rate;
+        let target = (t * cfg.speed).min(total);
+        while seg + 1 < cum.len() - 1 && cum[seg + 1] < target {
+            seg += 1;
+        }
+        let span = cum[seg + 1] - cum[seg];
+        let f = if span > 0.0 { (target - cum[seg]) / span } else { 0.0 };
+        let pos = styled[seg].lerp(styled[seg + 1], f.clamp(0.0, 1.0));
+        // Attribute the sample to a letter only when the whole segment
+        // belongs to it; otherwise it is connector travel. (Halving
+        // connectors into the adjacent letters would graft long entry/exit
+        // tails onto their shapes and break recognition.)
+        let letter = match (path.letter_of[seg], path.letter_of[seg + 1]) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        };
+        samples.push(PenSample {
+            t: cfg.start_time + t,
+            pos,
+            letter,
+        });
+    }
+    TimedPath {
+        word: path.word.clone(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout_word;
+
+    fn base_path() -> WordPath {
+        layout_word("clear", 0.1, 0.02).unwrap()
+    }
+
+    #[test]
+    fn constant_speed_sampling() {
+        let tp = write_word(&base_path(), Style::neutral(), PenConfig::default());
+        // Consecutive samples advance by speed/rate of *arc length*; the
+        // straight-line distance between them can only be shorter (corners
+        // are cut), never longer.
+        let expected = 0.20 / 200.0;
+        let steps: Vec<f64> = tp
+            .samples
+            .windows(2)
+            .map(|w| w[0].pos.dist(w[1].pos))
+            .collect();
+        let body = &steps[..steps.len().saturating_sub(2)];
+        for d in body {
+            assert!(*d <= expected * 1.05, "step {d} exceeds speed bound {expected}");
+        }
+        // Corners are rare, so the mean chord stays close to the arc step.
+        let mean = body.iter().sum::<f64>() / body.len() as f64;
+        assert!(
+            mean > expected * 0.85,
+            "mean step {mean} far below expected {expected}"
+        );
+    }
+
+    #[test]
+    fn duration_matches_arc_length_over_speed() {
+        let p = base_path();
+        let tp = write_word(&p, Style::neutral(), PenConfig::default());
+        let expected = p.arc_length() / 0.20;
+        assert!((tp.duration() - expected).abs() < 0.02, "duration {}", tp.duration());
+    }
+
+    #[test]
+    fn neutral_style_preserves_geometry() {
+        let p = base_path();
+        let tp = write_word(&p, Style::neutral(), PenConfig::default());
+        // Start and end points coincide with the path's.
+        assert!(tp.samples[0].pos.dist(p.points[0]) < 1e-9);
+        assert!(
+            tp.samples.last().unwrap().pos.dist(*p.points.last().unwrap()) < 1e-6,
+            "end mismatch"
+        );
+    }
+
+    #[test]
+    fn styles_differ_between_users_but_are_reproducible() {
+        let a = Style::user(1);
+        let b = Style::user(2);
+        assert_ne!(a, b);
+        assert_eq!(a, Style::user(1));
+        let p = base_path();
+        let ta = write_word(&p, a, PenConfig::default());
+        let tb = write_word(&p, b, PenConfig::default());
+        let diff: f64 = ta
+            .samples
+            .iter()
+            .zip(tb.samples.iter())
+            .map(|(x, y)| x.pos.dist(y.pos))
+            .take(ta.samples.len().min(tb.samples.len()))
+            .sum();
+        assert!(diff > 0.01, "two users wrote identically");
+    }
+
+    #[test]
+    fn style_wobble_is_small() {
+        let p = base_path();
+        let neutral = write_word(&p, Style::neutral(), PenConfig::default());
+        let styled = write_word(&p, Style::user(3), PenConfig::default());
+        // Styled writing is a mild distortion, not a different word: the
+        // mean deviation stays within a couple of centimetres.
+        let n = neutral.samples.len().min(styled.samples.len());
+        let mean: f64 = (0..n)
+            .map(|i| neutral.samples[i].pos.dist(styled.samples[i].pos))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean < 0.05, "mean style deviation {mean} m");
+    }
+
+    #[test]
+    fn position_at_interpolates_and_clamps() {
+        let tp = write_word(&base_path(), Style::neutral(), PenConfig::default());
+        let first = tp.samples[0];
+        let last = *tp.samples.last().unwrap();
+        assert_eq!(tp.position_at(first.t - 1.0), first.pos);
+        assert_eq!(tp.position_at(last.t + 1.0), last.pos);
+        let mid_t = (first.t + last.t) / 2.0;
+        let p = tp.position_at(mid_t);
+        assert!(p.is_finite());
+        // Interpolated point lies near the sampled sequence.
+        let nearest = tp
+            .samples
+            .iter()
+            .map(|s| s.pos.dist(p))
+            .fold(f64::INFINITY, f64::min);
+        assert!(nearest < 0.01);
+    }
+
+    #[test]
+    fn letters_are_attributed_in_time_order() {
+        let tp = write_word(&base_path(), Style::neutral(), PenConfig::default());
+        let spans: Vec<_> = (0..5).map(|l| tp.letter_span(l).unwrap()).collect();
+        for w in spans.windows(2) {
+            assert!(w[0].start < w[1].start, "letters out of time order");
+        }
+    }
+
+    #[test]
+    fn start_time_offsets_all_samples() {
+        let cfg = PenConfig {
+            start_time: 10.0,
+            ..PenConfig::default()
+        };
+        let tp = write_word(&base_path(), Style::neutral(), cfg);
+        assert!((tp.samples[0].t - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pen speed")]
+    fn rejects_zero_speed() {
+        let cfg = PenConfig {
+            speed: 0.0,
+            ..PenConfig::default()
+        };
+        let _ = write_word(&base_path(), Style::neutral(), cfg);
+    }
+}

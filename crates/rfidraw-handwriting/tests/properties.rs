@@ -1,0 +1,123 @@
+//! Property-based tests for the handwriting generator.
+
+use proptest::prelude::*;
+use rfidraw_handwriting::corpus::Corpus;
+use rfidraw_handwriting::font::{glyph, supported_chars};
+use rfidraw_handwriting::layout::layout_word;
+use rfidraw_handwriting::pen::{write_word, PenConfig, Style, TimedPath};
+
+fn arbitrary_word() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..10)
+        .prop_map(|v| v.into_iter().map(|c| (b'a' + c) as char).collect())
+}
+
+proptest! {
+    #[test]
+    fn any_lowercase_word_lays_out_continuously(
+        word in arbitrary_word(),
+        x_height in 0.02f64..0.5,
+        gap in 0.0f64..0.1,
+    ) {
+        let wp = layout_word(&word, x_height, gap).unwrap();
+        prop_assert_eq!(wp.points.len(), wp.letter_of.len());
+        prop_assert!(wp.points.len() >= 2);
+        prop_assert!(wp.arc_length() > 0.0);
+        // Every letter of the word has ink.
+        for li in 0..word.len() {
+            prop_assert!(wp.letter_span(li).is_some(), "letter {li} of {word:?} missing");
+        }
+        // Continuity: steps bounded by the glyph scale.
+        let bound = x_height * 6.0 + gap + 0.1;
+        for w in wp.points.windows(2) {
+            prop_assert!(w[0].dist(w[1]) <= bound, "jump {}", w[0].dist(w[1]));
+        }
+    }
+
+    #[test]
+    fn pen_duration_equals_length_over_speed(
+        word in arbitrary_word(),
+        speed in 0.05f64..1.0,
+        rate in 20.0f64..500.0,
+    ) {
+        let wp = layout_word(&word, 0.1, 0.02).unwrap();
+        let cfg = PenConfig { speed, sample_rate: rate, start_time: 0.0 };
+        let tp = write_word(&wp, Style::neutral(), cfg);
+        let expected = wp.arc_length() / speed;
+        prop_assert!(
+            (tp.duration() - expected).abs() <= 2.0 / rate + 1e-9,
+            "duration {} vs expected {expected}",
+            tp.duration()
+        );
+    }
+
+    #[test]
+    fn pen_samples_are_uniform_in_time(
+        word in arbitrary_word(),
+        rate in 20.0f64..500.0,
+    ) {
+        let wp = layout_word(&word, 0.1, 0.02).unwrap();
+        let cfg = PenConfig { sample_rate: rate, ..PenConfig::default() };
+        let tp = write_word(&wp, Style::neutral(), cfg);
+        let dt = 1.0 / rate;
+        for w in tp.samples.windows(2) {
+            prop_assert!(((w[1].t - w[0].t) - dt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn position_at_is_within_path_bounds(
+        word in arbitrary_word(),
+        t in -1.0f64..60.0,
+    ) {
+        let wp = layout_word(&word, 0.1, 0.02).unwrap();
+        let tp = write_word(&wp, Style::user(1), PenConfig::default());
+        let p = tp.position_at(t);
+        prop_assert!(p.is_finite());
+        let bounds = rfidraw_core::geom::Rect::bounding(&tp.positions()).unwrap();
+        prop_assert!(bounds.expand(1e-9).contains(p));
+    }
+
+    #[test]
+    fn styles_are_deterministic(user in 0u64..1000) {
+        prop_assert_eq!(Style::user(user), Style::user(user));
+    }
+
+    #[test]
+    fn glyph_metrics_hold_for_all_letters(idx in 0usize..26) {
+        let c = supported_chars().nth(idx).unwrap();
+        let g = glyph(c).unwrap();
+        let b = g.bounds().unwrap();
+        prop_assert!(b.min.z >= -0.35 - 1e-9);
+        prop_assert!(b.max.z <= 1.0 + 1e-9);
+        prop_assert!(b.max.x <= g.advance + 1e-9);
+        prop_assert!(g.ink_length() > 0.0);
+    }
+
+    #[test]
+    fn corpus_sampling_stays_in_corpus(seed in 0u64..500, n in 1usize..50) {
+        use rand::SeedableRng;
+        let corpus = Corpus::common();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for w in corpus.sample(&mut rng, n) {
+            prop_assert!(corpus.contains(w));
+        }
+    }
+}
+
+#[test]
+fn timed_path_letter_spans_partition_in_order() {
+    // Not a proptest: a structural check across the whole corpus sample.
+    let corpus = Corpus::common();
+    for word in corpus.words().iter().take(30) {
+        let wp = layout_word(word, 0.1, 0.02).unwrap();
+        let tp: TimedPath = write_word(&wp, Style::user(2), PenConfig::default());
+        let mut prev_end = 0usize;
+        for li in 0..word.len() {
+            let span = tp
+                .letter_span(li)
+                .unwrap_or_else(|| panic!("letter {li} of {word:?} missing"));
+            assert!(span.start >= prev_end.saturating_sub(1), "overlap in {word:?}");
+            prev_end = span.end;
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Offset-aligned trajectory error (the paper's §8.1 metric).
+//!
+//! The paper separates *shape* error from *absolute position* error by
+//! removing a fixed offset before measuring point-by-point distances:
+//!
+//! * for RF-IDraw, the **initial-position** offset — because RF-IDraw's
+//!   errors are a coherent transform of the whole trajectory, anchoring the
+//!   start exposes the shape fidelity;
+//! * for the antenna-array baseline, the **mean (DC)** offset — the
+//!   baseline's errors are i.i.d. per point, so removing the initial offset
+//!   would *add* error; using the mean is strictly favourable to it, which
+//!   the paper grants explicitly.
+
+use rfidraw_core::geom::Point2;
+
+/// Resamples a point sequence to `n` points by fractional indexing
+/// (time-uniform sequences in, time-uniform sequences out). Use this to
+/// compare a reconstruction with a ground truth sampled at a different
+/// rate.
+///
+/// # Panics
+/// Panics if `points` is empty or `n == 0`.
+pub fn index_resample(points: &[Point2], n: usize) -> Vec<Point2> {
+    assert!(!points.is_empty(), "cannot resample an empty sequence");
+    assert!(n > 0, "need at least one output point");
+    if points.len() == 1 {
+        return vec![points[0]; n];
+    }
+    (0..n)
+        .map(|k| {
+            let f = k as f64 * (points.len() - 1) as f64 / (n - 1).max(1) as f64;
+            let i = (f.floor() as usize).min(points.len() - 2);
+            points[i].lerp(points[i + 1], f - i as f64)
+        })
+        .collect()
+}
+
+/// Point-by-point errors after removing the **initial-position** offset
+/// (the RF-IDraw metric). Sequences of different lengths are index-aligned
+/// first.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn initial_aligned_errors(recon: &[Point2], truth: &[Point2]) -> Vec<f64> {
+    assert!(!recon.is_empty() && !truth.is_empty(), "empty trajectory");
+    let n = recon.len().max(truth.len());
+    let r = index_resample(recon, n);
+    let t = index_resample(truth, n);
+    let shift = r[0] - t[0];
+    r.iter().zip(&t).map(|(a, b)| (*a - shift).dist(*b)).collect()
+}
+
+/// Point-by-point errors after removing the **mean (DC)** offset (the
+/// baseline's metric, favourable to it).
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn dc_aligned_errors(recon: &[Point2], truth: &[Point2]) -> Vec<f64> {
+    assert!(!recon.is_empty() && !truth.is_empty(), "empty trajectory");
+    let n = recon.len().max(truth.len());
+    let r = index_resample(recon, n);
+    let t = index_resample(truth, n);
+    let mut mean = Point2::new(0.0, 0.0);
+    for (a, b) in r.iter().zip(&t) {
+        mean = mean + (*a - *b);
+    }
+    let mean = mean * (1.0 / n as f64);
+    r.iter().zip(&t).map(|(a, b)| (*a - mean).dist(*b)).collect()
+}
+
+/// The absolute error of an initial-position estimate.
+pub fn initial_position_error(estimate: Point2, truth: Point2) -> f64 {
+    estimate.dist(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(offset: Point2) -> Vec<Point2> {
+        (0..50)
+            .map(|i| {
+                let t = i as f64 / 49.0;
+                Point2::new(t, (t * 6.0).sin() * 0.1) + offset
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_paths_have_zero_error() {
+        let p = path(Point2::new(0.0, 0.0));
+        assert!(initial_aligned_errors(&p, &p).iter().all(|e| *e < 1e-12));
+        assert!(dc_aligned_errors(&p, &p).iter().all(|e| *e < 1e-12));
+    }
+
+    #[test]
+    fn constant_offset_is_fully_removed() {
+        let truth = path(Point2::new(0.0, 0.0));
+        let recon = path(Point2::new(0.3, -0.2));
+        for e in initial_aligned_errors(&recon, &truth) {
+            assert!(e < 1e-12, "residual error {e}");
+        }
+        for e in dc_aligned_errors(&recon, &truth) {
+            assert!(e < 1e-12, "residual error {e}");
+        }
+    }
+
+    #[test]
+    fn initial_alignment_anchors_the_start() {
+        // A reconstruction that starts right but drifts: the first error is
+        // exactly zero under initial alignment.
+        let truth = path(Point2::new(0.0, 0.0));
+        let mut recon = truth.clone();
+        for (i, p) in recon.iter_mut().enumerate() {
+            *p = *p + Point2::new(0.0, 0.002 * i as f64);
+        }
+        let errs = initial_aligned_errors(&recon, &truth);
+        assert!(errs[0] < 1e-12);
+        assert!(errs[49] > 0.09);
+    }
+
+    #[test]
+    fn dc_alignment_beats_initial_for_iid_noise() {
+        // For per-point random errors, the DC alignment yields a smaller
+        // mean error than anchoring on the (noisy) first point — which is
+        // why the paper grants it to the baseline.
+        let truth = path(Point2::new(0.0, 0.0));
+        let mut recon = truth.clone();
+        // Deterministic pseudo-random jitter.
+        for (i, p) in recon.iter_mut().enumerate() {
+            let a = (i as f64 * 12.9898).sin() * 43758.5453;
+            let b = (i as f64 * 78.233).sin() * 12543.123;
+            *p = *p + Point2::new((a.fract() - 0.5) * 0.2, (b.fract() - 0.5) * 0.2);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let e_dc = mean(&dc_aligned_errors(&recon, &truth));
+        let e_init = mean(&initial_aligned_errors(&recon, &truth));
+        assert!(e_dc <= e_init + 1e-12, "dc {e_dc} vs init {e_init}");
+    }
+
+    #[test]
+    fn length_mismatch_is_index_aligned() {
+        let truth = path(Point2::new(0.0, 0.0));
+        let recon = index_resample(&truth, 31);
+        let errs = initial_aligned_errors(&recon, &truth);
+        assert_eq!(errs.len(), 50);
+        // Resampling error of a smooth path is tiny.
+        assert!(errs.iter().all(|e| *e < 0.01), "max {:?}", errs.iter().cloned().fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn index_resample_endpoints_are_exact() {
+        let p = path(Point2::new(1.0, 2.0));
+        let r = index_resample(&p, 17);
+        assert_eq!(r.len(), 17);
+        assert!(r[0].dist(p[0]) < 1e-12);
+        assert!(r[16].dist(p[49]) < 1e-12);
+    }
+
+    #[test]
+    fn index_resample_single_point() {
+        let r = index_resample(&[Point2::new(1.0, 1.0)], 5);
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|p| p.dist(Point2::new(1.0, 1.0)) < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trajectory")]
+    fn errors_reject_empty_input() {
+        let _ = initial_aligned_errors(&[], &[Point2::new(0.0, 0.0)]);
+    }
+}

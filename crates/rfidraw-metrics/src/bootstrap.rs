@@ -1,0 +1,161 @@
+//! Bootstrap confidence intervals for experiment medians.
+//!
+//! The paper reports point medians; a reproduction comparing against them
+//! should know how tight its own estimates are, especially at reduced
+//! trial counts. This is the standard percentile bootstrap with a
+//! deterministic seed (reproducible reports).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bootstrap interval around a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// The point estimate on the original sample.
+    pub point: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// The confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+impl BootstrapCi {
+    /// Whether a reference value (e.g. the paper's number) falls inside the
+    /// interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Formats as `point [lo, hi]` with the given unit scale (e.g. 100.0
+    /// for metres → centimetres).
+    pub fn display(&self, scale: f64, unit: &str) -> String {
+        format!(
+            "{:.1} [{:.1}, {:.1}] {unit}",
+            self.point * scale,
+            self.lo * scale,
+            self.hi * scale
+        )
+    }
+}
+
+fn median_of(sorted_scratch: &mut [f64]) -> f64 {
+    sorted_scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted_scratch.len();
+    if n % 2 == 1 {
+        sorted_scratch[n / 2]
+    } else {
+        0.5 * (sorted_scratch[n / 2 - 1] + sorted_scratch[n / 2])
+    }
+}
+
+/// Percentile-bootstrap CI for the median.
+///
+/// # Panics
+/// Panics on an empty sample, non-finite values, fewer than 10 resamples,
+/// or a confidence level outside `(0, 1)`.
+pub fn median_ci(samples: &[f64], level: f64, resamples: usize, seed: u64) -> BootstrapCi {
+    assert!(!samples.is_empty(), "bootstrap needs at least one sample");
+    assert!(
+        samples.iter().all(|s| s.is_finite()),
+        "bootstrap samples must be finite"
+    );
+    assert!(resamples >= 10, "need at least 10 resamples");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0, 1)");
+
+    let mut scratch = samples.to_vec();
+    let point = median_of(&mut scratch);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut medians = Vec::with_capacity(resamples);
+    let n = samples.len();
+    let mut resample = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = samples[rng.gen_range(0..n)];
+        }
+        medians.push(median_of(&mut resample));
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("finite medians"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        ((medians.len() as f64 * q) as usize).min(medians.len() - 1)
+    };
+    BootstrapCi {
+        point,
+        lo: medians[idx(alpha)],
+        hi: medians[idx(1.0 - alpha)],
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_point_estimate() {
+        let samples: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let ci = median_ci(&samples, 0.95, 500, 1);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.contains(ci.point));
+    }
+
+    #[test]
+    fn ci_narrows_with_more_data() {
+        let small: Vec<f64> = (0..20).map(|i| ((i * 7919) % 100) as f64).collect();
+        let large: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 100) as f64).collect();
+        let ci_small = median_ci(&small, 0.95, 500, 2);
+        let ci_large = median_ci(&large, 0.95, 500, 2);
+        assert!(
+            ci_large.hi - ci_large.lo < ci_small.hi - ci_small.lo,
+            "large-sample CI ({:.2}) not tighter than small ({:.2})",
+            ci_large.hi - ci_large.lo,
+            ci_small.hi - ci_small.lo
+        );
+    }
+
+    #[test]
+    fn degenerate_sample_has_zero_width() {
+        let ci = median_ci(&[5.0; 50], 0.95, 100, 3);
+        assert_eq!(ci.point, 5.0);
+        assert_eq!((ci.lo, ci.hi), (5.0, 5.0));
+    }
+
+    #[test]
+    fn ci_is_reproducible_per_seed() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = median_ci(&samples, 0.9, 200, 7);
+        let b = median_ci(&samples, 0.9, 200, 7);
+        assert_eq!(a, b);
+        let c = median_ci(&samples, 0.9, 200, 8);
+        // Different seed usually shifts the bounds slightly.
+        assert!(a != c || (a.lo == c.lo && a.hi == c.hi));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        let ci = BootstrapCi {
+            point: 0.037,
+            lo: 0.031,
+            hi: 0.044,
+            level: 0.95,
+        };
+        assert_eq!(ci.display(100.0, "cm"), "3.7 [3.1, 4.4] cm");
+        assert!(ci.contains(0.04));
+        assert!(!ci.contains(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty() {
+        let _ = median_ci(&[], 0.95, 100, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn rejects_bad_level() {
+        let _ = median_ci(&[1.0], 1.5, 100, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Empirical CDFs, medians and percentiles (Figs. 11–12 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. Non-finite samples are rejected.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "a CDF needs at least one sample");
+        assert!(
+            samples.iter().all(|s| s.is_finite()),
+            "CDF samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`), by linear interpolation
+    /// between order statistics.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let f = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let i = (f.floor() as usize).min(self.sorted.len() - 2);
+        let t = f - i as f64;
+        self.sorted[i] * (1.0 - t) + self.sorted[i + 1] * t
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The empirical probability that a sample is ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// The maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// `(value, cumulative_fraction)` pairs for plotting, downsampled to at
+    /// most `max_points` points.
+    pub fn plot_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        assert!(max_points >= 2, "need at least two plot points");
+        let n = self.sorted.len();
+        let stride = (n / max_points).max(1);
+        let mut out: Vec<(f64, f64)> = self
+            .sorted
+            .iter()
+            .enumerate()
+            .step_by(stride)
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect();
+        let last = (*self.sorted.last().expect("non-empty"), 1.0);
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_known_set() {
+        let c = Cdf::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(c.median(), 2.0);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 3.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let c = Cdf::from_samples(vec![0.0, 10.0]);
+        assert_eq!(c.percentile(0.0), 0.0);
+        assert_eq!(c.percentile(100.0), 10.0);
+        assert!((c.percentile(50.0) - 5.0).abs() < 1e-12);
+        assert!((c.percentile(90.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_and_bounded() {
+        let c = Cdf::from_samples((0..100).map(|i| i as f64).collect());
+        assert_eq!(c.fraction_below(-1.0), 0.0);
+        assert_eq!(c.fraction_below(1000.0), 1.0);
+        let mut prev = 0.0;
+        for x in 0..100 {
+            let f = c.fraction_below(x as f64);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn fraction_below_counts_ties() {
+        let c = Cdf::from_samples(vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(c.fraction_below(1.0), 0.75);
+    }
+
+    #[test]
+    fn plot_points_end_at_one() {
+        let c = Cdf::from_samples((0..1000).map(|i| i as f64 * 0.01).collect());
+        let pts = c.plot_points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn single_sample_cdf() {
+        let c = Cdf::from_samples(vec![4.2]);
+        assert_eq!(c.median(), 4.2);
+        assert_eq!(c.percentile(90.0), 4.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty() {
+        let _ = Cdf::from_samples(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Cdf::from_samples(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # rfidraw-metrics
+//!
+//! Evaluation metrics and reporting for the RF-IDraw reproduction.
+//!
+//! * [`align`] — the paper's trajectory-error metric (§8.1): remove a fixed
+//!   offset between reconstruction and ground truth (the *initial-position*
+//!   offset for RF-IDraw, the *mean/DC* offset for the baseline — the
+//!   latter is favourable to the baseline, exactly as the paper grants),
+//!   then measure point-by-point distances.
+//! * [`cdf`] — empirical CDFs, medians and percentiles (Figs. 11–12).
+//! * [`report`] — plain-text tables and CSV series in a consistent format,
+//!   including paper-vs-measured comparison rows for `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod bootstrap;
+pub mod cdf;
+pub mod report;
+pub mod shape;
+
+pub use align::{dc_aligned_errors, index_resample, initial_aligned_errors};
+pub use bootstrap::{median_ci, BootstrapCi};
+pub use cdf::Cdf;
+pub use report::{Comparison, Series, Table};
+pub use shape::{dtw_distance, procrustes, procrustes_distance, Procrustes};

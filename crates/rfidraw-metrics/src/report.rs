@@ -1,0 +1,216 @@
+//! Plain-text tables, CSV series, and paper-vs-measured comparisons.
+//!
+//! Every experiment binary in `rfidraw-bench` prints its results through
+//! these types so `EXPERIMENTS.md` and the console share one format.
+
+use std::fmt;
+
+/// A plain-text table with a title, headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, c) in widths.iter().zip(cells) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named numeric series (e.g. one CDF curve), exportable as CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name (used as the CSV header).
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Renders `x,y` CSV lines with a `# name` comment header.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\nx,y\n", self.name);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+}
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// What is being compared (e.g. "median trajectory error, LOS").
+    pub label: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// This reproduction's measured value.
+    pub measured: f64,
+    /// Unit for display.
+    pub unit: String,
+}
+
+impl Comparison {
+    /// Creates a comparison row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            paper,
+            measured,
+            unit: unit.into(),
+        }
+    }
+
+    /// Measured / paper ratio (how far off the reproduction is).
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.paper
+        }
+    }
+
+    /// Formats a batch of comparisons as a table.
+    pub fn table(title: &str, rows: &[Comparison]) -> Table {
+        let mut t = Table::new(title, &["metric", "paper", "measured", "ratio"]);
+        for c in rows {
+            t.row(&[
+                c.label.clone(),
+                format!("{:.3} {}", c.paper, c.unit),
+                format!("{:.3} {}", c.measured, c.unit),
+                format!("{:.2}x", c.ratio()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 22    |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let s = Series::new("cdf", vec![(0.0, 0.5), (1.0, 1.0)]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("# cdf\nx,y\n"));
+        assert!(csv.contains("0,0.5\n"));
+        assert!(csv.contains("1,1\n"));
+    }
+
+    #[test]
+    fn comparison_ratio() {
+        let c = Comparison::new("err", 2.0, 3.0, "cm");
+        assert!((c.ratio() - 1.5).abs() < 1e-12);
+        let z = Comparison::new("zero", 0.0, 0.0, "cm");
+        assert_eq!(z.ratio(), 1.0);
+    }
+
+    #[test]
+    fn comparison_table_has_all_rows() {
+        let rows = vec![
+            Comparison::new("a", 1.0, 1.1, "cm"),
+            Comparison::new("b", 10.0, 9.0, "cm"),
+        ];
+        let t = Comparison::table("cmp", &rows);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("1.10x"));
+        assert!(s.contains("0.90x"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Shape-only trajectory comparison: Procrustes alignment and dynamic time
+//! warping.
+//!
+//! The paper's qualitative claim is that RF-IDraw's errors are "coherent
+//! stretching, squeezing, and enlarging of the trajectory shape" rather
+//! than random scatter (§8.1). The offset-aligned metric of [`crate::align`]
+//! measures error *including* such coherent transforms; the metrics here
+//! measure what remains *after* allowing them:
+//!
+//! * [`procrustes_distance`] — residual after the optimal similarity
+//!   transform (translation + rotation + uniform scale). If the paper's
+//!   claim holds, RF-IDraw's Procrustes residual is far smaller than its
+//!   offset-aligned error, while the baseline's barely improves (random
+//!   errors are not a similarity transform).
+//! * [`dtw_distance`] — dynamic time warping, tolerant of speed variations
+//!   along the path (a user slowing mid-letter).
+
+use rfidraw_core::geom::Point2;
+
+/// Result of a Procrustes alignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Procrustes {
+    /// Root-mean-square residual after alignment (same unit as input).
+    pub rms: f64,
+    /// The fitted uniform scale.
+    pub scale: f64,
+    /// The fitted rotation (radians).
+    pub rotation: f64,
+}
+
+/// Optimal similarity alignment of `a` onto `b` (equal lengths), returning
+/// the residual and fitted transform. The classic orthogonal Procrustes
+/// solution in 2-D via complex cross-covariance.
+///
+/// # Panics
+/// Panics if lengths differ or are less than 2.
+pub fn procrustes(a: &[Point2], b: &[Point2]) -> Procrustes {
+    assert_eq!(a.len(), b.len(), "Procrustes needs equal-length paths");
+    assert!(a.len() >= 2, "Procrustes needs at least two points");
+    let n = a.len() as f64;
+    let centroid = |pts: &[Point2]| {
+        let mut c = Point2::new(0.0, 0.0);
+        for p in pts {
+            c = c + *p;
+        }
+        c * (1.0 / n)
+    };
+    let ca = centroid(a);
+    let cb = centroid(b);
+
+    // Treat points as complex numbers; the optimal rotation+scale is the
+    // complex ratio Σ(b̂ · conj(â)) / Σ|â|².
+    let mut num_re = 0.0;
+    let mut num_im = 0.0;
+    let mut den = 0.0;
+    for (pa, pb) in a.iter().zip(b) {
+        let (ax, az) = (pa.x - ca.x, pa.z - ca.z);
+        let (bx, bz) = (pb.x - cb.x, pb.z - cb.z);
+        num_re += bx * ax + bz * az;
+        num_im += bz * ax - bx * az;
+        den += ax * ax + az * az;
+    }
+    let (scale, rotation) = if den > 1e-18 {
+        let s = (num_re * num_re + num_im * num_im).sqrt() / den;
+        (s, num_im.atan2(num_re))
+    } else {
+        (1.0, 0.0)
+    };
+
+    let (sin, cos) = rotation.sin_cos();
+    let mut ss = 0.0;
+    for (pa, pb) in a.iter().zip(b) {
+        let (ax, az) = (pa.x - ca.x, pa.z - ca.z);
+        let tx = scale * (ax * cos - az * sin) + cb.x;
+        let tz = scale * (ax * sin + az * cos) + cb.z;
+        let dx = tx - pb.x;
+        let dz = tz - pb.z;
+        ss += dx * dx + dz * dz;
+    }
+    Procrustes {
+        rms: (ss / n).sqrt(),
+        scale,
+        rotation,
+    }
+}
+
+/// Procrustes RMS residual, index-aligning different lengths first.
+pub fn procrustes_distance(a: &[Point2], b: &[Point2]) -> f64 {
+    let n = a.len().max(b.len()).max(2);
+    let ra = crate::align::index_resample(a, n);
+    let rb = crate::align::index_resample(b, n);
+    procrustes(&ra, &rb).rms
+}
+
+/// Dynamic-time-warping distance between two paths: the minimal average
+/// point distance over all monotone alignments, normalized by the warping
+/// path length.
+///
+/// # Panics
+/// Panics if either path is empty.
+pub fn dtw_distance(a: &[Point2], b: &[Point2]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "DTW needs non-empty paths");
+    let n = a.len();
+    let m = b.len();
+    // dp[i][j] = (cost, steps) minimal cumulative distance ending at (i, j).
+    let mut prev = vec![(f64::INFINITY, 0usize); m];
+    let mut cur = vec![(f64::INFINITY, 0usize); m];
+    for i in 0..n {
+        for j in 0..m {
+            let d = a[i].dist(b[j]);
+            let best = if i == 0 && j == 0 {
+                (0.0, 0)
+            } else {
+                let mut candidates: Vec<(f64, usize)> = Vec::with_capacity(3);
+                if i > 0 {
+                    candidates.push(prev[j]);
+                }
+                if j > 0 {
+                    candidates.push(cur[j - 1]);
+                }
+                if i > 0 && j > 0 {
+                    candidates.push(prev[j - 1]);
+                }
+                candidates
+                    .into_iter()
+                    .min_by(|x, y| x.0.partial_cmp(&y.0).expect("finite costs"))
+                    .expect("at least one predecessor")
+            };
+            cur[j] = (best.0 + d, best.1 + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let (cost, steps) = prev[m - 1];
+    cost / steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiggle(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                Point2::new(t, 0.2 * (t * 9.0).sin())
+            })
+            .collect()
+    }
+
+    fn transform(pts: &[Point2], scale: f64, rot: f64, dx: f64, dz: f64) -> Vec<Point2> {
+        let (sin, cos) = rot.sin_cos();
+        pts.iter()
+            .map(|p| {
+                Point2::new(
+                    scale * (p.x * cos - p.z * sin) + dx,
+                    scale * (p.x * sin + p.z * cos) + dz,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn procrustes_of_identical_paths_is_zero() {
+        let a = wiggle(50);
+        let p = procrustes(&a, &a);
+        assert!(p.rms < 1e-12);
+        assert!((p.scale - 1.0).abs() < 1e-12);
+        assert!(p.rotation.abs() < 1e-12);
+    }
+
+    #[test]
+    fn procrustes_undoes_similarity_transforms() {
+        let a = wiggle(50);
+        let b = transform(&a, 1.7, 0.4, 3.0, -2.0);
+        let p = procrustes(&a, &b);
+        assert!(p.rms < 1e-9, "residual {}", p.rms);
+        assert!((p.scale - 1.7).abs() < 1e-9);
+        assert!((p.rotation - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn procrustes_detects_genuine_shape_differences() {
+        let a = wiggle(50);
+        let mut b = a.clone();
+        // Corrupt the shape (not a similarity transform).
+        for (i, p) in b.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                p.z += 0.1;
+            }
+        }
+        let p = procrustes(&a, &b);
+        assert!(p.rms > 0.03, "residual {} too forgiving", p.rms);
+    }
+
+    #[test]
+    fn procrustes_separates_coherent_from_random_errors() {
+        // The paper's §8.1 distinction: a coherent stretch nearly vanishes
+        // under Procrustes, i.i.d. noise of the same magnitude does not.
+        let truth = wiggle(80);
+        let stretched = transform(&truth, 1.15, 0.05, 0.02, 0.0);
+        let mut scattered = truth.clone();
+        for (i, p) in scattered.iter_mut().enumerate() {
+            let a = ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+            let b = ((i as f64 * 78.233).sin() * 12543.123).fract() - 0.5;
+            *p = *p + Point2::new(a * 0.15, b * 0.15);
+        }
+        let d_coherent = procrustes_distance(&stretched, &truth);
+        let d_random = procrustes_distance(&scattered, &truth);
+        assert!(
+            d_coherent < d_random / 5.0,
+            "coherent {d_coherent} vs random {d_random}"
+        );
+    }
+
+    #[test]
+    fn dtw_identical_paths_is_zero() {
+        let a = wiggle(30);
+        assert!(dtw_distance(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn dtw_tolerates_resampling_better_than_lockstep() {
+        // The same curve sampled at different densities: DTW stays small.
+        let a = wiggle(30);
+        let b = wiggle(77);
+        let d = dtw_distance(&a, &b);
+        // The point sets differ (different sampling); DTW should still see
+        // nearly the same curve. The curve is ~1.2 long, so 0.03 is tight.
+        assert!(d < 0.03, "DTW across sampling densities: {d}");
+    }
+
+    #[test]
+    fn dtw_tolerates_speed_warps() {
+        // The same geometric path traversed at non-uniform speed.
+        let a = wiggle(60);
+        let warped: Vec<Point2> = (0..60)
+            .map(|i| {
+                let t = (i as f64 / 59.0).powi(2); // slow start, fast end
+                Point2::new(t, 0.2 * (t * 9.0).sin())
+            })
+            .collect();
+        let d = dtw_distance(&a, &warped);
+        assert!(d < 0.02, "DTW under speed warp: {d}");
+        // Lockstep comparison is much worse.
+        let lockstep: f64 = a
+            .iter()
+            .zip(&warped)
+            .map(|(p, q)| p.dist(*q))
+            .sum::<f64>()
+            / 60.0;
+        assert!(lockstep > d * 3.0, "lockstep {lockstep} vs dtw {d}");
+    }
+
+    #[test]
+    fn dtw_separates_different_shapes() {
+        let a = wiggle(40);
+        let line: Vec<Point2> = (0..40)
+            .map(|i| Point2::new(i as f64 / 39.0, 0.0))
+            .collect();
+        assert!(dtw_distance(&a, &line) > 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn procrustes_rejects_mismatched_lengths() {
+        let _ = procrustes(&wiggle(10), &wiggle(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn dtw_rejects_empty() {
+        let _ = dtw_distance(&[], &wiggle(5));
+    }
+}

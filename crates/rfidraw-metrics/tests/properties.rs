@@ -1,0 +1,110 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use rfidraw_core::geom::Point2;
+use rfidraw_metrics::{dc_aligned_errors, index_resample, initial_aligned_errors, Cdf};
+
+fn arbitrary_path() -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..80)
+        .prop_map(|v| v.into_iter().map(|(x, z)| Point2::new(x, z)).collect())
+}
+
+proptest! {
+    #[test]
+    fn cdf_percentiles_are_monotone(
+        samples in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let c = Cdf::from_samples(samples);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(c.percentile(lo) <= c.percentile(hi) + 1e-9);
+        prop_assert!(c.percentile(0.0) >= c.min() - 1e-9);
+        prop_assert!(c.percentile(100.0) <= c.max() + 1e-9);
+    }
+
+    #[test]
+    fn cdf_fraction_below_brackets_percentile(
+        samples in proptest::collection::vec(0.0f64..100.0, 2..200),
+        p in 1.0f64..99.0,
+    ) {
+        let c = Cdf::from_samples(samples);
+        let v = c.percentile(p);
+        // At least p% of samples are ≤ the p-th percentile value (within
+        // one order statistic of slack for interpolation).
+        let f = c.fraction_below(v + 1e-9);
+        prop_assert!(f >= p / 100.0 - 1.0 / c.len() as f64 - 1e-9);
+    }
+
+    #[test]
+    fn initial_alignment_zeroes_first_error(
+        recon in arbitrary_path(),
+        truth in arbitrary_path(),
+    ) {
+        let errs = initial_aligned_errors(&recon, &truth);
+        prop_assert_eq!(errs.len(), recon.len().max(truth.len()));
+        prop_assert!(errs[0] < 1e-9, "first error {}", errs[0]);
+        prop_assert!(errs.iter().all(|e| e.is_finite() && *e >= 0.0));
+    }
+
+    #[test]
+    fn alignment_is_invariant_to_constant_shifts(
+        truth in arbitrary_path(),
+        dx in -3.0f64..3.0,
+        dz in -3.0f64..3.0,
+    ) {
+        let recon: Vec<Point2> = truth.iter().map(|p| *p + Point2::new(dx, dz)).collect();
+        for e in initial_aligned_errors(&recon, &truth) {
+            prop_assert!(e < 1e-9);
+        }
+        for e in dc_aligned_errors(&recon, &truth) {
+            prop_assert!(e < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_alignment_minimizes_mean_displacement(
+        recon in arbitrary_path(),
+        truth in arbitrary_path(),
+        dx in -1.0f64..1.0,
+        dz in -1.0f64..1.0,
+    ) {
+        // The DC shift minimizes the mean *squared* displacement; verify no
+        // constant shift achieves a smaller mean squared error.
+        let n = recon.len().max(truth.len());
+        let r = index_resample(&recon, n);
+        let t = index_resample(&truth, n);
+        let dc = dc_aligned_errors(&recon, &truth);
+        let mse_dc: f64 = dc.iter().map(|e| e * e).sum::<f64>() / n as f64;
+        let shift = Point2::new(dx, dz);
+        let mse_other: f64 = r
+            .iter()
+            .zip(&t)
+            .map(|(a, b)| {
+                // Candidate: DC shift plus an extra perturbation.
+                let mut mean = Point2::new(0.0, 0.0);
+                for (x, y) in r.iter().zip(&t) {
+                    mean = mean + (*x - *y);
+                }
+                let mean = mean * (1.0 / n as f64) + shift;
+                let d = (*a - mean).dist(*b);
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        prop_assert!(mse_dc <= mse_other + 1e-9);
+    }
+
+    #[test]
+    fn index_resample_preserves_endpoints_and_count(
+        path in arbitrary_path(),
+        n in 1usize..100,
+    ) {
+        let r = index_resample(&path, n);
+        prop_assert_eq!(r.len(), n);
+        prop_assert!(r[0].dist(path[0]) < 1e-9);
+        if n > 1 {
+            prop_assert!(r[n - 1].dist(*path.last().unwrap()) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Framed slotted ALOHA with the Gen-2 Q-algorithm.
+//!
+//! Each inventory round, the reader announces a frame of `2^Q` slots; every
+//! participating tag draws a uniform slot. A slot with exactly one tag
+//! reply singulates that tag (RN16 → ACK → EPC); zero tags is an idle slot;
+//! two or more collide. The reader adapts `Q` between rounds with the
+//! standard floating-point Q-algorithm (Gen-2 Annex D): collisions push
+//! `Q_fp` up, idle slots pull it down, so the frame size converges to the
+//! tag population. With a single tag — the common RF-IDraw case — `Q`
+//! converges to 0 and the read rate approaches the per-slot maximum.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one ALOHA slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// No tag picked this slot.
+    Idle,
+    /// Exactly one tag replied: singulation proceeds; index of the tag.
+    Single(usize),
+    /// Two or more tags replied; nothing decodable.
+    Collision,
+}
+
+/// Air-interface timing per slot type (seconds). Defaults approximate a
+/// Gen-2 link at typical Miller-4 rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotTimings {
+    /// An empty slot (QueryRep + T3 timeout).
+    pub idle: f64,
+    /// A collided slot (garbled RN16 then abandon).
+    pub collision: f64,
+    /// A successful singulation (RN16 + ACK + EPC reply).
+    pub success: f64,
+    /// Per-round overhead (the Query command itself).
+    pub query: f64,
+}
+
+impl Default for SlotTimings {
+    fn default() -> Self {
+        Self {
+            idle: 0.5e-3,
+            collision: 1.2e-3,
+            success: 2.8e-3,
+            query: 1.0e-3,
+        }
+    }
+}
+
+impl SlotTimings {
+    fn validate(&self) {
+        for (n, v) in [
+            ("idle", self.idle),
+            ("collision", self.collision),
+            ("success", self.success),
+            ("query", self.query),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "slot timing {n} must be positive, got {v}");
+        }
+    }
+}
+
+/// The Gen-2 floating-point Q-adaptation state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QAlgorithm {
+    q_fp: f64,
+    /// Adjustment step `C` (the spec allows 0.1–0.5).
+    pub c: f64,
+    /// Smallest allowed Q.
+    pub q_min: u8,
+    /// Largest allowed Q (spec maximum is 15).
+    pub q_max: u8,
+}
+
+impl QAlgorithm {
+    /// Starts the algorithm at an initial Q.
+    ///
+    /// # Panics
+    /// Panics unless `q_min ≤ initial_q ≤ q_max ≤ 15` and `0 < c ≤ 1`.
+    pub fn new(initial_q: u8, c: f64, q_min: u8, q_max: u8) -> Self {
+        assert!(q_max <= 15, "Gen-2 Q is at most 15");
+        assert!(q_min <= initial_q && initial_q <= q_max, "need q_min ≤ q0 ≤ q_max");
+        assert!(c > 0.0 && c <= 1.0, "C must be in (0, 1], got {c}");
+        Self {
+            q_fp: initial_q as f64,
+            c,
+            q_min,
+            q_max,
+        }
+    }
+
+    /// A sensible default: start at Q=2, step C=0.3, range 0–15.
+    pub fn gen2_default() -> Self {
+        Self::new(2, 0.3, 0, 15)
+    }
+
+    /// The current integer Q.
+    pub fn q(&self) -> u8 {
+        (self.q_fp.round() as i64).clamp(self.q_min as i64, self.q_max as i64) as u8
+    }
+
+    /// The current frame size, `2^Q`.
+    pub fn frame_size(&self) -> u32 {
+        1u32 << self.q()
+    }
+
+    /// Feeds one slot outcome into the adaptation.
+    pub fn observe(&mut self, outcome: SlotOutcome) {
+        match outcome {
+            SlotOutcome::Idle => self.q_fp -= self.c,
+            SlotOutcome::Collision => self.q_fp += self.c,
+            SlotOutcome::Single(_) => {}
+        }
+        self.q_fp = self.q_fp.clamp(self.q_min as f64, self.q_max as f64);
+    }
+}
+
+/// Runs one ALOHA frame: draws a slot per participant and reports the
+/// outcome of every slot in order. `participants` is the number of tags
+/// energized and participating this round.
+pub fn run_frame<R: Rng + ?Sized>(
+    rng: &mut R,
+    frame_size: u32,
+    participants: usize,
+) -> Vec<SlotOutcome> {
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); frame_size as usize];
+    for tag in 0..participants {
+        let s = rng.gen_range(0..frame_size) as usize;
+        slots[s].push(tag);
+    }
+    slots
+        .into_iter()
+        .map(|v| match v.len() {
+            0 => SlotOutcome::Idle,
+            1 => SlotOutcome::Single(v[0]),
+            _ => SlotOutcome::Collision,
+        })
+        .collect()
+}
+
+/// Duration of a whole frame given its outcomes.
+pub fn frame_duration(timings: &SlotTimings, outcomes: &[SlotOutcome]) -> f64 {
+    timings.validate();
+    timings.query
+        + outcomes
+            .iter()
+            .map(|o| match o {
+                SlotOutcome::Idle => timings.idle,
+                SlotOutcome::Collision => timings.collision,
+                SlotOutcome::Single(_) => timings.success,
+            })
+            .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn q_converges_down_for_single_tag() {
+        let mut q = QAlgorithm::gen2_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            for o in run_frame(&mut rng, q.frame_size(), 1) {
+                q.observe(o);
+            }
+        }
+        assert_eq!(q.q(), 0, "single-tag Q should converge to 0");
+    }
+
+    #[test]
+    fn q_grows_under_heavy_collisions() {
+        // Slot-level Q adaptation oscillates around the optimum under a
+        // large population (collisions pump Q up, a long idle frame crashes
+        // it down — the well-known sawtooth); assert the *peak* frame size
+        // reaches the population scale and the average stays well above
+        // the single-tag regime.
+        let mut q = QAlgorithm::new(1, 0.3, 0, 15);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut max_q = 0;
+        let mut sum_q = 0u32;
+        let frames = 60;
+        for _ in 0..frames {
+            max_q = max_q.max(q.q());
+            sum_q += q.q() as u32;
+            for o in run_frame(&mut rng, q.frame_size(), 40) {
+                q.observe(o);
+            }
+        }
+        assert!(max_q >= 4, "Q peaked at {max_q} despite 40 tags");
+        let mean = sum_q as f64 / frames as f64;
+        assert!(mean > 2.0, "mean Q {mean:.1} stayed in the single-tag regime");
+    }
+
+    #[test]
+    fn frame_accounts_for_every_tag() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for participants in [0usize, 1, 3, 10] {
+            let outcomes = run_frame(&mut rng, 8, participants);
+            assert_eq!(outcomes.len(), 8);
+            let singles = outcomes
+                .iter()
+                .filter(|o| matches!(o, SlotOutcome::Single(_)))
+                .count();
+            assert!(singles <= participants);
+            // Each singulated index is a valid, distinct tag.
+            let mut seen = std::collections::BTreeSet::new();
+            for o in &outcomes {
+                if let SlotOutcome::Single(i) = o {
+                    assert!(*i < participants);
+                    assert!(seen.insert(*i), "tag {i} singulated twice in one frame");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_population_is_all_idle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcomes = run_frame(&mut rng, 4, 0);
+        assert!(outcomes.iter().all(|o| *o == SlotOutcome::Idle));
+    }
+
+    #[test]
+    fn frame_duration_sums_slot_costs() {
+        let t = SlotTimings::default();
+        let outcomes = [
+            SlotOutcome::Idle,
+            SlotOutcome::Single(0),
+            SlotOutcome::Collision,
+        ];
+        let d = frame_duration(&t, &outcomes);
+        assert!((d - (t.query + t.idle + t.success + t.collision)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_is_clamped() {
+        let mut q = QAlgorithm::new(0, 0.5, 0, 2);
+        for _ in 0..100 {
+            q.observe(SlotOutcome::Idle);
+        }
+        assert_eq!(q.q(), 0);
+        for _ in 0..100 {
+            q.observe(SlotOutcome::Collision);
+        }
+        assert_eq!(q.q(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q is at most 15")]
+    fn q_rejects_oversized_max() {
+        let _ = QAlgorithm::new(2, 0.3, 0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn timings_reject_zero() {
+        let t = SlotTimings {
+            idle: 0.0,
+            ..SlotTimings::default()
+        };
+        let _ = frame_duration(&t, &[]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Bit-level EPC Gen-2 command frames (EPCglobal Class 1 Gen 2 §6.3.2.12).
+//!
+//! The inventory simulator models singulation at the slot level; this
+//! module goes one layer down and encodes/decodes the actual reader
+//! command bit strings — `Query` (22 bits incl. CRC-5), `QueryRep`
+//! (4 bits), `QueryAdjust` (9 bits) and `ACK` (18 bits) — so protocol
+//! tooling (sniffers, conformance tests, air-time accounting) has real
+//! frames to work with. Encodings follow the spec's tables; `Query`
+//! carries the CRC-5 defined by polynomial x⁵+x³+1 with preset 01001.
+
+use crate::epc::Rn16;
+
+/// Tari-independent bit representation of a reader command.
+pub type Bits = Vec<bool>;
+
+/// Gen-2 session flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Session {
+    /// Session S0 (re-inventoried every round; what continuous tracking
+    /// readers use).
+    S0,
+    /// Session S1.
+    S1,
+    /// Session S2.
+    S2,
+    /// Session S3.
+    S3,
+}
+
+impl Session {
+    fn code(self) -> u8 {
+        match self {
+            Session::S0 => 0b00,
+            Session::S1 => 0b01,
+            Session::S2 => 0b10,
+            Session::S3 => 0b11,
+        }
+    }
+
+    fn from_code(code: u8) -> Self {
+        match code & 0b11 {
+            0b00 => Session::S0,
+            0b01 => Session::S1,
+            0b10 => Session::S2,
+            _ => Session::S3,
+        }
+    }
+}
+
+/// The `Query` command parameters (the fields the simulator cares about;
+/// DR/M/TRext are fixed to the profile the paper's readers use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Divide ratio flag (false = DR 8, true = DR 64/3).
+    pub dr: bool,
+    /// Miller encoding selector, 0–3 (0 = FM0, 1 = M2, 2 = M4, 3 = M8).
+    pub m: u8,
+    /// Pilot-tone flag.
+    pub trext: bool,
+    /// Sel field, 0–3 (which tags respond with respect to SL).
+    pub sel: u8,
+    /// Inventory session.
+    pub session: Session,
+    /// Target inventoried flag (false = A, true = B).
+    pub target: bool,
+    /// Slot-count exponent, 0–15.
+    pub q: u8,
+}
+
+impl Query {
+    /// A typical continuous-inventory query at the given Q.
+    pub fn continuous(q: u8) -> Self {
+        Self {
+            dr: true,
+            m: 2, // Miller-4, the common reliable profile
+            trext: true,
+            sel: 0,
+            session: Session::S0,
+            target: false,
+            q,
+        }
+    }
+}
+
+fn push_bits(out: &mut Bits, value: u32, width: usize) {
+    for i in (0..width).rev() {
+        out.push((value >> i) & 1 == 1);
+    }
+}
+
+fn read_bits(bits: &[bool], offset: usize, width: usize) -> u32 {
+    let mut v = 0;
+    for i in 0..width {
+        v = (v << 1) | u32::from(bits[offset + i]);
+    }
+    v
+}
+
+/// The Gen-2 CRC-5: polynomial x⁵+x³+1, preset 0b01001, computed over a
+/// bit string (spec Annex F.1).
+pub fn crc5(bits: &[bool]) -> u8 {
+    let mut reg: u8 = 0b01001;
+    for &b in bits {
+        let msb = (reg >> 4) & 1 == 1;
+        reg = (reg << 1) & 0b11111;
+        if msb != b {
+            reg ^= 0b01001; // x⁵ feedback taps: x³ and x⁰
+        }
+    }
+    reg & 0b11111
+}
+
+/// Encodes a `Query` into its 22-bit frame: command code 1000, then
+/// DR, M(2), TRext, Sel(2), Session(2), Target, Q(4), CRC-5.
+pub fn encode_query(q: &Query) -> Bits {
+    assert!(q.m <= 3, "M selector is 2 bits");
+    assert!(q.sel <= 3, "Sel is 2 bits");
+    assert!(q.q <= 15, "Q is 4 bits");
+    let mut bits = Bits::new();
+    push_bits(&mut bits, 0b1000, 4);
+    bits.push(q.dr);
+    push_bits(&mut bits, q.m as u32, 2);
+    bits.push(q.trext);
+    push_bits(&mut bits, q.sel as u32, 2);
+    push_bits(&mut bits, q.session.code() as u32, 2);
+    bits.push(q.target);
+    push_bits(&mut bits, q.q as u32, 4);
+    let crc = crc5(&bits);
+    push_bits(&mut bits, crc as u32, 5);
+    bits
+}
+
+/// Decodes a 22-bit `Query` frame, verifying the command code and CRC-5.
+pub fn decode_query(bits: &[bool]) -> Result<Query, FrameError> {
+    if bits.len() != 22 {
+        return Err(FrameError::Length {
+            expected: 22,
+            got: bits.len(),
+        });
+    }
+    if read_bits(bits, 0, 4) != 0b1000 {
+        return Err(FrameError::BadCommandCode);
+    }
+    let crc = crc5(&bits[..17]) as u32;
+    if crc != read_bits(bits, 17, 5) {
+        return Err(FrameError::BadCrc);
+    }
+    Ok(Query {
+        dr: bits[4],
+        m: read_bits(bits, 5, 2) as u8,
+        trext: bits[7],
+        sel: read_bits(bits, 8, 2) as u8,
+        session: Session::from_code(read_bits(bits, 10, 2) as u8),
+        target: bits[12],
+        q: read_bits(bits, 13, 4) as u8,
+    })
+}
+
+/// Encodes a `QueryRep` (4 bits: command 00 + session).
+pub fn encode_query_rep(session: Session) -> Bits {
+    let mut bits = Bits::new();
+    push_bits(&mut bits, 0b00, 2);
+    push_bits(&mut bits, session.code() as u32, 2);
+    bits
+}
+
+/// Encodes a `QueryAdjust` (9 bits: command 1001 + session + UpDn(3)).
+/// `updn`: +1 increments Q, 0 leaves it, −1 decrements it.
+pub fn encode_query_adjust(session: Session, updn: i8) -> Bits {
+    let code = match updn {
+        1 => 0b110,
+        0 => 0b000,
+        -1 => 0b011,
+        other => panic!("UpDn must be -1, 0 or 1, got {other}"),
+    };
+    let mut bits = Bits::new();
+    push_bits(&mut bits, 0b1001, 4);
+    push_bits(&mut bits, session.code() as u32, 2);
+    push_bits(&mut bits, code, 3);
+    bits
+}
+
+/// Encodes an `ACK` (18 bits: command 01 + the echoed RN16).
+pub fn encode_ack(rn: Rn16) -> Bits {
+    let mut bits = Bits::new();
+    push_bits(&mut bits, 0b01, 2);
+    push_bits(&mut bits, rn.0 as u32, 16);
+    bits
+}
+
+/// Decodes an `ACK`, returning the echoed handle.
+pub fn decode_ack(bits: &[bool]) -> Result<Rn16, FrameError> {
+    if bits.len() != 18 {
+        return Err(FrameError::Length {
+            expected: 18,
+            got: bits.len(),
+        });
+    }
+    if read_bits(bits, 0, 2) != 0b01 {
+        return Err(FrameError::BadCommandCode);
+    }
+    Ok(Rn16(read_bits(bits, 2, 16) as u16))
+}
+
+/// Frame decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Wrong bit count for the command.
+    Length {
+        /// Expected bit count.
+        expected: usize,
+        /// Actual bit count.
+        got: usize,
+    },
+    /// The leading command code does not match.
+    BadCommandCode,
+    /// CRC-5 verification failed.
+    BadCrc,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Length { expected, got } => {
+                write!(f, "frame has {got} bits, expected {expected}")
+            }
+            FrameError::BadCommandCode => write!(f, "unexpected command code"),
+            FrameError::BadCrc => write!(f, "CRC-5 mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrips() {
+        for q in 0..=15u8 {
+            for session in [Session::S0, Session::S1, Session::S2, Session::S3] {
+                let query = Query {
+                    dr: q % 2 == 0,
+                    m: q % 4,
+                    trext: q % 3 == 0,
+                    sel: (q / 4) % 4,
+                    session,
+                    target: q % 5 == 0,
+                    q,
+                };
+                let bits = encode_query(&query);
+                assert_eq!(bits.len(), 22);
+                assert_eq!(decode_query(&bits), Ok(query));
+            }
+        }
+    }
+
+    #[test]
+    fn query_crc_detects_bit_flips() {
+        let bits = encode_query(&Query::continuous(4));
+        for i in 4..17 {
+            // Payload flips must be caught by the CRC.
+            let mut bad = bits.clone();
+            bad[i] = !bad[i];
+            assert_eq!(decode_query(&bad), Err(FrameError::BadCrc), "flip at {i}");
+        }
+        for i in 17..22 {
+            // CRC-field flips too.
+            let mut bad = bits.clone();
+            bad[i] = !bad[i];
+            assert_eq!(decode_query(&bad), Err(FrameError::BadCrc), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn query_rejects_wrong_code_and_length() {
+        let mut bits = encode_query(&Query::continuous(2));
+        bits[0] = !bits[0];
+        assert_eq!(decode_query(&bits), Err(FrameError::BadCommandCode));
+        assert_eq!(
+            decode_query(&bits[..21]),
+            Err(FrameError::Length {
+                expected: 22,
+                got: 21
+            })
+        );
+    }
+
+    #[test]
+    fn query_rep_is_four_bits() {
+        let bits = encode_query_rep(Session::S2);
+        assert_eq!(bits.len(), 4);
+        assert_eq!(read_bits(&bits, 0, 2), 0b00);
+        assert_eq!(read_bits(&bits, 2, 2), 0b10);
+    }
+
+    #[test]
+    fn query_adjust_updn_codes() {
+        assert_eq!(read_bits(&encode_query_adjust(Session::S0, 1), 6, 3), 0b110);
+        assert_eq!(read_bits(&encode_query_adjust(Session::S0, 0), 6, 3), 0b000);
+        assert_eq!(read_bits(&encode_query_adjust(Session::S0, -1), 6, 3), 0b011);
+        assert_eq!(encode_query_adjust(Session::S1, 1).len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "UpDn")]
+    fn query_adjust_rejects_bad_updn() {
+        let _ = encode_query_adjust(Session::S0, 2);
+    }
+
+    #[test]
+    fn ack_roundtrips() {
+        for v in [0u16, 1, 0xABCD, 0xFFFF] {
+            let bits = encode_ack(Rn16(v));
+            assert_eq!(bits.len(), 18);
+            assert_eq!(decode_ack(&bits), Ok(Rn16(v)));
+        }
+    }
+
+    #[test]
+    fn ack_rejects_malformed() {
+        let bits = encode_ack(Rn16(42));
+        assert!(decode_ack(&bits[..17]).is_err());
+        let mut bad = bits.clone();
+        bad[0] = !bad[0];
+        assert_eq!(decode_ack(&bad), Err(FrameError::BadCommandCode));
+    }
+
+    #[test]
+    fn crc5_is_stable_and_input_sensitive() {
+        let a = vec![true, false, true, true, false, false, true];
+        assert_eq!(crc5(&a), crc5(&a));
+        let mut b = a.clone();
+        b[3] = !b[3];
+        assert_ne!(crc5(&a), crc5(&b));
+        // Preset applies to the empty message.
+        assert_eq!(crc5(&[]), 0b01001);
+    }
+}

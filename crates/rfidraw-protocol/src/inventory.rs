@@ -1,0 +1,354 @@
+//! The full inventory simulation: moving tags, channel, and readers.
+//!
+//! [`InventorySim`] reproduces the paper's data-acquisition pipeline. Each
+//! reader independently cycles its antenna ports ([`crate::reader`]),
+//! running framed-slotted-ALOHA rounds ([`crate::aloha`]) on the active
+//! port; every singulated tag reply passes through the RF channel
+//! (`rfidraw-channel`), which may drop it (tag under-powered) or return a
+//! noisy, quantized phase. The output is a time-ordered stream of
+//! [`TagRead`] records — reader, antenna, EPC, phase, RSSI — which is
+//! byte-for-byte the information a real reader's API delivers, and which
+//! [`phase_reads`] projects into `rfidraw_core::stream::PhaseRead`s for one
+//! tag of interest.
+//!
+//! Readers are simulated without mutual interference (real multi-reader
+//! deployments separate carriers; see the crate docs for the simplification
+//! inventory).
+
+use crate::aloha::{frame_duration, run_frame, QAlgorithm, SlotOutcome, SlotTimings};
+use crate::epc::Epc;
+use crate::reader::{PortSchedule, ReaderConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfidraw_core::array::ReaderId;
+use rfidraw_core::geom::Point3;
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_channel::Channel;
+use serde::{Deserialize, Serialize};
+
+/// A tag position as a function of time (seconds → 3-D position).
+pub type TrajectoryFn<'a> = &'a dyn Fn(f64) -> Point3;
+
+/// One tag participating in a simulation.
+pub struct SimTag<'a> {
+    /// The tag's EPC identity.
+    pub epc: Epc,
+    /// Its position over time.
+    pub trajectory: TrajectoryFn<'a>,
+}
+
+/// One successfully decoded tag reply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TagRead {
+    /// Reply timestamp (s).
+    pub t: f64,
+    /// The reader that heard it.
+    pub reader: ReaderId,
+    /// The active antenna port.
+    pub antenna: rfidraw_core::array::AntennaId,
+    /// The tag's EPC.
+    pub epc: Epc,
+    /// Reported wrapped phase (radians, `[0, 2π)`).
+    pub phase: f64,
+    /// Received signal strength (dB relative to 1 m one-way free space).
+    pub rssi_db: f64,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct InventoryConfig {
+    /// The readers and their port schedules.
+    pub readers: Vec<ReaderConfig>,
+    /// Air-interface slot timings.
+    pub timings: SlotTimings,
+    /// Initial Q-algorithm state (cloned per reader).
+    pub q: QAlgorithm,
+    /// Seed for slot draws (independent of the channel's noise seed).
+    pub seed: u64,
+}
+
+impl InventoryConfig {
+    /// The paper setup: two 4-port readers with the given dwell, default
+    /// timings and Q parameters.
+    pub fn paper_default(dwell: f64, seed: u64) -> Self {
+        Self {
+            readers: ReaderConfig::paper_pair(dwell),
+            timings: SlotTimings::default(),
+            q: QAlgorithm::gen2_default(),
+            seed,
+        }
+    }
+}
+
+/// The inventory simulator.
+pub struct InventorySim {
+    channel: Channel,
+    cfg: InventoryConfig,
+}
+
+impl InventorySim {
+    /// Creates a simulator over a channel.
+    ///
+    /// # Panics
+    /// Panics if a configured reader has a port unknown to the channel's
+    /// deployment, or belonging to a different reader.
+    pub fn new(channel: Channel, cfg: InventoryConfig) -> Self {
+        assert!(!cfg.readers.is_empty(), "need at least one reader");
+        for r in &cfg.readers {
+            for &port in &r.ports {
+                let ant = channel
+                    .deployment()
+                    .antenna(port)
+                    .unwrap_or_else(|| panic!("reader {:?} port {port:?} not in deployment", r.reader));
+                assert!(
+                    ant.reader == r.reader,
+                    "antenna {port:?} belongs to {:?}, not {:?}",
+                    ant.reader,
+                    r.reader
+                );
+            }
+        }
+        Self { channel, cfg }
+    }
+
+    /// The underlying channel (e.g. to inspect reader offsets in tests).
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Runs the simulation for `duration` seconds and returns all decoded
+    /// reads, time-ordered.
+    pub fn run(&mut self, tags: &[SimTag<'_>], duration: f64) -> Vec<TagRead> {
+        assert!(duration.is_finite() && duration > 0.0, "duration must be positive");
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut records = Vec::new();
+        let readers = self.cfg.readers.clone();
+        let timings = self.cfg.timings;
+        for reader_cfg in readers {
+            let reader_id = reader_cfg.reader;
+            let schedule = PortSchedule::new(reader_cfg);
+            let mut q = self.cfg.q;
+            let mut t = 0.0;
+            while t < duration {
+                let antenna = match schedule.active_antenna(t) {
+                    Some(a) => a,
+                    None => {
+                        t = schedule.next_boundary(t);
+                        continue;
+                    }
+                };
+                let dwell_end = schedule.next_boundary(t).min(duration);
+
+                // Which tags are energized through this antenna right now?
+                let participants: Vec<usize> = (0..tags.len())
+                    .filter(|&i| {
+                        self.channel
+                            .success_probability(antenna, (tags[i].trajectory)(t))
+                            > 0.0
+                    })
+                    .collect();
+
+                let outcomes = run_frame(&mut rng, q.frame_size(), participants.len());
+                if outcomes.is_empty() {
+                    t += timings.query;
+                    continue;
+                }
+                let mut slot_t = t + timings.query;
+                for o in &outcomes {
+                    if slot_t >= dwell_end {
+                        break; // port switch terminates the round
+                    }
+                    match o {
+                        SlotOutcome::Idle => slot_t += timings.idle,
+                        SlotOutcome::Collision => slot_t += timings.collision,
+                        SlotOutcome::Single(local) => {
+                            let tag_idx = participants[*local];
+                            let tag = &tags[tag_idx];
+                            let pos = (tag.trajectory)(slot_t);
+                            if let Some(obs) = self.channel.try_read(antenna, pos, slot_t) {
+                                records.push(TagRead {
+                                    t: slot_t,
+                                    reader: reader_id,
+                                    antenna,
+                                    epc: tag.epc,
+                                    phase: obs.read.phase,
+                                    rssi_db: obs.rssi_db,
+                                });
+                            }
+                            slot_t += timings.success;
+                        }
+                    }
+                    q.observe(*o);
+                }
+                // Account for the full frame time even if truncated.
+                t = slot_t.max(t + frame_duration(&timings, &[]));
+            }
+        }
+        records.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite timestamps"));
+        records
+    }
+}
+
+/// Projects the reads of one tag into the tracker's input format.
+pub fn phase_reads(records: &[TagRead], epc: Epc) -> Vec<PhaseRead> {
+    records
+        .iter()
+        .filter(|r| r.epc == epc)
+        .map(|r| PhaseRead {
+            t: r.t,
+            antenna: r.antenna,
+            phase: r.phase,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_channel::Scenario;
+    use rfidraw_core::array::{AntennaId, Deployment};
+    use rfidraw_core::geom::{Plane, Point2};
+
+    fn sim(seed: u64) -> InventorySim {
+        let ch = Channel::new(Deployment::paper_default(), Scenario::Los.config(), seed);
+        InventorySim::new(ch, InventoryConfig::paper_default(0.030, seed))
+    }
+
+    fn static_tag(p: Point2) -> impl Fn(f64) -> Point3 {
+        let plane = Plane::at_depth(2.0);
+        move |_t| plane.lift(p)
+    }
+
+    #[test]
+    fn single_tag_produces_healthy_read_rate() {
+        let mut s = sim(1);
+        let traj = static_tag(Point2::new(1.3, 1.0));
+        let tags = [SimTag {
+            epc: Epc::from_index(1),
+            trajectory: &traj,
+        }];
+        let reads = s.run(&tags, 2.0);
+        // Two readers at a few hundred reads/s: expect several hundred total.
+        assert!(
+            reads.len() > 300,
+            "only {} reads in 2 s of inventory",
+            reads.len()
+        );
+    }
+
+    #[test]
+    fn reads_cover_all_eight_antennas() {
+        let mut s = sim(2);
+        let traj = static_tag(Point2::new(1.3, 1.0));
+        let tags = [SimTag {
+            epc: Epc::from_index(1),
+            trajectory: &traj,
+        }];
+        let reads = s.run(&tags, 2.0);
+        let mut antennas: Vec<u8> = reads.iter().map(|r| r.antenna.0).collect();
+        antennas.sort();
+        antennas.dedup();
+        assert_eq!(antennas, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn reads_are_time_ordered_and_attributed() {
+        let mut s = sim(3);
+        let traj = static_tag(Point2::new(1.3, 1.0));
+        let tags = [SimTag {
+            epc: Epc::from_index(1),
+            trajectory: &traj,
+        }];
+        let reads = s.run(&tags, 1.0);
+        for w in reads.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+        let dep = Deployment::paper_default();
+        for r in &reads {
+            assert_eq!(dep.antenna(r.antenna).unwrap().reader, r.reader);
+        }
+    }
+
+    #[test]
+    fn two_tags_are_distinguished_by_epc() {
+        let mut s = sim(4);
+        let t1 = static_tag(Point2::new(1.0, 1.0));
+        let t2 = static_tag(Point2::new(1.8, 0.8));
+        let tags = [
+            SimTag { epc: Epc::from_index(1), trajectory: &t1 },
+            SimTag { epc: Epc::from_index(2), trajectory: &t2 },
+        ];
+        let reads = s.run(&tags, 2.0);
+        let r1 = phase_reads(&reads, Epc::from_index(1));
+        let r2 = phase_reads(&reads, Epc::from_index(2));
+        assert!(!r1.is_empty() && !r2.is_empty());
+        assert_eq!(r1.len() + r2.len(), reads.len());
+        // Collisions cost throughput: each tag reads slower than a lone tag.
+        let mut lone = sim(4);
+        let lone_reads = lone.run(
+            &[SimTag { epc: Epc::from_index(1), trajectory: &t1 }],
+            2.0,
+        );
+        assert!(r1.len() < lone_reads.len());
+    }
+
+    #[test]
+    fn out_of_range_tag_is_never_read() {
+        let mut s = sim(5);
+        let far = |_t: f64| Point3::new(1.0, 50.0, 1.0);
+        let tags = [SimTag {
+            epc: Epc::from_index(9),
+            trajectory: &far,
+        }];
+        let reads = s.run(&tags, 1.0);
+        assert!(reads.is_empty());
+    }
+
+    #[test]
+    fn moving_tag_reads_follow_trajectory_phases() {
+        // The per-antenna phase sequence of a slowly moving tag must be
+        // unwrappable (no > π jumps between same-antenna reads).
+        let mut s = sim(6);
+        let plane = Plane::at_depth(2.0);
+        let moving = move |t: f64| plane.lift(Point2::new(1.0 + 0.2 * t, 1.0));
+        let tags = [SimTag {
+            epc: Epc::from_index(1),
+            trajectory: &moving,
+        }];
+        let reads = s.run(&tags, 3.0);
+        let pr = phase_reads(&reads, Epc::from_index(1));
+        for ant in 1..=8u8 {
+            let series: Vec<&PhaseRead> =
+                pr.iter().filter(|r| r.antenna == AntennaId(ant)).collect();
+            assert!(series.len() > 10, "antenna {ant} has {} reads", series.len());
+            for w in series.windows(2) {
+                let d = rfidraw_core::phase::wrap_pi(w[1].phase - w[0].phase).abs();
+                assert!(
+                    d < std::f64::consts::PI * 0.9,
+                    "antenna {ant}: {d:.2} rad jump between consecutive reads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let traj = static_tag(Point2::new(1.2, 1.2));
+        let tags = [SimTag {
+            epc: Epc::from_index(1),
+            trajectory: &traj,
+        }];
+        let a = sim(7).run(&tags, 1.0);
+        let b = sim(7).run(&tags, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in deployment")]
+    fn rejects_unknown_port() {
+        let ch = Channel::new(Deployment::paper_default(), Scenario::Los.config(), 1);
+        let mut cfg = InventoryConfig::paper_default(0.03, 1);
+        cfg.readers[0].ports.push(AntennaId(99));
+        let _ = InventorySim::new(ch, cfg);
+    }
+}

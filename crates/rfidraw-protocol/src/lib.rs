@@ -1,0 +1,45 @@
+//! # rfidraw-protocol
+//!
+//! An EPC Gen-2-style RFID inventory simulator: the MAC-layer substrate of
+//! the RF-IDraw reproduction.
+//!
+//! The paper's prototype programs two ThingMagic M6e 4-port readers to
+//! "continuously query the RFIDs … and return the signal phase for every
+//! RFID reply" (§6). What the tracking algorithm actually receives is
+//! therefore shaped by the air protocol: framed-slotted-ALOHA singulation,
+//! the reader's Q-adaptation, port-multiplexing dwell times, and read loss.
+//! This crate reproduces that pipeline:
+//!
+//! * [`epc`] — 96-bit EPC identifiers, RN16 handles and the Gen-2 CRC-16;
+//! * [`frames`] — bit-level Query/QueryRep/QueryAdjust/ACK frames with CRC-5;
+//! * [`aloha`] — framed slotted ALOHA rounds with the Gen-2 Q-algorithm;
+//! * [`reader`] — a 4-port reader cycling its antennas on a dwell schedule;
+//! * [`inventory`] — the full simulation: moving tags + channel + two
+//!   readers ⇒ a timestamped stream of per-antenna, per-EPC phase reads;
+//! * [`stats`] — read-rate/coverage diagnostics and the unwrap gap limit.
+//!
+//! The output ([`inventory::TagRead`]) is exactly what a real reader
+//! delivers, and feeds `rfidraw_core::stream::SnapshotBuilder` unchanged.
+//!
+//! **Simplifications** (documented per the smoltcp practice of listing
+//! omissions): readers do not interfere with each other (real deployments
+//! separate them in frequency/dense-reader mode); tag sessions reset every
+//! query round (continuous re-inventory, which is how the paper's readers
+//! are configured); `Select`/`Access` commands are out of scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aloha;
+pub mod epc;
+pub mod frames;
+pub mod inventory;
+pub mod reader;
+pub mod stats;
+
+pub use aloha::{QAlgorithm, SlotOutcome, SlotTimings};
+pub use epc::{crc16_gen2, Epc, Rn16};
+pub use frames::{crc5, decode_ack, decode_query, encode_ack, encode_query, Query, Session};
+pub use inventory::{InventoryConfig, InventorySim, TagRead, TrajectoryFn};
+pub use reader::{PortSchedule, ReaderConfig};
+pub use stats::{unwrap_gap_limit, InventoryStats};

@@ -1,0 +1,169 @@
+//! Inventory statistics: read rates, per-antenna coverage, inter-read gaps.
+//!
+//! The tracking algorithms have hard sampling requirements (per-antenna
+//! revisit gaps bound phase-unwrap validity — see `rfidraw_core::stream`),
+//! so a deployment needs visibility into what the MAC layer actually
+//! delivers. This module summarizes a [`TagRead`] record stream the way a
+//! reader vendor's diagnostics page would.
+
+use crate::epc::Epc;
+use crate::inventory::TagRead;
+use rfidraw_core::array::AntennaId;
+use std::collections::BTreeMap;
+
+/// Summary statistics of an inventory run for one tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InventoryStats {
+    /// Total reads of the tag.
+    pub reads: usize,
+    /// Observation span (first to last read, s).
+    pub span: f64,
+    /// Overall reads per second.
+    pub read_rate: f64,
+    /// Per-antenna read counts.
+    pub per_antenna: BTreeMap<AntennaId, usize>,
+    /// Per-antenna maximum gap between consecutive reads (s).
+    pub max_gap: BTreeMap<AntennaId, f64>,
+    /// Mean RSSI (dB).
+    pub mean_rssi_db: f64,
+}
+
+impl InventoryStats {
+    /// Computes statistics for one EPC from a record stream; `None` when
+    /// the tag was never read.
+    pub fn for_tag(records: &[TagRead], epc: Epc) -> Option<InventoryStats> {
+        let mut reads: Vec<&TagRead> = records.iter().filter(|r| r.epc == epc).collect();
+        if reads.is_empty() {
+            return None;
+        }
+        reads.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite timestamps"));
+        let span = reads.last().expect("non-empty").t - reads[0].t;
+        let mut per_antenna: BTreeMap<AntennaId, usize> = BTreeMap::new();
+        let mut last_t: BTreeMap<AntennaId, f64> = BTreeMap::new();
+        let mut max_gap: BTreeMap<AntennaId, f64> = BTreeMap::new();
+        let mut rssi = 0.0;
+        for r in &reads {
+            *per_antenna.entry(r.antenna).or_insert(0) += 1;
+            if let Some(&prev) = last_t.get(&r.antenna) {
+                let gap = r.t - prev;
+                let e = max_gap.entry(r.antenna).or_insert(0.0);
+                if gap > *e {
+                    *e = gap;
+                }
+            }
+            last_t.insert(r.antenna, r.t);
+            rssi += r.rssi_db;
+        }
+        Some(InventoryStats {
+            reads: reads.len(),
+            span,
+            read_rate: if span > 0.0 {
+                reads.len() as f64 / span
+            } else {
+                0.0
+            },
+            per_antenna,
+            max_gap,
+            mean_rssi_db: rssi / reads.len() as f64,
+        })
+    }
+
+    /// The worst per-antenna revisit gap (s), or 0 for single reads —
+    /// compare against the unwrap limit `λ/(2·pf·v)` for tag speed `v`.
+    pub fn worst_gap(&self) -> f64 {
+        self.max_gap.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Whether every antenna in `expected` was read at least `min_reads`
+    /// times.
+    pub fn covers(&self, expected: &[AntennaId], min_reads: usize) -> bool {
+        expected
+            .iter()
+            .all(|a| self.per_antenna.get(a).copied().unwrap_or(0) >= min_reads)
+    }
+}
+
+/// The maximum per-antenna revisit gap (s) that keeps phase unwrapping
+/// valid for a tag moving at `speed` m/s: the phase may advance at most π
+/// between revisits, i.e. the tag may move `λ / (2 · path_factor)`.
+pub fn unwrap_gap_limit(wavelength_m: f64, path_factor: f64, speed: f64) -> f64 {
+    assert!(speed > 0.0, "speed must be positive");
+    assert!(wavelength_m > 0.0 && path_factor > 0.0, "invalid RF parameters");
+    wavelength_m / (2.0 * path_factor) / speed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_core::array::ReaderId;
+
+    fn record(t: f64, ant: u8, epc: u32) -> TagRead {
+        TagRead {
+            t,
+            reader: ReaderId(1),
+            antenna: AntennaId(ant),
+            epc: Epc::from_index(epc),
+            phase: 0.0,
+            rssi_db: -20.0,
+        }
+    }
+
+    #[test]
+    fn stats_for_missing_tag_is_none() {
+        let records = [record(0.0, 1, 1)];
+        assert!(InventoryStats::for_tag(&records, Epc::from_index(2)).is_none());
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let records: Vec<TagRead> = (0..100).map(|i| record(i as f64 * 0.01, 1, 1)).collect();
+        let s = InventoryStats::for_tag(&records, Epc::from_index(1)).unwrap();
+        assert_eq!(s.reads, 100);
+        assert!((s.span - 0.99).abs() < 1e-9);
+        assert!((s.read_rate - 100.0 / 0.99).abs() < 1e-6);
+        assert_eq!(s.per_antenna[&AntennaId(1)], 100);
+        assert!((s.mean_rssi_db + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaps_are_per_antenna_maxima() {
+        let records = vec![
+            record(0.0, 1, 1),
+            record(0.1, 1, 1),
+            record(0.5, 1, 1), // 0.4 gap on antenna 1
+            record(0.0, 2, 1),
+            record(0.05, 2, 1),
+        ];
+        let s = InventoryStats::for_tag(&records, Epc::from_index(1)).unwrap();
+        assert!((s.max_gap[&AntennaId(1)] - 0.4).abs() < 1e-9);
+        assert!((s.max_gap[&AntennaId(2)] - 0.05).abs() < 1e-9);
+        assert!((s.worst_gap() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_check() {
+        let records = vec![record(0.0, 1, 1), record(0.1, 1, 1), record(0.2, 2, 1)];
+        let s = InventoryStats::for_tag(&records, Epc::from_index(1)).unwrap();
+        assert!(s.covers(&[AntennaId(1), AntennaId(2)], 1));
+        assert!(!s.covers(&[AntennaId(1), AntennaId(2)], 2));
+        assert!(!s.covers(&[AntennaId(3)], 1));
+    }
+
+    #[test]
+    fn unwrap_limit_matches_paper_numbers() {
+        // λ ≈ 0.325 m, backscatter, 0.2 m/s writing: the tag may move
+        // λ/4 ≈ 8.1 cm between revisits ⇒ ~0.41 s gap limit.
+        let limit = unwrap_gap_limit(0.325, 2.0, 0.2);
+        assert!((limit - 0.40625).abs() < 1e-6);
+        // Faster motion tightens the limit linearly.
+        assert!((unwrap_gap_limit(0.325, 2.0, 0.4) - limit / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_sort_unordered_records() {
+        let records = vec![record(0.5, 1, 1), record(0.0, 1, 1), record(0.2, 1, 1)];
+        let s = InventoryStats::for_tag(&records, Epc::from_index(1)).unwrap();
+        assert!((s.span - 0.5).abs() < 1e-9);
+        assert!((s.max_gap[&AntennaId(1)] - 0.3).abs() < 1e-9);
+    }
+}

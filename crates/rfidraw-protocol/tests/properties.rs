@@ -1,0 +1,183 @@
+//! Property-based tests for the EPC Gen-2 protocol substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfidraw_protocol::aloha::{frame_duration, run_frame, QAlgorithm, SlotOutcome, SlotTimings};
+use rfidraw_protocol::epc::{check_frame, crc16_gen2, Epc};
+use rfidraw_protocol::reader::{PortSchedule, ReaderConfig};
+use rfidraw_core::array::{AntennaId, ReaderId};
+
+proptest! {
+    #[test]
+    fn crc_detects_single_bit_flips(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        byte_idx in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        let crc = crc16_gen2(&payload);
+        let mut frame = payload.clone();
+        frame.extend_from_slice(&crc.to_be_bytes());
+        prop_assert!(check_frame(&frame));
+        let idx = byte_idx % frame.len();
+        let mut bad = frame.clone();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(!check_frame(&bad), "flip at {idx}:{bit} undetected");
+    }
+
+    #[test]
+    fn crc_is_deterministic_and_input_sensitive(
+        a in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        prop_assert_eq!(crc16_gen2(&a), crc16_gen2(&a));
+        let mut b = a.clone();
+        b[0] ^= 0xFF;
+        prop_assert_ne!(crc16_gen2(&a), crc16_gen2(&b));
+    }
+
+    #[test]
+    fn epc_from_index_is_injective(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(Epc::from_index(a) == Epc::from_index(b), a == b);
+    }
+
+    #[test]
+    fn frames_account_for_every_slot_and_tag(
+        q in 0u8..8,
+        participants in 0usize..60,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame_size = 1u32 << q;
+        let outcomes = run_frame(&mut rng, frame_size, participants);
+        prop_assert_eq!(outcomes.len(), frame_size as usize);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut singles = 0usize;
+        let mut collisions = 0usize;
+        for o in &outcomes {
+            match o {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Collision => collisions += 1,
+                SlotOutcome::Single(i) => {
+                    prop_assert!(*i < participants);
+                    prop_assert!(seen.insert(*i));
+                    singles += 1;
+                }
+            }
+        }
+        // Every collision hides at least two tags.
+        prop_assert!(singles + 2 * collisions <= participants);
+    }
+
+    #[test]
+    fn frame_duration_is_positive_and_additive(
+        n_idle in 0usize..20, n_coll in 0usize..20, n_single in 0usize..20,
+    ) {
+        let t = SlotTimings::default();
+        let mut outcomes = Vec::new();
+        outcomes.extend(std::iter::repeat(SlotOutcome::Idle).take(n_idle));
+        outcomes.extend(std::iter::repeat(SlotOutcome::Collision).take(n_coll));
+        outcomes.extend(std::iter::repeat(SlotOutcome::Single(0)).take(n_single));
+        let d = frame_duration(&t, &outcomes);
+        let expected = t.query
+            + n_idle as f64 * t.idle
+            + n_coll as f64 * t.collision
+            + n_single as f64 * t.success;
+        prop_assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_stays_clamped_under_any_history(
+        outcomes in proptest::collection::vec(0u8..3, 0..500),
+    ) {
+        let mut q = QAlgorithm::new(4, 0.4, 1, 10);
+        for o in outcomes {
+            let outcome = match o {
+                0 => SlotOutcome::Idle,
+                1 => SlotOutcome::Single(0),
+                _ => SlotOutcome::Collision,
+            };
+            q.observe(outcome);
+            prop_assert!((1..=10).contains(&q.q()));
+            prop_assert_eq!(q.frame_size(), 1u32 << q.q());
+        }
+    }
+
+    #[test]
+    fn port_schedule_covers_exactly_its_ports(
+        dwell in 0.005f64..0.2,
+        switch in 0.0f64..0.01,
+        n_ports in 1u8..4,
+        t in 0.0f64..100.0,
+    ) {
+        let ports: Vec<AntennaId> = (1..=n_ports).map(AntennaId).collect();
+        let cfg = ReaderConfig::new(ReaderId(1), ports.clone(), dwell, switch);
+        let sched = PortSchedule::new(cfg);
+        if let Some(a) = sched.active_antenna(t) {
+            prop_assert!(ports.contains(&a));
+        }
+        let nb = sched.next_boundary(t);
+        prop_assert!(nb > t);
+        prop_assert!(nb - t <= dwell + switch + 1e-9);
+    }
+}
+
+mod frame_properties {
+    use proptest::prelude::*;
+    use rfidraw_protocol::frames::{
+        crc5, decode_ack, decode_query, encode_ack, encode_query, Query, Session,
+    };
+    use rfidraw_protocol::Rn16;
+
+    fn arbitrary_query() -> impl Strategy<Value = Query> {
+        (
+            any::<bool>(),
+            0u8..4,
+            any::<bool>(),
+            0u8..4,
+            0u8..4,
+            any::<bool>(),
+            0u8..16,
+        )
+            .prop_map(|(dr, m, trext, sel, sess, target, q)| Query {
+                dr,
+                m,
+                trext,
+                sel,
+                session: match sess {
+                    0 => Session::S0,
+                    1 => Session::S1,
+                    2 => Session::S2,
+                    _ => Session::S3,
+                },
+                target,
+                q,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn every_query_roundtrips(q in arbitrary_query()) {
+            let bits = encode_query(&q);
+            prop_assert_eq!(bits.len(), 22);
+            prop_assert_eq!(decode_query(&bits), Ok(q));
+        }
+
+        #[test]
+        fn any_single_flip_is_rejected(q in arbitrary_query(), idx in 0usize..22) {
+            let mut bits = encode_query(&q);
+            bits[idx] = !bits[idx];
+            prop_assert!(decode_query(&bits).is_err(), "flip at {idx} accepted");
+        }
+
+        #[test]
+        fn ack_roundtrips_all_handles(v in any::<u16>()) {
+            let bits = encode_ack(Rn16(v));
+            prop_assert_eq!(decode_ack(&bits), Ok(Rn16(v)));
+        }
+
+        #[test]
+        fn crc5_stays_five_bits(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            prop_assert!(crc5(&bits) < 32);
+        }
+    }
+}

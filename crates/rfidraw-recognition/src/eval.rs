@@ -1,0 +1,167 @@
+//! Recognition evaluation utilities: confusion matrices and accuracy
+//! summaries, used by the Fig. 14/15 harnesses and the examples.
+
+use std::collections::BTreeMap;
+
+/// A confusion matrix over a character alphabet.
+#[derive(Debug, Clone, Default)]
+pub struct ConfusionMatrix {
+    /// `counts[(truth, predicted)]`.
+    counts: BTreeMap<(char, char), usize>,
+    /// Truths that produced no prediction (degenerate strokes).
+    missed: BTreeMap<char, usize>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classification outcome.
+    pub fn record(&mut self, truth: char, predicted: Option<char>) {
+        match predicted {
+            Some(p) => *self.counts.entry((truth, p)).or_insert(0) += 1,
+            None => *self.missed.entry(truth).or_insert(0) += 1,
+        }
+    }
+
+    /// Total recorded samples (including misses).
+    pub fn total(&self) -> usize {
+        self.counts.values().sum::<usize>() + self.missed.values().sum::<usize>()
+    }
+
+    /// Number of correct classifications.
+    pub fn correct(&self) -> usize {
+        self.counts
+            .iter()
+            .filter(|((t, p), _)| t == p)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / total as f64
+        }
+    }
+
+    /// Per-truth-character accuracy, for every character seen.
+    pub fn per_char_accuracy(&self) -> BTreeMap<char, f64> {
+        let mut totals: BTreeMap<char, (usize, usize)> = BTreeMap::new();
+        for (&(t, p), &c) in &self.counts {
+            let e = totals.entry(t).or_insert((0, 0));
+            e.1 += c;
+            if t == p {
+                e.0 += c;
+            }
+        }
+        for (&t, &c) in &self.missed {
+            totals.entry(t).or_insert((0, 0)).1 += c;
+        }
+        totals
+            .into_iter()
+            .map(|(t, (ok, all))| (t, if all == 0 { 0.0 } else { ok as f64 / all as f64 }))
+            .collect()
+    }
+
+    /// The most frequent confusions `(truth, predicted, count)`, worst
+    /// first, excluding correct classifications.
+    pub fn top_confusions(&self, n: usize) -> Vec<(char, char, usize)> {
+        let mut v: Vec<(char, char, usize)> = self
+            .counts
+            .iter()
+            .filter(|((t, p), _)| t != p)
+            .map(|(&(t, p), &c)| (t, p, c))
+            .collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2));
+        v.truncate(n);
+        v
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        for (&k, &c) in &other.missed {
+            *self.missed.entry(k).or_insert(0) += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_fraction() {
+        let mut m = ConfusionMatrix::new();
+        m.record('a', Some('a'));
+        m.record('a', Some('a'));
+        m.record('a', Some('o'));
+        m.record('b', Some('b'));
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.correct(), 3);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misses_count_against_accuracy() {
+        let mut m = ConfusionMatrix::new();
+        m.record('x', Some('x'));
+        m.record('x', None);
+        assert_eq!(m.total(), 2);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_char_accuracy_splits_by_truth() {
+        let mut m = ConfusionMatrix::new();
+        m.record('a', Some('a'));
+        m.record('a', Some('o'));
+        m.record('b', Some('b'));
+        let per = m.per_char_accuracy();
+        assert!((per[&'a'] - 0.5).abs() < 1e-12);
+        assert!((per[&'b'] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_confusions_are_sorted_and_exclude_correct() {
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..5 {
+            m.record('u', Some('n'));
+        }
+        for _ in 0..2 {
+            m.record('b', Some('d'));
+        }
+        m.record('o', Some('o'));
+        let top = m.top_confusions(10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], ('u', 'n', 5));
+        assert_eq!(top[1], ('b', 'd', 2));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::new();
+        a.record('a', Some('a'));
+        let mut b = ConfusionMatrix::new();
+        b.record('a', Some('a'));
+        b.record('c', None);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.correct(), 2);
+    }
+}

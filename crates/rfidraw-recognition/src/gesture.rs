@@ -1,0 +1,208 @@
+//! Command-gesture recognition beyond letters.
+//!
+//! The paper positions RF-IDraw as richer than classify-only gesture
+//! systems (§9.3): because it traces arbitrary shapes, any drawn command —
+//! swipes, circles, checkmarks — can be interpreted. This module provides a
+//! small command-gesture vocabulary on top of the same template machinery
+//! used for letters, for the touch-screen demos.
+//!
+//! Unlike letters, swipe gestures are *direction-sensitive*, so gesture
+//! matching disables the rotation search and augments the shape score with
+//! a net-displacement direction check.
+
+use crate::resample::{normalize, path_distance, resample};
+use rfidraw_core::geom::Point2;
+
+/// The recognized command vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gesture {
+    /// Left-to-right horizontal swipe.
+    SwipeRight,
+    /// Right-to-left horizontal swipe.
+    SwipeLeft,
+    /// Upward vertical swipe.
+    SwipeUp,
+    /// Downward vertical swipe.
+    SwipeDown,
+    /// A (roughly) closed circle, either direction.
+    Circle,
+    /// A V-shaped checkmark.
+    Check,
+    /// An X: two crossing diagonals drawn as one zigzag.
+    Cross,
+}
+
+impl Gesture {
+    /// All gestures in the vocabulary.
+    pub fn all() -> &'static [Gesture] {
+        &[
+            Gesture::SwipeRight,
+            Gesture::SwipeLeft,
+            Gesture::SwipeUp,
+            Gesture::SwipeDown,
+            Gesture::Circle,
+            Gesture::Check,
+            Gesture::Cross,
+        ]
+    }
+
+    /// The canonical template path (unit scale).
+    fn template(self) -> Vec<Point2> {
+        match self {
+            Gesture::SwipeRight => vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)],
+            Gesture::SwipeLeft => vec![Point2::new(1.0, 0.0), Point2::new(0.0, 0.0)],
+            Gesture::SwipeUp => vec![Point2::new(0.0, 0.0), Point2::new(0.0, 1.0)],
+            Gesture::SwipeDown => vec![Point2::new(0.0, 1.0), Point2::new(0.0, 0.0)],
+            Gesture::Circle => (0..=32)
+                .map(|i| {
+                    let a = std::f64::consts::TAU * i as f64 / 32.0;
+                    Point2::new(a.cos(), a.sin())
+                })
+                .collect(),
+            Gesture::Check => vec![
+                Point2::new(0.0, 0.5),
+                Point2::new(0.35, 0.0),
+                Point2::new(1.0, 1.0),
+            ],
+            Gesture::Cross => vec![
+                Point2::new(0.0, 1.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(1.0, 1.0),
+                Point2::new(0.0, 0.0),
+            ],
+        }
+    }
+}
+
+/// A gesture recognition result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GestureMatch {
+    /// The best-matching gesture.
+    pub gesture: Gesture,
+    /// Normalized mean point distance (smaller is better).
+    pub distance: f64,
+}
+
+/// Recognizes command gestures from traced paths.
+#[derive(Debug, Clone)]
+pub struct GestureRecognizer {
+    templates: Vec<(Gesture, Vec<Point2>)>,
+}
+
+impl GestureRecognizer {
+    /// Builds the vocabulary's templates.
+    pub fn new() -> Self {
+        let templates = Gesture::all()
+            .iter()
+            .map(|&g| (g, prepare(&g.template())))
+            .collect();
+        Self { templates }
+    }
+
+    /// Recognizes a traced path; `None` for degenerate input.
+    pub fn recognize(&self, stroke: &[Point2]) -> Option<GestureMatch> {
+        if stroke.len() < 2 {
+            return None;
+        }
+        let prepared = prepare(stroke);
+        self.templates
+            .iter()
+            .map(|(g, tpl)| GestureMatch {
+                gesture: *g,
+                distance: path_distance(&prepared, tpl),
+            })
+            .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"))
+    }
+}
+
+impl Default for GestureRecognizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Direction-preserving preparation: resample + centre + scale, but keep
+/// orientation (no rotation search) so swipes stay directional.
+fn prepare(stroke: &[Point2]) -> Vec<Point2> {
+    normalize(&resample(stroke, 48))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jitter(path: &[Point2], amp: f64) -> Vec<Point2> {
+        path.iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let a = (i as f64 * 12.9898).sin() * 43758.5453;
+                let b = (i as f64 * 78.233).sin() * 12543.123;
+                Point2::new(
+                    p.x + (a.fract() - 0.5) * amp,
+                    p.z + (b.fract() - 0.5) * amp,
+                )
+            })
+            .collect()
+    }
+
+    fn dense(path: &[Point2]) -> Vec<Point2> {
+        let mut out: Vec<Point2> = path
+            .windows(2)
+            .flat_map(|w| (0..10).map(move |k| w[0].lerp(w[1], k as f64 / 10.0)))
+            .collect();
+        out.push(*path.last().unwrap());
+        out
+    }
+
+    #[test]
+    fn recognizes_every_clean_gesture() {
+        let rec = GestureRecognizer::new();
+        for &g in Gesture::all() {
+            let path = dense(&g.template());
+            let m = rec.recognize(&path).unwrap();
+            assert_eq!(m.gesture, g, "clean {g:?} recognized as {:?}", m.gesture);
+        }
+    }
+
+    #[test]
+    fn recognizes_jittered_scaled_gestures() {
+        let rec = GestureRecognizer::new();
+        for &g in Gesture::all() {
+            let path: Vec<Point2> = dense(&g.template())
+                .iter()
+                .map(|p| Point2::new(p.x * 0.15 + 1.2, p.z * 0.15 + 0.8))
+                .collect();
+            let noisy = jitter(&path, 0.01);
+            let m = rec.recognize(&noisy).unwrap();
+            assert_eq!(m.gesture, g, "jittered {g:?} recognized as {:?}", m.gesture);
+        }
+    }
+
+    #[test]
+    fn swipes_are_direction_sensitive() {
+        let rec = GestureRecognizer::new();
+        let right = dense(&[Point2::new(0.0, 0.0), Point2::new(0.3, 0.0)]);
+        let left = dense(&[Point2::new(0.3, 0.0), Point2::new(0.0, 0.0)]);
+        assert_eq!(rec.recognize(&right).unwrap().gesture, Gesture::SwipeRight);
+        assert_eq!(rec.recognize(&left).unwrap().gesture, Gesture::SwipeLeft);
+    }
+
+    #[test]
+    fn degenerate_input_is_rejected() {
+        let rec = GestureRecognizer::new();
+        assert!(rec.recognize(&[]).is_none());
+        assert!(rec.recognize(&[Point2::new(0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn circle_beats_swipes_for_closed_paths() {
+        let rec = GestureRecognizer::new();
+        let circle: Vec<Point2> = (0..=60)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / 60.0;
+                Point2::new(1.0 + 0.1 * a.cos(), 1.0 + 0.1 * a.sin())
+            })
+            .collect();
+        assert_eq!(rec.recognize(&circle).unwrap().gesture, Gesture::Circle);
+    }
+}

@@ -1,0 +1,192 @@
+//! Stroke resampling and normalization (the $1 recognizer's preprocessing).
+//!
+//! A raw stroke arrives with arbitrary point count, position and size.
+//! Recognition compares *shapes*, so strokes are first resampled to a fixed
+//! number of equidistant points, then translated so their centroid is the
+//! origin and scaled uniformly so their larger bounding-box dimension is 1
+//! (uniform — not the $1 paper's non-uniform — scaling, because letters
+//! like `l` are nearly one-dimensional and non-uniform scaling would
+//! destroy them).
+
+use rfidraw_core::geom::{Point2, Rect};
+
+/// Resamples a polyline to exactly `n` points equally spaced along its arc
+/// length. Degenerate inputs (all points identical) replicate the first
+/// point.
+///
+/// # Panics
+/// Panics if `points` is empty or `n < 2`.
+pub fn resample(points: &[Point2], n: usize) -> Vec<Point2> {
+    assert!(!points.is_empty(), "cannot resample an empty stroke");
+    assert!(n >= 2, "need at least two output points");
+    let total: f64 = points.windows(2).map(|w| w[0].dist(w[1])).sum();
+    if total <= 0.0 {
+        return vec![points[0]; n];
+    }
+    let step = total / (n - 1) as f64;
+    let mut out = Vec::with_capacity(n);
+    out.push(points[0]);
+    let mut acc = 0.0;
+    let mut i = 1;
+    let mut prev = points[0];
+    while out.len() < n - 1 && i < points.len() {
+        let d = prev.dist(points[i]);
+        if acc + d >= step && d > 0.0 {
+            let t = (step - acc) / d;
+            let q = prev.lerp(points[i], t);
+            out.push(q);
+            prev = q;
+            acc = 0.0;
+        } else {
+            acc += d;
+            prev = points[i];
+            i += 1;
+        }
+    }
+    while out.len() < n {
+        out.push(*points.last().expect("non-empty"));
+    }
+    out
+}
+
+/// Centroid of a point set.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn centroid(points: &[Point2]) -> Point2 {
+    assert!(!points.is_empty(), "centroid of empty set");
+    let mut acc = Point2::new(0.0, 0.0);
+    for p in points {
+        acc = acc + *p;
+    }
+    acc * (1.0 / points.len() as f64)
+}
+
+/// Translates the centroid to the origin and scales uniformly so the larger
+/// bounding-box dimension becomes 1. Degenerate (zero-size) strokes are
+/// only translated.
+pub fn normalize(points: &[Point2]) -> Vec<Point2> {
+    let c = centroid(points);
+    let r = Rect::bounding(points).expect("non-empty");
+    let size = r.width().max(r.height());
+    let s = if size > 1e-9 { 1.0 / size } else { 1.0 };
+    points.iter().map(|&p| (p - c) * s).collect()
+}
+
+/// Rotates a point set about the origin by `theta` radians.
+pub fn rotate(points: &[Point2], theta: f64) -> Vec<Point2> {
+    let (sin, cos) = theta.sin_cos();
+    points
+        .iter()
+        .map(|p| Point2::new(p.x * cos - p.z * sin, p.x * sin + p.z * cos))
+        .collect()
+}
+
+/// Mean point-to-point distance between two equal-length paths.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn path_distance(a: &[Point2], b: &[Point2]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paths must have equal length");
+    assert!(!a.is_empty(), "paths must be non-empty");
+    a.iter().zip(b).map(|(p, q)| p.dist(*q)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Vec<Point2> {
+        vec![
+            Point2::new(0.0, 2.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn resample_produces_equidistant_points() {
+        let r = resample(&l_shape(), 16);
+        assert_eq!(r.len(), 16);
+        let step = 3.0 / 15.0;
+        for w in r.windows(2) {
+            let d = w[0].dist(w[1]);
+            // Points at the corner are slightly closer in chord distance.
+            assert!(d <= step + 1e-9, "step {d} > {step}");
+            assert!(d >= step * 0.5, "step {d} collapsed");
+        }
+        assert_eq!(r[0], l_shape()[0]);
+        assert!(r[15].dist(*l_shape().last().unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn resample_is_idempotent_on_resampled_paths() {
+        // Not exactly idempotent — each pass cuts corners slightly, which
+        // perturbs the arc length — but a second pass must stay within a
+        // small fraction of the step size.
+        let r1 = resample(&l_shape(), 32);
+        let r2 = resample(&r1, 32);
+        let step = 3.0 / 31.0;
+        for (a, b) in r1.iter().zip(&r2) {
+            assert!(a.dist(*b) < step * 0.2, "drift {}", a.dist(*b));
+        }
+    }
+
+    #[test]
+    fn resample_degenerate_stroke() {
+        let pts = vec![Point2::new(1.0, 1.0); 5];
+        let r = resample(&pts, 8);
+        assert_eq!(r.len(), 8);
+        assert!(r.iter().all(|p| p.dist(Point2::new(1.0, 1.0)) < 1e-12));
+    }
+
+    #[test]
+    fn normalize_centres_and_scales() {
+        let n = normalize(&l_shape());
+        let c = centroid(&n);
+        assert!(c.norm() < 1e-9, "centroid {c:?} not at origin");
+        let r = Rect::bounding(&n).unwrap();
+        assert!((r.width().max(r.height()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_is_translation_and_scale_invariant() {
+        let a = normalize(&l_shape());
+        let moved: Vec<Point2> = l_shape()
+            .iter()
+            .map(|p| Point2::new(p.x * 3.0 + 7.0, p.z * 3.0 - 2.0))
+            .collect();
+        let b = normalize(&moved);
+        for (p, q) in a.iter().zip(&b) {
+            assert!(p.dist(*q) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotate_quarter_turn() {
+        let r = rotate(&[Point2::new(1.0, 0.0)], std::f64::consts::FRAC_PI_2);
+        assert!(r[0].dist(Point2::new(0.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn path_distance_zero_iff_identical() {
+        let a = resample(&l_shape(), 16);
+        assert_eq!(path_distance(&a, &a), 0.0);
+        let shifted: Vec<Point2> = a.iter().map(|p| *p + Point2::new(0.1, 0.0)).collect();
+        assert!((path_distance(&a, &shifted) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stroke")]
+    fn resample_rejects_empty() {
+        let _ = resample(&[], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn path_distance_rejects_mismatch() {
+        let a = resample(&l_shape(), 8);
+        let b = resample(&l_shape(), 9);
+        let _ = path_distance(&a, &b);
+    }
+}

@@ -1,0 +1,227 @@
+//! Automatic segmentation of a continuous traced stream (paper §9.3).
+//!
+//! "A limitation of our current implementation … is that we manually
+//! segment the user's writing into words. We believe this can be addressed
+//! by using standard segmentation methods." This module implements the
+//! standard method: writing is separated by *pauses* — intervals where the
+//! pen's speed stays below a threshold — and each maximal non-pause run
+//! becomes one segment (a word, or a gesture).
+
+use rfidraw_core::geom::Point2;
+
+/// Segmentation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentConfig {
+    /// Speeds below this (m/s) count as paused.
+    pub pause_speed: f64,
+    /// A pause must last at least this long (s) to split segments.
+    pub min_pause: f64,
+    /// Segments shorter than this (s) are discarded as jitter.
+    pub min_segment: f64,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            pause_speed: 0.04,
+            min_pause: 0.35,
+            min_segment: 0.3,
+        }
+    }
+}
+
+impl SegmentConfig {
+    fn validate(&self) {
+        assert!(self.pause_speed > 0.0, "pause speed must be positive");
+        assert!(self.min_pause > 0.0, "minimum pause must be positive");
+        assert!(self.min_segment >= 0.0, "minimum segment must be non-negative");
+    }
+}
+
+/// Splits a timed trace into writing segments, returned as index ranges
+/// into `samples`.
+///
+/// `samples` must be time-ordered `(t, position)` pairs. Speeds are
+/// estimated from consecutive samples; a short centred smoothing (3
+/// samples) suppresses per-tick jitter.
+///
+/// # Panics
+/// Panics on an invalid configuration.
+pub fn segment_stream(samples: &[(f64, Point2)], cfg: SegmentConfig) -> Vec<std::ops::Range<usize>> {
+    cfg.validate();
+    if samples.len() < 3 {
+        return Vec::new();
+    }
+    // Instantaneous speeds (between consecutive samples), then smoothed.
+    let raw: Vec<f64> = samples
+        .windows(2)
+        .map(|w| {
+            let dt = (w[1].0 - w[0].0).max(1e-9);
+            w[0].1.dist(w[1].1) / dt
+        })
+        .collect();
+    let speed: Vec<f64> = (0..raw.len())
+        .map(|i| {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 2).min(raw.len());
+            raw[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+
+    // Classify each sample (use the speed of its leading interval).
+    let moving: Vec<bool> = speed.iter().map(|&s| s > cfg.pause_speed).collect();
+
+    // Find maximal moving runs, merging runs separated by short pauses.
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // [start, end) over samples
+    let mut i = 0;
+    while i < moving.len() {
+        if moving[i] {
+            let start = i;
+            while i < moving.len() && moving[i] {
+                i += 1;
+            }
+            runs.push((start, i + 1)); // +1: interval i covers samples i..=i+1
+        } else {
+            i += 1;
+        }
+    }
+    // Merge runs whose separating pause is shorter than min_pause.
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for run in runs {
+        match merged.last_mut() {
+            Some(last) if samples[run.0].0 - samples[last.1 - 1].0 < cfg.min_pause => {
+                last.1 = run.1;
+            }
+            _ => merged.push(run),
+        }
+    }
+    // Drop too-short segments.
+    merged
+        .into_iter()
+        .filter(|&(s, e)| samples[e - 1].0 - samples[s].0 >= cfg.min_segment)
+        .map(|(s, e)| s..e)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a trace: hold, write (move right), hold, write, hold.
+    fn two_word_trace() -> Vec<(f64, Point2)> {
+        let mut out = Vec::new();
+        let dt = 0.02;
+        let mut t = 0.0;
+        let mut x = 0.0;
+        let push_hold = |out: &mut Vec<(f64, Point2)>, t: &mut f64, x: f64, dur: f64| {
+            let n = (dur / dt) as usize;
+            for _ in 0..n {
+                out.push((*t, Point2::new(x, 1.0)));
+                *t += dt;
+            }
+        };
+        let push_write = |out: &mut Vec<(f64, Point2)>, t: &mut f64, x: &mut f64, dur: f64| {
+            let n = (dur / dt) as usize;
+            for _ in 0..n {
+                out.push((*t, Point2::new(*x, 1.0)));
+                *t += dt;
+                *x += 0.2 * dt; // 0.2 m/s
+            }
+        };
+        push_hold(&mut out, &mut t, x, 0.6);
+        push_write(&mut out, &mut t, &mut x, 1.5);
+        push_hold(&mut out, &mut t, x, 0.8);
+        push_write(&mut out, &mut t, &mut x, 1.2);
+        push_hold(&mut out, &mut t, x, 0.6);
+        out
+    }
+
+    #[test]
+    fn detects_two_words() {
+        let trace = two_word_trace();
+        let segs = segment_stream(&trace, SegmentConfig::default());
+        assert_eq!(segs.len(), 2, "expected two segments, got {segs:?}");
+        // First segment covers roughly t ∈ [0.6, 2.1].
+        let (s0, e0) = (segs[0].start, segs[0].end);
+        assert!((trace[s0].0 - 0.6).abs() < 0.2, "start {}", trace[s0].0);
+        assert!((trace[e0 - 1].0 - 2.1).abs() < 0.2, "end {}", trace[e0 - 1].0);
+    }
+
+    #[test]
+    fn continuous_writing_is_one_segment() {
+        let mut trace = Vec::new();
+        for i in 0..200 {
+            let t = i as f64 * 0.02;
+            trace.push((t, Point2::new(0.2 * t, 1.0 + 0.05 * (t * 8.0).sin())));
+        }
+        let segs = segment_stream(&trace, SegmentConfig::default());
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].len() > 190);
+    }
+
+    #[test]
+    fn pure_hold_yields_no_segments() {
+        let trace: Vec<(f64, Point2)> = (0..100)
+            .map(|i| (i as f64 * 0.02, Point2::new(1.0, 1.0)))
+            .collect();
+        assert!(segment_stream(&trace, SegmentConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn short_pauses_do_not_split() {
+        // Writing with a 0.15 s hesitation mid-word (shorter than
+        // min_pause): one segment.
+        let mut trace = Vec::new();
+        let dt = 0.02;
+        let mut t = 0.0;
+        let mut x = 0.0;
+        for phase in 0..3 {
+            let (dur, speed) = match phase {
+                0 => (1.0, 0.2),
+                1 => (0.15, 0.0), // hesitation
+                _ => (1.0, 0.2),
+            };
+            let n = (dur / dt) as usize;
+            for _ in 0..n {
+                trace.push((t, Point2::new(x, 1.0)));
+                t += dt;
+                x += speed * dt;
+            }
+        }
+        let segs = segment_stream(&trace, SegmentConfig::default());
+        assert_eq!(segs.len(), 1, "hesitation split the word: {segs:?}");
+    }
+
+    #[test]
+    fn jitter_blips_are_discarded() {
+        // A single fast blip inside a hold is too short to be a segment.
+        let mut trace: Vec<(f64, Point2)> = (0..50)
+            .map(|i| (i as f64 * 0.02, Point2::new(1.0, 1.0)))
+            .collect();
+        trace.push((1.0, Point2::new(1.05, 1.0)));
+        for i in 0..50 {
+            trace.push((1.02 + i as f64 * 0.02, Point2::new(1.05, 1.0)));
+        }
+        let segs = segment_stream(&trace, SegmentConfig::default());
+        assert!(segs.is_empty(), "blip became a segment: {segs:?}");
+    }
+
+    #[test]
+    fn tiny_input_is_empty() {
+        assert!(segment_stream(&[], SegmentConfig::default()).is_empty());
+        let two = vec![(0.0, Point2::new(0.0, 0.0)), (0.1, Point2::new(1.0, 0.0))];
+        assert!(segment_stream(&two, SegmentConfig::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pause speed")]
+    fn rejects_bad_config() {
+        let _ = segment_stream(
+            &[],
+            SegmentConfig {
+                pause_speed: 0.0,
+                ..SegmentConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! The $1-style per-character recognizer.
+//!
+//! Templates are built from the same stroke font the workload generator
+//! uses: each letter is laid out as a (continuous) single path, resampled
+//! and normalized. An input stroke is preprocessed identically and scored
+//! against every template by mean point distance, searching a small
+//! rotation range (air writing is roughly upright, so ±20° suffices —
+//! unlike the original $1, full rotation invariance would merge letters
+//! like `n`/`u` or `b`/`q`).
+
+use crate::resample::{normalize, path_distance, resample, rotate};
+use rfidraw_core::geom::Point2;
+use rfidraw_handwriting::layout::layout_word;
+
+/// Number of points every stroke is resampled to.
+pub const TEMPLATE_POINTS: usize = 64;
+/// Rotation search range (radians) and step.
+const ROT_RANGE: f64 = 0.35;
+const ROT_STEP: f64 = 0.05;
+
+/// One recognition answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharMatch {
+    /// The best-matching letter.
+    pub letter: char,
+    /// Normalized mean point distance to that letter's template (smaller is
+    /// better; 0 is a perfect match on the unit-box scale).
+    pub distance: f64,
+    /// A `[0, 1]` confidence: `1 − distance / 0.5`, clamped.
+    pub score: f64,
+}
+
+/// The per-character template recognizer.
+#[derive(Debug, Clone)]
+pub struct Recognizer {
+    templates: Vec<(char, Vec<Point2>)>,
+}
+
+impl Recognizer {
+    /// Builds templates for all font-supported letters.
+    pub fn from_font() -> Self {
+        Self::from_chars(rfidraw_handwriting::font::supported_chars())
+    }
+
+    /// Builds templates for the digits only (PIN-style input).
+    pub fn from_digits() -> Self {
+        Self::from_chars(rfidraw_handwriting::font::supported_digits())
+    }
+
+    /// Builds templates for an arbitrary font-supported alphabet.
+    ///
+    /// # Panics
+    /// Panics if a character is not covered by the stroke font.
+    pub fn from_chars(chars: impl Iterator<Item = char>) -> Self {
+        let mut templates = Vec::new();
+        for c in chars {
+            let path = layout_word(&c.to_string(), 0.5, 0.0)
+                .unwrap_or_else(|e| panic!("character '{c}' not in the stroke font: {e}"));
+            let prepared = normalize(&resample(&path.points, TEMPLATE_POINTS));
+            templates.push((c, prepared));
+        }
+        assert!(!templates.is_empty(), "recognizer needs at least one template");
+        Self { templates }
+    }
+
+    /// The template alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Recognizes one stroke. Returns `None` for strokes with fewer than
+    /// two points (nothing to compare).
+    pub fn recognize(&self, stroke: &[Point2]) -> Option<CharMatch> {
+        if stroke.len() < 2 {
+            return None;
+        }
+        let prepared = normalize(&resample(stroke, TEMPLATE_POINTS));
+        let mut best: Option<CharMatch> = None;
+        for (letter, tpl) in &self.templates {
+            let d = self.min_distance_over_rotation(&prepared, tpl);
+            if best.map_or(true, |b| d < b.distance) {
+                best = Some(CharMatch {
+                    letter: *letter,
+                    distance: d,
+                    score: (1.0 - d / 0.5).clamp(0.0, 1.0),
+                });
+            }
+        }
+        best
+    }
+
+    /// Ranked candidate letters (best first), for word decoding.
+    pub fn rank(&self, stroke: &[Point2]) -> Vec<CharMatch> {
+        if stroke.len() < 2 {
+            return Vec::new();
+        }
+        let prepared = normalize(&resample(stroke, TEMPLATE_POINTS));
+        let mut out: Vec<CharMatch> = self
+            .templates
+            .iter()
+            .map(|(letter, tpl)| {
+                let d = self.min_distance_over_rotation(&prepared, tpl);
+                CharMatch {
+                    letter: *letter,
+                    distance: d,
+                    score: (1.0 - d / 0.5).clamp(0.0, 1.0),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        out
+    }
+
+    fn min_distance_over_rotation(&self, stroke: &[Point2], tpl: &[Point2]) -> f64 {
+        let mut best = f64::INFINITY;
+        let steps = (2.0 * ROT_RANGE / ROT_STEP).round() as i64;
+        for i in 0..=steps {
+            let theta = -ROT_RANGE + i as f64 * ROT_STEP;
+            let rotated = rotate(stroke, theta);
+            best = best.min(path_distance(&rotated, tpl));
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rfidraw_handwriting::pen::{write_word, PenConfig, Style};
+
+    fn letter_stroke(c: char, style: Style) -> Vec<Point2> {
+        let path = layout_word(&c.to_string(), 0.1, 0.0).unwrap();
+        write_word(&path, style, PenConfig::default()).positions()
+    }
+
+    #[test]
+    fn recognizes_every_clean_letter() {
+        let rec = Recognizer::from_font();
+        for c in rfidraw_handwriting::font::supported_chars() {
+            let m = rec.recognize(&letter_stroke(c, Style::neutral())).unwrap();
+            assert_eq!(m.letter, c, "clean '{c}' recognized as '{}'", m.letter);
+            assert!(m.distance < 0.05, "'{c}' distance {}", m.distance);
+        }
+    }
+
+    #[test]
+    fn recognizes_styled_letters() {
+        // Five user styles, all letters: accuracy must stay near-perfect for
+        // undistorted (ground-truth) strokes.
+        let rec = Recognizer::from_font();
+        let mut total = 0;
+        let mut correct = 0;
+        for user in 0..5 {
+            for c in rfidraw_handwriting::font::supported_chars() {
+                let m = rec.recognize(&letter_stroke(c, Style::user(user))).unwrap();
+                total += 1;
+                if m.letter == c {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.95, "styled accuracy {acc} ({correct}/{total})");
+    }
+
+    #[test]
+    fn random_scatter_is_chance_level() {
+        // The baseline's failure mode: i.i.d. scatter instead of a letter.
+        let rec = Recognizer::from_font();
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 200;
+        let mut correct = 0;
+        for _ in 0..trials {
+            // Pick a "true" letter, then replace the trace by noise.
+            let truth: char = (b'a' + rng.gen_range(0..26)) as char;
+            let scatter: Vec<Point2> = (0..60)
+                .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                .collect();
+            if rec.recognize(&scatter).unwrap().letter == truth {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / trials as f64;
+        assert!(acc < 0.12, "scatter should be chance-level, got {acc}");
+    }
+
+    #[test]
+    fn recognition_is_scale_and_translation_invariant() {
+        let rec = Recognizer::from_font();
+        let base = letter_stroke('w', Style::neutral());
+        for (scale, dx, dz) in [(0.3, 1.0, 2.0), (4.0, -3.0, 0.5)] {
+            let moved: Vec<Point2> = base
+                .iter()
+                .map(|p| Point2::new(p.x * scale + dx, p.z * scale + dz))
+                .collect();
+            assert_eq!(rec.recognize(&moved).unwrap().letter, 'w');
+        }
+    }
+
+    #[test]
+    fn small_rotations_are_tolerated() {
+        let rec = Recognizer::from_font();
+        let base = normalize(&letter_stroke('s', Style::neutral()));
+        let tilted = rotate(&base, 0.2);
+        assert_eq!(rec.recognize(&tilted).unwrap().letter, 's');
+    }
+
+    #[test]
+    fn rank_orders_candidates() {
+        let rec = Recognizer::from_font();
+        let ranked = rec.rank(&letter_stroke('o', Style::neutral()));
+        assert_eq!(ranked.len(), 26);
+        assert_eq!(ranked[0].letter, 'o');
+        for w in ranked.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn degenerate_strokes_are_rejected() {
+        let rec = Recognizer::from_font();
+        assert!(rec.recognize(&[]).is_none());
+        assert!(rec.recognize(&[Point2::new(0.0, 0.0)]).is_none());
+        assert!(rec.rank(&[]).is_empty());
+    }
+
+    #[test]
+    fn digit_recognizer_recognizes_clean_digits() {
+        let rec = Recognizer::from_digits();
+        assert_eq!(rec.alphabet_len(), 10);
+        let mut correct = 0;
+        for c in rfidraw_handwriting::font::supported_digits() {
+            let m = rec.recognize(&letter_stroke(c, Style::neutral())).unwrap();
+            if m.letter == c {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 9, "only {correct}/10 clean digits recognized");
+    }
+
+    #[test]
+    fn scores_are_probability_like() {
+        let rec = Recognizer::from_font();
+        let m = rec.recognize(&letter_stroke('e', Style::neutral())).unwrap();
+        assert!((0.0..=1.0).contains(&m.score));
+        assert!(m.score > 0.8, "clean letter score {}", m.score);
+    }
+}

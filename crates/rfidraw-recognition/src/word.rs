@@ -1,0 +1,247 @@
+//! Word decoding with dictionary correction (paper §9.2).
+//!
+//! The paper manually segments the user's writing into words (§9.3) and the
+//! handwriting app recognizes each; apps lean on a lexicon, which the paper
+//! notes especially helps longer words. [`WordDecoder`] mirrors that: it
+//! recognizes each letter segment, concatenates the raw result, and then
+//! snaps it to the nearest dictionary word by edit distance (rejecting the
+//! correction when the raw string is hopelessly far from every word — a
+//! scatter trace must *not* be rescued by the lexicon).
+
+use crate::unistroke::{CharMatch, Recognizer};
+use rfidraw_core::geom::Point2;
+use rfidraw_handwriting::corpus::Corpus;
+
+/// Levenshtein edit distance between two ASCII strings.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().collect();
+    let b: Vec<u8> = b.bytes().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The outcome of decoding one word trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordDecode {
+    /// Per-letter recognition results (may contain `None` for degenerate
+    /// segments).
+    pub chars: Vec<Option<CharMatch>>,
+    /// The raw concatenation of recognized letters.
+    pub raw: String,
+    /// The dictionary word the raw string was corrected to, if any word was
+    /// close enough.
+    pub corrected: Option<String>,
+}
+
+impl WordDecode {
+    /// Number of raw characters matching the truth at the same position —
+    /// the paper's per-character success count.
+    pub fn chars_correct(&self, truth: &str) -> usize {
+        self.raw
+            .chars()
+            .zip(truth.chars())
+            .filter(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Whether the decoded word equals the truth (the paper's word success
+    /// criterion, after app-side dictionary inference).
+    pub fn word_correct(&self, truth: &str) -> bool {
+        self.corrected.as_deref() == Some(truth)
+    }
+}
+
+/// Decodes words from per-letter trajectory segments.
+#[derive(Debug, Clone)]
+pub struct WordDecoder {
+    recognizer: Recognizer,
+    corpus: Corpus,
+    /// Maximum edit distance (as a fraction of word length, ≥ 1 char) for a
+    /// dictionary correction to be accepted.
+    pub max_correction_ratio: f64,
+}
+
+impl WordDecoder {
+    /// A decoder over the font recognizer and the embedded corpus.
+    pub fn new() -> Self {
+        Self {
+            recognizer: Recognizer::from_font(),
+            corpus: Corpus::common(),
+            max_correction_ratio: 0.34,
+        }
+    }
+
+    /// Access to the underlying character recognizer.
+    pub fn recognizer(&self) -> &Recognizer {
+        &self.recognizer
+    }
+
+    /// Access to the dictionary.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Decodes a word from its letter segments (one point sequence per
+    /// letter, in writing order).
+    pub fn decode(&self, segments: &[Vec<Point2>]) -> WordDecode {
+        let chars: Vec<Option<CharMatch>> = segments
+            .iter()
+            .map(|s| self.recognizer.recognize(s))
+            .collect();
+        let raw: String = chars
+            .iter()
+            .map(|c| c.map(|m| m.letter).unwrap_or('?'))
+            .collect();
+        let corrected = self.correct(&raw);
+        WordDecode {
+            chars,
+            raw,
+            corrected,
+        }
+    }
+
+    /// Snaps a raw string to the nearest dictionary word, or `None` when
+    /// nothing is close enough.
+    pub fn correct(&self, raw: &str) -> Option<String> {
+        if raw.is_empty() {
+            return None;
+        }
+        let budget = ((raw.len() as f64 * self.max_correction_ratio).floor() as usize).max(1);
+        let mut best: Option<(&str, usize)> = None;
+        for w in self.corpus.words() {
+            // Cheap length pre-filter: edit distance ≥ length difference.
+            if w.len().abs_diff(raw.len()) > budget {
+                continue;
+            }
+            let d = edit_distance(raw, w);
+            match best {
+                Some((_, bd)) if d >= bd => {}
+                _ => best = Some((w, d)),
+            }
+            if d == 0 {
+                break;
+            }
+        }
+        match best {
+            Some((w, d)) if d <= budget => Some(w.to_string()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for WordDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rfidraw_handwriting::layout::layout_word;
+    use rfidraw_handwriting::pen::{write_word, PenConfig, Style};
+
+    fn word_segments(word: &str, style: Style) -> Vec<Vec<Point2>> {
+        let path = layout_word(word, 0.1, 0.02).unwrap();
+        let tp = write_word(&path, style, PenConfig::default());
+        (0..word.len())
+            .map(|li| {
+                let span = tp.letter_span(li).unwrap();
+                tp.samples[span].iter().map(|s| s.pos).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("play", "clay"), 1);
+    }
+
+    #[test]
+    fn decodes_clean_words() {
+        let dec = WordDecoder::new();
+        for word in ["play", "clear", "import", "house"] {
+            let d = dec.decode(&word_segments(word, Style::neutral()));
+            assert_eq!(d.raw, word, "raw decode of {word:?}");
+            assert!(d.word_correct(word), "corrected decode of {word:?}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn decodes_styled_words() {
+        let dec = WordDecoder::new();
+        let mut ok = 0;
+        let words = ["water", "think", "about", "sound"];
+        for (u, word) in words.iter().enumerate() {
+            let d = dec.decode(&word_segments(word, Style::user(u as u64)));
+            if d.word_correct(word) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 3, "only {ok}/4 styled words decoded");
+    }
+
+    #[test]
+    fn dictionary_rescues_single_letter_errors() {
+        let dec = WordDecoder::new();
+        // "cleor" is one substitution from "clear".
+        assert_eq!(dec.correct("cleor"), Some("clear".to_string()));
+        assert_eq!(dec.correct("pley"), Some("play".to_string()));
+    }
+
+    #[test]
+    fn garbage_is_not_rescued() {
+        let dec = WordDecoder::new();
+        assert_eq!(dec.correct("qxzvk"), None);
+        assert_eq!(dec.correct(""), None);
+    }
+
+    #[test]
+    fn scatter_segments_fail_word_decoding() {
+        let dec = WordDecoder::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let segments: Vec<Vec<Point2>> = (0..5)
+            .map(|_| {
+                (0..50)
+                    .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                    .collect()
+            })
+            .collect();
+        let d = dec.decode(&segments);
+        assert!(!d.word_correct("clear"));
+    }
+
+    #[test]
+    fn chars_correct_counts_positions() {
+        let d = WordDecode {
+            chars: vec![],
+            raw: "cleor".to_string(),
+            corrected: None,
+        };
+        assert_eq!(d.chars_correct("clear"), 4);
+        assert_eq!(d.chars_correct("xxxxx"), 0);
+    }
+
+    #[test]
+    fn empty_segments_yield_placeholders() {
+        let dec = WordDecoder::new();
+        let d = dec.decode(&[vec![], vec![Point2::new(0.0, 0.0)]]);
+        assert_eq!(d.raw, "??");
+        assert!(d.chars.iter().all(|c| c.is_none()));
+    }
+}

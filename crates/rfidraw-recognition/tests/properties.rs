@@ -1,0 +1,99 @@
+//! Property-based tests for the recognizer's preprocessing invariances and
+//! the edit-distance metric axioms.
+
+use proptest::prelude::*;
+use rfidraw_core::geom::Point2;
+use rfidraw_recognition::resample::{centroid, normalize, path_distance, resample};
+use rfidraw_recognition::word::edit_distance;
+
+fn arbitrary_path() -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 2..60)
+        .prop_map(|v| v.into_iter().map(|(x, z)| Point2::new(x, z)).collect())
+}
+
+fn arbitrary_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 0..12)
+        .prop_map(|v| v.into_iter().map(|c| (b'a' + c) as char).collect())
+}
+
+proptest! {
+    #[test]
+    fn resample_has_exact_count_and_endpoints(path in arbitrary_path(), n in 2usize..128) {
+        let r = resample(&path, n);
+        prop_assert_eq!(r.len(), n);
+        prop_assert!(r[0].dist(path[0]) < 1e-9);
+        prop_assert!(r[n - 1].dist(*path.last().unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn resample_steps_never_exceed_arc_step(path in arbitrary_path(), n in 4usize..64) {
+        let total: f64 = path.windows(2).map(|w| w[0].dist(w[1])).sum();
+        prop_assume!(total > 1e-6);
+        let step = total / (n - 1) as f64;
+        let r = resample(&path, n);
+        for w in r.windows(2) {
+            prop_assert!(w[0].dist(w[1]) <= step + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalize_centres_and_unit_scales(path in arbitrary_path()) {
+        let bounds = rfidraw_core::geom::Rect::bounding(&path).unwrap();
+        prop_assume!(bounds.width().max(bounds.height()) > 1e-6);
+        let n = normalize(&path);
+        prop_assert!(centroid(&n).norm() < 1e-9);
+        let nb = rfidraw_core::geom::Rect::bounding(&n).unwrap();
+        prop_assert!((nb.width().max(nb.height()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_is_similarity_invariant(
+        path in arbitrary_path(),
+        scale in 0.1f64..10.0,
+        dx in -10.0f64..10.0,
+        dz in -10.0f64..10.0,
+    ) {
+        let bounds = rfidraw_core::geom::Rect::bounding(&path).unwrap();
+        prop_assume!(bounds.width().max(bounds.height()) > 1e-3);
+        let moved: Vec<Point2> = path
+            .iter()
+            .map(|p| Point2::new(p.x * scale + dx, p.z * scale + dz))
+            .collect();
+        let a = normalize(&resample(&path, 32));
+        let b = normalize(&resample(&moved, 32));
+        prop_assert!(path_distance(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in arbitrary_string(),
+        b in arbitrary_string(),
+        c in arbitrary_string(),
+    ) {
+        // Identity.
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert_eq!(edit_distance(&a, &b) == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        // Triangle inequality.
+        prop_assert!(
+            edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c)
+        );
+        // Length bound.
+        prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+        prop_assert!(edit_distance(&a, &b) >= a.len().abs_diff(b.len()));
+    }
+
+    #[test]
+    fn path_distance_is_symmetric_and_nonnegative(
+        a in arbitrary_path(),
+        b in arbitrary_path(),
+    ) {
+        let ra = resample(&a, 32);
+        let rb = resample(&b, 32);
+        let d1 = path_distance(&ra, &rb);
+        let d2 = path_distance(&rb, &ra);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+    }
+}

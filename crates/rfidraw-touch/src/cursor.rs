@@ -1,0 +1,356 @@
+//! Cursor mode: mouse-like pointer control from the traced tag (§9.3).
+//!
+//! "For applications that require selecting and manipulating items on a
+//! display, one can use RF-IDraw in a manner similar to operating a mouse
+//! to control a cursor on the screen" — the user watches the cursor and
+//! corrects their motion using visual feedback. This module implements the
+//! device-side half of that loop:
+//!
+//! * exponential smoothing of the (noisy) tracked position;
+//! * **dwell-to-click**: holding the cursor within a small radius for a
+//!   configurable time emits a click (standard in hands-free pointing);
+//!   a sustained hover clicks once — re-clicking requires leaving the
+//!   clicked spot first;
+//! * drag detection: motion shortly after a click (within the drag window)
+//!   becomes a drag, ended by the next dwell.
+
+use crate::event::{ScreenMap, ScreenPos};
+use rfidraw_core::geom::Point2;
+use serde::{Deserialize, Serialize};
+
+/// Cursor-mode tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CursorConfig {
+    /// Exponential smoothing factor per update in `(0, 1]`; 1 = no
+    /// smoothing.
+    pub smoothing: f64,
+    /// Dwell radius in pixels.
+    pub dwell_radius_px: f64,
+    /// Dwell duration to trigger a click (s).
+    pub dwell_time: f64,
+    /// Pixels of motion after a click that start a drag.
+    pub drag_threshold_px: f64,
+    /// Seconds after a click during which motion is interpreted as a drag;
+    /// later motion is plain pointing.
+    pub drag_window: f64,
+}
+
+impl Default for CursorConfig {
+    fn default() -> Self {
+        Self {
+            smoothing: 0.4,
+            dwell_radius_px: 40.0,
+            dwell_time: 0.8,
+            drag_threshold_px: 60.0,
+            drag_window: 0.6,
+        }
+    }
+}
+
+impl CursorConfig {
+    fn validate(&self) {
+        assert!(
+            self.smoothing > 0.0 && self.smoothing <= 1.0,
+            "smoothing must be in (0, 1], got {}",
+            self.smoothing
+        );
+        assert!(self.dwell_radius_px > 0.0, "dwell radius must be positive");
+        assert!(self.dwell_time > 0.0, "dwell time must be positive");
+        assert!(self.drag_threshold_px > 0.0, "drag threshold must be positive");
+        assert!(self.drag_window > 0.0, "drag window must be positive");
+    }
+}
+
+/// Events the cursor tracker emits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CursorEvent {
+    /// The pointer moved to a new smoothed position.
+    Moved(ScreenPos),
+    /// A dwell completed: a click at this position.
+    Click(ScreenPos),
+    /// A drag started at this position (click followed by motion).
+    DragStart(ScreenPos),
+    /// The drag ended (a dwell during a drag) at this position.
+    DragEnd(ScreenPos),
+}
+
+/// The cursor-mode state machine. Feed it tracked plane positions with
+/// [`CursorTracker::update`]; it returns the events each update produced.
+#[derive(Debug, Clone)]
+pub struct CursorTracker {
+    cfg: CursorConfig,
+    map: ScreenMap,
+    pos: Option<ScreenPos>,
+    /// Centre and start time of the current dwell window.
+    dwell_anchor: Option<(ScreenPos, f64)>,
+    /// The last click, while the cursor has not yet left its radius —
+    /// suppresses duplicate clicks from a sustained hover.
+    last_click: Option<ScreenPos>,
+    /// A recent click that may still turn into a drag: `(origin, time)`.
+    armed_drag: Option<(ScreenPos, f64)>,
+    dragging: bool,
+}
+
+impl CursorTracker {
+    /// Creates a tracker over a screen mapping.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: CursorConfig, map: ScreenMap) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            map,
+            pos: None,
+            dwell_anchor: None,
+            last_click: None,
+            armed_drag: None,
+            dragging: false,
+        }
+    }
+
+    /// The current smoothed cursor position, if any update arrived yet.
+    pub fn position(&self) -> Option<ScreenPos> {
+        self.pos
+    }
+
+    /// Whether a drag is in progress.
+    pub fn is_dragging(&self) -> bool {
+        self.dragging
+    }
+
+    /// Processes one tracked sample.
+    pub fn update(&mut self, t: f64, plane_pos: Point2) -> Vec<CursorEvent> {
+        let raw = self.map.project(plane_pos);
+        let smoothed = match self.pos {
+            None => raw,
+            Some(prev) => ScreenPos {
+                x: prev.x + self.cfg.smoothing * (raw.x - prev.x),
+                y: prev.y + self.cfg.smoothing * (raw.y - prev.y),
+            },
+        };
+        self.pos = Some(smoothed);
+        let mut events = vec![CursorEvent::Moved(smoothed)];
+
+        // A recent click may still become a drag.
+        if let Some((origin, at)) = self.armed_drag {
+            if t - at > self.cfg.drag_window {
+                self.armed_drag = None;
+            } else if smoothed.dist(origin) > self.cfg.drag_threshold_px {
+                self.armed_drag = None;
+                self.dragging = true;
+                events.push(CursorEvent::DragStart(origin));
+            }
+        }
+
+        // Leaving the clicked spot re-arms clicking there.
+        if let Some(p) = self.last_click {
+            if smoothed.dist(p) > self.cfg.dwell_radius_px {
+                self.last_click = None;
+            }
+        }
+
+        // Dwell detection.
+        match self.dwell_anchor {
+            Some((anchor, since)) if smoothed.dist(anchor) <= self.cfg.dwell_radius_px => {
+                if t - since >= self.cfg.dwell_time {
+                    if self.dragging {
+                        self.dragging = false;
+                        // Ending a drag is itself an interaction; suppress an
+                        // immediate follow-up click at the drop point.
+                        self.last_click = Some(smoothed);
+                        events.push(CursorEvent::DragEnd(smoothed));
+                    } else if self.last_click.is_none() {
+                        self.last_click = Some(smoothed);
+                        self.armed_drag = Some((smoothed, t));
+                        events.push(CursorEvent::Click(smoothed));
+                    }
+                    // Restart the dwell window either way, so a sustained
+                    // hover does not machine-gun events.
+                    self.dwell_anchor = Some((smoothed, t));
+                }
+            }
+            _ => {
+                self.dwell_anchor = Some((smoothed, t));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_core::geom::Rect;
+
+    fn tracker() -> CursorTracker {
+        let map = ScreenMap::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            1000.0,
+            1000.0,
+        );
+        CursorTracker::new(
+            CursorConfig {
+                smoothing: 1.0, // no smoothing: deterministic positions
+                dwell_radius_px: 30.0,
+                dwell_time: 0.5,
+                drag_threshold_px: 50.0,
+                drag_window: 0.5,
+            },
+            map,
+        )
+    }
+
+    fn collect_clicks(events: &[CursorEvent]) -> Vec<ScreenPos> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                CursorEvent::Click(p) => Some(*p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_update_moves_the_cursor() {
+        let mut tr = tracker();
+        let events = tr.update(0.0, Point2::new(0.5, 0.5));
+        assert!(matches!(events[0], CursorEvent::Moved(_)));
+        assert!(tr.position().is_some());
+    }
+
+    #[test]
+    fn dwell_produces_click() {
+        let mut tr = tracker();
+        let mut clicked = false;
+        for i in 0..20 {
+            clicked |= !collect_clicks(&tr.update(i as f64 * 0.1, Point2::new(0.5, 0.5))).is_empty();
+        }
+        assert!(clicked, "holding still for 2 s must click");
+    }
+
+    #[test]
+    fn moving_cursor_never_clicks() {
+        let mut tr = tracker();
+        for i in 0..40 {
+            let p = Point2::new(0.1 + 0.02 * i as f64, 0.5);
+            let events = tr.update(i as f64 * 0.1, p);
+            assert!(
+                collect_clicks(&events).is_empty(),
+                "moving cursor clicked at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_hover_clicks_exactly_once() {
+        let mut tr = tracker();
+        let mut clicks = 0;
+        for i in 0..60 {
+            clicks += collect_clicks(&tr.update(i as f64 * 0.1, Point2::new(0.5, 0.5))).len();
+        }
+        assert_eq!(clicks, 1, "a continuous hover must click exactly once");
+    }
+
+    #[test]
+    fn click_then_motion_becomes_drag_then_dwell_ends_it() {
+        let mut tr = tracker();
+        // Dwell to click at the left (click fires at t = 0.5).
+        for i in 0..8 {
+            tr.update(i as f64 * 0.1, Point2::new(0.2, 0.5));
+        }
+        // Move right quickly (within the drag window): expect DragStart.
+        let mut saw_drag_start = false;
+        for i in 8..20 {
+            let p = Point2::new(0.2 + (i - 8) as f64 * 0.05, 0.5);
+            let events = tr.update(i as f64 * 0.1, p);
+            saw_drag_start |= events
+                .iter()
+                .any(|e| matches!(e, CursorEvent::DragStart(_)));
+        }
+        assert!(saw_drag_start, "motion after click should start a drag");
+        assert!(tr.is_dragging());
+        // Dwell again: DragEnd.
+        let mut saw_end = false;
+        for i in 20..35 {
+            let events = tr.update(i as f64 * 0.1, Point2::new(0.8, 0.5));
+            saw_end |= events.iter().any(|e| matches!(e, CursorEvent::DragEnd(_)));
+        }
+        assert!(saw_end, "dwell during drag should end it");
+        assert!(!tr.is_dragging());
+    }
+
+    #[test]
+    fn dwelling_on_a_second_target_clicks_again() {
+        let mut tr = tracker();
+        let mut clicks = Vec::new();
+        // First target: hover long enough that the drag window expires.
+        for i in 0..14 {
+            clicks.extend(collect_clicks(&tr.update(i as f64 * 0.1, Point2::new(0.2, 0.5))));
+        }
+        // Travel to the second target (no dwell on the way).
+        tr.update(1.45, Point2::new(0.5, 0.5));
+        // Second target.
+        for i in 15..26 {
+            clicks.extend(collect_clicks(&tr.update(i as f64 * 0.1, Point2::new(0.8, 0.5))));
+        }
+        assert_eq!(clicks.len(), 2, "two distinct targets, two clicks: {clicks:?}");
+        assert!(clicks[0].dist(clicks[1]) > 100.0);
+    }
+
+    #[test]
+    fn slow_motion_after_click_does_not_drag() {
+        let mut tr = tracker();
+        // Click, then wait out the drag window while hovering, then move.
+        for i in 0..14 {
+            tr.update(i as f64 * 0.1, Point2::new(0.2, 0.5));
+        }
+        let mut saw_drag = false;
+        for i in 14..24 {
+            let p = Point2::new(0.2 + (i - 14) as f64 * 0.06, 0.5);
+            let events = tr.update(i as f64 * 0.1, p);
+            saw_drag |= events.iter().any(|e| matches!(e, CursorEvent::DragStart(_)));
+        }
+        assert!(!saw_drag, "motion after the drag window must not drag");
+    }
+
+    #[test]
+    fn smoothing_lags_behind_raw_motion() {
+        let map = ScreenMap::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            1000.0,
+            1000.0,
+        );
+        let mut tr = CursorTracker::new(
+            CursorConfig {
+                smoothing: 0.2,
+                ..CursorConfig::default()
+            },
+            map,
+        );
+        tr.update(0.0, Point2::new(0.0, 0.5));
+        let events = tr.update(0.1, Point2::new(1.0, 0.5));
+        if let CursorEvent::Moved(p) = events[0] {
+            assert!(p.x < 500.0, "smoothed jump {} should lag the raw jump", p.x);
+        } else {
+            panic!("expected a move event");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing must be in")]
+    fn rejects_bad_smoothing() {
+        let map = ScreenMap::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            100.0,
+            100.0,
+        );
+        let _ = CursorTracker::new(
+            CursorConfig {
+                smoothing: 0.0,
+                ..CursorConfig::default()
+            },
+            map,
+        );
+    }
+}

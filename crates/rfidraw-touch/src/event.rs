@@ -1,0 +1,172 @@
+//! Touch events and the writing-plane → screen mapping.
+//!
+//! The virtual screen is a rectangle of the writing plane; a [`ScreenMap`]
+//! projects plane coordinates (metres, `z` up) into device pixels (`y`
+//! down, origin top-left — the convention of every touch screen API).
+
+use rfidraw_core::geom::{Point2, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A position in device pixels (origin top-left, `y` grows downwards).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenPos {
+    /// Horizontal pixel coordinate.
+    pub x: f64,
+    /// Vertical pixel coordinate (downwards).
+    pub y: f64,
+}
+
+impl ScreenPos {
+    /// Euclidean distance in pixels.
+    pub fn dist(&self, other: ScreenPos) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// The phase of a touch event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TouchPhase {
+    /// Finger/stylus lands.
+    Down,
+    /// Finger/stylus moves while down.
+    Move,
+    /// Finger/stylus lifts.
+    Up,
+}
+
+/// One touch event, as injected into a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TouchEvent {
+    /// Event timestamp (s).
+    pub t: f64,
+    /// Down / move / up.
+    pub phase: TouchPhase,
+    /// Screen position.
+    pub pos: ScreenPos,
+}
+
+/// Maps a rectangle of the writing plane onto a pixel screen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenMap {
+    /// The plane region that corresponds to the screen.
+    pub plane_region: Rect,
+    /// Screen width in pixels.
+    pub width_px: f64,
+    /// Screen height in pixels.
+    pub height_px: f64,
+}
+
+impl ScreenMap {
+    /// Creates a mapping.
+    ///
+    /// # Panics
+    /// Panics on a degenerate region or non-positive pixel dimensions.
+    pub fn new(plane_region: Rect, width_px: f64, height_px: f64) -> Self {
+        assert!(
+            plane_region.width() > 0.0 && plane_region.height() > 0.0,
+            "screen map needs a non-degenerate plane region"
+        );
+        assert!(
+            width_px > 0.0 && height_px > 0.0,
+            "screen dimensions must be positive"
+        );
+        Self {
+            plane_region,
+            width_px,
+            height_px,
+        }
+    }
+
+    /// A 1080×1920 portrait phone mapped onto the given plane region.
+    pub fn phone(plane_region: Rect) -> Self {
+        Self::new(plane_region, 1080.0, 1920.0)
+    }
+
+    /// Projects a plane point into pixels, clamping to the screen. The
+    /// plane's `z`-up becomes the screen's `y`-down.
+    pub fn project(&self, p: Point2) -> ScreenPos {
+        let fx = (p.x - self.plane_region.min.x) / self.plane_region.width();
+        let fz = (p.z - self.plane_region.min.z) / self.plane_region.height();
+        ScreenPos {
+            x: (fx * self.width_px).clamp(0.0, self.width_px),
+            y: ((1.0 - fz) * self.height_px).clamp(0.0, self.height_px),
+        }
+    }
+
+    /// Inverse projection (pixels → plane), for tests and calibration.
+    pub fn unproject(&self, s: ScreenPos) -> Point2 {
+        Point2::new(
+            self.plane_region.min.x + s.x / self.width_px * self.plane_region.width(),
+            self.plane_region.min.z + (1.0 - s.y / self.height_px) * self.plane_region.height(),
+        )
+    }
+
+    /// Whether a plane point falls inside the mapped region.
+    pub fn contains(&self, p: Point2) -> bool {
+        self.plane_region.contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ScreenMap {
+        ScreenMap::new(
+            Rect::new(Point2::new(1.0, 0.5), Point2::new(2.0, 1.5)),
+            1000.0,
+            2000.0,
+        )
+    }
+
+    #[test]
+    fn corners_map_to_screen_corners() {
+        let m = map();
+        // Plane bottom-left → screen bottom-left (y down!).
+        let bl = m.project(Point2::new(1.0, 0.5));
+        assert_eq!((bl.x, bl.y), (0.0, 2000.0));
+        let tr = m.project(Point2::new(2.0, 1.5));
+        assert_eq!((tr.x, tr.y), (1000.0, 0.0));
+        let center = m.project(Point2::new(1.5, 1.0));
+        assert_eq!((center.x, center.y), (500.0, 1000.0));
+    }
+
+    #[test]
+    fn z_up_becomes_y_down() {
+        let m = map();
+        let low = m.project(Point2::new(1.5, 0.6));
+        let high = m.project(Point2::new(1.5, 1.4));
+        assert!(high.y < low.y, "higher plane points must be higher on screen");
+    }
+
+    #[test]
+    fn out_of_region_points_clamp() {
+        let m = map();
+        let p = m.project(Point2::new(10.0, -5.0));
+        assert_eq!((p.x, p.y), (1000.0, 2000.0));
+    }
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let m = map();
+        for (x, z) in [(1.1, 0.6), (1.9, 1.4), (1.5, 1.0)] {
+            let p = Point2::new(x, z);
+            let back = m.unproject(m.project(p));
+            assert!(back.dist(p) < 1e-9, "{p:?} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn screen_pos_distance() {
+        let a = ScreenPos { x: 0.0, y: 0.0 };
+        let b = ScreenPos { x: 3.0, y: 4.0 };
+        assert!((a.dist(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn rejects_degenerate_region() {
+        let r = Rect::new(Point2::new(1.0, 1.0), Point2::new(1.0, 2.0));
+        let _ = ScreenMap::new(r, 100.0, 100.0);
+    }
+}

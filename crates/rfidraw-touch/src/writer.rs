@@ -1,0 +1,154 @@
+//! Trajectory → touch-event strokes (the MonkeyRunner substitute, §6).
+//!
+//! The paper injects each reconstructed letter into the phone as a touch
+//! stroke: a `Down` at the letter's first point, `Move`s along it, and an
+//! `Up` at its end, letting the handwriting app see the same input a stylus
+//! would produce. [`stroke_events`] converts one point sequence;
+//! [`word_strokes`] converts the per-letter segments of a traced word.
+
+use crate::event::{ScreenMap, TouchEvent, TouchPhase};
+use rfidraw_core::geom::Point2;
+
+/// Converts one traced stroke into a touch-event sequence.
+///
+/// `samples` are `(time, plane position)` pairs in order. Returns an empty
+/// vector for fewer than two samples (nothing strokable).
+pub fn stroke_events(samples: &[(f64, Point2)], map: &ScreenMap) -> Vec<TouchEvent> {
+    if samples.len() < 2 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(samples.len() + 1);
+    let (t0, p0) = samples[0];
+    out.push(TouchEvent {
+        t: t0,
+        phase: TouchPhase::Down,
+        pos: map.project(p0),
+    });
+    for &(t, p) in &samples[1..samples.len() - 1] {
+        out.push(TouchEvent {
+            t,
+            phase: TouchPhase::Move,
+            pos: map.project(p),
+        });
+    }
+    let (tn, pn) = samples[samples.len() - 1];
+    out.push(TouchEvent {
+        t: tn,
+        phase: TouchPhase::Up,
+        pos: map.project(pn),
+    });
+    out
+}
+
+/// Converts the per-letter segments of a traced word into one stroke per
+/// letter, with inter-stroke gaps preserved by the timestamps. Segments
+/// with fewer than two points are skipped (they would inject a spurious
+/// tap).
+pub fn word_strokes(
+    letter_segments: &[Vec<(f64, Point2)>],
+    map: &ScreenMap,
+) -> Vec<Vec<TouchEvent>> {
+    letter_segments
+        .iter()
+        .map(|seg| stroke_events(seg, map))
+        .filter(|events| !events.is_empty())
+        .collect()
+}
+
+/// Validates an event sequence as a well-formed stroke: exactly one `Down`
+/// first, one `Up` last, `Move`s between, timestamps non-decreasing. Used
+/// by tests and by consumers that want to assert injection invariants.
+pub fn is_well_formed_stroke(events: &[TouchEvent]) -> bool {
+    if events.len() < 2 {
+        return false;
+    }
+    if events[0].phase != TouchPhase::Down || events[events.len() - 1].phase != TouchPhase::Up {
+        return false;
+    }
+    if events[1..events.len() - 1]
+        .iter()
+        .any(|e| e.phase != TouchPhase::Move)
+    {
+        return false;
+    }
+    events.windows(2).all(|w| w[0].t <= w[1].t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_core::geom::Rect;
+
+    fn map() -> ScreenMap {
+        ScreenMap::phone(Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)))
+    }
+
+    fn ramp(n: usize) -> Vec<(f64, Point2)> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / (n - 1) as f64;
+                (f, Point2::new(f, f * 0.5))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stroke_has_down_moves_up() {
+        let events = stroke_events(&ramp(10), &map());
+        assert_eq!(events.len(), 10);
+        assert!(is_well_formed_stroke(&events));
+        assert_eq!(events[0].phase, TouchPhase::Down);
+        assert_eq!(events[9].phase, TouchPhase::Up);
+        assert_eq!(
+            events.iter().filter(|e| e.phase == TouchPhase::Move).count(),
+            8
+        );
+    }
+
+    #[test]
+    fn stroke_preserves_timestamps() {
+        let events = stroke_events(&ramp(5), &map());
+        for (e, (t, _)) in events.iter().zip(ramp(5)) {
+            assert_eq!(e.t, t);
+        }
+    }
+
+    #[test]
+    fn degenerate_input_yields_no_stroke() {
+        assert!(stroke_events(&[], &map()).is_empty());
+        assert!(stroke_events(&[(0.0, Point2::new(0.0, 0.0))], &map()).is_empty());
+    }
+
+    #[test]
+    fn word_strokes_skip_empty_letters() {
+        let segs = vec![ramp(6), vec![], ramp(4)];
+        let strokes = word_strokes(&segs, &map());
+        assert_eq!(strokes.len(), 2);
+        assert!(strokes.iter().all(|s| is_well_formed_stroke(s)));
+    }
+
+    #[test]
+    fn well_formedness_rejects_bad_sequences() {
+        let m = map();
+        let mut events = stroke_events(&ramp(5), &m);
+        assert!(is_well_formed_stroke(&events));
+        // Up in the middle.
+        events[2].phase = TouchPhase::Up;
+        assert!(!is_well_formed_stroke(&events));
+        // Too short.
+        assert!(!is_well_formed_stroke(&events[..1]));
+        // Decreasing time.
+        let mut events2 = stroke_events(&ramp(5), &m);
+        events2[3].t = -1.0;
+        assert!(!is_well_formed_stroke(&events2));
+    }
+
+    #[test]
+    fn positions_are_projected() {
+        let m = map();
+        let events = stroke_events(&ramp(3), &m);
+        // First point (0,0) of the unit region maps to bottom-left.
+        assert_eq!(events[0].pos.x, 0.0);
+        assert_eq!(events[0].pos.y, 1920.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the touch application layer.
+
+use proptest::prelude::*;
+use rfidraw_core::geom::{Point2, Rect};
+use rfidraw_touch::writer::is_well_formed_stroke;
+use rfidraw_touch::{stroke_events, ScreenMap, TouchPhase};
+
+fn arbitrary_map() -> impl Strategy<Value = ScreenMap> {
+    (
+        (-5.0f64..5.0, -5.0f64..5.0),
+        (0.1f64..10.0, 0.1f64..10.0),
+        (100.0f64..4000.0, 100.0f64..4000.0),
+    )
+        .prop_map(|((x, z), (w, h), (px, py))| {
+            ScreenMap::new(
+                Rect::new(Point2::new(x, z), Point2::new(x + w, z + h)),
+                px,
+                py,
+            )
+        })
+}
+
+fn arbitrary_samples() -> impl Strategy<Value = Vec<(f64, Point2)>> {
+    proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..100).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, z))| (i as f64 * 0.04, Point2::new(x, z)))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn projection_is_always_on_screen(
+        map in arbitrary_map(),
+        x in -100.0f64..100.0,
+        z in -100.0f64..100.0,
+    ) {
+        let s = map.project(Point2::new(x, z));
+        prop_assert!((0.0..=map.width_px).contains(&s.x));
+        prop_assert!((0.0..=map.height_px).contains(&s.y));
+    }
+
+    #[test]
+    fn unproject_inverts_project_inside_region(
+        map in arbitrary_map(),
+        fx in 0.0f64..1.0,
+        fz in 0.0f64..1.0,
+    ) {
+        let p = Point2::new(
+            map.plane_region.min.x + fx * map.plane_region.width(),
+            map.plane_region.min.z + fz * map.plane_region.height(),
+        );
+        let back = map.unproject(map.project(p));
+        // Tolerance scales with the region size (float error through two
+        // affine maps).
+        let tol = (map.plane_region.width() + map.plane_region.height()) * 1e-9 + 1e-9;
+        prop_assert!(back.dist(p) < tol, "roundtrip {p:?} -> {back:?}");
+    }
+
+    #[test]
+    fn strokes_are_always_well_formed(
+        map in arbitrary_map(),
+        samples in arbitrary_samples(),
+    ) {
+        let events = stroke_events(&samples, &map);
+        prop_assert_eq!(events.len(), samples.len());
+        prop_assert!(is_well_formed_stroke(&events));
+        // Exactly one Down and one Up.
+        let downs = events.iter().filter(|e| e.phase == TouchPhase::Down).count();
+        let ups = events.iter().filter(|e| e.phase == TouchPhase::Up).count();
+        prop_assert_eq!((downs, ups), (1, 1));
+        // Every event position is on-screen.
+        for e in &events {
+            prop_assert!((0.0..=map.width_px).contains(&e.pos.x));
+            prop_assert!((0.0..=map.height_px).contains(&e.pos.y));
+        }
+    }
+
+    #[test]
+    fn cursor_positions_track_inputs_eventually(
+        fx in 0.05f64..0.95,
+        fz in 0.05f64..0.95,
+    ) {
+        use rfidraw_touch::{CursorConfig, CursorTracker};
+        let map = ScreenMap::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            1000.0,
+            1000.0,
+        );
+        let target = Point2::new(fx, fz);
+        let expected = map.project(target);
+        let mut tracker = CursorTracker::new(CursorConfig::default(), map);
+        for i in 0..100 {
+            tracker.update(i as f64 * 0.04, target);
+        }
+        let pos = tracker.position().expect("has a position");
+        prop_assert!(pos.dist(expected) < 1.0, "cursor {pos:?} vs {expected:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # rfidraw
+//!
+//! The facade crate of the RF-IDraw reproduction: one import for the whole
+//! system, plus the end-to-end [`pipeline`] that wires every substrate
+//! together the way the paper's prototype does —
+//!
+//! ```text
+//! handwriting generator ──► protocol simulator ──► phase read stream
+//!        (ground truth)      (over the RF channel)        │
+//!                                                         ▼
+//!                be recognized ◄── trajectory tracer ◄── snapshots
+//!                 (§9, app)        + multi-res positioning (§5)
+//! ```
+//!
+//! See the `examples/` directory for runnable demonstrations and
+//! `rfidraw-bench` for the per-figure experiment harnesses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rfidraw::pipeline::{PipelineConfig, run_word};
+//!
+//! let cfg = PipelineConfig::fast_demo();
+//! let run = run_word("hi", 0, &cfg).expect("simulation succeeds");
+//! println!(
+//!     "traced {} points, median shape error {:.1} cm",
+//!     run.rfidraw_trace.len(),
+//!     run.median_trajectory_error_cm()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod pipeline;
+pub mod plot;
+pub mod svg;
+
+pub use rfidraw_channel as channel;
+pub use rfidraw_core as core;
+pub use rfidraw_handwriting as handwriting;
+pub use rfidraw_metrics as metrics;
+pub use rfidraw_protocol as protocol;
+pub use rfidraw_recognition as recognition;
+pub use rfidraw_touch as touch;

@@ -1,0 +1,111 @@
+//! Terminal rendering of trajectories.
+//!
+//! The examples display reconstructed writing directly in the terminal as
+//! ASCII raster plots — the closest a CLI gets to the paper's Fig. 1(b).
+
+use rfidraw_core::geom::{Point2, Rect};
+
+/// Renders point sequences onto an ASCII canvas.
+///
+/// Each series is drawn with its own glyph (first series `*`, then `o`,
+/// `+`, `x`, …); later series draw over earlier ones. Returns a string of
+/// `height` lines of `width` characters, `z` up.
+pub fn ascii_plot(series: &[&[Point2]], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "canvas must be at least 2×2");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let all: Vec<Point2> = series.iter().flat_map(|s| s.iter().copied()).collect();
+    let Some(bounds) = Rect::bounding(&all) else {
+        return vec![" ".repeat(width); height].join("\n");
+    };
+    // Guard degenerate extents.
+    let w = bounds.width().max(1e-6);
+    let h = bounds.height().max(1e-6);
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for p in s.iter() {
+            let ix = (((p.x - bounds.min.x) / w) * (width - 1) as f64).round() as usize;
+            let iz = (((p.z - bounds.min.z) / h) * (height - 1) as f64).round() as usize;
+            let ix = ix.min(width - 1);
+            let iz = iz.min(height - 1);
+            canvas[height - 1 - iz][ix] = glyph;
+        }
+    }
+    canvas
+        .into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Linearly interpolates extra points between samples so ASCII plots show
+/// connected strokes instead of dots.
+pub fn densify(points: &[Point2], per_segment: usize) -> Vec<Point2> {
+    if points.len() < 2 || per_segment == 0 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(points.len() * per_segment);
+    for w in points.windows(2) {
+        for k in 0..per_segment {
+            out.push(w[0].lerp(w[1], k as f64 / per_segment as f64));
+        }
+    }
+    out.push(*points.last().expect("non-empty"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_has_requested_dimensions() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let s = ascii_plot(&[&pts], 20, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.chars().count() == 20));
+    }
+
+    #[test]
+    fn plot_marks_corners() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let s = ascii_plot(&[&pts], 10, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // (0,0) is bottom-left; (1,1) top-right.
+        assert_eq!(lines[4].chars().next().unwrap(), '*');
+        assert_eq!(lines[0].chars().last().unwrap(), '*');
+    }
+
+    #[test]
+    fn second_series_uses_different_glyph() {
+        let a = vec![Point2::new(0.0, 0.0)];
+        let b = vec![Point2::new(1.0, 1.0)];
+        let s = ascii_plot(&[&a, &b], 10, 5);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn empty_series_render_blank() {
+        let s = ascii_plot(&[], 5, 3);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn densify_interpolates() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        let d = densify(&pts, 4);
+        assert_eq!(d.len(), 5);
+        assert!((d[1].x - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densify_degenerate_inputs() {
+        let one = vec![Point2::new(0.0, 0.0)];
+        assert_eq!(densify(&one, 4), one);
+        let two = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        assert_eq!(densify(&two, 0), two);
+    }
+}

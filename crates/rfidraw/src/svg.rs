@@ -1,0 +1,227 @@
+//! SVG rendering of trajectories — publication-style output without any
+//! plotting dependency (plain XML strings).
+//!
+//! The ASCII plots in [`crate::plot`] are for the terminal; this module
+//! produces the figure-like artifacts: ground truth and reconstructions as
+//! coloured polylines with axes, ready to open in a browser or embed in a
+//! report.
+
+use rfidraw_core::geom::{Point2, Rect};
+
+/// One polyline to draw.
+#[derive(Debug, Clone)]
+pub struct SvgSeries {
+    /// Legend label.
+    pub label: String,
+    /// Stroke colour (any CSS colour).
+    pub color: String,
+    /// The points (plane coordinates, metres).
+    pub points: Vec<Point2>,
+}
+
+impl SvgSeries {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, color: impl Into<String>, points: Vec<Point2>) -> Self {
+        Self {
+            label: label.into(),
+            color: color.into(),
+            points,
+        }
+    }
+}
+
+/// Renders series into a self-contained SVG document.
+///
+/// The viewport is the bounding box of all points plus a margin; `z` points
+/// up (plane convention), so the SVG y-axis is flipped. Returns a valid
+/// empty plot for empty input.
+pub fn svg_plot(series: &[SvgSeries], width_px: f64, height_px: f64, title: &str) -> String {
+    assert!(
+        width_px > 0.0 && height_px > 0.0,
+        "SVG dimensions must be positive"
+    );
+    let all: Vec<Point2> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let bounds = Rect::bounding(&all)
+        .unwrap_or(Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)))
+        .expand(0.05);
+    let w = bounds.width().max(1e-6);
+    let h = bounds.height().max(1e-6);
+    let margin = 40.0;
+    let plot_w = width_px - 2.0 * margin;
+    let plot_h = height_px - 2.0 * margin;
+
+    let project = |p: Point2| -> (f64, f64) {
+        (
+            margin + (p.x - bounds.min.x) / w * plot_w,
+            margin + (1.0 - (p.z - bounds.min.z) / h) * plot_h,
+        )
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        r#"<rect width="{width_px}" height="{height_px}" fill="white"/>"#
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        r#"<text x="{:.0}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+        width_px / 2.0,
+        xml_escape(title)
+    ));
+    out.push('\n');
+    // Axes frame with extent labels (metres).
+    out.push_str(&format!(
+        r##"<rect x="{margin}" y="{margin}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#999"/>"##
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        r##"<text x="{margin}" y="{:.1}" font-family="sans-serif" font-size="11" fill="#555">x: {:.2}..{:.2} m</text>"##,
+        height_px - 8.0,
+        bounds.min.x,
+        bounds.max.x
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        r##"<text x="4" y="{margin}" font-family="sans-serif" font-size="11" fill="#555">z: {:.2}..{:.2} m</text>"##,
+        bounds.min.z,
+        bounds.max.z
+    ));
+    out.push('\n');
+
+    for (i, s) in series.iter().enumerate() {
+        if s.points.len() >= 2 {
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&p| {
+                    let (x, y) = project(p);
+                    format!("{x:.1},{y:.1}")
+                })
+                .collect();
+            out.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.5"/>"#,
+                pts.join(" "),
+                xml_escape(&s.color)
+            ));
+            out.push('\n');
+        }
+        // Legend entry.
+        let ly = margin + 16.0 * (i as f64 + 1.0);
+        out.push_str(&format!(
+            r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{}" stroke-width="2"/>"#,
+            width_px - margin - 90.0,
+            width_px - margin - 70.0,
+            xml_escape(&s.color)
+        ));
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+            width_px - margin - 64.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        ));
+        out.push('\n');
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiggle() -> Vec<Point2> {
+        (0..50)
+            .map(|i| {
+                let t = i as f64 / 49.0;
+                Point2::new(t, (t * 7.0).sin() * 0.2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let svg = svg_plot(
+            &[
+                SvgSeries::new("truth", "#888888", wiggle()),
+                SvgSeries::new("rfidraw", "#d62728", wiggle()),
+            ],
+            640.0,
+            480.0,
+            "demo",
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("truth"));
+        assert!(svg.contains("rfidraw"));
+        assert!(svg.contains("demo"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_viewport() {
+        let svg = svg_plot(&[SvgSeries::new("a", "blue", wiggle())], 600.0, 400.0, "t");
+        for cap in svg.split("points=\"").skip(1) {
+            let pts = cap.split('"').next().unwrap();
+            for pair in pts.split(' ') {
+                let mut it = pair.split(',');
+                let x: f64 = it.next().unwrap().parse().unwrap();
+                let y: f64 = it.next().unwrap().parse().unwrap();
+                assert!((0.0..=600.0).contains(&x), "x {x} outside");
+                assert!((0.0..=400.0).contains(&y), "y {y} outside");
+            }
+        }
+    }
+
+    #[test]
+    fn z_up_means_svg_y_down() {
+        let up = vec![Point2::new(0.0, 0.0), Point2::new(0.0, 1.0)];
+        let svg = svg_plot(&[SvgSeries::new("a", "blue", up)], 600.0, 400.0, "t");
+        let pts: Vec<&str> = svg
+            .split("points=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .split(' ')
+            .collect();
+        let y0: f64 = pts[0].split(',').nth(1).unwrap().parse().unwrap();
+        let y1: f64 = pts[1].split(',').nth(1).unwrap().parse().unwrap();
+        assert!(y1 < y0, "higher z must render with smaller SVG y");
+    }
+
+    #[test]
+    fn empty_input_still_renders() {
+        let svg = svg_plot(&[], 300.0, 200.0, "empty");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("empty"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = svg_plot(
+            &[SvgSeries::new("a<b>&\"c", "red", wiggle())],
+            300.0,
+            200.0,
+            "t<&>",
+        );
+        assert!(!svg.contains("a<b>"));
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_size() {
+        let _ = svg_plot(&[], 0.0, 100.0, "t");
+    }
+}

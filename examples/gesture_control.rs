@@ -1,0 +1,131 @@
+//! Command gestures in the air: swipes, circles, checkmarks (paper §9.3).
+//!
+//! ```sh
+//! cargo run --release -p rfidraw --example gesture_control
+//! ```
+//!
+//! The paper argues RF-IDraw subsumes classify-only gesture interfaces:
+//! since it traces arbitrary shapes, a gesture vocabulary is just template
+//! matching on the traced path. This demo performs a set of command
+//! gestures with the tag, runs the full tracking pipeline, and interprets
+//! each traced shape as a command.
+
+use rfidraw::channel::{Channel, Scenario};
+use rfidraw::core::array::Deployment;
+use rfidraw::core::geom::{Plane, Point2, Rect};
+use rfidraw::core::position::{MultiResConfig, MultiResPositioner};
+use rfidraw::core::stream::SnapshotBuilder;
+use rfidraw::core::trace::{TraceConfig, TrajectoryTracer};
+use rfidraw::plot::{ascii_plot, densify};
+use rfidraw::protocol::inventory::{phase_reads, InventoryConfig, InventorySim, SimTag};
+use rfidraw::protocol::Epc;
+use rfidraw::recognition::{Gesture, GestureRecognizer};
+
+/// The performed gesture path in the writing plane, ~25 cm scale.
+fn gesture_path(g: Gesture, center: Point2) -> Vec<Point2> {
+    let s = 0.25;
+    let base: Vec<Point2> = match g {
+        Gesture::SwipeRight => vec![Point2::new(-0.5, 0.0), Point2::new(0.5, 0.0)],
+        Gesture::SwipeLeft => vec![Point2::new(0.5, 0.0), Point2::new(-0.5, 0.0)],
+        Gesture::SwipeUp => vec![Point2::new(0.0, -0.5), Point2::new(0.0, 0.5)],
+        Gesture::SwipeDown => vec![Point2::new(0.0, 0.5), Point2::new(0.0, -0.5)],
+        Gesture::Circle => (0..=40)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / 40.0;
+                Point2::new(0.5 * a.cos(), 0.5 * a.sin())
+            })
+            .collect(),
+        Gesture::Check => vec![
+            Point2::new(-0.5, 0.0),
+            Point2::new(-0.15, -0.5),
+            Point2::new(0.5, 0.5),
+        ],
+        Gesture::Cross => vec![
+            Point2::new(-0.5, 0.5),
+            Point2::new(0.5, -0.5),
+            Point2::new(0.5, 0.5),
+            Point2::new(-0.5, -0.5),
+        ],
+    };
+    base.into_iter().map(|p| center + p * s).collect()
+}
+
+/// Densify + timestamp the gesture at constant speed, holding still during
+/// the lead-in. Samples are uniformly spaced at `1/rate` seconds.
+fn timed(path: &[Point2], speed: f64, rate: f64, lead: f64) -> Vec<(f64, Point2)> {
+    let mut samples = Vec::new();
+    let mut t = 0.0;
+    while t < lead {
+        samples.push((t, path[0]));
+        t += 1.0 / rate;
+    }
+    for w in path.windows(2) {
+        let steps = ((w[0].dist(w[1]) / speed) * rate).ceil().max(1.0) as usize;
+        for k in 0..steps {
+            samples.push((t, w[0].lerp(w[1], k as f64 / steps as f64)));
+            t += 1.0 / rate;
+        }
+    }
+    samples.push((t, *path.last().unwrap()));
+    samples
+}
+
+fn main() {
+    println!("=== Command gestures through the full pipeline ===\n");
+
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.2));
+    let center = Point2::new(1.4, 1.1);
+    let rec = GestureRecognizer::new();
+
+    let mut correct = 0;
+    let mut total = 0;
+    for (i, &g) in Gesture::all().iter().enumerate() {
+        let path = gesture_path(g, center);
+        let motion = timed(&path, 0.25, 200.0, 0.4);
+        let end_t = motion.last().unwrap().0;
+        let lookup = move |t: f64| {
+            let idx = ((t * 200.0).round() as usize).min(motion.len() - 1);
+            plane.lift(motion[idx].1)
+        };
+
+        let channel = Channel::new(dep.clone(), Scenario::Los.config(), 50 + i as u64);
+        let mut sim =
+            InventorySim::new(channel, InventoryConfig::paper_default(0.030, 50 + i as u64));
+        let epc = Epc::from_index(1);
+        let records = sim.run(&[SimTag { epc, trajectory: &lookup }], end_t + 0.2);
+        let reads = phase_reads(&records, epc);
+        let snaps = match SnapshotBuilder::new(dep.all_pairs().copied().collect(), 0.04)
+            .build(&reads)
+        {
+            Ok(s) if !s.is_empty() => s,
+            _ => {
+                println!("{g:?}: stream failure");
+                continue;
+            }
+        };
+        let positioner =
+            MultiResPositioner::new(dep.clone(), plane, MultiResConfig::for_region(region));
+        let candidates = positioner.locate(&snaps[0].wrapped);
+        let tracer = TrajectoryTracer::new(dep.clone(), plane, TraceConfig::default());
+        let (winner, traces) = tracer.trace_candidates(&candidates, &snaps);
+        // Skip the static lead-in when matching the gesture shape.
+        let skip = (0.4 / 0.04) as usize;
+        let traced = &traces[winner].points[skip.min(traces[winner].points.len() - 2)..];
+
+        total += 1;
+        match rec.recognize(traced) {
+            Some(m) if m.gesture == g => {
+                correct += 1;
+                println!("performed {g:?} -> recognized {:?}  ✓", m.gesture);
+            }
+            Some(m) => println!("performed {g:?} -> recognized {:?}  ✗", m.gesture),
+            None => println!("performed {g:?} -> no match"),
+        }
+        if g == Gesture::Circle {
+            println!("{}", ascii_plot(&[&densify(traced, 2)], 60, 14));
+        }
+    }
+    println!("\n{correct}/{total} gestures recognized correctly");
+}

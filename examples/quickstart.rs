@@ -1,0 +1,93 @@
+//! Quickstart: trace one word written in the air and print the result.
+//!
+//! ```sh
+//! cargo run --release -p rfidraw --example quickstart [WORD] \
+//!     [--json OUT.json] [--svg OUT.svg]
+//! ```
+//!
+//! Runs the full RF-IDraw pipeline — handwriting synthesis, EPC Gen-2
+//! inventory over the simulated channel, multi-resolution positioning and
+//! lobe-locked trajectory tracing — then prints the shape error and an
+//! ASCII rendering of ground truth vs reconstruction.
+
+use rfidraw::pipeline::{run_word, PipelineConfig};
+use rfidraw::plot::{ascii_plot, densify};
+
+fn main() {
+    let mut word = "clear".to_string();
+    let mut json_out: Option<String> = None;
+    let mut svg_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = Some(it.next().expect("--json takes a path")),
+            "--svg" => svg_out = Some(it.next().expect("--svg takes a path")),
+            w => word = w.to_string(),
+        }
+    }
+    let cfg = PipelineConfig::paper_default();
+
+    println!("RF-IDraw quickstart — writing \"{word}\" in the air");
+    println!(
+        "  scenario: {}   depth: {} m   letters: {:.0} cm x-height",
+        cfg.scenario.label(),
+        cfg.depth,
+        cfg.x_height * 100.0
+    );
+
+    let run = match run_word(&word, 0, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "  {} snapshots, {} candidate start points, winner #{}",
+        run.times.len(),
+        run.candidates.len(),
+        run.winner
+    );
+    println!(
+        "  initial-position error: {:.1} cm",
+        run.initial_position_error() * 100.0
+    );
+    println!(
+        "  median trajectory (shape) error: {:.1} cm",
+        run.median_trajectory_error_cm()
+    );
+
+    println!("\nGround truth (o) vs RF-IDraw reconstruction (*):");
+    let truth = densify(&run.truth_at_ticks, 3);
+    let recon = densify(&run.rfidraw_trace, 3);
+    println!("{}", ascii_plot(&[&recon, &truth], 100, 24));
+
+    println!("\nBaseline antenna-array reconstruction of the same word (+):");
+    println!("{}", ascii_plot(&[&run.baseline_trace], 100, 24));
+
+    if let Some(path) = json_out {
+        let export = rfidraw::export::RunExport::from_run(&run);
+        match std::fs::write(&path, export.to_json()) {
+            Ok(()) => println!("\nwrote trajectory export to {path}"),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = svg_out {
+        use rfidraw::svg::{svg_plot, SvgSeries};
+        let doc = svg_plot(
+            &[
+                SvgSeries::new("ground truth", "#888888", run.truth_at_ticks.clone()),
+                SvgSeries::new("RF-IDraw", "#d62728", run.rfidraw_trace.clone()),
+                SvgSeries::new("antenna arrays", "#1f77b4", run.baseline_trace.clone()),
+            ],
+            900.0,
+            600.0,
+            &format!("\"{}\" written in the air ({})", run.word, cfg.scenario.label()),
+        );
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("wrote SVG figure to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}

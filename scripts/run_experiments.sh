@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure and ablation, teeing each harness's output
+# into results/. Usage: scripts/run_experiments.sh [--trials N]
+set -u
+cd "$(dirname "$0")/.."
+
+TRIALS_ARG=()
+if [ "${1:-}" = "--trials" ] && [ -n "${2:-}" ]; then
+    TRIALS_ARG=(--trials "$2")
+fi
+
+mkdir -p results
+run() {
+    local bin="$1"; shift
+    echo "=== running $bin $* ==="
+    cargo run --release -q -p rfidraw-bench --bin "$bin" -- "$@" \
+        2>&1 | tee "results/$bin.txt"
+    echo
+}
+
+run fig02_beam_width
+run fig03_grating_lobes
+run fig04_multires_filter
+run fig06_positioning_stages
+run tab_noise_resolution
+run fig07_wrong_lobe
+run fig10_microbenchmark
+run fig11_trajectory_cdf "${TRIALS_ARG[@]}"
+run fig12_initial_position_cdf "${TRIALS_ARG[@]}"
+run fig13_offset_sensitivity ${TRIALS_ARG:+--trials "${2:-}"}
+run fig14_char_recognition ${TRIALS_ARG:+--trials "${2:-}"}
+run fig15_word_recognition
+run fig16_play_5m
+run ablation_separation
+run ablation_candidates
+run ablation_sampling
+run ablation_depth_scan
+
+echo "all experiment outputs in results/"

@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: the full RF-IDraw pipeline, end to end.
+//!
+//! These exercise the complete chain — handwriting synthesis → EPC Gen-2
+//! inventory over the simulated channel → phase stream → snapshots →
+//! multi-resolution positioning → lobe-locked tracing → metrics →
+//! recognition — on configurations small enough to run in CI.
+
+use rfidraw::channel::{Channel, FaultConfig, Scenario};
+use rfidraw::core::array::Deployment;
+use rfidraw::core::geom::{Plane, Point2, Rect};
+use rfidraw::core::position::{MultiResConfig, MultiResPositioner};
+use rfidraw::core::stream::SnapshotBuilder;
+use rfidraw::metrics::Cdf;
+use rfidraw::pipeline::{run_word, sample_words, PipelineConfig};
+use rfidraw::protocol::inventory::{phase_reads, InventoryConfig, InventorySim, SimTag};
+use rfidraw::protocol::Epc;
+use rfidraw::recognition::WordDecoder;
+
+#[test]
+fn static_tag_localizes_through_full_protocol_stack() {
+    // No handwriting: a static tag, the whole protocol + channel stack, and
+    // the positioner. The located position must be within ~25 cm of truth
+    // (the paper's initial-position accuracy is ~19 cm median in LOS).
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let truth = Point2::new(1.3, 1.1);
+    let channel = Channel::new(dep.clone(), Scenario::Los.config(), 11);
+    let mut sim = InventorySim::new(channel, InventoryConfig::paper_default(0.030, 11));
+    let traj = move |_t: f64| plane.lift(truth);
+    let epc = Epc::from_index(1);
+    let records = sim.run(&[SimTag { epc, trajectory: &traj }], 1.5);
+    let reads = phase_reads(&records, epc);
+    assert!(reads.len() > 100, "too few reads: {}", reads.len());
+
+    let snapshots = SnapshotBuilder::new(dep.all_pairs().copied().collect(), 0.05)
+        .build(&reads)
+        .expect("snapshots build");
+    assert!(!snapshots.is_empty());
+
+    let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.2));
+    let mut mcfg = MultiResConfig::for_region(region);
+    mcfg.fine_resolution = 0.02;
+    let positioner = MultiResPositioner::new(dep, plane, mcfg);
+    // Average the static snapshots' pair phases, as the pipeline does for
+    // its initial fix — single-snapshot positioning is noisier.
+    let n = snapshots.len().min(10);
+    let averaged: Vec<rfidraw::core::vote::PairMeasurement> = snapshots[0]
+        .unwrapped_turns
+        .iter()
+        .enumerate()
+        .map(|(i, &(pair, _))| {
+            let mean: f64 = snapshots[..n]
+                .iter()
+                .map(|s| s.unwrapped_turns[i].1)
+                .sum::<f64>()
+                / n as f64;
+            rfidraw::core::vote::PairMeasurement::new(
+                pair,
+                rfidraw::core::phase::wrap_pi(mean * std::f64::consts::TAU),
+            )
+        })
+        .collect();
+    let candidates = positioner.locate(&averaged);
+    // A static tag offers no trajectory vote to separate the candidates
+    // (that refinement is §5.2's job — see fig12, where our LOS initial
+    // median under this multipath model is ~38 cm). The contract checked
+    // here is structural: candidates exist, stay in the region, and the
+    // best one is in the right part of the plane rather than divergent.
+    assert!(!candidates.is_empty());
+    for c in &candidates {
+        assert!(region.contains(c.position), "candidate escaped the region");
+        assert!(c.vote <= 0.0 && c.vote.is_finite());
+    }
+    let best = candidates
+        .iter()
+        .map(|c| c.position.dist(truth))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best < 0.80,
+        "no candidate within 80 cm of the truth: {candidates:?} vs {truth:?}"
+    );
+}
+
+#[test]
+fn pipeline_reconstructs_word_shape() {
+    let cfg = PipelineConfig::fast_demo();
+    let run = run_word("it", 0, &cfg).expect("pipeline succeeds");
+    let median = Cdf::from_samples(run.rfidraw_errors()).median();
+    assert!(median < 0.10, "median shape error {median:.3} m");
+    // Over-constrained vote selection picked a winner among candidates.
+    assert!(run.winner < run.traces.len());
+    // Reconstructed trajectory length matches the tick count.
+    assert_eq!(run.rfidraw_trace.len(), run.times.len());
+}
+
+#[test]
+fn pipeline_outperforms_baseline_in_nlos() {
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.scenario = Scenario::Nlos;
+    cfg.seed = 3;
+    let run = run_word("be", 2, &cfg).expect("pipeline succeeds");
+    let rf = Cdf::from_samples(run.rfidraw_errors()).median();
+    let bl = Cdf::from_samples(run.baseline_errors()).median();
+    assert!(
+        rf < bl,
+        "NLOS: RF-IDraw {rf:.3} m should beat baseline {bl:.3} m"
+    );
+}
+
+#[test]
+fn pipeline_survives_moderate_fault_injection() {
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.fault = FaultConfig {
+        drop_chance: 0.15,
+        corrupt_chance: 0.02,
+        ..FaultConfig::default()
+    };
+    cfg.seed = 9;
+    let run = run_word("no", 1, &cfg).expect("pipeline survives 15% drops");
+    let median = Cdf::from_samples(run.rfidraw_errors()).median();
+    assert!(median < 0.15, "median under faults {median:.3} m");
+}
+
+#[test]
+fn reconstructed_word_is_recognized() {
+    // The virtual-touch-screen loop: write, trace, recognize. Uses the
+    // paper-quality tracer settings (the coarse fast_demo grid visibly
+    // quantizes 10 cm letters).
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.fine_resolution_scale = 1.0;
+    cfg.trace.step_resolution = 0.005;
+    cfg.seed = 5;
+    let run = run_word("on", 0, &cfg).expect("pipeline succeeds");
+    let decoder = WordDecoder::new();
+    let segments = run.letter_segments(&run.rfidraw_trace);
+    assert_eq!(segments.len(), 2);
+    let decode = decoder.decode(&segments);
+    assert!(
+        decode.word_correct("on"),
+        "decoded {:?} (raw {:?})",
+        decode.corrected,
+        decode.raw
+    );
+}
+
+#[test]
+fn hampel_filter_rescues_corrupted_streams() {
+    // With phase corruption, the filtered pipeline should do no worse than
+    // the unfiltered one (and usually better).
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.fault = FaultConfig {
+        corrupt_chance: 0.05,
+        ..FaultConfig::default()
+    };
+    cfg.seed = 21;
+    let unfiltered = run_word("up", 0, &cfg).expect("unfiltered survives");
+    cfg.hampel = Some(rfidraw::core::filter::HampelConfig::default());
+    let filtered = run_word("up", 0, &cfg).expect("filtered survives");
+    let med = |r: &rfidraw::pipeline::WordRun| {
+        Cdf::from_samples(r.rfidraw_errors()).median()
+    };
+    assert!(
+        med(&filtered) <= med(&unfiltered) * 1.5,
+        "filtering made things much worse: {:.3} vs {:.3}",
+        med(&filtered),
+        med(&unfiltered)
+    );
+}
+
+#[test]
+fn online_tracker_follows_protocol_reads_live() {
+    // The streaming tracker consumes the protocol simulator's reads one by
+    // one and must land near the (static) tag.
+    use rfidraw::core::online::{OnlineConfig, OnlineTracker};
+    use rfidraw::core::position::MultiResConfig;
+    use rfidraw::core::trace::TraceConfig;
+
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let truth = Point2::new(1.4, 1.0);
+    let channel = Channel::new(dep.clone(), Scenario::Los.config(), 31);
+    let mut sim = InventorySim::new(channel, InventoryConfig::paper_default(0.030, 31));
+    let traj = move |_t: f64| plane.lift(truth);
+    let epc = Epc::from_index(1);
+    let records = sim.run(&[SimTag { epc, trajectory: &traj }], 2.0);
+    let reads = phase_reads(&records, epc);
+
+    let region = Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7));
+    let mut mcfg = MultiResConfig::for_region(region);
+    mcfg.fine_resolution = 0.02;
+    let mut tracker = OnlineTracker::new(
+        dep,
+        plane,
+        mcfg,
+        TraceConfig::default(),
+        OnlineConfig::default(),
+    );
+    for r in reads {
+        tracker.push(r);
+    }
+    assert!(tracker.is_tracking(), "online tracker never acquired");
+    let est = tracker.current_estimate().expect("live estimate");
+    // Single-snapshot acquisition under the full multipath channel can sit
+    // on an adjacent lobe; half a metre is the "didn't diverge" bound.
+    assert!(
+        est.dist(truth) < 0.50,
+        "online estimate {est:?} vs truth {truth:?}"
+    );
+}
+
+#[test]
+fn traced_word_injects_well_formed_touch_strokes() {
+    // The application layer: traced writing → per-letter touch strokes, as
+    // the paper injects through MonkeyRunner (§6).
+    use rfidraw::touch::writer::is_well_formed_stroke;
+    use rfidraw::touch::{word_strokes, ScreenMap};
+
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.seed = 8;
+    let run = run_word("at", 0, &cfg).expect("pipeline succeeds");
+    let map = ScreenMap::phone(cfg.region);
+    let segments: Vec<Vec<(f64, rfidraw::core::geom::Point2)>> = run
+        .letter_segments(&run.rfidraw_trace)
+        .into_iter()
+        .map(|seg| {
+            seg.into_iter()
+                .enumerate()
+                .map(|(i, p)| (i as f64 * cfg.tick, p))
+                .collect()
+        })
+        .collect();
+    let strokes = word_strokes(&segments, &map);
+    assert_eq!(strokes.len(), 2, "one stroke per letter");
+    for s in &strokes {
+        assert!(is_well_formed_stroke(s), "malformed stroke: {s:?}");
+        assert!(s.len() >= 3, "stroke too short: {} events", s.len());
+    }
+}
+
+#[test]
+fn corpus_words_flow_through_sampler() {
+    let words = sample_words(20, 1);
+    assert_eq!(words.len(), 20);
+    // All sampled words lay out (the corpus test guarantees this per word;
+    // here we confirm the integration path).
+    for w in words {
+        assert!(
+            rfidraw::handwriting::layout::layout_word(w, 0.1, 0.02).is_ok(),
+            "{w:?} failed layout"
+        );
+    }
+}
