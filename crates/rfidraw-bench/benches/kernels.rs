@@ -5,6 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rfidraw::core::array::Deployment;
 use rfidraw::core::baseline::BaselineArrays;
+use rfidraw::core::engine::VoteEngine;
+use rfidraw::core::exec::Parallelism;
 use rfidraw::core::geom::{Plane, Point2, Rect};
 use rfidraw::core::grid::{Grid2, VoteMap};
 use rfidraw::core::position::{MultiResConfig, MultiResPositioner};
@@ -28,6 +30,36 @@ fn bench_vote_grid(c: &mut Criterion) {
             black_box(map.argmax())
         })
     });
+}
+
+/// Serial vs parallel vote-map engine on a dense 1 cm grid (the grid
+/// density where the table + sharding actually pay off). The table is
+/// built up front so the comparison isolates the accumulation kernel;
+/// results are bit-identical across all of these, only wall-clock moves.
+fn bench_vote_engine(c: &mut Criterion) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let tag = plane.lift(Point2::new(1.2, 0.9));
+    let ms = ideal_measurements(&dep, dep.all_pairs(), tag);
+    let grid = Grid2::new(region(), 0.01);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut settings = vec![("engine_1cm_serial", Parallelism::Serial)];
+    if cores >= 2 {
+        settings.push(("engine_1cm_2_threads", Parallelism::Threads(2)));
+    }
+    if cores >= 4 {
+        settings.push(("engine_1cm_4_threads", Parallelism::Threads(4)));
+    }
+    settings.push(("engine_1cm_auto", Parallelism::Auto));
+    for (name, par) in settings {
+        let engine = VoteEngine::for_deployment(&dep, plane, grid.clone(), par);
+        engine.build_table();
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(engine.evaluate(black_box(&ms)).argmax()))
+        });
+    }
 }
 
 fn bench_multires_locate(c: &mut Criterion) {
@@ -81,7 +113,7 @@ fn bench_recognizer(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_vote_grid, bench_multires_locate, bench_trace_steps,
-              bench_baseline_locate, bench_recognizer
+    targets = bench_vote_grid, bench_vote_engine, bench_multires_locate,
+              bench_trace_steps, bench_baseline_locate, bench_recognizer
 }
 criterion_main!(kernels);

@@ -1,7 +1,8 @@
 //! Parallel trial execution and shared experiment plumbing.
 
-use parking_lot::Mutex;
+use rfidraw::core::exec::Parallelism;
 use rfidraw::pipeline::{run_word, PipelineConfig, WordRun};
+use std::sync::Mutex;
 
 /// One trial specification: a word, the writing user, and a seed.
 #[derive(Debug, Clone)]
@@ -32,6 +33,13 @@ pub fn paper_trials(n: usize, users: u64, seed: u64) -> Vec<Trial> {
 /// Runs all trials in parallel across the available cores, preserving trial
 /// order in the output. Failed trials (e.g. severe read loss) are returned
 /// as `None` alongside their error message.
+///
+/// Parallelism lives at the trial level here, so when several trials run
+/// concurrently a config left on [`Parallelism::Auto`] is demoted to
+/// [`Parallelism::Serial`] inside each trial — nesting per-kernel thread
+/// pools under the trial pool would oversubscribe the machine. This never
+/// changes any result (kernel results are bit-identical across thread
+/// counts); an explicit `Threads(n)` choice is respected.
 pub fn run_batch(
     cfg: &PipelineConfig,
     trials: &[Trial],
@@ -48,7 +56,7 @@ pub fn run_batch(
         for _ in 0..n_threads {
             scope.spawn(|| loop {
                 let idx = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().unwrap();
                     let i = *guard;
                     if i >= trials.len() {
                         return;
@@ -59,15 +67,19 @@ pub fn run_batch(
                 let trial = trials[idx].clone();
                 let mut local_cfg = cfg.clone();
                 local_cfg.seed = trial.seed;
+                if n_threads > 1 && local_cfg.parallelism == Parallelism::Auto {
+                    local_cfg.parallelism = Parallelism::Serial;
+                }
                 let outcome = run_word(&trial.word, trial.user, &local_cfg)
                     .map_err(|e| e.to_string());
-                results.lock()[idx] = Some((trial, outcome));
+                results.lock().unwrap()[idx] = Some((trial, outcome));
             });
         }
     });
 
     results
         .into_inner()
+        .expect("no trial thread panicked")
         .into_iter()
         .map(|r| r.expect("every trial slot filled"))
         .collect()

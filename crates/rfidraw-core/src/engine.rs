@@ -1,0 +1,351 @@
+//! The parallel, cache-aware vote-map engine.
+//!
+//! [`crate::grid::VoteMap::evaluate`] recomputes every pair's
+//! distance-difference for every lattice point on every call. That is fine
+//! for a one-shot map, but the multi-resolution positioner evaluates the
+//! *same grids* on every `locate()` call, and the distance differences
+//! depend only on (deployment, plane, grid) — not on the measurements.
+//! [`VoteEngine`] therefore precomputes, once per grid, a cell-major table
+//! of per-pair distance differences expressed in turns
+//! (`path_factor · Δd / λ`, the quantity whose grating-lobe structure Eq. 7
+//! scores), and evaluates measurement sets against that table. Repeated
+//! evaluations then cost one `frac_dist_to_integer` per (cell, measurement)
+//! instead of two 3-D distances plus the fraction.
+//!
+//! Evaluation is sharded row-wise across scoped threads according to a
+//! [`Parallelism`] policy. Each cell's vote is a self-contained sum in
+//! measurement order, accumulated into that cell's own output slot, so the
+//! result is **bit-identical** for every thread count — and bit-identical
+//! to the reference [`crate::grid::VoteMap::evaluate`] path, which performs
+//! exactly the same floating-point operations per cell.
+//!
+//! Masked evaluation has two internally-identical paths: if the table is
+//! already built it is used; otherwise distances are computed on the fly
+//! for unmasked cells only (the stage-1 filter typically keeps < 10% of the
+//! fine grid, so eagerly building the full fine table would cost more than
+//! a one-shot masked evaluation saves). Both paths compute each kept cell
+//! with the same operations, so which one runs never changes the result.
+
+use crate::array::{AntennaPair, Deployment};
+use crate::exec::Parallelism;
+use crate::geom::{Plane, Point3};
+use crate::grid::{Grid2, VoteMap};
+use crate::phase::frac_dist_to_integer;
+use crate::vote::PairMeasurement;
+use std::sync::OnceLock;
+
+/// A reusable vote-map evaluator for one (deployment, plane, grid) triple.
+#[derive(Debug, Clone)]
+pub struct VoteEngine {
+    grid: Grid2,
+    plane: Plane,
+    pairs: Vec<AntennaPair>,
+    /// Antenna positions per pair, aligned with `pairs`.
+    geom: Vec<(Point3, Point3)>,
+    /// `path_factor / λ`: distance difference (m) → turns.
+    turns_factor: f64,
+    parallelism: Parallelism,
+    /// Cell-major distance-difference table in turns:
+    /// `table[c * pairs.len() + k] = turns_factor · (|P_c − pos_i_k| − |P_c − pos_j_k|)`.
+    /// Built on first use (see module docs for when that pays off).
+    table: OnceLock<Vec<f64>>,
+}
+
+impl VoteEngine {
+    /// Creates an engine scoring the given pairs on `grid`.
+    ///
+    /// # Panics
+    /// Panics if a pair references an antenna the deployment does not have.
+    pub fn new(
+        dep: &Deployment,
+        plane: Plane,
+        grid: Grid2,
+        pairs: Vec<AntennaPair>,
+        parallelism: Parallelism,
+    ) -> Self {
+        let geom = pairs
+            .iter()
+            .map(|&pair| {
+                let pi = dep
+                    .antenna(pair.i)
+                    .unwrap_or_else(|| panic!("unknown antenna {:?}", pair.i))
+                    .pos;
+                let pj = dep
+                    .antenna(pair.j)
+                    .unwrap_or_else(|| panic!("unknown antenna {:?}", pair.j))
+                    .pos;
+                (pi, pj)
+            })
+            .collect();
+        let turns_factor = dep.path_factor() / dep.wavelength().meters();
+        Self {
+            grid,
+            plane,
+            pairs,
+            geom,
+            turns_factor,
+            parallelism,
+            table: OnceLock::new(),
+        }
+    }
+
+    /// An engine over every pair of the deployment — what the positioner
+    /// uses, since any measurement subset can then be scored.
+    pub fn for_deployment(
+        dep: &Deployment,
+        plane: Plane,
+        grid: Grid2,
+        parallelism: Parallelism,
+    ) -> Self {
+        let pairs: Vec<AntennaPair> = dep.all_pairs().copied().collect();
+        Self::new(dep, plane, grid, pairs, parallelism)
+    }
+
+    /// The grid this engine evaluates on.
+    pub fn grid(&self) -> &Grid2 {
+        &self.grid
+    }
+
+    /// The pairs this engine can score, in table-column order.
+    pub fn pairs(&self) -> &[AntennaPair] {
+        &self.pairs
+    }
+
+    /// The execution policy in use.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Changes the execution policy. Never changes any result (see the
+    /// module docs), only how the work is sharded.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Whether the distance-difference table has been built yet.
+    pub fn is_table_built(&self) -> bool {
+        self.table.get().is_some()
+    }
+
+    /// Builds (once) and returns the cell-major distance-difference table.
+    /// Called implicitly by [`VoteEngine::evaluate`]; benches call it
+    /// explicitly to measure steady-state evaluation separately from the
+    /// one-time precomputation.
+    pub fn build_table(&self) -> &[f64] {
+        self.table.get_or_init(|| {
+            let np = self.pairs.len();
+            let mut table = vec![0.0; self.grid.len() * np];
+            if np > 0 {
+                self.parallelism.run_row_sharded(&mut table, np, |first_cell, shard| {
+                    for (row_off, row) in shard.chunks_mut(np).enumerate() {
+                        let (ix, iz) = self.grid.unflat(first_cell + row_off);
+                        let p3 = self.plane.lift(self.grid.point(ix, iz));
+                        for (slot, &(pi, pj)) in row.iter_mut().zip(&self.geom) {
+                            *slot = self.turns_factor * (p3.dist(pi) - p3.dist(pj));
+                        }
+                    }
+                });
+            }
+            table
+        })
+    }
+
+    /// Maps each measurement to its table column and its measured turns.
+    ///
+    /// # Panics
+    /// Panics if a measurement's pair is not in this engine's pair set.
+    fn columns(&self, measurements: &[PairMeasurement]) -> Vec<(usize, f64)> {
+        measurements
+            .iter()
+            .map(|m| {
+                let col = self
+                    .pairs
+                    .iter()
+                    .position(|&p| p == m.pair)
+                    .unwrap_or_else(|| {
+                        panic!("measurement pair {:?} is not in this engine's pair set", m.pair)
+                    });
+                (col, m.turns())
+            })
+            .collect()
+    }
+
+    /// Evaluates the total nearest-lobe vote of `measurements` on every
+    /// lattice point. Bit-identical to [`VoteMap::evaluate`] on the same
+    /// inputs, for every [`Parallelism`] setting.
+    pub fn evaluate(&self, measurements: &[PairMeasurement]) -> VoteMap {
+        let cols = self.columns(measurements);
+        let table = self.build_table();
+        let np = self.pairs.len();
+        let mut values = vec![0.0; self.grid.len()];
+        self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+            for (i, v) in shard.iter_mut().enumerate() {
+                let c = first + i;
+                let row = &table[c * np..c * np + np];
+                let mut acc = 0.0;
+                for &(col, measured) in &cols {
+                    let f = frac_dist_to_integer(row[col] - measured);
+                    acc -= f * f;
+                }
+                *v = acc;
+            }
+        });
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// Like [`VoteEngine::evaluate`] but only on cells where `mask` is
+    /// true; masked-out cells get `f64::NEG_INFINITY`. Bit-identical to
+    /// [`VoteMap::evaluate_masked`] on the same inputs.
+    ///
+    /// # Panics
+    /// Panics if the mask length does not match the grid.
+    pub fn evaluate_masked(&self, measurements: &[PairMeasurement], mask: &[bool]) -> VoteMap {
+        assert_eq!(mask.len(), self.grid.len(), "mask length must match the grid");
+        let cols = self.columns(measurements);
+        let np = self.pairs.len();
+        let mut values = vec![0.0; self.grid.len()];
+        if let Some(table) = self.table.get() {
+            self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+                for (i, v) in shard.iter_mut().enumerate() {
+                    let c = first + i;
+                    if !mask[c] {
+                        *v = f64::NEG_INFINITY;
+                        continue;
+                    }
+                    let row = &table[c * np..c * np + np];
+                    let mut acc = 0.0;
+                    for &(col, measured) in &cols {
+                        let f = frac_dist_to_integer(row[col] - measured);
+                        acc -= f * f;
+                    }
+                    *v = acc;
+                }
+            });
+        } else {
+            // No table yet: compute distances on the fly for kept cells only.
+            // Exactly the same per-cell operations as the table path (the
+            // table entry *is* `turns`), so the result is bit-identical.
+            self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+                for (i, v) in shard.iter_mut().enumerate() {
+                    let c = first + i;
+                    if !mask[c] {
+                        *v = f64::NEG_INFINITY;
+                        continue;
+                    }
+                    let (ix, iz) = self.grid.unflat(c);
+                    let p3 = self.plane.lift(self.grid.point(ix, iz));
+                    let mut acc = 0.0;
+                    for &(col, measured) in &cols {
+                        let (pi, pj) = self.geom[col];
+                        let turns = self.turns_factor * (p3.dist(pi) - p3.dist(pj));
+                        let f = frac_dist_to_integer(turns - measured);
+                        acc -= f * f;
+                    }
+                    *v = acc;
+                }
+            });
+        }
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point2, Rect};
+    use crate::vote::ideal_measurements;
+
+    fn setup() -> (Deployment, Plane, Grid2, Vec<PairMeasurement>) {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let grid = Grid2::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0)),
+            0.05,
+        );
+        let truth = plane.lift(Point2::new(1.2, 0.9));
+        let ms = ideal_measurements(&dep, dep.all_pairs(), truth);
+        (dep, plane, grid, ms)
+    }
+
+    fn bits(values: &[f64]) -> Vec<u64> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn engine_matches_reference_evaluate_bitwise() {
+        let (dep, plane, grid, ms) = setup();
+        let reference = VoteMap::evaluate(&dep, &ms, plane, grid.clone());
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+        let map = engine.evaluate(&ms);
+        assert_eq!(bits(reference.values()), bits(map.values()));
+    }
+
+    #[test]
+    fn engine_is_thread_count_invariant() {
+        let (dep, plane, grid, ms) = setup();
+        let serial = VoteEngine::for_deployment(&dep, plane, grid.clone(), Parallelism::Serial)
+            .evaluate(&ms);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(7), Parallelism::Auto] {
+            let map = VoteEngine::for_deployment(&dep, plane, grid.clone(), par).evaluate(&ms);
+            assert_eq!(bits(serial.values()), bits(map.values()), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn masked_lazy_and_table_paths_agree_with_reference() {
+        let (dep, plane, grid, ms) = setup();
+        let mask: Vec<bool> = (0..grid.len()).map(|i| i % 3 != 0).collect();
+        let reference = VoteMap::evaluate_masked(&dep, &ms, plane, grid.clone(), &mask);
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Threads(3));
+        // Lazy path first (no table yet), then the table-backed path.
+        assert!(!engine.is_table_built());
+        let lazy = engine.evaluate_masked(&ms, &mask);
+        engine.build_table();
+        let tabled = engine.evaluate_masked(&ms, &mask);
+        assert_eq!(bits(reference.values()), bits(lazy.values()));
+        assert_eq!(bits(reference.values()), bits(tabled.values()));
+    }
+
+    #[test]
+    fn subset_measurements_score_like_reference() {
+        // Stage 1 scores only the coarse pairs through the all-pairs engine.
+        let (dep, plane, grid, ms) = setup();
+        let coarse: Vec<PairMeasurement> = ms
+            .iter()
+            .filter(|m| dep.coarse_pairs().any(|p| *p == m.pair))
+            .copied()
+            .collect();
+        assert!(!coarse.is_empty());
+        let reference = VoteMap::evaluate(&dep, &coarse, plane, grid.clone());
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Threads(2));
+        assert_eq!(bits(reference.values()), bits(engine.evaluate(&coarse).values()));
+    }
+
+    #[test]
+    fn table_is_built_once_and_reused() {
+        let (dep, plane, grid, ms) = setup();
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+        let first = engine.build_table().as_ptr();
+        engine.evaluate(&ms);
+        assert_eq!(first, engine.build_table().as_ptr());
+        assert!(engine.is_table_built());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this engine's pair set")]
+    fn unknown_measurement_pair_panics() {
+        let (dep, plane, grid, _) = setup();
+        let wide_only: Vec<AntennaPair> = dep.wide_pairs().to_vec();
+        let engine = VoteEngine::new(&dep, plane, grid, wide_only, Parallelism::Serial);
+        let coarse_pair = dep.coarse_primary_pairs()[0];
+        let _ = engine.evaluate(&[PairMeasurement::new(coarse_pair, 0.1)]);
+    }
+
+    #[test]
+    fn empty_pair_set_scores_zero_everywhere() {
+        let (dep, plane, grid, _) = setup();
+        let engine = VoteEngine::new(&dep, plane, grid, Vec::new(), Parallelism::Threads(2));
+        let map = engine.evaluate(&[]);
+        assert!(map.values().iter().all(|&v| v == 0.0));
+    }
+}

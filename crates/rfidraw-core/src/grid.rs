@@ -168,6 +168,17 @@ impl VoteMap {
         Self { grid, values }
     }
 
+    /// Wraps precomputed per-cell values (same order as [`Grid2::iter`]) —
+    /// the constructor used by [`crate::engine::VoteEngine`] and by tests
+    /// that need synthetic maps.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the grid.
+    pub fn from_values(grid: Grid2, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), grid.len(), "value count must match the grid");
+        Self { grid, values }
+    }
+
     /// The underlying grid.
     pub fn grid(&self) -> &Grid2 {
         &self.grid

@@ -23,6 +23,8 @@
 //! | [`lobes`] | §3.2–3.3 | grating-lobe structure, AoA candidates (Eq. 3–5) |
 //! | [`vote`] | §5.1 | per-pair votes on points (Eq. 6–7) |
 //! | [`grid`] | §5.1 | search surfaces and vote-map evaluation |
+//! | [`exec`] | — | parallelism policy for the compute kernels |
+//! | [`engine`] | §5.1 | parallel cache-aware vote-map engine |
 //! | [`position`] | §5.1 | two-stage multi-resolution positioning |
 //! | [`stream`] | §6 | per-antenna phase streams → per-pair snapshots |
 //! | [`trace`] | §4, §5.2 | lobe-locked trajectory tracing |
@@ -54,6 +56,8 @@
 
 pub mod array;
 pub mod baseline;
+pub mod engine;
+pub mod exec;
 pub mod filter;
 pub mod geom;
 pub mod grid;
@@ -67,6 +71,8 @@ pub mod volume;
 pub mod vote;
 
 pub use array::{Antenna, AntennaId, AntennaPair, Deployment, ReaderId};
+pub use engine::VoteEngine;
+pub use exec::Parallelism;
 pub use geom::{Plane, Point2, Point3};
 pub use grid::{Grid2, VoteMap};
 pub use phase::{Wavelength, SPEED_OF_LIGHT};

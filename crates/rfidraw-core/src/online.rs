@@ -104,6 +104,11 @@ pub struct OnlineTracker {
 impl OnlineTracker {
     /// Creates a tracker.
     ///
+    /// The `parallelism` fields of `position_cfg` and `trace_cfg` control
+    /// how many threads the acquisition vote maps and per-candidate tracing
+    /// use; results are bit-identical for every setting (see
+    /// [`crate::exec`]), so the choice only affects per-tick latency.
+    ///
     /// # Panics
     /// Panics on invalid configs (see [`MultiResPositioner::new`] and
     /// [`TrajectoryTracer::new`]) or a non-positive tick.

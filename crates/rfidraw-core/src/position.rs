@@ -13,6 +13,8 @@
 //! candidate whose traced trajectory keeps the highest cumulative vote wins.
 
 use crate::array::Deployment;
+use crate::engine::VoteEngine;
+use crate::exec::Parallelism;
 use crate::geom::{Plane, Point2, Rect};
 use crate::grid::{Grid2, VoteMap};
 use crate::vote::PairMeasurement;
@@ -35,6 +37,9 @@ pub struct MultiResConfig {
     /// Minimum separation between returned candidates (m) — non-maximum
     /// suppression radius, of the order of the lobe spacing.
     pub candidate_separation: f64,
+    /// Thread-level parallelism of the vote-map evaluation. Never changes
+    /// any result (see [`crate::exec`]), only wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl MultiResConfig {
@@ -49,6 +54,7 @@ impl MultiResConfig {
             coarse_keep_fraction: 0.08,
             max_candidates: 3,
             candidate_separation: 0.15,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -97,6 +103,14 @@ pub struct MultiResPositioner {
     dep: Deployment,
     plane: Plane,
     config: MultiResConfig,
+    /// Stage-1 evaluator: full coarse-grid scans, so its distance table is
+    /// built eagerly and amortized across `locate()` calls.
+    coarse_engine: VoteEngine,
+    /// Stage-2 evaluator: masked fine-grid scans. Its table stays lazy —
+    /// the stage-1 filter keeps only a few percent of the fine grid, so
+    /// on-the-fly distances are cheaper than a full-grid table (see
+    /// [`crate::engine`]).
+    fine_engine: VoteEngine,
 }
 
 impl MultiResPositioner {
@@ -115,7 +129,18 @@ impl MultiResPositioner {
             !dep.coarse_primary_pairs().is_empty(),
             "multi-resolution positioning needs unambiguous coarse pairs"
         );
-        Self { dep, plane, config }
+        let coarse_grid = Grid2::new(config.region, config.coarse_resolution);
+        let fine_grid = Grid2::new(config.region, config.fine_resolution);
+        let coarse_engine =
+            VoteEngine::for_deployment(&dep, plane, coarse_grid, config.parallelism);
+        let fine_engine = VoteEngine::for_deployment(&dep, plane, fine_grid, config.parallelism);
+        Self {
+            dep,
+            plane,
+            config,
+            coarse_engine,
+            fine_engine,
+        }
     }
 
     /// The deployment in use.
@@ -157,13 +182,14 @@ impl MultiResPositioner {
             "no wide-pair measurements supplied to locate()"
         );
 
-        // Stage 1: coarse spatial filter (Fig. 6b–c).
-        let coarse_grid = Grid2::new(self.config.region, self.config.coarse_resolution);
-        let coarse_map = VoteMap::evaluate(&self.dep, &coarse_ms, self.plane, coarse_grid);
+        // Stage 1: coarse spatial filter (Fig. 6b–c), evaluated through the
+        // engine so the coarse distance table is computed once per
+        // positioner rather than once per call.
+        let coarse_map = self.coarse_engine.evaluate(&coarse_ms);
         let coarse_mask = coarse_map.mask_top_fraction(self.config.coarse_keep_fraction);
 
         // Lift the mask onto the fine grid.
-        let fine_grid = Grid2::new(self.config.region, self.config.fine_resolution);
+        let fine_grid = self.fine_engine.grid();
         let fine_mask: Vec<bool> = fine_grid
             .iter()
             .map(|(_, p)| {
@@ -178,8 +204,7 @@ impl MultiResPositioner {
         // coarse pairs keep penalizing the wrong region.
         let all_ms: Vec<PairMeasurement> =
             wide_ms.iter().chain(coarse_ms.iter()).copied().collect();
-        let fine_map =
-            VoteMap::evaluate_masked(&self.dep, &all_ms, self.plane, fine_grid, &fine_mask);
+        let fine_map = self.fine_engine.evaluate_masked(&all_ms, &fine_mask);
 
         let candidates = fine_map
             .peaks(self.config.max_candidates, self.config.candidate_separation)

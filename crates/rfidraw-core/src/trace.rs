@@ -18,6 +18,7 @@
 //! vote is highest.
 
 use crate::array::{AntennaPair, Deployment};
+use crate::exec::Parallelism;
 use crate::geom::{Plane, Point2};
 use crate::position::Candidate;
 use crate::stream::PairSnapshot;
@@ -40,6 +41,10 @@ pub struct TraceConfig {
     /// Centred moving-average window applied to the output trajectory
     /// (ticks; 1 disables smoothing).
     pub smooth_window: usize,
+    /// Thread-level parallelism of [`TrajectoryTracer::trace_candidates`]
+    /// (one candidate's trace per unit of work). Never changes any result
+    /// (see [`crate::exec`]), only wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TraceConfig {
@@ -49,6 +54,7 @@ impl Default for TraceConfig {
             step_resolution: 0.005,
             include_coarse: true,
             smooth_window: 3,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -265,10 +271,13 @@ impl TrajectoryTracer {
         snapshots: &[PairSnapshot],
     ) -> (usize, Vec<TraceResult>) {
         assert!(!candidates.is_empty(), "no candidate initial positions to trace");
-        let traces: Vec<TraceResult> = candidates
-            .iter()
-            .map(|&c| self.trace_from(c, snapshots))
-            .collect();
+        // Candidates trace independently; the ordered map keeps the output
+        // order (and therefore the winner tie-break below) identical to a
+        // serial loop for every thread count.
+        let traces: Vec<TraceResult> = self
+            .config
+            .parallelism
+            .map_ordered(candidates, |&c| self.trace_from(c, snapshots));
         let winner = traces
             .iter()
             .enumerate()

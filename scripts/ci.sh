@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, full test suite, and a smoke pass over the
+# kernel benches (criterion `--test` mode runs each bench once, so bench
+# code rot is caught without paying for a real measurement run).
+#
+# Usage: scripts/ci.sh
+# Runs offline (the workspace vendors all dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test --offline -q
+
+echo "== bench smoke (kernels, --test mode) =="
+cargo bench --offline --bench kernels -- --test
+
+echo "CI OK"

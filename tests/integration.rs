@@ -237,6 +237,91 @@ fn traced_word_injects_well_formed_touch_strokes() {
     }
 }
 
+/// Flattens every float a [`rfidraw::pipeline::WordRun`] produced into a
+/// bit pattern, so "identical" below means bit-identical, not approximate.
+fn run_fingerprint(run: &rfidraw::pipeline::WordRun) -> Vec<u64> {
+    let mut bits = Vec::new();
+    let push_points = |pts: &[Point2], bits: &mut Vec<u64>| {
+        for p in pts {
+            bits.push(p.x.to_bits());
+            bits.push(p.z.to_bits());
+        }
+    };
+    bits.extend(run.times.iter().map(|t| t.to_bits()));
+    for c in &run.candidates {
+        bits.push(c.position.x.to_bits());
+        bits.push(c.position.z.to_bits());
+        bits.push(c.vote.to_bits());
+    }
+    bits.push(run.winner as u64);
+    for t in &run.traces {
+        push_points(&t.points, &mut bits);
+        bits.extend(t.per_step_votes.iter().map(|v| v.to_bits()));
+        bits.push(t.total_vote.to_bits());
+        bits.extend(t.locked_lobes.iter().map(|&(_, lobe)| lobe as u64));
+    }
+    push_points(&run.rfidraw_trace, &mut bits);
+    push_points(&run.baseline_trace, &mut bits);
+    bits
+}
+
+#[test]
+fn pipeline_is_deterministic_for_fixed_word_user_seed() {
+    // Two runs with the same (word, user, seed) must agree on every float
+    // they produce — candidates, all traces, the winner, both trajectories.
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.seed = 17;
+    let a = run_word("it", 1, &cfg).expect("first run succeeds");
+    let b = run_word("it", 1, &cfg).expect("second run succeeds");
+    assert_eq!(run_fingerprint(&a), run_fingerprint(&b));
+}
+
+#[test]
+fn pipeline_is_deterministic_across_parallelism_settings() {
+    // The pipeline-level parallelism knob must never change a result: the
+    // serial run is the reference, and any thread count reproduces it.
+    use rfidraw::core::exec::Parallelism;
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.seed = 23;
+    cfg.parallelism = Parallelism::Serial;
+    let reference = run_word("be", 0, &cfg).expect("serial run succeeds");
+    let want = run_fingerprint(&reference);
+    for par in [
+        Parallelism::Threads(2),
+        Parallelism::Threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        ),
+        Parallelism::Auto,
+    ] {
+        cfg.parallelism = par;
+        let run = run_word("be", 0, &cfg).expect("parallel run succeeds");
+        assert_eq!(want, run_fingerprint(&run), "diverged under {par:?}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_under_fault_injection() {
+    // Fault injection draws from the seeded stream, so faults themselves
+    // must replay identically — and stay thread-count-independent too.
+    use rfidraw::core::exec::Parallelism;
+    let mut cfg = PipelineConfig::fast_demo();
+    cfg.fault = FaultConfig {
+        drop_chance: 0.15,
+        corrupt_chance: 0.02,
+        ..FaultConfig::default()
+    };
+    cfg.seed = 29;
+    cfg.parallelism = Parallelism::Serial;
+    let a = run_word("no", 1, &cfg).expect("faulted run succeeds");
+    let b = run_word("no", 1, &cfg).expect("faulted rerun succeeds");
+    assert_eq!(run_fingerprint(&a), run_fingerprint(&b));
+    cfg.parallelism = Parallelism::Threads(2);
+    let c = run_word("no", 1, &cfg).expect("faulted parallel run succeeds");
+    assert_eq!(run_fingerprint(&a), run_fingerprint(&c));
+}
+
 #[test]
 fn corpus_words_flow_through_sampler() {
     let words = sample_words(20, 1);

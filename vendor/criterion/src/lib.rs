@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API this workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and [`black_box`].
+//!
+//! Timing model: each bench runs `sample_size` samples, each sample being a
+//! batch sized so a sample takes roughly a few milliseconds; the median
+//! per-iteration time is reported on stdout. Passing `--test` on the
+//! command line (as `cargo bench -- --test` does for smoke runs) executes
+//! each bench body exactly once without timing, so CI can verify the
+//! benches still run without paying for measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench driver handed to each registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First free (non-flag) argument after the binary name filters
+        // benches by substring, mirroring criterion's CLI.
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .cloned();
+        Criterion { sample_size: 100, test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs (or, in `--test` mode, smoke-executes) one named bench.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { test_mode: self.test_mode, samples: Vec::new() };
+        if self.test_mode {
+            f(&mut b);
+            println!("test {name} ... ok");
+            return self;
+        }
+        // Warm-up + calibration round.
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.samples.sort();
+        let median = b.samples[b.samples.len() / 2];
+        println!("{name:<40} median {}", format_duration(median));
+        self
+    }
+}
+
+/// Runs the closure under measurement (or once, in smoke mode).
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`, batching iterations so short
+    /// routines still get a measurable sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate a batch size targeting ~2ms per sample.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(2).as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.samples.push(total / batch as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benches with an optional shared `config`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of the `rand` API the workspace uses: `rngs::StdRng` (here a
+//! xoshiro256** generator seeded via SplitMix64 — a different stream than
+//! upstream's ChaCha12, but equally deterministic for a fixed seed),
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range}` over the types the
+//! codebase draws, and `seq::SliceRandom::choose`.
+//!
+//! Determinism is the only contract callers rely on (every use site is
+//! seeded); statistical quality of xoshiro256** is more than sufficient for
+//! the simulation workloads here.
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only `seed_from_u64` is used in this workspace).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (including unsized `dyn` receivers, which `?Sized` call
+/// sites like `fn sample<R: Rng + ?Sized>` require).
+pub trait Rng: RngCore {
+    /// A uniform draw from `range` (half-open, `start <= x < end`).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(&range, self)
+    }
+
+    /// A uniform draw of a full-width value.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types drawable uniformly from a half-open `Range`.
+pub trait SampleUniform: Sized {
+    /// Uniform draw in `[range.start, range.end)`. Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(range: &Range<Self>, rng: &mut R) -> Self;
+}
+
+/// Types drawable as a full-width uniform value (`rng.gen()`).
+pub trait Standard: Sized {
+    /// A uniform draw over the type's full value range.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(range: &Range<Self>, rng: &mut R) -> Self {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        // 53 uniform mantissa bits -> unit in [0, 1), then scale.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+macro_rules! sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(range: &Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is < span/2^64 — irrelevant for the simulation
+                // spans used here (all far below 2^32) and keeps the draw a
+                // single word, which the determinism tests depend on.
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(range: &Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                let off = (rng.next_u64() % span) as i64;
+                (range.start as i64 + off) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let word = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        out
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic standard generator: xoshiro256**
+    /// (Blackman & Vigna), state seeded via SplitMix64 as its authors
+    /// recommend.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice sampling helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// A uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let n: usize = rng.gen_range(3..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn works_through_unsized_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let x = draw(dynamic);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

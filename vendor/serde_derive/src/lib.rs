@@ -1,0 +1,314 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal `serde` whose `Serialize`/`Deserialize`
+//! traits convert through a JSON-like [`Value`] tree. This proc-macro crate
+//! derives those traits for the shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize as their inner value),
+//! * enums with unit and tuple variants (externally tagged, like serde).
+//!
+//! Generics, named-field enum variants and `#[serde(...)]` attributes are
+//! intentionally unsupported; hitting one is a compile-time panic with a
+//! clear message rather than silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+enum Kind {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: `(variant, arity)` with arity 0 meaning a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+fn parse_item(ts: TokenStream) -> Item {
+    let mut toks = ts.into_iter().peekable();
+    // Skip outer attributes (`#[...]` / doc comments) and visibility.
+    let keyword = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => break id.to_string(),
+            other => panic!("unexpected token before item keyword: {other:?}"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported by the vendored serde_derive");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&name, g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Field names of a named-field struct body. Commas inside generic argument
+/// lists are skipped by tracking `<`/`>` depth (parenthesised and bracketed
+/// groups are single atomic tokens already).
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = ts.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        let field = loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other:?}"),
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        // Consume the type up to the next top-level comma.
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Arity of a tuple-struct body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_token = false;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(enum_name: &str, ts: TokenStream) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut toks = ts.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match toks.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in enum `{enum_name}`: {other:?}"),
+            }
+        };
+        let arity = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                n
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                "enum `{enum_name}` variant `{variant}` has named fields, which the vendored serde_derive does not support"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "enum `{enum_name}` has explicit discriminants, which the vendored serde_derive does not support"
+            ),
+            _ => 0,
+        };
+        variants.push((variant, arity));
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut m = ::std::vec::Vec::with_capacity({n});\n{pushes}::serde::Value::Map(m)",
+                n = fields.len()
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let mut pushes = String::new();
+            for i in 0..*n {
+                pushes.push_str(&format!(
+                    "s.push(::serde::Serialize::to_value(&self.{i}));\n"
+                ));
+            }
+            format!("let mut s = ::std::vec::Vec::with_capacity({n});\n{pushes}::serde::Value::Seq(s)")
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(a0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(a0))]),\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Seq(::std::vec![{elems}]))]),\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::get_field(m, \"{f}\", \"{name}\")?,\n"
+                ));
+            }
+            format!(
+                "let m = ::serde::expect_map(v, \"{name}\")?;\n::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = ::serde::expect_seq(v, {n}, \"{name}\")?;\n::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => unit_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    1 => data_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    n => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ let s = ::serde::expect_seq(payload, {n}, \"{name}::{v}\")?; return ::std::result::Result::Ok({name}::{v}({elems})); }}\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(s) = v {{\nmatch s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::serde::Value::Map(m) = v {{\nif m.len() == 1 {{\nlet payload = &m[0].1;\nmatch m[0].0.as_str() {{\n{data_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"invalid {name} value\")))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
