@@ -102,6 +102,41 @@ fn bench_baseline_locate(c: &mut Criterion) {
     });
 }
 
+/// Serving-layer overhead: routing, bounded queueing, and round-robin
+/// draining of a fixed read budget spread over 1, 8, and 64 concurrent
+/// sessions. The reads carry an antenna outside the deployment so the
+/// tracker ignores them — the tracker kernels are benched separately
+/// above; this isolates what the service itself costs per read.
+fn bench_serve_ingest(c: &mut Criterion) {
+    use rfidraw::core::array::AntennaId;
+    use rfidraw::core::stream::PhaseRead;
+    use rfidraw::protocol::Epc;
+    use rfidraw::serve::{ServeConfig, TrackerTemplate, TrackingService};
+
+    const TOTAL_READS: usize = 4096;
+    for sessions in [1usize, 8, 64] {
+        let mut cfg = ServeConfig::new(TrackerTemplate::paper_default(region()));
+        cfg.workers = None; // drain on the bench thread: deterministic cost
+        cfg.queue_capacity = TOTAL_READS;
+        cfg.max_sessions = sessions;
+        let service = TrackingService::start(cfg);
+        let client = service.client();
+        let per_session = TOTAL_READS / sessions;
+        let batch: Vec<PhaseRead> = (0..per_session)
+            .map(|i| PhaseRead { t: i as f64 * 1e-3, antenna: AntennaId(0), phase: 0.5 })
+            .collect();
+        let epcs: Vec<Epc> = (0..sessions).map(|i| Epc::from_index(i as u32 + 1)).collect();
+        c.bench_function(&format!("serve_ingest_{TOTAL_READS}_reads_{sessions}_sessions"), |b| {
+            b.iter(|| {
+                for &epc in &epcs {
+                    black_box(client.ingest(epc, black_box(&batch)).expect("ingest"));
+                }
+                while service.pump() > 0 {}
+            })
+        });
+    }
+}
+
 fn bench_recognizer(c: &mut Criterion) {
     let rec = Recognizer::from_font();
     let path = rfidraw::handwriting::layout::layout_word("q", 0.1, 0.0).unwrap();
@@ -114,6 +149,7 @@ criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_vote_grid, bench_vote_engine, bench_multires_locate,
-              bench_trace_steps, bench_baseline_locate, bench_recognizer
+              bench_trace_steps, bench_baseline_locate, bench_serve_ingest,
+              bench_recognizer
 }
 criterion_main!(kernels);

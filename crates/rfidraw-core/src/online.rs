@@ -39,6 +39,12 @@ pub struct OnlineConfig {
     pub prune_margin: f64,
     /// Ticks to wait before pruning starts (votes need time to separate).
     pub prune_after: usize,
+    /// If the stream goes silent for longer than this (s), the incremental
+    /// phase unwrap is no longer trustworthy: the tracker declares itself
+    /// stale, resets, and re-acquires from the reads that follow (emitting
+    /// [`OnlineEvent::Stale`] then a fresh [`OnlineEvent::Acquired`]).
+    /// `None` disables the check.
+    pub max_read_gap: Option<f64>,
 }
 
 impl Default for OnlineConfig {
@@ -47,6 +53,7 @@ impl Default for OnlineConfig {
             tick: 0.04,
             prune_margin: 0.5,
             prune_after: 25,
+            max_read_gap: None,
         }
     }
 }
@@ -70,6 +77,13 @@ pub enum OnlineEvent {
     Pruned {
         /// Candidates still alive.
         remaining: usize,
+    },
+    /// The read stream went silent longer than
+    /// [`OnlineConfig::max_read_gap`]; all tracking state was reset and
+    /// acquisition restarts with the read that triggered this event.
+    Stale {
+        /// The observed gap (s).
+        gap: f64,
     },
 }
 
@@ -99,6 +113,7 @@ pub struct OnlineTracker {
     next_tick: Option<f64>,
     traces: Vec<CandidateTrace>,
     ticks_done: usize,
+    last_read_t: Option<f64>,
 }
 
 impl OnlineTracker {
@@ -148,6 +163,40 @@ impl OnlineTracker {
             next_tick: None,
             traces: Vec::new(),
             ticks_done: 0,
+            last_read_t: None,
+        }
+    }
+
+    /// Drops all tracking state — per-antenna unwrap history, the tick
+    /// clock, every candidate trace — returning the tracker to warm-up as
+    /// if freshly constructed. The next reads re-acquire from scratch.
+    ///
+    /// This is the lifecycle hook a serving layer needs: a session that
+    /// went silent past its unwrap horizon cannot trust incremental state,
+    /// so it resets instead of being torn down and rebuilt (keeping the
+    /// positioner's precomputed tables warm).
+    pub fn reset(&mut self) {
+        for s in self.states.values_mut() {
+            s.prev = None;
+            s.last = None;
+        }
+        self.next_tick = None;
+        self.traces.clear();
+        self.ticks_done = 0;
+        self.last_read_t = None;
+    }
+
+    /// The timestamp of the newest read the tracker has accepted, if any.
+    pub fn last_read_time(&self) -> Option<f64> {
+        self.last_read_t
+    }
+
+    /// Whether a read arriving at `t` would exceed
+    /// [`OnlineConfig::max_read_gap`] and trigger a stale reset.
+    pub fn would_be_stale(&self, t: f64) -> bool {
+        match (self.cfg.max_read_gap, self.last_read_t) {
+            (Some(limit), Some(last)) => t - last > limit,
+            _ => false,
         }
     }
 
@@ -193,9 +242,20 @@ impl OnlineTracker {
     /// Reads must be fed in non-decreasing time order per antenna (the
     /// order a reader produces them). Unknown antennas are ignored.
     pub fn push(&mut self, read: PhaseRead) -> Vec<OnlineEvent> {
-        let Some(state) = self.states.get_mut(&read.antenna) else {
+        if !self.states.contains_key(&read.antenna) {
             return Vec::new();
-        };
+        }
+        let mut stale_events = Vec::new();
+        if self.would_be_stale(read.t) {
+            let gap = read.t - self.last_read_t.expect("stale implies a previous read");
+            self.reset();
+            stale_events.push(OnlineEvent::Stale { gap });
+        }
+        self.last_read_t = Some(match self.last_read_t {
+            Some(last) => last.max(read.t),
+            None => read.t,
+        });
+        let state = self.states.get_mut(&read.antenna).expect("checked above");
         let unwrapped = match state.last {
             None => wrap_tau(read.phase),
             Some((_, prev_phase)) => unwrap_step(prev_phase, read.phase),
@@ -218,7 +278,7 @@ impl OnlineTracker {
             self.next_tick = Some(t0);
         }
 
-        let mut events = Vec::new();
+        let mut events = stale_events;
         // Emit every tick all antennas can bracket.
         while let Some(tick_t) = self.next_tick {
             let ready = self
@@ -342,6 +402,7 @@ mod tests {
                 tick: 0.04,
                 prune_margin: 0.3,
                 prune_after: 10,
+                max_read_gap: None,
             },
         );
         (dep, plane, tracker)
@@ -404,6 +465,7 @@ mod tests {
                         assert!(pos.is_finite());
                     }
                     OnlineEvent::Pruned { remaining } => assert!(remaining >= 1),
+                    OnlineEvent::Stale { .. } => panic!("no gap in this stream"),
                 }
             }
         }

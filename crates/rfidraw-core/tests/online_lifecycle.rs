@@ -1,0 +1,192 @@
+//! Lifecycle edges of the streaming tracker that the serving layer
+//! (`rfidraw-serve`) depends on: stale detection and re-acquisition after a
+//! long read gap, explicit `reset`, and candidate pruning keeping the
+//! per-tick cost bounded under a pathological (incoherent) stream.
+
+use rfidraw_core::array::{AntennaId, Deployment};
+use rfidraw_core::geom::{Plane, Point2, Rect};
+use rfidraw_core::online::{OnlineConfig, OnlineEvent, OnlineTracker};
+use rfidraw_core::phase::wrap_tau;
+use rfidraw_core::position::MultiResConfig;
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_core::trace::TraceConfig;
+use std::f64::consts::TAU;
+
+fn tracker(max_read_gap: Option<f64>) -> (Deployment, Plane, OnlineTracker) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let region = Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7));
+    let mut mcfg = MultiResConfig::for_region(region);
+    mcfg.fine_resolution = 0.02;
+    let t = OnlineTracker::new(
+        dep.clone(),
+        plane,
+        mcfg,
+        TraceConfig::default(),
+        OnlineConfig {
+            tick: 0.04,
+            prune_margin: 0.3,
+            prune_after: 10,
+            max_read_gap,
+        },
+    );
+    (dep, plane, t)
+}
+
+/// Ideal staggered reads for a static tag at `p`, spanning `[t0, t0+dur)`.
+fn static_reads(dep: &Deployment, plane: Plane, p: Point2, t0: f64, dur: f64) -> Vec<PhaseRead> {
+    let antennas: Vec<AntennaId> = dep.antennas().iter().map(|a| a.id).collect();
+    let per_antenna_dt = 0.02;
+    let pos = plane.lift(p);
+    let mut reads = Vec::new();
+    let mut t = 0.0;
+    while t < dur {
+        for (i, &ant) in antennas.iter().enumerate() {
+            let tt = t0 + t + i as f64 * (per_antenna_dt / antennas.len() as f64);
+            let a = dep.antenna(ant).unwrap();
+            let phase =
+                wrap_tau(-TAU * dep.path_factor() * pos.dist(a.pos) / dep.wavelength().meters());
+            reads.push(PhaseRead { t: tt, antenna: ant, phase });
+        }
+        t += per_antenna_dt;
+    }
+    reads
+}
+
+#[test]
+fn long_gap_goes_stale_and_reacquires() {
+    let (dep, plane, mut tracker) = tracker(Some(1.0));
+    let before = Point2::new(1.0, 1.0);
+    let after = Point2::new(1.8, 1.2);
+
+    let mut acquisitions = 0;
+    let mut stales = 0;
+    for r in static_reads(&dep, plane, before, 0.0, 1.5) {
+        for e in tracker.push(r) {
+            match e {
+                OnlineEvent::Acquired { .. } => acquisitions += 1,
+                OnlineEvent::Stale { .. } => stales += 1,
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(acquisitions, 1, "first segment acquires once");
+    assert_eq!(stales, 0, "no gap inside the first segment");
+    assert!(tracker.is_tracking());
+    let est_before = tracker.current_estimate().expect("estimate before gap");
+    assert!(est_before.dist(before) < 0.10);
+
+    // 5 s of silence, then the tag reappears elsewhere. The tracker must
+    // notice the gap, reset, and re-acquire at the new location instead of
+    // trusting a phase unwrap across the silence.
+    for r in static_reads(&dep, plane, after, 6.5, 1.5) {
+        for e in tracker.push(r) {
+            match e {
+                OnlineEvent::Acquired { .. } => acquisitions += 1,
+                OnlineEvent::Stale { gap } => {
+                    stales += 1;
+                    assert!(gap > 4.0, "reported gap {gap} should be the silence length");
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(stales, 1, "exactly one stale reset");
+    assert_eq!(acquisitions, 2, "re-acquisition after the reset");
+    let est_after = tracker.current_estimate().expect("estimate after gap");
+    assert!(
+        est_after.dist(after) < 0.10,
+        "post-gap estimate {est_after:?} should be near the new position {after:?}"
+    );
+}
+
+#[test]
+fn gap_check_disabled_by_default() {
+    let (dep, plane, mut tracker) = tracker(None);
+    for r in static_reads(&dep, plane, Point2::new(1.0, 1.0), 0.0, 1.0) {
+        tracker.push(r);
+    }
+    let mut stales = 0;
+    for r in static_reads(&dep, plane, Point2::new(1.0, 1.0), 8.0, 1.0) {
+        for e in tracker.push(r) {
+            if matches!(e, OnlineEvent::Stale { .. }) {
+                stales += 1;
+            }
+        }
+    }
+    assert_eq!(stales, 0, "max_read_gap: None must never reset");
+}
+
+#[test]
+fn reset_returns_to_warmup() {
+    let (dep, plane, mut tracker) = tracker(None);
+    for r in static_reads(&dep, plane, Point2::new(1.2, 0.9), 0.0, 1.5) {
+        tracker.push(r);
+    }
+    assert!(tracker.is_tracking());
+    assert!(tracker.last_read_time().is_some());
+
+    tracker.reset();
+    assert!(!tracker.is_tracking());
+    assert_eq!(tracker.current_estimate(), None);
+    assert!(tracker.trajectory().is_empty());
+    assert_eq!(tracker.last_read_time(), None);
+
+    // The same tracker re-acquires cleanly after a reset.
+    let p = Point2::new(1.6, 1.1);
+    for r in static_reads(&dep, plane, p, 100.0, 1.5) {
+        tracker.push(r);
+    }
+    assert!(tracker.is_tracking());
+    let est = tracker.current_estimate().expect("estimate after reset");
+    assert!(est.dist(p) < 0.10);
+}
+
+#[test]
+fn pruning_bounds_candidates_under_incoherent_stream() {
+    // A pathological stream: phases that are a deterministic pseudo-random
+    // walk, coherent with no tag position at all. Acquisition proposes
+    // whatever weak peaks the mush produces; pruning must then keep the
+    // per-tick work bounded instead of advancing every candidate forever.
+    let (dep, _plane, mut tracker) = tracker(None);
+    let antennas: Vec<AntennaId> = dep.antennas().iter().map(|a| a.id).collect();
+    let per_antenna_dt = 0.02;
+    let mut acquired = 0usize;
+    let mut min_alive = usize::MAX;
+    let mut t = 0.0;
+    while t < 6.0 {
+        for (i, &ant) in antennas.iter().enumerate() {
+            let tt = t + i as f64 * (per_antenna_dt / antennas.len() as f64);
+            // Smooth per-antenna drift plus antenna-dependent chop: never a
+            // consistent geometry, but unwrappable (small per-read steps).
+            let phase = wrap_tau(
+                1.7 * (ant.0 as f64) + 2.0 * tt * (1.0 + 0.3 * (ant.0 as f64 * 1.3).sin())
+                    + 0.4 * (7.0 * tt + ant.0 as f64).sin(),
+            );
+            for e in tracker.push(PhaseRead { t: tt, antenna: ant, phase }) {
+                if let OnlineEvent::Acquired { candidates } = e {
+                    acquired = candidates;
+                }
+            }
+        }
+        if tracker.is_tracking() {
+            min_alive = min_alive.min(tracker.alive_candidates());
+        }
+        t += per_antenna_dt;
+    }
+    assert!(acquired >= 1, "even an incoherent snapshot proposes candidates");
+    assert!(tracker.alive_candidates() >= 1, "the best candidate survives");
+    if acquired > 1 {
+        assert!(
+            min_alive < acquired,
+            "pruning never fired: {acquired} candidates alive through 6 s of incoherent data"
+        );
+    }
+    // The per-tick cost bound: the work scales with the candidates still
+    // alive, which pruning has squeezed to a small constant.
+    assert!(
+        tracker.alive_candidates() <= 4,
+        "{} candidates still alive after 6 s",
+        tracker.alive_candidates()
+    );
+}

@@ -10,6 +10,9 @@
 //! * [`cdf`] — empirical CDFs, medians and percentiles (Figs. 11–12).
 //! * [`report`] — plain-text tables and CSV series in a consistent format,
 //!   including paper-vs-measured comparison rows for `EXPERIMENTS.md`.
+//! * [`runtime`] — service telemetry: lock-free counters and fixed-bucket
+//!   latency histograms with serializable snapshots (used by
+//!   `rfidraw-serve`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +21,12 @@ pub mod align;
 pub mod bootstrap;
 pub mod cdf;
 pub mod report;
+pub mod runtime;
 pub mod shape;
 
 pub use align::{dc_aligned_errors, index_resample, initial_aligned_errors};
 pub use bootstrap::{median_ci, BootstrapCi};
 pub use cdf::Cdf;
 pub use report::{Comparison, Series, Table};
+pub use runtime::{Counter, HistogramSnapshot, LatencyHistogram};
 pub use shape::{dtw_distance, procrustes, procrustes_distance, Procrustes};

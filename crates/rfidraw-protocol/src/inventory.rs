@@ -54,6 +54,18 @@ pub struct TagRead {
     pub rssi_db: f64,
 }
 
+impl TagRead {
+    /// The tracker-facing projection of this read: `(time, antenna, phase)`
+    /// without the identity/RSSI metadata.
+    pub fn phase_read(&self) -> PhaseRead {
+        PhaseRead {
+            t: self.t,
+            antenna: self.antenna,
+            phase: self.phase,
+        }
+    }
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct InventoryConfig {
@@ -194,12 +206,25 @@ pub fn phase_reads(records: &[TagRead], epc: Epc) -> Vec<PhaseRead> {
     records
         .iter()
         .filter(|r| r.epc == epc)
-        .map(|r| PhaseRead {
-            t: r.t,
-            antenna: r.antenna,
-            phase: r.phase,
-        })
+        .map(TagRead::phase_read)
         .collect()
+}
+
+/// Projects *every* read, keeping the replying tag's identity alongside the
+/// tracker-facing payload — the routing key a multi-session consumer needs,
+/// without re-inferring it from the record.
+pub fn tagged_phase_reads(records: &[TagRead]) -> Vec<(Epc, PhaseRead)> {
+    records.iter().map(|r| (r.epc, r.phase_read())).collect()
+}
+
+/// Demultiplexes an inventory stream into per-tag read streams, preserving
+/// the time order within each tag.
+pub fn demux_phase_reads(records: &[TagRead]) -> std::collections::BTreeMap<Epc, Vec<PhaseRead>> {
+    let mut out: std::collections::BTreeMap<Epc, Vec<PhaseRead>> = std::collections::BTreeMap::new();
+    for r in records {
+        out.entry(r.epc).or_default().push(r.phase_read());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -290,6 +315,34 @@ mod tests {
             2.0,
         );
         assert!(r1.len() < lone_reads.len());
+    }
+
+    #[test]
+    fn tagged_and_demuxed_reads_agree_with_per_tag_projection() {
+        let mut s = sim(8);
+        let t1 = static_tag(Point2::new(1.0, 1.0));
+        let t2 = static_tag(Point2::new(1.8, 0.8));
+        let tags = [
+            SimTag { epc: Epc::from_index(1), trajectory: &t1 },
+            SimTag { epc: Epc::from_index(2), trajectory: &t2 },
+        ];
+        let records = s.run(&tags, 1.5);
+        let tagged = tagged_phase_reads(&records);
+        assert_eq!(tagged.len(), records.len());
+        for ((epc, pr), rec) in tagged.iter().zip(&records) {
+            assert_eq!(*epc, rec.epc);
+            assert_eq!(*pr, rec.phase_read());
+        }
+        let demuxed = demux_phase_reads(&records);
+        assert_eq!(demuxed.len(), 2);
+        for (epc, reads) in &demuxed {
+            assert_eq!(*reads, phase_reads(&records, *epc));
+            assert!(reads.windows(2).all(|w| w[0].t <= w[1].t), "{epc} out of order");
+        }
+        assert_eq!(
+            demuxed.values().map(Vec::len).sum::<usize>(),
+            records.len()
+        );
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub mod stats;
 pub use aloha::{QAlgorithm, SlotOutcome, SlotTimings};
 pub use epc::{crc16_gen2, Epc, Rn16};
 pub use frames::{crc5, decode_ack, decode_query, encode_ack, encode_query, Query, Session};
-pub use inventory::{InventoryConfig, InventorySim, TagRead, TrajectoryFn};
+pub use inventory::{
+    demux_phase_reads, tagged_phase_reads, InventoryConfig, InventorySim, TagRead, TrajectoryFn,
+};
 pub use reader::{PortSchedule, ReaderConfig};
 pub use stats::{unwrap_gap_limit, InventoryStats};

@@ -1,0 +1,168 @@
+//! Service configuration: how sessions are built, bounded, and drained.
+
+use rfidraw_core::array::Deployment;
+use rfidraw_core::exec::Parallelism;
+use rfidraw_core::geom::{Plane, Rect};
+use rfidraw_core::online::{OnlineConfig, OnlineTracker};
+use rfidraw_core::position::MultiResConfig;
+use rfidraw_core::trace::TraceConfig;
+use rfidraw_touch::{CursorConfig, ScreenMap};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What to do when a session's ingest queue is full.
+///
+/// The policy decides who pays for a hot tag: the producer (`Block`), the
+/// freshest data (`Reject`), or the stalest data (`DropOldest`). Every
+/// decision is counted in the telemetry, so `ingested = processed +
+/// dropped + queued` always balances against the rejected count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Refuse the incoming read; it is counted as rejected and never
+    /// enters the queue. Favors the data already queued.
+    Reject,
+    /// Evict the oldest queued read to make room; the eviction is counted
+    /// as dropped. Favors freshness (a live cursor wants recent reads).
+    DropOldest,
+    /// Block the producer until the queue has room (or the session
+    /// closes). Lossless, at the price of back-propagating the stall.
+    Block,
+}
+
+/// Everything needed to build one per-session [`OnlineTracker`].
+///
+/// The registry clones this template lazily, once per tag that appears in
+/// the ingest stream, so every session runs the identical pipeline
+/// configuration — which is what makes multiplexed results bit-identical
+/// to a standalone tracker.
+#[derive(Debug, Clone)]
+pub struct TrackerTemplate {
+    /// The antenna deployment shared by all sessions.
+    pub deployment: Deployment,
+    /// The writing plane.
+    pub plane: Plane,
+    /// Acquisition (multi-resolution positioning) settings.
+    pub position: MultiResConfig,
+    /// Per-tick tracing settings.
+    pub trace: TraceConfig,
+    /// Streaming-tracker settings (tick, pruning, stale gap).
+    pub online: OnlineConfig,
+}
+
+impl TrackerTemplate {
+    /// The paper-default deployment and plane over `region`, with a stale
+    /// gap of 1 s so sessions self-reset after silence instead of trusting
+    /// a broken phase unwrap.
+    pub fn paper_default(region: Rect) -> Self {
+        let mut position = MultiResConfig::for_region(region);
+        position.fine_resolution = 0.02;
+        Self {
+            deployment: Deployment::paper_default(),
+            plane: Plane::at_depth(2.0),
+            position,
+            trace: TraceConfig::default(),
+            online: OnlineConfig {
+                max_read_gap: Some(1.0),
+                ..OnlineConfig::default()
+            },
+        }
+    }
+
+    /// Builds a fresh tracker from this template.
+    pub fn build(&self) -> OnlineTracker {
+        OnlineTracker::new(
+            self.deployment.clone(),
+            self.plane,
+            self.position.clone(),
+            self.trace.clone(),
+            self.online.clone(),
+        )
+    }
+}
+
+/// Optional per-session cursor mode (`rfidraw-touch`): each session's
+/// position stream additionally drives a cursor state machine whose events
+/// are broadcast to in-process subscribers.
+#[derive(Debug, Clone)]
+pub struct CursorSetup {
+    /// Cursor-mode tuning.
+    pub config: CursorConfig,
+    /// Plane-to-pixels mapping.
+    pub map: ScreenMap,
+}
+
+/// The full service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How each session's tracker is built.
+    pub tracker: TrackerTemplate,
+    /// Bounded per-session ingest queue capacity (reads).
+    ///
+    /// # Panics
+    /// [`crate::TrackingService::start`] panics when this is zero.
+    pub queue_capacity: usize,
+    /// What happens when a session queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Hard cap on concurrently live sessions; ingest for new tags beyond
+    /// it is refused (and counted).
+    pub max_sessions: usize,
+    /// Sessions with no ingest for this long (wall clock) are evicted.
+    pub idle_timeout: Duration,
+    /// Worker threads draining session queues round-robin. `None` starts
+    /// no threads: the owner pumps manually via
+    /// [`crate::TrackingService::pump`] (deterministic single-threaded
+    /// mode, used by tests and benchmarks).
+    pub workers: Option<Parallelism>,
+    /// Maximum reads drained from one session per round-robin visit. The
+    /// fairness knob: a hot tag yields the worker after this many reads so
+    /// it cannot starve other sessions.
+    pub drain_batch: usize,
+    /// Optional cursor mode for every session.
+    pub cursor: Option<CursorSetup>,
+}
+
+impl ServeConfig {
+    /// Sensible service defaults around a tracker template: queue of 1024
+    /// reads, `Block` backpressure (lossless), 64 sessions, 30 s idle
+    /// timeout, auto worker threads, 64-read drain batches, no cursor.
+    pub fn new(tracker: TrackerTemplate) -> Self {
+        Self {
+            tracker,
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::Block,
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(30),
+            workers: Some(Parallelism::Auto),
+            drain_batch: 64,
+            cursor: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_core::geom::Point2;
+
+    #[test]
+    fn template_builds_trackers() {
+        let region = Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7));
+        let t = TrackerTemplate::paper_default(region);
+        let tracker = t.build();
+        assert!(!tracker.is_tracking());
+        assert!(t.online.max_read_gap.is_some());
+    }
+
+    #[test]
+    fn policy_roundtrips_through_json() {
+        for p in [
+            BackpressurePolicy::Reject,
+            BackpressurePolicy::DropOldest,
+            BackpressurePolicy::Block,
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: BackpressurePolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Multi-session live tracking service for RF-IDraw.
+//!
+//! This crate turns the streaming tracker (`rfidraw_core::online`) into a
+//! long-running service: many tags tracked concurrently, each behind a
+//! bounded ingest queue with an explicit backpressure policy, drained
+//! fairly by a small worker pool, observable through runtime telemetry,
+//! and reachable both in-process and over a line-framed JSON TCP
+//! protocol.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  producers ──ingest──▶ per-EPC bounded queues ──▶ worker pool (round
+//!  (reader HW,            (Reject / DropOldest /    robin, drain_batch
+//!   TCP clients,           Block)                   per visit)
+//!   simulators)                                        │
+//!                                                      ▼
+//!                                        one OnlineTracker per session
+//!                                        (+ optional cursor state machine)
+//!                                                      │
+//!                            subscribers ◀──events─────┘
+//!                            (in-process mpsc, TCP PositionUpdate)
+//! ```
+//!
+//! Sessions are created lazily on first ingest/subscribe, capped at
+//! [`ServeConfig::max_sessions`], and evicted after
+//! [`ServeConfig::idle_timeout`] without ingest. The per-session queue +
+//! single-drainer claim preserve each tag's read order exactly, so the
+//! multiplexed service produces trajectories **bit-identical** to running
+//! one standalone [`rfidraw_core::online::OnlineTracker`] per tag — the
+//! crate's integration tests assert this for both the in-process client
+//! and the loopback TCP path.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rfidraw_core::geom::{Point2, Rect};
+//! use rfidraw_serve::{ServeConfig, TrackerTemplate, TrackingService};
+//!
+//! let region = Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7));
+//! let mut cfg = ServeConfig::new(TrackerTemplate::paper_default(region));
+//! cfg.workers = None; // manual pumping for this doctest
+//! let service = TrackingService::start(cfg);
+//! let client = service.client();
+//! assert!(client.active_sessions().is_empty());
+//! let report = service.telemetry();
+//! assert_eq!(report.active_sessions, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod net;
+pub mod service;
+pub mod session;
+pub mod telemetry;
+pub mod wire;
+
+pub use config::{BackpressurePolicy, CursorSetup, ServeConfig, TrackerTemplate};
+pub use net::{WireClient, WireServer};
+pub use service::{LocalClient, ServeError, SessionView, TrackingService};
+pub use session::{CloseReason, IngestReceipt, SessionEvent};
+pub use telemetry::{SessionTelemetry, TelemetryReport};
+pub use wire::{Message, WIRE_VERSION};

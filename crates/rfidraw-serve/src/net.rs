@@ -1,0 +1,292 @@
+//! Loopback/LAN front-end: the wire protocol over `std::net` TCP,
+//! thread-per-connection.
+//!
+//! [`WireServer`] accepts connections and serves each one with a reader
+//! thread (parses frames, calls into the shared [`LocalClient`]) and a
+//! writer thread (serializes replies and subscription pushes; an mpsc
+//! channel in between keeps frames atomic even when a subscription
+//! forwarder and a request reply race). [`WireClient`] is the matching
+//! blocking client.
+//!
+//! **Connection discipline.** Replies to requests and subscription pushes
+//! share one ordered byte stream, so a connection that both ingests and
+//! subscribes will see `IngestAck` frames interleaved with
+//! `PositionUpdate` frames. The convenience helpers on [`WireClient`]
+//! (`ingest`, `telemetry`) assume the next inbound frame answers the
+//! request — use one connection for ingest and a separate one for
+//! subscriptions, as the integration tests do.
+
+use crate::service::{LocalClient, ServeError};
+use crate::session::SessionEvent;
+use crate::telemetry::TelemetryReport;
+use crate::wire::{
+    self, DecodeError, IngestAck, IngestBatch, Message, PositionUpdate, SessionClosed, Subscribe,
+    WireError,
+};
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_protocol::Epc;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// The TCP server: an accept loop fanning out thread-per-connection
+/// handlers that all share one [`LocalClient`].
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting.
+    pub fn bind<A: ToSocketAddrs>(addr: A, client: LocalClient) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("rfidraw-serve-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(stream) = conn {
+                        spawn_connection(stream, client.clone());
+                    }
+                }
+            })?;
+        Ok(Self { addr: local, stop, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection handler threads exit on their own when the peer hangs
+        // up (reader sees EOF) or the tracking service closes the sessions
+        // they forward (the forwarder sends `SessionClosed` and returns).
+    }
+}
+
+fn spawn_connection(stream: TcpStream, client: LocalClient) {
+    let _ = std::thread::Builder::new().name("rfidraw-serve-conn".to_string()).spawn(move || {
+        let write_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        // All outbound frames funnel through one writer thread so a
+        // subscription push can never split a reply frame.
+        let (tx, rx) = mpsc::channel::<String>();
+        let writer = std::thread::spawn(move || {
+            let mut w = BufWriter::new(write_stream);
+            while let Ok(line) = rx.recv() {
+                if w.write_all(line.as_bytes()).is_err() || w.flush().is_err() {
+                    return;
+                }
+            }
+        });
+        serve_connection(stream, &client, &tx);
+        drop(tx);
+        let _ = writer.join();
+    });
+}
+
+/// Queues one frame; `false` means the writer is gone (connection dead).
+fn send_msg(tx: &mpsc::Sender<String>, msg: &Message) -> bool {
+    let mut line = wire::encode(msg);
+    line.push('\n');
+    tx.send(line).is_ok()
+}
+
+fn serve_error(e: &ServeError) -> WireError {
+    let code = match e {
+        ServeError::SessionLimit { .. } => "limit",
+        ServeError::ShuttingDown => "shutdown",
+    };
+    WireError { code: code.to_string(), message: e.to_string() }
+}
+
+fn serve_connection(stream: TcpStream, client: &LocalClient, tx: &mpsc::Sender<String>) {
+    let mut r = BufReader::new(stream);
+    loop {
+        let frame = match wire::read_frame(&mut r) {
+            Ok(Some(f)) => f,
+            // Clean EOF or a dead socket: either way, the conversation is
+            // over.
+            Ok(None) | Err(_) => return,
+        };
+        let reply_sent = match frame {
+            Err(e) => {
+                let code = match e {
+                    DecodeError::Version { .. } => "version",
+                    DecodeError::Malformed(_) => "parse",
+                };
+                send_msg(
+                    tx,
+                    &Message::Error(WireError {
+                        code: code.to_string(),
+                        message: e.to_string(),
+                    }),
+                )
+            }
+            Ok(Message::Ingest(batch)) => {
+                let reply = match client.ingest(batch.epc, &batch.reads) {
+                    Ok(receipt) => Message::IngestAck(IngestAck::from_receipt(batch.epc, receipt)),
+                    Err(e) => Message::Error(serve_error(&e)),
+                };
+                send_msg(tx, &reply)
+            }
+            Ok(Message::Subscribe(sub)) => match client.subscribe(sub.epc) {
+                Ok(events) => {
+                    let tx = tx.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("rfidraw-serve-sub".to_string())
+                        .spawn(move || forward_events(&events, &tx));
+                    true
+                }
+                Err(e) => send_msg(tx, &Message::Error(serve_error(&e))),
+            },
+            Ok(Message::TelemetryRequest) => {
+                send_msg(tx, &Message::Telemetry(client.telemetry()))
+            }
+            // Server→client messages arriving at the server are a protocol
+            // violation; refuse but keep the connection.
+            Ok(other) => send_msg(
+                tx,
+                &Message::Error(WireError {
+                    code: "unsupported".to_string(),
+                    message: format!("not a client request: {other:?}"),
+                }),
+            ),
+        };
+        if !reply_sent {
+            return;
+        }
+    }
+}
+
+/// Maps a session's event stream onto the wire until the session closes or
+/// the connection dies. Only positions and the final close go out;
+/// acquisition/stale/cursor events are in-process-only detail.
+fn forward_events(events: &mpsc::Receiver<SessionEvent>, tx: &mpsc::Sender<String>) {
+    while let Ok(ev) = events.recv() {
+        match ev {
+            SessionEvent::Position { epc, t, pos } => {
+                if !send_msg(tx, &Message::PositionUpdate(PositionUpdate {
+                    epc,
+                    t,
+                    x: pos.x,
+                    z: pos.z,
+                })) {
+                    return;
+                }
+            }
+            SessionEvent::Closed { epc, reason } => {
+                let _ = send_msg(
+                    tx,
+                    &Message::SessionClosed(SessionClosed {
+                        epc,
+                        reason: reason.as_str().to_string(),
+                    }),
+                );
+                return;
+            }
+            SessionEvent::Acquired { .. }
+            | SessionEvent::Stale { .. }
+            | SessionEvent::Cursor { .. } => {}
+        }
+    }
+}
+
+/// A blocking wire-protocol client over one TCP connection.
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a [`WireServer`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        wire::write_frame(&mut self.writer, msg)
+    }
+
+    /// The raw write half (protocol-violation tests speak through this).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.writer
+    }
+
+    /// Receives the next frame; `None` when the server hung up. Decode
+    /// failures surface as `InvalidData`.
+    pub fn recv(&mut self) -> io::Result<Option<Message>> {
+        match wire::read_frame(&mut self.reader)? {
+            None => Ok(None),
+            Some(Ok(msg)) => Ok(Some(msg)),
+            Some(Err(e)) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+
+    /// Ingests a batch and waits for its ack. Only valid on a connection
+    /// with no active subscription (see the module docs).
+    pub fn ingest(&mut self, epc: Epc, reads: &[PhaseRead]) -> io::Result<IngestAck> {
+        self.send(&Message::Ingest(IngestBatch { epc, reads: reads.to_vec() }))?;
+        match self.recv()? {
+            Some(Message::IngestAck(ack)) => Ok(ack),
+            Some(Message::Error(e)) => Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("server refused ingest ({}): {}", e.code, e.message),
+            )),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected IngestAck, got {other:?}"),
+            )),
+            None => Err(io::ErrorKind::UnexpectedEof.into()),
+        }
+    }
+
+    /// Starts a subscription on this connection; the server then pushes
+    /// [`Message::PositionUpdate`] frames, ending with
+    /// [`Message::SessionClosed`]. Read them with [`WireClient::recv`].
+    pub fn subscribe(&mut self, epc: Epc) -> io::Result<()> {
+        self.send(&Message::Subscribe(Subscribe { epc }))
+    }
+
+    /// Fetches a telemetry snapshot. Only valid on a connection with no
+    /// active subscription (see the module docs).
+    pub fn telemetry(&mut self) -> io::Result<TelemetryReport> {
+        self.send(&Message::TelemetryRequest)?;
+        match self.recv()? {
+            Some(Message::Telemetry(report)) => Ok(report),
+            Some(Message::Error(e)) => Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("server refused telemetry ({}): {}", e.code, e.message),
+            )),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Telemetry, got {other:?}"),
+            )),
+            None => Err(io::ErrorKind::UnexpectedEof.into()),
+        }
+    }
+}

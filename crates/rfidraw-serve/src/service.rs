@@ -1,0 +1,382 @@
+//! The multi-session tracking service: registry, worker pool, client
+//! handle.
+//!
+//! [`TrackingService::start`] owns the worker threads; [`LocalClient`] is
+//! the cheap, cloneable in-process handle that ingest paths, subscribers,
+//! and the TCP front-end ([`crate::net`]) all share. Sessions spin up
+//! lazily — the first read (or subscription) for an unseen EPC builds a
+//! tracker from the configured template — and die by idle timeout,
+//! explicit close, or shutdown.
+//!
+//! **Fairness & determinism.** Workers drain sessions round-robin, at most
+//! `drain_batch` reads per visit, so a hot tag cannot starve the rest. A
+//! per-session claim flag makes take-batch + process atomic with respect
+//! to other workers, which keeps each session's read order exactly the
+//! ingest order — multiplexing many tags through the service changes
+//! *scheduling*, never *results* (enforced bit-for-bit by the crate's
+//! integration tests).
+
+use crate::config::ServeConfig;
+use crate::session::{CloseReason, IngestReceipt, SessionEvent, SessionShared};
+use crate::telemetry::{GlobalMetrics, TelemetryReport};
+use rfidraw_core::geom::Point2;
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_protocol::Epc;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Errors the service surfaces to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A new session was needed but the registry is at `max_sessions`.
+    SessionLimit {
+        /// The configured cap.
+        max: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::SessionLimit { max } => {
+                write!(f, "session registry is full ({max} sessions)")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A read-only view of one session's tracking state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionView {
+    /// The session's tag.
+    pub epc: Epc,
+    /// The best candidate's trajectory so far.
+    pub trajectory: Vec<Point2>,
+    /// Whether acquisition has completed.
+    pub tracking: bool,
+    /// Candidates still alive.
+    pub alive_candidates: usize,
+    /// The live estimate.
+    pub current: Option<Point2>,
+}
+
+struct ServiceInner {
+    cfg: ServeConfig,
+    sessions: Mutex<BTreeMap<Epc, Arc<SessionShared>>>,
+    /// Workers park here when every queue is empty.
+    work: Condvar,
+    global: GlobalMetrics,
+    shutdown: AtomicBool,
+    /// Round-robin start offset, advanced per drain round so successive
+    /// rounds (and concurrent workers) begin at different sessions.
+    rr: AtomicUsize,
+}
+
+impl ServiceInner {
+    fn get_or_create(&self, epc: Epc) -> Result<Arc<SessionShared>, ServeError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut map = self.sessions.lock().expect("sessions lock");
+        if let Some(s) = map.get(&epc) {
+            return Ok(Arc::clone(s));
+        }
+        if map.len() >= self.cfg.max_sessions {
+            self.global.sessions_rejected.inc();
+            return Err(ServeError::SessionLimit { max: self.cfg.max_sessions });
+        }
+        let session = Arc::new(SessionShared::new(
+            epc,
+            self.cfg.tracker.build(),
+            self.cfg.cursor.as_ref(),
+        ));
+        map.insert(epc, Arc::clone(&session));
+        self.global.sessions_opened.inc();
+        Ok(session)
+    }
+
+    /// One round-robin pass over all sessions; returns reads processed.
+    fn drain_round(&self) -> usize {
+        let sessions: Vec<Arc<SessionShared>> = {
+            let map = self.sessions.lock().expect("sessions lock");
+            map.values().cloned().collect()
+        };
+        if sessions.is_empty() {
+            return 0;
+        }
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % sessions.len();
+        let mut processed = 0;
+        for k in 0..sessions.len() {
+            let s = &sessions[(start + k) % sessions.len()];
+            if s
+                .claimed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                processed += s.drain(self.cfg.drain_batch, &self.global);
+                s.claimed.store(false, Ordering::Release);
+            }
+        }
+        processed
+    }
+
+    /// Evicts sessions whose last ingest is older than the idle timeout.
+    fn sweep_idle(&self) {
+        let mut evicted = Vec::new();
+        {
+            let mut map = self.sessions.lock().expect("sessions lock");
+            let idle: Vec<Epc> = map
+                .iter()
+                .filter(|(_, s)| {
+                    s.idle_for() > self.cfg.idle_timeout
+                        && s.queue_depth() == 0
+                        && !s.claimed.load(Ordering::Acquire)
+                })
+                .map(|(epc, _)| *epc)
+                .collect();
+            for epc in idle {
+                if let Some(s) = map.remove(&epc) {
+                    evicted.push(s);
+                }
+            }
+        }
+        for s in evicted {
+            s.close(CloseReason::Idle, &self.global);
+            self.global.sessions_evicted.inc();
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        let map = self.sessions.lock().expect("sessions lock");
+        map.values().any(|s| s.queue_depth() > 0)
+    }
+
+    fn telemetry(&self) -> TelemetryReport {
+        let sessions: Vec<Arc<SessionShared>> = {
+            let map = self.sessions.lock().expect("sessions lock");
+            map.values().cloned().collect()
+        };
+        TelemetryReport {
+            active_sessions: sessions.len() as u64,
+            sessions_opened: self.global.sessions_opened.get(),
+            sessions_evicted: self.global.sessions_evicted.get(),
+            sessions_closed: self.global.sessions_closed.get(),
+            sessions_rejected: self.global.sessions_rejected.get(),
+            reads_ingested: self.global.ingested.get(),
+            reads_dropped: self.global.dropped.get(),
+            reads_rejected: self.global.rejected.get(),
+            reads_processed: self.global.processed.get(),
+            positions: self.global.positions.get(),
+            stale_resets: self.global.stale_resets.get(),
+            latency: self.global.latency.snapshot(),
+            sessions: sessions.iter().map(|s| s.telemetry()).collect(),
+        }
+    }
+}
+
+/// The cloneable in-process client handle.
+///
+/// Cloning shares the same service; handles stay valid for the service's
+/// lifetime (calls after shutdown return [`ServeError::ShuttingDown`] /
+/// rejected reads).
+#[derive(Clone)]
+pub struct LocalClient {
+    inner: Arc<ServiceInner>,
+}
+
+impl LocalClient {
+    /// Routes a batch of reads into `epc`'s session (created lazily),
+    /// applying the configured backpressure policy.
+    ///
+    /// Reads for one tag must be ingested in time order (the order an
+    /// inventory produces them); batches from concurrent producers for
+    /// *different* tags interleave freely.
+    pub fn ingest(&self, epc: Epc, reads: &[PhaseRead]) -> Result<IngestReceipt, ServeError> {
+        let session = self.inner.get_or_create(epc)?;
+        let receipt = session.enqueue(
+            reads,
+            self.inner.cfg.backpressure,
+            self.inner.cfg.queue_capacity,
+            &self.inner.global,
+        );
+        if receipt.accepted > 0 {
+            self.inner.work.notify_all();
+        }
+        Ok(receipt)
+    }
+
+    /// Subscribes to a session's event stream (created lazily). Events
+    /// arrive in processing order; a [`SessionEvent::Closed`] is always
+    /// last.
+    pub fn subscribe(&self, epc: Epc) -> Result<mpsc::Receiver<SessionEvent>, ServeError> {
+        let session = self.inner.get_or_create(epc)?;
+        Ok(session.subscribe())
+    }
+
+    /// Closes a session explicitly; returns whether it existed. Anything
+    /// still queued is discarded and counted as dropped.
+    pub fn close_session(&self, epc: Epc) -> bool {
+        let removed = {
+            let mut map = self.inner.sessions.lock().expect("sessions lock");
+            map.remove(&epc)
+        };
+        match removed {
+            Some(s) => {
+                s.close(CloseReason::Explicit, &self.inner.global);
+                self.inner.global.sessions_closed.inc();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A snapshot of one session's tracking state.
+    pub fn session_view(&self, epc: Epc) -> Option<SessionView> {
+        let session = {
+            let map = self.inner.sessions.lock().expect("sessions lock");
+            map.get(&epc).cloned()
+        }?;
+        let trajectory = session.trajectory();
+        let (tracking, alive_candidates, current) = session.tracker_state();
+        Some(SessionView { epc, trajectory, tracking, alive_candidates, current })
+    }
+
+    /// The EPCs of all live sessions, in order.
+    pub fn active_sessions(&self) -> Vec<Epc> {
+        let map = self.inner.sessions.lock().expect("sessions lock");
+        map.keys().copied().collect()
+    }
+
+    /// A serializable snapshot of all counters and the latency histogram.
+    pub fn telemetry(&self) -> TelemetryReport {
+        self.inner.telemetry()
+    }
+}
+
+/// The service: owns the registry and the worker pool.
+pub struct TrackingService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TrackingService {
+    /// Starts the service. With `cfg.workers = Some(p)` this spawns
+    /// `p.thread_count()` draining threads; with `None` the owner drives
+    /// processing via [`TrackingService::pump`].
+    ///
+    /// # Panics
+    /// Panics on a zero queue capacity, zero drain batch, or zero session
+    /// cap.
+    pub fn start(cfg: ServeConfig) -> Self {
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(cfg.drain_batch > 0, "drain batch must be positive");
+        assert!(cfg.max_sessions > 0, "session cap must be positive");
+        let worker_count = cfg.workers.map(|p| p.thread_count()).unwrap_or(0);
+        let inner = Arc::new(ServiceInner {
+            cfg,
+            sessions: Mutex::new(BTreeMap::new()),
+            work: Condvar::new(),
+            global: GlobalMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rfidraw-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// A client handle (cheap to clone, freely shareable across threads).
+    pub fn client(&self) -> LocalClient {
+        LocalClient { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Runs one drain round plus an idle sweep on the calling thread;
+    /// returns the number of reads processed. This is the processing
+    /// engine in manual mode (`workers: None`) and is also safe alongside
+    /// worker threads (the claim flag arbitrates).
+    pub fn pump(&self) -> usize {
+        let n = self.inner.drain_round();
+        self.inner.sweep_idle();
+        n
+    }
+
+    /// Blocks until every queue is empty and no worker is mid-batch. In
+    /// manual mode this pumps on the calling thread.
+    pub fn quiesce(&self) {
+        loop {
+            if self.workers.is_empty() {
+                while self.inner.drain_round() > 0 {}
+            }
+            let busy = {
+                let map = self.inner.sessions.lock().expect("sessions lock");
+                map.values()
+                    .any(|s| s.queue_depth() > 0 || s.claimed.load(Ordering::Acquire))
+            };
+            if !busy {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// A serializable snapshot of all counters and the latency histogram.
+    pub fn telemetry(&self) -> TelemetryReport {
+        self.inner.telemetry()
+    }
+}
+
+impl Drop for TrackingService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Close every remaining session: unblocks producers, tells
+        // subscribers the stream is over.
+        let sessions: Vec<Arc<SessionShared>> = {
+            let mut map = self.inner.sessions.lock().expect("sessions lock");
+            let v = map.values().cloned().collect();
+            map.clear();
+            v
+        };
+        for s in sessions {
+            s.close(CloseReason::Shutdown, &self.inner.global);
+            self.inner.global.sessions_closed.inc();
+        }
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let processed = inner.drain_round();
+        inner.sweep_idle();
+        if processed == 0 && !inner.has_pending() {
+            let guard = inner.sessions.lock().expect("sessions lock");
+            // Short timeout: wakes double as the idle-eviction heartbeat
+            // and the shutdown re-check.
+            let _ = inner
+                .work
+                .wait_timeout(guard, Duration::from_millis(2))
+                .expect("sessions lock");
+        }
+    }
+}

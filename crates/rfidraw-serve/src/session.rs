@@ -1,0 +1,367 @@
+//! One tracking session: a bounded ingest queue, a tracker (plus optional
+//! cursor state machine), subscribers, and counters.
+//!
+//! A session is shared between producers (ingest / subscribe), one worker
+//! at a time (the `claimed` flag serializes draining, which is what keeps
+//! per-session read order — and therefore results — identical to a
+//! standalone tracker), and the registry (idle eviction). The queue and
+//! the tracker sit behind *separate* locks so ingest never waits for a
+//! tracker tick: producers only touch the queue lock, workers hold the
+//! engine lock only while processing an already-taken batch.
+
+use crate::config::{BackpressurePolicy, CursorSetup};
+use crate::telemetry::{GlobalMetrics, SessionMetrics, SessionTelemetry};
+use rfidraw_core::geom::Point2;
+use rfidraw_core::online::{OnlineEvent, OnlineTracker};
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_protocol::Epc;
+use rfidraw_touch::{CursorEvent, CursorTracker};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// No ingest within the idle timeout.
+    Idle,
+    /// The owner closed it via the client API.
+    Explicit,
+    /// The service shut down.
+    Shutdown,
+}
+
+impl CloseReason {
+    /// Stable string form (used on the wire).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CloseReason::Idle => "idle",
+            CloseReason::Explicit => "explicit",
+            CloseReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Events a session broadcasts to its in-process subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// The tracker acquired with this many candidates.
+    Acquired {
+        /// The session's tag.
+        epc: Epc,
+        /// Candidate count at acquisition.
+        candidates: usize,
+    },
+    /// A new live position estimate.
+    Position {
+        /// The session's tag.
+        epc: Epc,
+        /// Tick timestamp (s, stream time).
+        t: f64,
+        /// The estimate.
+        pos: Point2,
+    },
+    /// The tracker went stale (read gap) and reset.
+    Stale {
+        /// The session's tag.
+        epc: Epc,
+        /// The observed gap (s).
+        gap: f64,
+    },
+    /// A cursor-mode event (only when the service was configured with
+    /// [`crate::config::CursorSetup`]).
+    Cursor {
+        /// The session's tag.
+        epc: Epc,
+        /// The cursor event.
+        event: CursorEvent,
+    },
+    /// The session ended; no further events follow.
+    Closed {
+        /// The session's tag.
+        epc: Epc,
+        /// Why it ended.
+        reason: CloseReason,
+    },
+}
+
+/// Per-batch ingest accounting, returned to the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReceipt {
+    /// Reads accepted into the queue.
+    pub accepted: u64,
+    /// Older queued reads evicted to make room (`DropOldest`).
+    pub dropped: u64,
+    /// Reads refused outright (`Reject` on full, or session closed).
+    pub rejected: u64,
+}
+
+impl IngestReceipt {
+    fn merge(&mut self, other: IngestReceipt) {
+        self.accepted += other.accepted;
+        self.dropped += other.dropped;
+        self.rejected += other.rejected;
+    }
+}
+
+struct QueuedRead {
+    read: PhaseRead,
+    enqueued: Instant,
+}
+
+struct Engine {
+    tracker: OnlineTracker,
+    cursor: Option<CursorTracker>,
+}
+
+pub(crate) struct SessionShared {
+    pub(crate) epc: Epc,
+    queue: Mutex<VecDeque<QueuedRead>>,
+    /// Producers blocked by [`BackpressurePolicy::Block`] wait here.
+    space: Condvar,
+    engine: Mutex<Engine>,
+    subscribers: Mutex<Vec<mpsc::Sender<SessionEvent>>>,
+    /// Exactly one worker may drain at a time; claiming take+process as a
+    /// unit preserves the per-session read order.
+    pub(crate) claimed: AtomicBool,
+    closed: AtomicBool,
+    last_activity: Mutex<Instant>,
+    pub(crate) metrics: SessionMetrics,
+}
+
+impl SessionShared {
+    pub fn new(epc: Epc, tracker: OnlineTracker, cursor: Option<&CursorSetup>) -> Self {
+        Self {
+            epc,
+            queue: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            engine: Mutex::new(Engine {
+                tracker,
+                cursor: cursor.map(|c| CursorTracker::new(c.config, c.map.clone())),
+            }),
+            subscribers: Mutex::new(Vec::new()),
+            claimed: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            last_activity: Mutex::new(Instant::now()),
+            metrics: SessionMetrics::default(),
+        }
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    pub fn idle_for(&self) -> Duration {
+        self.last_activity.lock().expect("activity lock").elapsed()
+    }
+
+    fn touch(&self) {
+        *self.last_activity.lock().expect("activity lock") = Instant::now();
+    }
+
+    /// Enqueues a batch under the configured policy, counting every
+    /// decision in both the session and global metrics.
+    pub fn enqueue(
+        &self,
+        reads: &[PhaseRead],
+        policy: BackpressurePolicy,
+        capacity: usize,
+        global: &GlobalMetrics,
+    ) -> IngestReceipt {
+        let mut receipt = IngestReceipt::default();
+        for &read in reads {
+            receipt.merge(self.enqueue_one(read, policy, capacity));
+        }
+        self.metrics.ingested.add(receipt.accepted);
+        self.metrics.dropped.add(receipt.dropped);
+        self.metrics.rejected.add(receipt.rejected);
+        global.ingested.add(receipt.accepted);
+        global.dropped.add(receipt.dropped);
+        global.rejected.add(receipt.rejected);
+        if receipt.accepted > 0 {
+            self.touch();
+        }
+        receipt
+    }
+
+    fn enqueue_one(
+        &self,
+        read: PhaseRead,
+        policy: BackpressurePolicy,
+        capacity: usize,
+    ) -> IngestReceipt {
+        let mut q = self.queue.lock().expect("queue lock");
+        loop {
+            if self.is_closed() {
+                return IngestReceipt { rejected: 1, ..Default::default() };
+            }
+            if q.len() < capacity {
+                q.push_back(QueuedRead { read, enqueued: Instant::now() });
+                return IngestReceipt { accepted: 1, ..Default::default() };
+            }
+            match policy {
+                BackpressurePolicy::Reject => {
+                    return IngestReceipt { rejected: 1, ..Default::default() };
+                }
+                BackpressurePolicy::DropOldest => {
+                    q.pop_front();
+                    q.push_back(QueuedRead { read, enqueued: Instant::now() });
+                    return IngestReceipt { accepted: 1, dropped: 1, ..Default::default() };
+                }
+                BackpressurePolicy::Block => {
+                    // Timeout so a producer re-checks `closed` even if it
+                    // raced a close that fired before this wait began.
+                    let (guard, _timeout) = self
+                        .space
+                        .wait_timeout(q, Duration::from_millis(5))
+                        .expect("queue lock");
+                    q = guard;
+                }
+            }
+        }
+    }
+
+    /// Takes up to `n` queued reads (the worker must hold the claim) and
+    /// wakes blocked producers for the freed space.
+    fn take_batch(&self, n: usize) -> Vec<QueuedRead> {
+        let mut q = self.queue.lock().expect("queue lock");
+        let take = n.min(q.len());
+        let batch: Vec<QueuedRead> = q.drain(..take).collect();
+        drop(q);
+        if !batch.is_empty() {
+            self.space.notify_all();
+        }
+        batch
+    }
+
+    /// Drains up to `max_reads` reads through the tracker, broadcasting
+    /// events and recording latency. Returns the number processed.
+    ///
+    /// The caller must have claimed the session.
+    pub fn drain(&self, max_reads: usize, global: &GlobalMetrics) -> usize {
+        let batch = self.take_batch(max_reads);
+        if batch.is_empty() {
+            return 0;
+        }
+        let processed = batch.len();
+        let mut out_events: Vec<SessionEvent> = Vec::new();
+        {
+            let mut engine = self.engine.lock().expect("engine lock");
+            for qr in &batch {
+                let events = engine.tracker.push(qr.read);
+                let mut produced_position = false;
+                for e in &events {
+                    match e {
+                        OnlineEvent::Acquired { candidates } => {
+                            out_events.push(SessionEvent::Acquired {
+                                epc: self.epc,
+                                candidates: *candidates,
+                            });
+                        }
+                        OnlineEvent::Position { t, pos } => {
+                            produced_position = true;
+                            self.metrics.positions.inc();
+                            global.positions.inc();
+                            out_events.push(SessionEvent::Position {
+                                epc: self.epc,
+                                t: *t,
+                                pos: *pos,
+                            });
+                            if let Some(cursor) = engine.cursor.as_mut() {
+                                for ce in cursor.update(*t, *pos) {
+                                    out_events.push(SessionEvent::Cursor {
+                                        epc: self.epc,
+                                        event: ce,
+                                    });
+                                }
+                            }
+                        }
+                        OnlineEvent::Pruned { .. } => {}
+                        OnlineEvent::Stale { gap } => {
+                            self.metrics.stale_resets.inc();
+                            global.stale_resets.inc();
+                            out_events.push(SessionEvent::Stale { epc: self.epc, gap: *gap });
+                        }
+                    }
+                }
+                if produced_position {
+                    global.latency.observe(qr.enqueued.elapsed());
+                }
+            }
+        }
+        self.metrics.processed.add(processed as u64);
+        global.processed.add(processed as u64);
+        for e in out_events {
+            self.broadcast(e);
+        }
+        processed
+    }
+
+    /// Registers an in-process subscriber.
+    pub fn subscribe(&self) -> mpsc::Receiver<SessionEvent> {
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.lock().expect("subscribers lock").push(tx);
+        rx
+    }
+
+    fn broadcast(&self, event: SessionEvent) {
+        let mut subs = self.subscribers.lock().expect("subscribers lock");
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Marks the session closed: discards (and counts) anything still
+    /// queued, wakes blocked producers, and notifies subscribers. Safe to
+    /// call more than once; only the first call broadcasts.
+    pub fn close(&self, reason: CloseReason, global: &GlobalMetrics) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let discarded = {
+            let mut q = self.queue.lock().expect("queue lock");
+            let n = q.len() as u64;
+            q.clear();
+            n
+        };
+        if discarded > 0 {
+            self.metrics.dropped.add(discarded);
+            global.dropped.add(discarded);
+        }
+        self.space.notify_all();
+        self.broadcast(SessionEvent::Closed { epc: self.epc, reason });
+    }
+
+    /// The session's trajectory so far (the tracker's best candidate).
+    pub fn trajectory(&self) -> Vec<Point2> {
+        self.engine.lock().expect("engine lock").tracker.trajectory().to_vec()
+    }
+
+    /// Live tracker state for views/telemetry.
+    pub fn tracker_state(&self) -> (bool, usize, Option<Point2>) {
+        let engine = self.engine.lock().expect("engine lock");
+        (
+            engine.tracker.is_tracking(),
+            engine.tracker.alive_candidates(),
+            engine.tracker.current_estimate(),
+        )
+    }
+
+    pub fn telemetry(&self) -> SessionTelemetry {
+        let (tracking, _, _) = self.tracker_state();
+        SessionTelemetry {
+            epc: self.epc,
+            reads_ingested: self.metrics.ingested.get(),
+            reads_dropped: self.metrics.dropped.get(),
+            reads_rejected: self.metrics.rejected.get(),
+            reads_processed: self.metrics.processed.get(),
+            positions: self.metrics.positions.get(),
+            stale_resets: self.metrics.stale_resets.get(),
+            queue_depth: self.queue_depth() as u64,
+            tracking,
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Service telemetry: per-session and global counters plus the
+//! ingest→position latency histogram, snapshottable as a serializable
+//! report.
+//!
+//! The live counters are `rfidraw_metrics::runtime` primitives (lock-free
+//! atomics, bumped from ingest and worker threads without coordination);
+//! [`TelemetryReport`] / [`SessionTelemetry`] are their point-in-time
+//! snapshots, serializable through the vendored serde stack for the wire
+//! protocol and for operators.
+//!
+//! The accounting invariant the counters maintain (enforced by the crate's
+//! backpressure tests): for every session and globally,
+//!
+//! ```text
+//! ingested = processed + dropped + queued      (conservation in the queue)
+//! attempted = ingested + rejected              (at the ingest boundary)
+//! ```
+
+use rfidraw_metrics::runtime::{Counter, HistogramSnapshot, LatencyHistogram};
+use rfidraw_protocol::Epc;
+use serde::{Deserialize, Serialize};
+
+/// Live counters for one session.
+#[derive(Debug, Default)]
+pub(crate) struct SessionMetrics {
+    /// Reads accepted into the queue.
+    pub ingested: Counter,
+    /// Reads evicted from the queue by `DropOldest` (or discarded at
+    /// session close).
+    pub dropped: Counter,
+    /// Reads refused at the ingest boundary (`Reject` on a full queue, or
+    /// a closed session).
+    pub rejected: Counter,
+    /// Reads fed through the tracker.
+    pub processed: Counter,
+    /// Position snapshots (live estimates) the tracker emitted.
+    pub positions: Counter,
+    /// Stale resets (read gap exceeded the tracker's unwrap horizon).
+    pub stale_resets: Counter,
+}
+
+/// Live service-wide counters.
+#[derive(Debug)]
+pub(crate) struct GlobalMetrics {
+    pub ingested: Counter,
+    pub dropped: Counter,
+    pub rejected: Counter,
+    pub processed: Counter,
+    pub positions: Counter,
+    pub stale_resets: Counter,
+    /// Sessions ever created.
+    pub sessions_opened: Counter,
+    /// Sessions evicted by the idle timeout.
+    pub sessions_evicted: Counter,
+    /// Sessions closed explicitly or at shutdown.
+    pub sessions_closed: Counter,
+    /// Ingests refused because the session cap was reached.
+    pub sessions_rejected: Counter,
+    /// Ingest→position latency (enqueue to the position estimate that the
+    /// read produced).
+    pub latency: LatencyHistogram,
+}
+
+impl GlobalMetrics {
+    pub fn new() -> Self {
+        Self {
+            ingested: Counter::new(),
+            dropped: Counter::new(),
+            rejected: Counter::new(),
+            processed: Counter::new(),
+            positions: Counter::new(),
+            stale_resets: Counter::new(),
+            sessions_opened: Counter::new(),
+            sessions_evicted: Counter::new(),
+            sessions_closed: Counter::new(),
+            sessions_rejected: Counter::new(),
+            latency: LatencyHistogram::default_bounds(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of one session's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTelemetry {
+    /// The session's tag.
+    pub epc: Epc,
+    /// Reads accepted into this session's queue.
+    pub reads_ingested: u64,
+    /// Reads evicted from the queue (`DropOldest` / close).
+    pub reads_dropped: u64,
+    /// Reads refused at the ingest boundary.
+    pub reads_rejected: u64,
+    /// Reads fed through the tracker.
+    pub reads_processed: u64,
+    /// Position snapshots emitted.
+    pub positions: u64,
+    /// Stale resets.
+    pub stale_resets: u64,
+    /// Reads currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Whether the tracker has acquired and is producing estimates.
+    pub tracking: bool,
+}
+
+/// Point-in-time snapshot of the whole service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Sessions currently live.
+    pub active_sessions: u64,
+    /// Sessions ever created.
+    pub sessions_opened: u64,
+    /// Sessions evicted by the idle timeout.
+    pub sessions_evicted: u64,
+    /// Sessions closed explicitly or at shutdown.
+    pub sessions_closed: u64,
+    /// Ingests refused at the session cap.
+    pub sessions_rejected: u64,
+    /// Reads accepted into queues, service-wide.
+    pub reads_ingested: u64,
+    /// Reads evicted from queues, service-wide.
+    pub reads_dropped: u64,
+    /// Reads refused at the ingest boundary, service-wide.
+    pub reads_rejected: u64,
+    /// Reads fed through trackers, service-wide.
+    pub reads_processed: u64,
+    /// Position snapshots emitted, service-wide.
+    pub positions: u64,
+    /// Stale resets, service-wide.
+    pub stale_resets: u64,
+    /// Ingest→position latency histogram.
+    pub latency: HistogramSnapshot,
+    /// Per-session breakdown, in EPC order.
+    pub sessions: Vec<SessionTelemetry>,
+}
+
+impl TelemetryReport {
+    /// A human-readable multi-line rendering (the wire/JSON form is the
+    /// machine-readable one).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sessions: {} active / {} opened / {} evicted / {} closed / {} refused at cap\n",
+            self.active_sessions,
+            self.sessions_opened,
+            self.sessions_evicted,
+            self.sessions_closed,
+            self.sessions_rejected,
+        ));
+        out.push_str(&format!(
+            "reads:    {} ingested, {} processed, {} dropped, {} rejected\n",
+            self.reads_ingested, self.reads_processed, self.reads_dropped, self.reads_rejected,
+        ));
+        out.push_str(&format!(
+            "output:   {} position snapshots, {} stale resets\n",
+            self.positions, self.stale_resets,
+        ));
+        out.push_str(&format!("latency:  {}\n", self.latency.summary()));
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "  {}: {} in / {} done / {} dropped / {} rejected, {} positions, depth {}, {}\n",
+                s.epc,
+                s.reads_ingested,
+                s.reads_processed,
+                s.reads_dropped,
+                s.reads_rejected,
+                s.positions,
+                s.queue_depth,
+                if s.tracking { "tracking" } else { "warming up" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_metrics::runtime::LatencyHistogram;
+
+    fn report() -> TelemetryReport {
+        let h = LatencyHistogram::default_bounds();
+        h.observe_us(120);
+        TelemetryReport {
+            active_sessions: 1,
+            sessions_opened: 2,
+            sessions_evicted: 1,
+            sessions_closed: 0,
+            sessions_rejected: 3,
+            reads_ingested: 100,
+            reads_dropped: 5,
+            reads_rejected: 7,
+            reads_processed: 90,
+            positions: 42,
+            stale_resets: 1,
+            latency: h.snapshot(),
+            sessions: vec![SessionTelemetry {
+                epc: Epc::from_index(7),
+                reads_ingested: 100,
+                reads_dropped: 5,
+                reads_rejected: 7,
+                reads_processed: 90,
+                positions: 42,
+                stale_resets: 1,
+                queue_depth: 5,
+                tracking: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn render_mentions_the_required_fields() {
+        let r = report();
+        let text = r.render();
+        assert!(text.contains("1 active"));
+        assert!(text.contains("1 evicted"));
+        assert!(text.contains("latency:"));
+    }
+}

@@ -1,0 +1,286 @@
+//! The framed wire protocol: newline-delimited JSON with a versioned
+//! envelope.
+//!
+//! Every frame is one line of compact JSON (`\n`-terminated; JSON string
+//! escaping guarantees no raw newline inside a frame), parsing to an
+//! [`Envelope`] whose `v` field gates compatibility. Client→server
+//! messages are [`Message::Ingest`], [`Message::Subscribe`], and
+//! [`Message::TelemetryRequest`]; server→client messages are
+//! [`Message::IngestAck`], [`Message::PositionUpdate`],
+//! [`Message::SessionClosed`], [`Message::Telemetry`], and
+//! [`Message::Error`].
+//!
+//! The encoding rides the vendored serde stack, so the wire form is the
+//! same JSON the telemetry report and the rest of the workspace use.
+
+use crate::session::IngestReceipt;
+use crate::telemetry::TelemetryReport;
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_protocol::Epc;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u64 = 1;
+
+/// The versioned frame envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Protocol version; frames with a different version are refused with
+    /// [`Message::Error`].
+    pub v: u64,
+    /// The payload.
+    pub msg: Message,
+}
+
+/// All wire messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Client→server: route a batch of reads into a tag's session.
+    Ingest(IngestBatch),
+    /// Server→client: per-batch ingest accounting.
+    IngestAck(IngestAck),
+    /// Client→server: stream a session's position updates on this
+    /// connection.
+    Subscribe(Subscribe),
+    /// Server→client: a live position estimate.
+    PositionUpdate(PositionUpdate),
+    /// Server→client: the session ended; no further updates follow.
+    SessionClosed(SessionClosed),
+    /// Client→server: request a telemetry snapshot.
+    TelemetryRequest,
+    /// Server→client: the telemetry snapshot.
+    Telemetry(TelemetryReport),
+    /// Server→client: the previous frame could not be honored.
+    Error(WireError),
+}
+
+/// A batch of reads for one tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestBatch {
+    /// The replying tag.
+    pub epc: Epc,
+    /// Its reads, in time order.
+    pub reads: Vec<PhaseRead>,
+}
+
+/// Ingest accounting echoed back to the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestAck {
+    /// The tag the batch was routed to.
+    pub epc: Epc,
+    /// Reads accepted into the queue.
+    pub accepted: u64,
+    /// Older reads evicted to make room.
+    pub dropped: u64,
+    /// Reads refused outright.
+    pub rejected: u64,
+}
+
+impl IngestAck {
+    /// Builds the ack from a service receipt.
+    pub fn from_receipt(epc: Epc, r: IngestReceipt) -> Self {
+        Self { epc, accepted: r.accepted, dropped: r.dropped, rejected: r.rejected }
+    }
+}
+
+/// Subscription request for one tag's position stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subscribe {
+    /// The tag to follow.
+    pub epc: Epc,
+}
+
+/// One live position estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionUpdate {
+    /// The tag.
+    pub epc: Epc,
+    /// Tick timestamp (s, stream time).
+    pub t: f64,
+    /// Estimate, plane horizontal coordinate (m).
+    pub x: f64,
+    /// Estimate, plane vertical coordinate (m).
+    pub z: f64,
+}
+
+/// End-of-session notice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionClosed {
+    /// The tag whose session ended.
+    pub epc: Epc,
+    /// `"idle"`, `"explicit"`, or `"shutdown"`.
+    pub reason: String,
+}
+
+/// A server-side refusal, tied to nothing (the protocol is pipelined; the
+/// client correlates by order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Stable machine-readable code (`"version"`, `"parse"`, `"limit"`,
+    /// `"unsupported"`, `"shutdown"`).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Frame decode failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The line was not a valid envelope.
+    Malformed(String),
+    /// The envelope parsed but its version is not [`WIRE_VERSION`].
+    Version {
+        /// The version the peer sent.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Malformed(e) => write!(f, "malformed frame: {e}"),
+            DecodeError::Version { got } => {
+                write!(f, "unsupported wire version {got} (this build speaks {WIRE_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a message as one frame line (no trailing newline).
+pub fn encode(msg: &Message) -> String {
+    serde_json::to_string(&Envelope { v: WIRE_VERSION, msg: msg.clone() })
+        .expect("wire types always serialize")
+}
+
+/// Decodes one frame line.
+pub fn decode(line: &str) -> Result<Message, DecodeError> {
+    let env: Envelope =
+        serde_json::from_str(line.trim_end()).map_err(|e| DecodeError::Malformed(e.to_string()))?;
+    if env.v != WIRE_VERSION {
+        return Err(DecodeError::Version { got: env.v });
+    }
+    Ok(env.msg)
+}
+
+/// Writes one frame (message + newline) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> std::io::Result<()> {
+    let mut line = encode(msg);
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a cleanly closed stream.
+pub fn read_frame<R: BufRead>(r: &mut R) -> std::io::Result<Option<Result<Message, DecodeError>>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.trim().is_empty() {
+        // Tolerate keep-alive blank lines.
+        return read_frame(r);
+    }
+    Ok(Some(decode(&line)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfidraw_core::array::AntennaId;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Ingest(IngestBatch {
+                epc: Epc::from_index(3),
+                reads: vec![
+                    PhaseRead { t: 0.25, antenna: AntennaId(1), phase: 1.5 },
+                    PhaseRead { t: 0.26, antenna: AntennaId(2), phase: -0.5 },
+                ],
+            }),
+            Message::IngestAck(IngestAck {
+                epc: Epc::from_index(3),
+                accepted: 2,
+                dropped: 0,
+                rejected: 0,
+            }),
+            Message::Subscribe(Subscribe { epc: Epc::from_index(3) }),
+            Message::PositionUpdate(PositionUpdate {
+                epc: Epc::from_index(3),
+                t: 1.0,
+                x: 1.25,
+                z: 0.75,
+            }),
+            Message::SessionClosed(SessionClosed {
+                epc: Epc::from_index(3),
+                reason: "idle".to_string(),
+            }),
+            Message::TelemetryRequest,
+            Message::Error(WireError {
+                code: "parse".to_string(),
+                message: "expected `{`".to_string(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in sample_messages() {
+            let line = encode(&msg);
+            assert!(!line.contains('\n'), "frames must be single lines");
+            let back = decode(&line).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_io() {
+        let mut buf = Vec::new();
+        for msg in sample_messages() {
+            write_frame(&mut buf, &msg).unwrap();
+        }
+        let mut r = std::io::BufReader::new(&buf[..]);
+        for msg in sample_messages() {
+            let got = read_frame(&mut r).unwrap().expect("frame present").unwrap();
+            assert_eq!(msg, got);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let line = serde_json::to_string(&Envelope { v: 999, msg: Message::TelemetryRequest })
+            .unwrap();
+        assert_eq!(decode(&line), Err(DecodeError::Version { got: 999 }));
+    }
+
+    #[test]
+    fn malformed_lines_are_refused() {
+        assert!(matches!(decode("not json"), Err(DecodeError::Malformed(_))));
+        assert!(matches!(decode("{\"v\": 1}"), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn floats_survive_the_wire_bit_exactly() {
+        // Shortest-roundtrip float formatting is what makes TCP-carried
+        // trajectories bit-identical to in-process ones.
+        let p = Message::PositionUpdate(PositionUpdate {
+            epc: Epc::from_index(1),
+            t: 0.1 + 0.2,
+            x: std::f64::consts::PI,
+            z: -1.0 / 3.0,
+        });
+        let back = decode(&encode(&p)).unwrap();
+        match (p, back) {
+            (Message::PositionUpdate(a), Message::PositionUpdate(b)) => {
+                assert_eq!(a.t.to_bits(), b.t.to_bits());
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.z.to_bits(), b.z.to_bits());
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -43,4 +43,5 @@ pub use rfidraw_handwriting as handwriting;
 pub use rfidraw_metrics as metrics;
 pub use rfidraw_protocol as protocol;
 pub use rfidraw_recognition as recognition;
+pub use rfidraw_serve as serve;
 pub use rfidraw_touch as touch;

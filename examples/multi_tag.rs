@@ -23,7 +23,7 @@ use rfidraw::handwriting::pen::{write_word, PenConfig, Style};
 use rfidraw::metrics::{initial_aligned_errors, Cdf};
 use rfidraw::pipeline::sample_words;
 use rfidraw::plot::{ascii_plot, densify};
-use rfidraw::protocol::inventory::{phase_reads, InventoryConfig, InventorySim, SimTag};
+use rfidraw::protocol::inventory::{demux_phase_reads, InventoryConfig, InventorySim, SimTag};
 use rfidraw::protocol::Epc;
 
 fn main() {
@@ -85,13 +85,15 @@ fn main() {
         records.iter().filter(|r| r.epc == epc_b).count(),
     );
 
-    // Reconstruct each tag independently.
+    // Demultiplex the shared stream by EPC, then reconstruct each tag
+    // independently.
+    let streams = demux_phase_reads(&records);
     let positioner = MultiResPositioner::new(dep.clone(), plane, MultiResConfig::for_region(region));
     let tracer = TrajectoryTracer::new(dep.clone(), plane, TraceConfig::default());
     let builder = SnapshotBuilder::new(dep.all_pairs().copied().collect(), 0.04);
 
     for (label, epc, truth) in [("A", epc_a, truth_a), ("B", epc_b, truth_b)] {
-        let reads = phase_reads(&records, epc);
+        let reads = streams.get(&epc).cloned().unwrap_or_default();
         let snapshots = match builder.build(&reads) {
             Ok(s) if !s.is_empty() => s,
             Ok(_) => {

@@ -2,6 +2,8 @@
 # Tier-1 CI gate: release build, full test suite, and a smoke pass over the
 # kernel benches (criterion `--test` mode runs each bench once, so bench
 # code rot is caught without paying for a real measurement run).
+# Tier-2 gate: the serving layer's integration tests in release and the
+# live_service example, which fails on any dropped read.
 #
 # Usage: scripts/ci.sh
 # Runs offline (the workspace vendors all dependencies).
@@ -16,5 +18,13 @@ cargo test --offline -q
 
 echo "== bench smoke (kernels, --test mode) =="
 cargo bench --offline --bench kernels -- --test
+
+echo "== tier 2: serving layer =="
+# Integration tests in release (the determinism assertions compare bit
+# patterns, so they must hold under optimization too), then the live
+# multi-session example, which exits nonzero if the lossless ingest path
+# dropped or rejected a single read.
+cargo test --release --offline -q -p rfidraw-serve
+cargo run --release --offline -p rfidraw --example live_service > /dev/null
 
 echo "CI OK"
