@@ -8,10 +8,13 @@ use rfidraw::pipeline::{run_word, PipelineConfig};
 use rfidraw::plot::{ascii_plot, densify};
 
 fn main() {
+    let diag = rfidraw_bench::diag::init_from_args();
     println!("=== Fig. 10: microbenchmark — writing \"clear\" ===\n");
 
     let cfg = PipelineConfig::paper_default();
-    let run = run_word("clear", 0, &cfg).expect("microbenchmark pipeline");
+    let run = diag.time("pipeline", || {
+        run_word("clear", 0, &cfg).expect("microbenchmark pipeline")
+    });
 
     // (a/b/c) Candidates and their traces.
     let mut table = Table::new(
@@ -84,4 +87,5 @@ fn main() {
         "winner must have the highest cumulative vote"
     );
     assert!(errs.median() < 0.10, "shape must be preserved");
+    diag.finish();
 }

@@ -16,6 +16,7 @@ use rfidraw::pipeline::PipelineConfig;
 use rfidraw_bench::harness::{paper_trials, pooled_errors, report_failures, run_batch};
 
 fn main() {
+    let diag = rfidraw_bench::diag::init_from_args();
     let trials: usize = std::env::args()
         .skip_while(|a| a != "--trials")
         .nth(1)
@@ -32,11 +33,11 @@ fn main() {
         let mut cfg = PipelineConfig::paper_default();
         cfg.scenario = scenario;
         let specs = paper_trials(trials, 5, 2014);
-        let results = run_batch(&cfg, &specs);
+        let results = diag.time(&format!("batch_{}", scenario.label()), || run_batch(&cfg, &specs));
         let ok = report_failures(&results);
         let (rf_raw, bl_raw) = pooled_errors(&results);
         if rf_raw.is_empty() {
-            eprintln!("{}: no successful trials", scenario.label());
+            diag.warn(&format!("{}: no successful trials", scenario.label()));
             continue;
         }
         let rf = Cdf::from_samples(rf_raw);
@@ -96,4 +97,5 @@ fn main() {
         "reproduction target: RF-IDraw ~an order of magnitude better than the \
          arrays; NLOS degrades the arrays far more than RF-IDraw."
     );
+    diag.finish();
 }

@@ -14,6 +14,7 @@ use rfidraw::pipeline::PipelineConfig;
 use rfidraw_bench::harness::{paper_trials, report_failures, run_batch};
 
 fn main() {
+    let diag = rfidraw_bench::diag::init_from_args();
     let trials: usize = std::env::args()
         .skip_while(|a| a != "--trials")
         .nth(1)
@@ -30,7 +31,7 @@ fn main() {
         let mut cfg = PipelineConfig::paper_default();
         cfg.scenario = scenario;
         let specs = paper_trials(trials, 5, 1214);
-        let results = run_batch(&cfg, &specs);
+        let results = diag.time(&format!("batch_{}", scenario.label()), || run_batch(&cfg, &specs));
         let ok = report_failures(&results);
         let mut rf_errs = Vec::new();
         let mut bl_errs = Vec::new();
@@ -41,7 +42,7 @@ fn main() {
             }
         }
         if rf_errs.is_empty() {
-            eprintln!("{}: no successful trials", scenario.label());
+            diag.warn(&format!("{}: no successful trials", scenario.label()));
             continue;
         }
         let rf = Cdf::from_samples(rf_errs);
@@ -84,4 +85,5 @@ fn main() {
         "reproduction target: RF-IDraw's initial position is ~2x better than \
          the arrays' in both environments."
     );
+    diag.finish();
 }

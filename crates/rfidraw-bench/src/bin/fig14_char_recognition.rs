@@ -14,6 +14,7 @@ use rfidraw::recognition::WordDecoder;
 use rfidraw_bench::harness::{paper_trials, run_batch};
 
 fn main() {
+    let diag = rfidraw_bench::diag::init_from_args();
     let trials: usize = std::env::args()
         .skip_while(|a| a != "--trials")
         .nth(1)
@@ -35,7 +36,7 @@ fn main() {
         let mut cfg = PipelineConfig::paper_default();
         cfg.depth = depth;
         let specs = paper_trials(trials, 5, 1400 + di as u64);
-        let results = run_batch(&cfg, &specs);
+        let results = diag.time(&format!("batch_depth_{depth}"), || run_batch(&cfg, &specs));
 
         let mut total = 0usize;
         let mut rf_ok = 0usize;
@@ -61,7 +62,7 @@ fn main() {
             }
         }
         if total == 0 {
-            eprintln!("depth {depth}: no successful trials");
+            diag.warn(&format!("depth {depth}: no successful trials"));
             continue;
         }
         let rf_rate = rf_ok as f64 / total as f64 * 100.0;
@@ -91,4 +92,5 @@ fn main() {
         "reproduction target: RF-IDraw near-constant and high across \
          distances; the arrays at chance level (1/26 ≈ 3.8%) or below."
     );
+    diag.finish();
 }

@@ -1,0 +1,163 @@
+//! Diagnostics for the per-figure binaries: warnings and stage timing
+//! routed through the metrics layer instead of bare `eprintln!`.
+//!
+//! Every figure binary accepts two extra flags:
+//!
+//! * `--quiet` — suppress stderr diagnostic chatter (failed trials,
+//!   empty-result warnings). Everything is still *counted*.
+//! * `--metrics-json <path>` — at exit, write the run's diagnostics (the
+//!   warning count and per-stage latency histograms, as
+//!   [`rfidraw_metrics::StageLatency`] snapshots) to `path` as JSON.
+//!
+//! The handle is a process-wide [`OnceLock`] global so shared plumbing
+//! (e.g. [`crate::harness::report_failures`]) emits through the same
+//! channel as the binary's `main` without threading a handle everywhere.
+//! Binaries call [`init_from_args`] first, then [`Diag::finish`] last;
+//! library code just uses [`global`], which falls back to a default
+//! (chatty, no JSON) handle under tests or older binaries.
+
+use rfidraw_metrics::runtime::{Counter, LatencyHistogram};
+use rfidraw_metrics::StageLatency;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The diagnostics sink for one binary run.
+#[derive(Debug, Default)]
+pub struct Diag {
+    quiet: bool,
+    metrics_json: Option<String>,
+    warnings: Counter,
+    stages: Mutex<BTreeMap<String, LatencyHistogram>>,
+}
+
+/// The serializable end-of-run report `--metrics-json` writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagReport {
+    /// Diagnostic warnings emitted (failed trials, empty results, …).
+    pub warnings: u64,
+    /// Wall-clock histograms per timed stage, in stage-name order.
+    pub stages: Vec<StageLatency>,
+}
+
+static DIAG: OnceLock<Diag> = OnceLock::new();
+
+/// Parses `--quiet` / `--metrics-json <path>` from the process arguments
+/// and installs the global handle. Call once, at the top of `main`.
+pub fn init_from_args() -> &'static Diag {
+    let args: Vec<String> = std::env::args().collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let metrics_json = args
+        .iter()
+        .position(|a| a == "--metrics-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    DIAG.get_or_init(|| Diag { quiet, metrics_json, ..Diag::default() })
+}
+
+/// The process-wide handle; a chatty no-JSON default when `main` never
+/// called [`init_from_args`].
+pub fn global() -> &'static Diag {
+    DIAG.get_or_init(Diag::default)
+}
+
+impl Diag {
+    /// Whether `--quiet` was passed.
+    pub fn is_quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// Warnings emitted so far.
+    pub fn warning_count(&self) -> u64 {
+        self.warnings.get()
+    }
+
+    /// Counts a diagnostic warning; prints it to stderr unless `--quiet`.
+    pub fn warn(&self, msg: &str) {
+        self.warnings.inc();
+        if !self.quiet {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Times `f` and records the wall-clock duration under `stage`.
+    pub fn time<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.stages
+            .lock()
+            .expect("diag stages lock")
+            .entry(stage.to_string())
+            .or_insert_with(LatencyHistogram::default_bounds)
+            .observe(start.elapsed());
+        out
+    }
+
+    /// The current report (what `--metrics-json` would write).
+    pub fn report(&self) -> DiagReport {
+        let stages = self
+            .stages
+            .lock()
+            .expect("diag stages lock")
+            .iter()
+            .map(|(stage, h)| StageLatency { stage: stage.clone(), histogram: h.snapshot() })
+            .collect();
+        DiagReport { warnings: self.warnings.get(), stages }
+    }
+
+    /// Writes the JSON report if `--metrics-json` was passed; prints the
+    /// per-stage timing summary to stderr otherwise (unless `--quiet`).
+    /// Call last in `main`.
+    pub fn finish(&self) {
+        let report = self.report();
+        if let Some(path) = &self.metrics_json {
+            let json = serde_json::to_string_pretty(&report).expect("diag report serializes");
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("failed to write --metrics-json {path}: {e}");
+            }
+        } else if !self.quiet {
+            for st in &report.stages {
+                eprintln!("[timing] {}: {}", st.stage, st.histogram.summary());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warnings_are_counted_and_stages_timed() {
+        let d = Diag::default();
+        d.warn("something odd");
+        d.warn("again");
+        let out = d.time("pipeline", || 7);
+        assert_eq!(out, 7);
+        let report = d.report();
+        assert_eq!(report.warnings, 2);
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].stage, "pipeline");
+        assert_eq!(report.stages[0].histogram.count, 1);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let d = Diag::default();
+        d.time("a", || ());
+        d.time("b", || ());
+        let r = d.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DiagReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn global_falls_back_to_a_default_handle() {
+        let g = global();
+        assert!(!g.is_quiet());
+        g.warn("counted through the global");
+        assert!(g.warning_count() >= 1);
+    }
+}

@@ -100,13 +100,15 @@ pub fn pooled_errors(
     (rf, bl)
 }
 
-/// Counts and reports failed trials on stderr; returns the success count.
+/// Counts failed trials and reports them through the diagnostics layer
+/// (stderr unless `--quiet`, always counted); returns the success count.
 pub fn report_failures(results: &[(Trial, Result<WordRun, String>)]) -> usize {
     let mut ok = 0;
     for (t, r) in results {
         match r {
             Ok(_) => ok += 1,
-            Err(e) => eprintln!("trial {:?} (user {}) failed: {e}", t.word, t.user),
+            Err(e) => crate::diag::global()
+                .warn(&format!("trial {:?} (user {}) failed: {e}", t.word, t.user)),
         }
     }
     ok

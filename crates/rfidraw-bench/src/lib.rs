@@ -5,9 +5,12 @@
 //! plus criterion benches for the compute kernels (`benches/`).
 //!
 //! The heavy experiments (Figs. 11–15) run many independent word trials;
-//! [`harness::run_batch`] fans them out across CPU cores.
+//! [`harness::run_batch`] fans them out across CPU cores. Diagnostic
+//! chatter and stage timing flow through [`diag`] (every binary accepts
+//! `--quiet` and `--metrics-json <path>`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod harness;

@@ -30,6 +30,8 @@ use crate::array::{AntennaPair, Deployment};
 use crate::exec::Parallelism;
 use crate::geom::{Plane, Point3};
 use crate::grid::{Grid2, VoteMap};
+#[cfg(feature = "trace")]
+use crate::obs::{self, SharedSink, Stage};
 use crate::phase::frac_dist_to_integer;
 use crate::vote::PairMeasurement;
 use std::sync::OnceLock;
@@ -49,6 +51,10 @@ pub struct VoteEngine {
     /// `table[c * pairs.len() + k] = turns_factor · (|P_c − pos_i_k| − |P_c − pos_j_k|)`.
     /// Built on first use (see module docs for when that pays off).
     table: OnceLock<Vec<f64>>,
+    #[cfg(feature = "trace")]
+    sink: Option<SharedSink>,
+    #[cfg(feature = "trace")]
+    session: u64,
 }
 
 impl VoteEngine {
@@ -86,6 +92,10 @@ impl VoteEngine {
             turns_factor,
             parallelism,
             table: OnceLock::new(),
+            #[cfg(feature = "trace")]
+            sink: None,
+            #[cfg(feature = "trace")]
+            session: 0,
         }
     }
 
@@ -122,6 +132,15 @@ impl VoteEngine {
         self.parallelism = parallelism;
     }
 
+    /// Installs (or removes) a trace sink; evaluation spans and per-shard
+    /// timings are emitted to it tagged with `session`. Observability only:
+    /// never changes any computed value (see [`crate::obs`]).
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>, session: u64) {
+        self.sink = sink;
+        self.session = session;
+    }
+
     /// Whether the distance-difference table has been built yet.
     pub fn is_table_built(&self) -> bool {
         self.table.get().is_some()
@@ -133,6 +152,9 @@ impl VoteEngine {
     /// one-time precomputation.
     pub fn build_table(&self) -> &[f64] {
         self.table.get_or_init(|| {
+            #[cfg(feature = "trace")]
+            let _span =
+                obs::SpanTimer::start(self.sink.as_ref(), self.session, Stage::EngineTable, 0.0);
             let np = self.pairs.len();
             let mut table = vec![0.0; self.grid.len() * np];
             if np > 0 {
@@ -178,7 +200,21 @@ impl VoteEngine {
         let table = self.build_table();
         let np = self.pairs.len();
         let mut values = vec![0.0; self.grid.len()];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
         self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+            #[cfg(feature = "trace")]
+            let _shard_span = obs::SpanTimer::start(
+                self.sink.as_ref(),
+                self.session,
+                Stage::EngineShard,
+                first as f64,
+            );
             for (i, v) in shard.iter_mut().enumerate() {
                 let c = first + i;
                 let row = &table[c * np..c * np + np];
@@ -204,8 +240,22 @@ impl VoteEngine {
         let cols = self.columns(measurements);
         let np = self.pairs.len();
         let mut values = vec![0.0; self.grid.len()];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
         if let Some(table) = self.table.get() {
             self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
                 for (i, v) in shard.iter_mut().enumerate() {
                     let c = first + i;
                     if !mask[c] {
@@ -226,6 +276,13 @@ impl VoteEngine {
             // Exactly the same per-cell operations as the table path (the
             // table entry *is* `turns`), so the result is bit-identical.
             self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
                 for (i, v) in shard.iter_mut().enumerate() {
                     let c = first + i;
                     if !mask[c] {

@@ -24,6 +24,7 @@
 //! | [`vote`] | §5.1 | per-pair votes on points (Eq. 6–7) |
 //! | [`grid`] | §5.1 | search surfaces and vote-map evaluation |
 //! | [`exec`] | — | parallelism policy for the compute kernels |
+//! | [`obs`] | — | trace-event vocabulary for pipeline observability |
 //! | [`engine`] | §5.1 | parallel cache-aware vote-map engine |
 //! | [`position`] | §5.1 | two-stage multi-resolution positioning |
 //! | [`stream`] | §6 | per-antenna phase streams → per-pair snapshots |
@@ -62,6 +63,7 @@ pub mod filter;
 pub mod geom;
 pub mod grid;
 pub mod lobes;
+pub mod obs;
 pub mod online;
 pub mod phase;
 pub mod position;

@@ -20,6 +20,8 @@
 
 use crate::array::{AntennaId, AntennaPair, Deployment};
 use crate::geom::{Plane, Point2};
+#[cfg(feature = "trace")]
+use crate::obs::{self, Stage, TraceKind};
 use crate::phase::{unwrap_step, wrap_pi, wrap_tau};
 use crate::position::{Candidate, MultiResConfig, MultiResPositioner};
 use crate::stream::{PairSnapshot, PhaseRead};
@@ -114,6 +116,17 @@ pub struct OnlineTracker {
     traces: Vec<CandidateTrace>,
     ticks_done: usize,
     last_read_t: Option<f64>,
+    #[cfg(feature = "trace")]
+    sink: Option<crate::obs::SharedSink>,
+    #[cfg(feature = "trace")]
+    session: u64,
+    /// Best candidate after the previous tick, for vote-flip detection.
+    #[cfg(feature = "trace")]
+    last_best: Option<usize>,
+    /// Whether acquisition has ever completed — distinguishes the first
+    /// lobe lock from a re-lock after a stale reset.
+    #[cfg(feature = "trace")]
+    had_acquired: bool,
 }
 
 impl OnlineTracker {
@@ -164,7 +177,27 @@ impl OnlineTracker {
             traces: Vec::new(),
             ticks_done: 0,
             last_read_t: None,
+            #[cfg(feature = "trace")]
+            sink: None,
+            #[cfg(feature = "trace")]
+            session: 0,
+            #[cfg(feature = "trace")]
+            last_best: None,
+            #[cfg(feature = "trace")]
+            had_acquired: false,
         }
+    }
+
+    /// Installs a trace sink on the tracker and everything it drives (the
+    /// positioner, its engines, and the tracer), tagging all events with
+    /// `session`. Observability only — tracked positions are bit-identical
+    /// with or without a sink (see [`crate::obs`]).
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Option<crate::obs::SharedSink>, session: u64) {
+        self.positioner.set_trace_sink(sink.clone(), session);
+        self.tracer.set_trace_sink(sink.clone(), session);
+        self.sink = sink;
+        self.session = session;
     }
 
     /// Drops all tracking state — per-antenna unwrap history, the tick
@@ -184,6 +217,12 @@ impl OnlineTracker {
         self.traces.clear();
         self.ticks_done = 0;
         self.last_read_t = None;
+        #[cfg(feature = "trace")]
+        {
+            // A best-candidate change across a reset is re-acquisition, not
+            // a vote flip.
+            self.last_best = None;
+        }
     }
 
     /// The timestamp of the newest read the tracker has accepted, if any.
@@ -249,6 +288,15 @@ impl OnlineTracker {
         if self.would_be_stale(read.t) {
             let gap = read.t - self.last_read_t.expect("stale implies a previous read");
             self.reset();
+            #[cfg(feature = "trace")]
+            obs::emit(
+                self.sink.as_ref(),
+                self.session,
+                Stage::StaleReset,
+                TraceKind::Anomaly,
+                gap,
+                read.t,
+            );
             stale_events.push(OnlineEvent::Stale { gap });
         }
         self.last_read_t = Some(match self.last_read_t {
@@ -260,6 +308,23 @@ impl OnlineTracker {
             None => wrap_tau(read.phase),
             Some((_, prev_phase)) => unwrap_step(prev_phase, read.phase),
         };
+        // An unwrap step near ±π is at the ambiguity horizon: one more
+        // radian of motion between reads and the unwrap would pick the
+        // wrong branch. Worth surfacing before it corrupts the trace.
+        #[cfg(feature = "trace")]
+        if let Some((_, prev_phase)) = state.last {
+            let step = (unwrapped - prev_phase).abs();
+            if step > 0.9 * std::f64::consts::PI {
+                obs::emit(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::UnwrapHorizon,
+                    TraceKind::Instant,
+                    step,
+                    read.antenna.0 as f64,
+                );
+            }
+        }
         state.prev = state.last;
         state.last = Some((read.t, unwrapped));
 
@@ -327,15 +392,36 @@ impl OnlineTracker {
         let mut events = Vec::new();
         if self.traces.is_empty() {
             // Acquisition on the first snapshot.
+            #[cfg(feature = "trace")]
+            let lock_stage = if self.had_acquired { Stage::LobeRelock } else { Stage::LobeLock };
+            #[cfg(feature = "trace")]
+            let _acq_span =
+                obs::SpanTimer::start(self.sink.as_ref(), self.session, Stage::Acquire, 0.0);
             let candidates: Vec<Candidate> = self.positioner.locate(&snap.wrapped);
-            for c in &candidates {
+            for (_ci, c) in candidates.iter().enumerate() {
                 let locked = self.tracer.lock_lobes(&snap, c.position);
+                #[cfg(feature = "trace")]
+                for &(_, k) in &locked {
+                    obs::emit(
+                        self.sink.as_ref(),
+                        self.session,
+                        lock_stage,
+                        TraceKind::Instant,
+                        k as f64,
+                        _ci as f64,
+                    );
+                }
                 self.traces.push(CandidateTrace {
                     locked,
                     points: vec![c.position],
                     cumulative_vote: c.vote,
                     alive: true,
                 });
+            }
+            #[cfg(feature = "trace")]
+            {
+                self.had_acquired = true;
+                self.last_best = self.best_index();
             }
             events.push(OnlineEvent::Acquired {
                 candidates: self.traces.len(),
@@ -372,6 +458,39 @@ impl OnlineTracker {
                     });
                 }
             }
+        }
+
+        // Per-tick vote masses and best-candidate identity: the §5.2
+        // disambiguation signal. A vote flip means the trajectory the live
+        // estimate follows just changed — an anomaly worth a flight dump.
+        #[cfg(feature = "trace")]
+        {
+            for (i, t) in self.traces.iter().enumerate() {
+                if t.alive {
+                    obs::emit(
+                        self.sink.as_ref(),
+                        self.session,
+                        Stage::CandidateVote,
+                        TraceKind::Instant,
+                        t.cumulative_vote,
+                        i as f64,
+                    );
+                }
+            }
+            let new_best = self.best_index();
+            if let (Some(nb), Some(ob)) = (new_best, self.last_best) {
+                if nb != ob {
+                    obs::emit(
+                        self.sink.as_ref(),
+                        self.session,
+                        Stage::VoteFlip,
+                        TraceKind::Anomaly,
+                        nb as f64,
+                        ob as f64,
+                    );
+                }
+            }
+            self.last_best = new_best;
         }
 
         if let Some(pos) = self.current_estimate() {

@@ -17,6 +17,8 @@ use crate::engine::VoteEngine;
 use crate::exec::Parallelism;
 use crate::geom::{Plane, Point2, Rect};
 use crate::grid::{Grid2, VoteMap};
+#[cfg(feature = "trace")]
+use crate::obs::{self, SharedSink, Stage, TraceKind};
 use crate::vote::PairMeasurement;
 use serde::{Deserialize, Serialize};
 
@@ -111,6 +113,10 @@ pub struct MultiResPositioner {
     /// on-the-fly distances are cheaper than a full-grid table (see
     /// [`crate::engine`]).
     fine_engine: VoteEngine,
+    #[cfg(feature = "trace")]
+    sink: Option<SharedSink>,
+    #[cfg(feature = "trace")]
+    session: u64,
 }
 
 impl MultiResPositioner {
@@ -140,7 +146,22 @@ impl MultiResPositioner {
             config,
             coarse_engine,
             fine_engine,
+            #[cfg(feature = "trace")]
+            sink: None,
+            #[cfg(feature = "trace")]
+            session: 0,
         }
+    }
+
+    /// Installs a trace sink on the positioner and both its engines
+    /// (filter/peak outcome events plus evaluation spans). Observability
+    /// only — never changes the candidates (see [`crate::obs`]).
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>, session: u64) {
+        self.coarse_engine.set_trace_sink(sink.clone(), session);
+        self.fine_engine.set_trace_sink(sink.clone(), session);
+        self.sink = sink;
+        self.session = session;
     }
 
     /// The deployment in use.
@@ -197,6 +218,15 @@ impl MultiResPositioner {
                 coarse_mask[coarse_map.grid().flat(ix, iz)]
             })
             .collect();
+        #[cfg(feature = "trace")]
+        obs::emit(
+            self.sink.as_ref(),
+            self.session,
+            Stage::CoarseFilter,
+            TraceKind::Instant,
+            VoteMap::mask_coverage(&fine_mask),
+            0.0,
+        );
 
         // Stage 2: all pairs on the filtered fine grid. Using all pairs (not
         // just wide ones) ranks candidates by their total vote, as §5.1
@@ -206,11 +236,20 @@ impl MultiResPositioner {
             wide_ms.iter().chain(coarse_ms.iter()).copied().collect();
         let fine_map = self.fine_engine.evaluate_masked(&all_ms, &fine_mask);
 
-        let candidates = fine_map
+        let candidates: Vec<Candidate> = fine_map
             .peaks(self.config.max_candidates, self.config.candidate_separation)
             .into_iter()
             .map(|(position, vote)| Candidate { position, vote })
             .collect();
+        #[cfg(feature = "trace")]
+        obs::emit(
+            self.sink.as_ref(),
+            self.session,
+            Stage::PeakSelect,
+            TraceKind::Instant,
+            candidates.len() as f64,
+            candidates.first().map_or(f64::NEG_INFINITY, |c| c.vote),
+        );
 
         PositioningStages {
             coarse_map,

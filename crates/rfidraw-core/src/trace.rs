@@ -105,6 +105,10 @@ pub struct TrajectoryTracer {
     coarse_geom: Vec<(AntennaPair, crate::geom::Point3, crate::geom::Point3)>,
     /// `path_factor / λ`, the distance-difference-to-turns factor.
     turns_factor: f64,
+    #[cfg(feature = "trace")]
+    sink: Option<crate::obs::SharedSink>,
+    #[cfg(feature = "trace")]
+    session: u64,
 }
 
 impl TrajectoryTracer {
@@ -150,12 +154,25 @@ impl TrajectoryTracer {
             wide_geom,
             coarse_geom,
             turns_factor,
+            #[cfg(feature = "trace")]
+            sink: None,
+            #[cfg(feature = "trace")]
+            session: 0,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &TraceConfig {
         &self.config
+    }
+
+    /// Installs a trace sink: batch-tracing spans and per-candidate vote
+    /// masses are emitted to it tagged with `session`. Observability only —
+    /// never changes a traced point (see [`crate::obs`]).
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Option<crate::obs::SharedSink>, session: u64) {
+        self.sink = sink;
+        self.session = session;
     }
 
     /// Locks each wide pair to the grating lobe nearest `position`, given a
@@ -274,10 +291,30 @@ impl TrajectoryTracer {
         // Candidates trace independently; the ordered map keeps the output
         // order (and therefore the winner tie-break below) identical to a
         // serial loop for every thread count.
+        #[cfg(feature = "trace")]
+        let _span = crate::obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            crate::obs::Stage::TraceAdvance,
+            candidates.len() as f64,
+        );
         let traces: Vec<TraceResult> = self
             .config
             .parallelism
             .map_ordered(candidates, |&c| self.trace_from(c, snapshots));
+        // Per-candidate vote mass, emitted in candidate order from this
+        // thread so the event sequence is deterministic.
+        #[cfg(feature = "trace")]
+        for (i, t) in traces.iter().enumerate() {
+            crate::obs::emit(
+                self.sink.as_ref(),
+                self.session,
+                crate::obs::Stage::CandidateVote,
+                crate::obs::TraceKind::Instant,
+                t.total_vote,
+                i as f64,
+            );
+        }
         let winner = traces
             .iter()
             .enumerate()

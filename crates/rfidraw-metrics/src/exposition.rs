@@ -1,0 +1,136 @@
+//! Prometheus text-format exposition (version 0.0.4).
+//!
+//! A small append-only builder for the `# HELP` / `# TYPE` / sample-line
+//! format, so the serving layer can expose its counters and
+//! [`HistogramSnapshot`]s to any standard scraper without an HTTP or
+//! client-library dependency. Latency metrics keep the repo's native
+//! microsecond unit and say so in their name (`*_us`); `le` bucket labels
+//! are therefore microseconds too.
+
+use crate::runtime::HistogramSnapshot;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Builder for one exposition payload.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    declared: BTreeSet<String>,
+}
+
+/// Escapes a label value per the text-format rules.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl PromText {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP`/`# TYPE` header for `name` once per payload.
+    fn declare(&mut self, name: &str, help: &str, kind: &str) {
+        if self.declared.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    /// Appends a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.declare(name, help, "counter");
+        let _ = writeln!(self.out, "{name}{} {value}", render_labels(labels));
+    }
+
+    /// Appends a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.declare(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {value}", render_labels(labels));
+    }
+
+    /// Appends a full histogram: cumulative `_bucket{le=…}` samples (in µs,
+    /// matching the snapshot's native unit), `+Inf`, `_sum`, `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.declare(name, help, "histogram");
+        let mut cum = 0u64;
+        for (i, &bound) in snap.bounds_us.iter().enumerate() {
+            cum += snap.counts.get(i).copied().unwrap_or(0);
+            let mut labels: Vec<(&str, &str)> = labels.to_vec();
+            let le = bound.to_string();
+            labels.push(("le", le.as_str()));
+            let _ = writeln!(self.out, "{name}_bucket{} {cum}", render_labels(&labels));
+        }
+        let mut inf_labels: Vec<(&str, &str)> = labels.to_vec();
+        inf_labels.push(("le", "+Inf"));
+        let _ = writeln!(self.out, "{name}_bucket{} {}", render_labels(&inf_labels), snap.count);
+        let _ = writeln!(self.out, "{name}_sum{} {}", render_labels(labels), snap.sum_us);
+        let _ = writeln!(self.out, "{name}_count{} {}", render_labels(labels), snap.count);
+    }
+
+    /// The accumulated payload.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::LatencyHistogram;
+
+    #[test]
+    fn counters_and_gauges_render_with_labels() {
+        let mut p = PromText::new();
+        p.counter("rfidraw_reads_ingested_total", "Reads accepted.", &[], 42);
+        p.counter("rfidraw_reads_ingested_total", "Reads accepted.", &[("epc", "0a")], 7);
+        p.gauge("rfidraw_sessions_active", "Open sessions.", &[], 3.0);
+        let text = p.finish();
+        // HELP/TYPE once despite two samples of the same family.
+        assert_eq!(text.matches("# TYPE rfidraw_reads_ingested_total counter").count(), 1);
+        assert!(text.contains("rfidraw_reads_ingested_total 42"));
+        assert!(text.contains("rfidraw_reads_ingested_total{epc=\"0a\"} 7"));
+        assert!(text.contains("rfidraw_sessions_active 3"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let h = LatencyHistogram::new(&[10, 100]);
+        h.observe_us(5);
+        h.observe_us(50);
+        h.observe_us(5000);
+        let mut p = PromText::new();
+        p.histogram("rfidraw_latency_us", "End-to-end latency (µs).", &[], &h.snapshot());
+        let text = p.finish();
+        assert!(text.contains("# TYPE rfidraw_latency_us histogram"));
+        assert!(text.contains("rfidraw_latency_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("rfidraw_latency_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("rfidraw_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("rfidraw_latency_us_sum 5055"));
+        assert!(text.contains("rfidraw_latency_us_count 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.counter("x_total", "h", &[("k", "a\"b\\c\nd")], 1);
+        assert!(p.finish().contains("x_total{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

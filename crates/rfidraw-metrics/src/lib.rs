@@ -13,6 +13,12 @@
 //! * [`runtime`] — service telemetry: lock-free counters and fixed-bucket
 //!   latency histograms with serializable snapshots (used by
 //!   `rfidraw-serve`).
+//! * [`trace`] — the pipeline trace recorder: a lock-free ring buffer of
+//!   `rfidraw-core` trace events, per-stage latency histograms, and an
+//!   anomaly-triggered flight recorder producing serializable
+//!   [`TraceDump`]s.
+//! * [`exposition`] — Prometheus text-format rendering of counters and
+//!   histograms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,13 +26,17 @@
 pub mod align;
 pub mod bootstrap;
 pub mod cdf;
+pub mod exposition;
 pub mod report;
 pub mod runtime;
 pub mod shape;
+pub mod trace;
 
 pub use align::{dc_aligned_errors, index_resample, initial_aligned_errors};
 pub use bootstrap::{median_ci, BootstrapCi};
 pub use cdf::Cdf;
+pub use exposition::PromText;
 pub use report::{Comparison, Series, Table};
 pub use runtime::{Counter, HistogramSnapshot, LatencyHistogram};
+pub use trace::{StageLatency, TraceDump, TraceEventRecord, TraceRecorder, TraceSettings};
 pub use shape::{dtw_distance, procrustes, procrustes_distance, Procrustes};

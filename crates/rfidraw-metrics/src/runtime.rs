@@ -170,15 +170,60 @@ impl HistogramSnapshot {
         self.bounds_us.last().copied()
     }
 
-    /// One-line human summary: `count`, mean, p50/p99 upper bounds.
+    /// Interpolated `q`-quantile estimate (µs): finds the bucket where the
+    /// cumulative count crosses `q·total` and interpolates linearly between
+    /// the bucket's bounds by how far into the bucket the crossing falls
+    /// (the classic Prometheus `histogram_quantile` estimator). Exact when
+    /// observations are uniform within a bucket; always bracketed by the
+    /// bucket's bounds either way. Observations in the overflow bucket clamp
+    /// to the last finite bound. Returns `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev_cum = cum;
+            cum += c;
+            if cum as f64 >= target && c > 0 {
+                let lower = if i == 0 { 0 } else { self.bounds_us[i - 1] };
+                let upper = match self.bounds_us.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: the histogram cannot resolve beyond
+                    // its last finite bound.
+                    None => return Some(*self.bounds_us.last()? as f64),
+                };
+                let frac = ((target - prev_cum as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lower as f64 + frac * (upper - lower) as f64);
+            }
+        }
+        self.bounds_us.last().map(|&b| b as f64)
+    }
+
+    /// Interpolated median (µs); `None` when empty.
+    pub fn p50_us(&self) -> Option<f64> {
+        self.quantile_us(0.50)
+    }
+
+    /// Interpolated 95th percentile (µs); `None` when empty.
+    pub fn p95_us(&self) -> Option<f64> {
+        self.quantile_us(0.95)
+    }
+
+    /// Interpolated 99th percentile (µs); `None` when empty.
+    pub fn p99_us(&self) -> Option<f64> {
+        self.quantile_us(0.99)
+    }
+
+    /// One-line human summary: `count`, mean, interpolated p50/p95/p99.
     pub fn summary(&self) -> String {
-        match (self.quantile_upper_us(0.5), self.quantile_upper_us(0.99)) {
-            (Some(p50), Some(p99)) => format!(
-                "{} obs, mean {:.0} µs, p50 ≤ {} µs, p99 ≤ {} µs",
+        match (self.p50_us(), self.p95_us(), self.p99_us()) {
+            (Some(p50), Some(p95), Some(p99)) => format!(
+                "{} obs, mean {:.0} µs, p50 ≈ {p50:.0} µs, p95 ≈ {p95:.0} µs, p99 ≈ {p99:.0} µs",
                 self.count,
                 self.mean_us(),
-                p50,
-                p99
             ),
             _ => "0 obs".to_string(),
         }
@@ -244,8 +289,40 @@ mod tests {
         let h = LatencyHistogram::default_bounds();
         let s = h.snapshot();
         assert_eq!(s.quantile_upper_us(0.5), None);
+        assert_eq!(s.quantile_us(0.5), None);
         assert_eq!(s.mean_us(), 0.0);
         assert_eq!(s.summary(), "0 obs");
+    }
+
+    #[test]
+    fn interpolated_quantiles_land_inside_their_bucket() {
+        let h = LatencyHistogram::new(&[10, 100, 1000]);
+        // 100 observations uniform-ish in (10, 100]: p50 interpolates
+        // halfway through that bucket.
+        for _ in 0..100 {
+            h.observe_us(50);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_us(0.5).unwrap();
+        assert!((10.0..=100.0).contains(&p50), "p50 {p50}");
+        assert!((p50 - 55.0).abs() < 1.0, "uniform assumption gives midpoint, got {p50}");
+        // With a tail in (100, 1000], p99 moves to the tail bucket.
+        for _ in 0..10 {
+            h.observe_us(999);
+        }
+        let s = h.snapshot();
+        let p99 = s.quantile_us(0.99).unwrap();
+        assert!((100.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert!(s.quantile_us(0.5).unwrap() <= p99);
+    }
+
+    #[test]
+    fn overflow_only_histogram_clamps_to_last_bound() {
+        let h = LatencyHistogram::new(&[10, 100]);
+        h.observe_us(5000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_us(0.5), Some(100.0));
+        assert_eq!(s.quantile_us(1.0), Some(100.0));
     }
 
     #[test]

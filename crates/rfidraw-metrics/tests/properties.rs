@@ -107,4 +107,36 @@ proptest! {
             prop_assert!(r[n - 1].dist(*path.last().unwrap()) < 1e-9);
         }
     }
+
+    /// Interpolated histogram quantiles are (a) monotone in `q`, and
+    /// (b) bracketed by the histogram's bucket bounds: never below zero,
+    /// never above the last finite bound, and for any observed latency set
+    /// the p50 is ≥ the bound below the median's bucket.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracketed(
+        latencies in proptest::collection::vec(0u64..3_000_000, 1..300),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = rfidraw_metrics::LatencyHistogram::default_bounds();
+        for &l in &latencies {
+            h.observe_us(l);
+        }
+        let s = h.snapshot();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = s.quantile_us(lo).expect("non-empty");
+        let v_hi = s.quantile_us(hi).expect("non-empty");
+        prop_assert!(v_lo <= v_hi + 1e-9, "quantiles not monotone: q({lo})={v_lo} > q({hi})={v_hi}");
+        let last_bound = *s.bounds_us.last().unwrap() as f64;
+        for q in [0.0, lo, hi, 0.5, 0.95, 0.99, 1.0] {
+            let v = s.quantile_us(q).expect("non-empty");
+            prop_assert!((0.0..=last_bound).contains(&v), "q({q})={v} escapes bounds");
+        }
+        // Bracketing against the coarse (bucket-upper-bound) estimator: the
+        // interpolated value never exceeds the upper bound of its bucket.
+        for q in [lo, hi] {
+            let upper = s.quantile_upper_us(q).expect("non-empty") as f64;
+            prop_assert!(s.quantile_us(q).unwrap() <= upper + 1e-9);
+        }
+    }
 }

@@ -6,6 +6,7 @@ use rfidraw_core::geom::{Plane, Rect};
 use rfidraw_core::online::{OnlineConfig, OnlineTracker};
 use rfidraw_core::position::MultiResConfig;
 use rfidraw_core::trace::TraceConfig;
+use rfidraw_metrics::TraceSettings;
 use rfidraw_touch::{CursorConfig, ScreenMap};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -119,6 +120,11 @@ pub struct ServeConfig {
     pub drain_batch: usize,
     /// Optional cursor mode for every session.
     pub cursor: Option<CursorSetup>,
+    /// Optional pipeline trace recorder (ring capacity, sampling, flight
+    /// recorder). `Some` always enables the serve-layer spans (queue wait,
+    /// compute, ingest anomalies); core hot-path events additionally
+    /// require building with the `trace` cargo feature.
+    pub observability: Option<TraceSettings>,
 }
 
 impl ServeConfig {
@@ -135,6 +141,7 @@ impl ServeConfig {
             workers: Some(Parallelism::Auto),
             drain_batch: 64,
             cursor: None,
+            observability: None,
         }
     }
 }

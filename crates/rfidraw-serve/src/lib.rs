@@ -7,6 +7,23 @@
 //! and reachable both in-process and over a line-framed JSON TCP
 //! protocol.
 //!
+//! # Observability
+//!
+//! With [`ServeConfig::observability`] set, the service owns a shared
+//! [`rfidraw_metrics::TraceRecorder`]: workers record queue-wait and
+//! compute spans per session, backpressure losses and stale resets become
+//! flight-recorder anomalies (each snapshotting the last N events into a
+//! retained [`rfidraw_metrics::TraceDump`]), and — when the crate is built
+//! with the `trace` cargo feature — every per-session tracker additionally
+//! emits core hot-path events (phase-unwrap breaches, lobe lock/relock,
+//! vote-map spans, candidate vote mass) into the same ring, tagged with
+//! the session id. The results surface three ways: per-stage latency
+//! histograms inside [`TelemetryReport`], a Prometheus text exposition
+//! ([`TelemetryReport::to_prometheus`], wire `MetricsRequest`), and raw
+//! dumps over the wire (`TraceQuery`/`TraceDump`). Instrumentation only
+//! observes: positions stay bit-identical with tracing on, off, or
+//! sampled, which the integration tests enforce.
+//!
 //! # Architecture
 //!
 //! ```text

@@ -20,9 +20,10 @@ use crate::service::{LocalClient, ServeError};
 use crate::session::SessionEvent;
 use crate::telemetry::TelemetryReport;
 use crate::wire::{
-    self, DecodeError, IngestAck, IngestBatch, Message, PositionUpdate, SessionClosed, Subscribe,
-    WireError,
+    self, DecodeError, IngestAck, IngestBatch, Message, MetricsText, PositionUpdate,
+    SessionClosed, Subscribe, TraceDumpReply, TraceQuery, WireError,
 };
+use rfidraw_metrics::TraceDump;
 use rfidraw_core::stream::PhaseRead;
 use rfidraw_protocol::Epc;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -163,6 +164,29 @@ fn serve_connection(stream: TcpStream, client: &LocalClient, tx: &mpsc::Sender<S
             Ok(Message::TelemetryRequest) => {
                 send_msg(tx, &Message::Telemetry(client.telemetry()))
             }
+            Ok(Message::MetricsRequest) => send_msg(
+                tx,
+                &Message::MetricsText(MetricsText { body: client.telemetry().to_prometheus() }),
+            ),
+            Ok(Message::TraceQuery(q)) => match client.trace_recorder() {
+                Some(rec) => {
+                    let mut dumps = rec.dumps();
+                    if q.max_dumps > 0 && dumps.len() > q.max_dumps as usize {
+                        dumps.drain(..dumps.len() - q.max_dumps as usize);
+                    }
+                    if q.clear {
+                        rec.clear_dumps();
+                    }
+                    send_msg(tx, &Message::TraceDump(TraceDumpReply { dumps }))
+                }
+                None => send_msg(
+                    tx,
+                    &Message::Error(WireError {
+                        code: "unsupported".to_string(),
+                        message: "service was started without a trace recorder".to_string(),
+                    }),
+                ),
+            },
             // Server→client messages arriving at the server are a protocol
             // violation; refuse but keep the connection.
             Ok(other) => send_msg(
@@ -285,6 +309,43 @@ impl WireClient {
             Some(other) => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected Telemetry, got {other:?}"),
+            )),
+            None => Err(io::ErrorKind::UnexpectedEof.into()),
+        }
+    }
+
+    /// Fetches the Prometheus text exposition. Only valid on a connection
+    /// with no active subscription (see the module docs).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.send(&Message::MetricsRequest)?;
+        match self.recv()? {
+            Some(Message::MetricsText(m)) => Ok(m.body),
+            Some(Message::Error(e)) => Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("server refused metrics ({}): {}", e.code, e.message),
+            )),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected MetricsText, got {other:?}"),
+            )),
+            None => Err(io::ErrorKind::UnexpectedEof.into()),
+        }
+    }
+
+    /// Fetches flight-recorder dumps (newest last). `max_dumps = 0` means
+    /// all retained; `clear` discards them server-side after the reply.
+    /// Only valid on a connection with no active subscription.
+    pub fn trace_query(&mut self, max_dumps: u64, clear: bool) -> io::Result<Vec<TraceDump>> {
+        self.send(&Message::TraceQuery(TraceQuery { max_dumps, clear }))?;
+        match self.recv()? {
+            Some(Message::TraceDump(reply)) => Ok(reply.dumps),
+            Some(Message::Error(e)) => Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("server refused trace query ({}): {}", e.code, e.message),
+            )),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected TraceDump, got {other:?}"),
             )),
             None => Err(io::ErrorKind::UnexpectedEof.into()),
         }

@@ -21,6 +21,7 @@ use crate::session::{CloseReason, IngestReceipt, SessionEvent, SessionShared};
 use crate::telemetry::{GlobalMetrics, TelemetryReport};
 use rfidraw_core::geom::Point2;
 use rfidraw_core::stream::PhaseRead;
+use rfidraw_metrics::{TraceDump, TraceRecorder};
 use rfidraw_protocol::Epc;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -93,11 +94,17 @@ impl ServiceInner {
             self.global.sessions_rejected.inc();
             return Err(ServeError::SessionLimit { max: self.cfg.max_sessions });
         }
-        let session = Arc::new(SessionShared::new(
-            epc,
-            self.cfg.tracker.build(),
-            self.cfg.cursor.as_ref(),
-        ));
+        #[allow(unused_mut)]
+        let mut tracker = self.cfg.tracker.build();
+        // With the `trace` feature the per-session tracker emits core
+        // hot-path events (phase unwrap, lobe locking, vote flips) into
+        // the shared recorder, tagged with the session id.
+        #[cfg(feature = "trace")]
+        if let Some(rec) = &self.global.trace {
+            let sink: rfidraw_core::obs::SharedSink = Arc::clone(rec) as _;
+            tracker.set_trace_sink(Some(sink), crate::session::session_id(epc));
+        }
+        let session = Arc::new(SessionShared::new(epc, tracker, self.cfg.cursor.as_ref()));
         map.insert(epc, Arc::clone(&session));
         self.global.sessions_opened.inc();
         Ok(session)
@@ -177,6 +184,14 @@ impl ServiceInner {
             positions: self.global.positions.get(),
             stale_resets: self.global.stale_resets.get(),
             latency: self.global.latency.snapshot(),
+            queue_wait: self.global.queue_wait.snapshot(),
+            compute: self.global.compute.snapshot(),
+            stages: self
+                .global
+                .trace
+                .as_ref()
+                .map(|r| r.stage_latencies())
+                .unwrap_or_default(),
             sessions: sessions.iter().map(|s| s.telemetry()).collect(),
         }
     }
@@ -259,6 +274,21 @@ impl LocalClient {
     pub fn telemetry(&self) -> TelemetryReport {
         self.inner.telemetry()
     }
+
+    /// The shared pipeline trace recorder, when configured.
+    pub fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.inner.global.trace.clone()
+    }
+
+    /// Flight-recorder dumps captured so far (empty without a recorder).
+    pub fn trace_dumps(&self) -> Vec<TraceDump> {
+        self.inner.global.trace.as_ref().map(|r| r.dumps()).unwrap_or_default()
+    }
+
+    /// The full telemetry report rendered in Prometheus text format.
+    pub fn prometheus(&self) -> String {
+        self.inner.telemetry().to_prometheus()
+    }
 }
 
 /// The service: owns the registry and the worker pool.
@@ -280,11 +310,12 @@ impl TrackingService {
         assert!(cfg.drain_batch > 0, "drain batch must be positive");
         assert!(cfg.max_sessions > 0, "session cap must be positive");
         let worker_count = cfg.workers.map(|p| p.thread_count()).unwrap_or(0);
+        let recorder = cfg.observability.as_ref().map(|s| Arc::new(TraceRecorder::new(s.clone())));
         let inner = Arc::new(ServiceInner {
             cfg,
             sessions: Mutex::new(BTreeMap::new()),
             work: Condvar::new(),
-            global: GlobalMetrics::new(),
+            global: GlobalMetrics::new(recorder),
             shutdown: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
         });

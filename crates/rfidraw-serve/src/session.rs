@@ -12,6 +12,7 @@
 use crate::config::{BackpressurePolicy, CursorSetup};
 use crate::telemetry::{GlobalMetrics, SessionMetrics, SessionTelemetry};
 use rfidraw_core::geom::Point2;
+use rfidraw_core::obs::Stage;
 use rfidraw_core::online::{OnlineEvent, OnlineTracker};
 use rfidraw_core::stream::PhaseRead;
 use rfidraw_protocol::Epc;
@@ -105,6 +106,13 @@ impl IngestReceipt {
     }
 }
 
+/// The trace-event session id for a tag: the low eight EPC bytes, big
+/// endian, so distinct `Epc::from_index` tags map to distinct ids and the
+/// id is recoverable from the EPC by inspection.
+pub(crate) fn session_id(epc: Epc) -> u64 {
+    u64::from_be_bytes(epc.0[4..12].try_into().expect("epc tail is 8 bytes"))
+}
+
 struct QueuedRead {
     read: PhaseRead,
     enqueued: Instant,
@@ -183,6 +191,19 @@ impl SessionShared {
         global.ingested.add(receipt.accepted);
         global.dropped.add(receipt.dropped);
         global.rejected.add(receipt.rejected);
+        // Backpressure losses are flight-recorder anomalies: a drop or
+        // rejection is exactly the "why is my trajectory missing reads?"
+        // moment the recorder exists to explain.
+        if let Some(rec) = global.trace.as_deref() {
+            let sid = session_id(self.epc);
+            let depth = self.queue_depth() as f64;
+            if receipt.dropped > 0 {
+                rec.record_anomaly(sid, Stage::IngestDrop, receipt.dropped as f64, depth);
+            }
+            if receipt.rejected > 0 {
+                rec.record_anomaly(sid, Stage::IngestReject, receipt.rejected as f64, depth);
+            }
+        }
         if receipt.accepted > 0 {
             self.touch();
         }
@@ -249,7 +270,19 @@ impl SessionShared {
             return 0;
         }
         let processed = batch.len();
+        let sid = session_id(self.epc);
+        let recorder = global.trace.as_deref();
+        // Queue wait is measured at dequeue, before any tracker work, so
+        // the wait/compute split is clean.
+        for qr in &batch {
+            let wait = qr.enqueued.elapsed();
+            global.queue_wait.observe(wait);
+            if let Some(rec) = recorder {
+                rec.record_span(sid, Stage::QueueWait, wait.as_micros() as f64, 1.0);
+            }
+        }
         let mut out_events: Vec<SessionEvent> = Vec::new();
+        let compute_start = Instant::now();
         {
             let mut engine = self.engine.lock().expect("engine lock");
             for qr in &batch {
@@ -285,6 +318,14 @@ impl SessionShared {
                         OnlineEvent::Stale { gap } => {
                             self.metrics.stale_resets.inc();
                             global.stale_resets.inc();
+                            // With the `trace` feature the tracker's own
+                            // sink already emitted this anomaly; only
+                            // record it here when the core hot path is
+                            // uninstrumented, so it is never double-counted.
+                            #[cfg(not(feature = "trace"))]
+                            if let Some(rec) = recorder {
+                                rec.record_anomaly(sid, Stage::StaleReset, *gap, qr.read.t);
+                            }
                             out_events.push(SessionEvent::Stale { epc: self.epc, gap: *gap });
                         }
                     }
@@ -293,6 +334,11 @@ impl SessionShared {
                     global.latency.observe(qr.enqueued.elapsed());
                 }
             }
+        }
+        let compute = compute_start.elapsed();
+        global.compute.observe(compute);
+        if let Some(rec) = recorder {
+            rec.record_span(sid, Stage::Compute, compute.as_micros() as f64, processed as f64);
         }
         self.metrics.processed.add(processed as u64);
         global.processed.add(processed as u64);

@@ -17,8 +17,10 @@
 //! ```
 
 use rfidraw_metrics::runtime::{Counter, HistogramSnapshot, LatencyHistogram};
+use rfidraw_metrics::{PromText, StageLatency, TraceRecorder};
 use rfidraw_protocol::Epc;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Live counters for one session.
 #[derive(Debug, Default)]
@@ -59,10 +61,19 @@ pub(crate) struct GlobalMetrics {
     /// Ingest→position latency (enqueue to the position estimate that the
     /// read produced).
     pub latency: LatencyHistogram,
+    /// Time reads spend queued before a worker picks them up.
+    pub queue_wait: LatencyHistogram,
+    /// Time a worker spends inside the tracker per drained batch.
+    pub compute: LatencyHistogram,
+    /// The pipeline trace recorder, when the service was configured with
+    /// one ([`crate::ServeConfig::trace`]). Always compiled; the
+    /// `trace` cargo feature only controls whether the *core* hot path
+    /// emits into it.
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl GlobalMetrics {
-    pub fn new() -> Self {
+    pub fn new(trace: Option<Arc<TraceRecorder>>) -> Self {
         Self {
             ingested: Counter::new(),
             dropped: Counter::new(),
@@ -75,6 +86,9 @@ impl GlobalMetrics {
             sessions_closed: Counter::new(),
             sessions_rejected: Counter::new(),
             latency: LatencyHistogram::default_bounds(),
+            queue_wait: LatencyHistogram::default_bounds(),
+            compute: LatencyHistogram::default_bounds(),
+            trace,
         }
     }
 }
@@ -129,6 +143,13 @@ pub struct TelemetryReport {
     pub stale_resets: u64,
     /// Ingest→position latency histogram.
     pub latency: HistogramSnapshot,
+    /// Enqueue→dequeue wait histogram (how long reads sit in queues).
+    pub queue_wait: HistogramSnapshot,
+    /// Per-batch tracker compute-time histogram.
+    pub compute: HistogramSnapshot,
+    /// Per-stage span latency histograms from the trace recorder (empty
+    /// when no recorder is configured or the `trace` feature is off).
+    pub stages: Vec<StageLatency>,
     /// Per-session breakdown, in EPC order.
     pub sessions: Vec<SessionTelemetry>,
 }
@@ -155,6 +176,11 @@ impl TelemetryReport {
             self.positions, self.stale_resets,
         ));
         out.push_str(&format!("latency:  {}\n", self.latency.summary()));
+        out.push_str(&format!("queue:    {}\n", self.queue_wait.summary()));
+        out.push_str(&format!("compute:  {}\n", self.compute.summary()));
+        for st in &self.stages {
+            out.push_str(&format!("  stage {:<16} {}\n", st.stage, st.histogram.summary()));
+        }
         for s in &self.sessions {
             out.push_str(&format!(
                 "  {}: {} in / {} done / {} dropped / {} rejected, {} positions, depth {}, {}\n",
@@ -169,6 +195,53 @@ impl TelemetryReport {
             ));
         }
         out
+    }
+
+    /// Prometheus text-format (0.0.4) rendering of every counter and
+    /// histogram in the report, suitable for any standard scraper. Latency
+    /// families keep the repo's native microsecond unit (`*_us`).
+    pub fn to_prometheus(&self) -> String {
+        let mut p = PromText::new();
+        p.gauge("rfidraw_sessions_active", "Sessions currently live.", &[], self.active_sessions as f64);
+        p.counter("rfidraw_sessions_opened_total", "Sessions ever created.", &[], self.sessions_opened);
+        p.counter("rfidraw_sessions_evicted_total", "Sessions evicted by the idle timeout.", &[], self.sessions_evicted);
+        p.counter("rfidraw_sessions_closed_total", "Sessions closed explicitly or at shutdown.", &[], self.sessions_closed);
+        p.counter("rfidraw_sessions_rejected_total", "Ingests refused at the session cap.", &[], self.sessions_rejected);
+        p.counter("rfidraw_reads_ingested_total", "Reads accepted into queues.", &[], self.reads_ingested);
+        p.counter("rfidraw_reads_dropped_total", "Reads evicted from queues.", &[], self.reads_dropped);
+        p.counter("rfidraw_reads_rejected_total", "Reads refused at the ingest boundary.", &[], self.reads_rejected);
+        p.counter("rfidraw_reads_processed_total", "Reads fed through trackers.", &[], self.reads_processed);
+        p.counter("rfidraw_positions_total", "Position snapshots emitted.", &[], self.positions);
+        p.counter("rfidraw_stale_resets_total", "Stale-gap tracker resets.", &[], self.stale_resets);
+        p.histogram("rfidraw_latency_us", "Ingest-to-position latency (µs).", &[], &self.latency);
+        p.histogram("rfidraw_queue_wait_us", "Enqueue-to-dequeue wait (µs).", &[], &self.queue_wait);
+        p.histogram("rfidraw_compute_us", "Tracker compute time per batch (µs).", &[], &self.compute);
+        for st in &self.stages {
+            p.histogram(
+                "rfidraw_stage_us",
+                "Per-stage span latency from the trace recorder (µs).",
+                &[("stage", st.stage.as_str())],
+                &st.histogram,
+            );
+        }
+        for s in &self.sessions {
+            let epc = s.epc.to_string();
+            let labels: [(&str, &str); 1] = [("epc", epc.as_str())];
+            p.counter("rfidraw_session_reads_ingested_total", "Per-session reads accepted.", &labels, s.reads_ingested);
+            p.counter("rfidraw_session_reads_processed_total", "Per-session reads processed.", &labels, s.reads_processed);
+            p.counter("rfidraw_session_reads_dropped_total", "Per-session reads dropped.", &labels, s.reads_dropped);
+            p.counter("rfidraw_session_reads_rejected_total", "Per-session reads rejected.", &labels, s.reads_rejected);
+            p.counter("rfidraw_session_positions_total", "Per-session position snapshots.", &labels, s.positions);
+            p.counter("rfidraw_session_stale_resets_total", "Per-session stale resets.", &labels, s.stale_resets);
+            p.gauge("rfidraw_session_queue_depth", "Per-session queued reads.", &labels, s.queue_depth as f64);
+            p.gauge(
+                "rfidraw_session_tracking",
+                "1 once the session's tracker has acquired.",
+                &labels,
+                if s.tracking { 1.0 } else { 0.0 },
+            );
+        }
+        p.finish()
     }
 }
 
@@ -193,6 +266,12 @@ mod tests {
             positions: 42,
             stale_resets: 1,
             latency: h.snapshot(),
+            queue_wait: LatencyHistogram::default_bounds().snapshot(),
+            compute: LatencyHistogram::default_bounds().snapshot(),
+            stages: vec![StageLatency {
+                stage: "engine_evaluate".to_string(),
+                histogram: h.snapshot(),
+            }],
             sessions: vec![SessionTelemetry {
                 epc: Epc::from_index(7),
                 reads_ingested: 100,
@@ -222,5 +301,21 @@ mod tests {
         assert!(text.contains("1 active"));
         assert!(text.contains("1 evicted"));
         assert!(text.contains("latency:"));
+        assert!(text.contains("queue:"));
+        assert!(text.contains("stage engine_evaluate"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_counters_histograms_and_stages() {
+        let text = report().to_prometheus();
+        assert!(text.contains("# TYPE rfidraw_reads_ingested_total counter"));
+        assert!(text.contains("rfidraw_reads_ingested_total 100"));
+        assert!(text.contains("rfidraw_sessions_active 1"));
+        assert!(text.contains("# TYPE rfidraw_latency_us histogram"));
+        assert!(text.contains("rfidraw_latency_us_count 1"));
+        assert!(text.contains("rfidraw_stage_us_bucket{stage=\"engine_evaluate\",le=\"+Inf\"} 1"));
+        assert!(text.contains("rfidraw_session_positions_total{epc="));
+        // HELP/TYPE declared once per family despite per-session repeats.
+        assert_eq!(text.matches("# TYPE rfidraw_stage_us histogram").count(), 1);
     }
 }

@@ -4,11 +4,18 @@
 //! Every frame is one line of compact JSON (`\n`-terminated; JSON string
 //! escaping guarantees no raw newline inside a frame), parsing to an
 //! [`Envelope`] whose `v` field gates compatibility. Client→server
-//! messages are [`Message::Ingest`], [`Message::Subscribe`], and
-//! [`Message::TelemetryRequest`]; server→client messages are
+//! messages are [`Message::Ingest`], [`Message::Subscribe`],
+//! [`Message::TelemetryRequest`], [`Message::MetricsRequest`], and
+//! [`Message::TraceQuery`]; server→client messages are
 //! [`Message::IngestAck`], [`Message::PositionUpdate`],
-//! [`Message::SessionClosed`], [`Message::Telemetry`], and
+//! [`Message::SessionClosed`], [`Message::Telemetry`],
+//! [`Message::MetricsText`], [`Message::TraceDump`], and
 //! [`Message::Error`].
+//!
+//! **Version history.** v1: ingest/subscribe/telemetry. v2 (this build):
+//! adds the observability pair — Prometheus text exposition
+//! (`MetricsRequest`/`MetricsText`) and flight-recorder retrieval
+//! (`TraceQuery`/`TraceDump`).
 //!
 //! The encoding rides the vendored serde stack, so the wire form is the
 //! same JSON the telemetry report and the rest of the workspace use.
@@ -21,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
 /// The protocol version this build speaks.
-pub const WIRE_VERSION: u64 = 1;
+pub const WIRE_VERSION: u64 = 2;
 
 /// The versioned frame envelope.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,6 +58,14 @@ pub enum Message {
     TelemetryRequest,
     /// Server→client: the telemetry snapshot.
     Telemetry(TelemetryReport),
+    /// Client→server: request the Prometheus text exposition.
+    MetricsRequest,
+    /// Server→client: the Prometheus text payload.
+    MetricsText(MetricsText),
+    /// Client→server: fetch flight-recorder dumps.
+    TraceQuery(TraceQuery),
+    /// Server→client: the requested flight-recorder dumps.
+    TraceDump(TraceDumpReply),
     /// Server→client: the previous frame could not be honored.
     Error(WireError),
 }
@@ -111,6 +126,29 @@ pub struct SessionClosed {
     pub epc: Epc,
     /// `"idle"`, `"explicit"`, or `"shutdown"`.
     pub reason: String,
+}
+
+/// The Prometheus text-format payload (exposition format 0.0.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsText {
+    /// The full scrape body.
+    pub body: String,
+}
+
+/// Flight-recorder retrieval request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceQuery {
+    /// At most this many dumps, newest last; `0` means all retained.
+    pub max_dumps: u64,
+    /// Clear the retained dumps after this reply.
+    pub clear: bool,
+}
+
+/// The flight-recorder dumps a [`TraceQuery`] asked for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDumpReply {
+    /// Retained dumps, oldest first.
+    pub dumps: Vec<rfidraw_metrics::TraceDump>,
 }
 
 /// A server-side refusal, tied to nothing (the protocol is pipelined; the
@@ -219,6 +257,33 @@ mod tests {
                 reason: "idle".to_string(),
             }),
             Message::TelemetryRequest,
+            Message::MetricsRequest,
+            Message::MetricsText(MetricsText {
+                body: "# TYPE rfidraw_reads_ingested_total counter\n".to_string(),
+            }),
+            Message::TraceQuery(TraceQuery { max_dumps: 4, clear: false }),
+            Message::TraceDump(TraceDumpReply {
+                dumps: vec![rfidraw_metrics::TraceDump {
+                    trigger: Some(rfidraw_metrics::TraceEventRecord {
+                        seq: 41,
+                        t_us: 1000,
+                        session: 7,
+                        stage: "stale_reset".to_string(),
+                        kind: "anomaly".to_string(),
+                        a: 1.5,
+                        b: 2.25,
+                    }),
+                    events: vec![rfidraw_metrics::TraceEventRecord {
+                        seq: 40,
+                        t_us: 900,
+                        session: 7,
+                        stage: "queue_wait".to_string(),
+                        kind: "span".to_string(),
+                        a: 12.0,
+                        b: 1.0,
+                    }],
+                }],
+            }),
             Message::Error(WireError {
                 code: "parse".to_string(),
                 message: "expected `{`".to_string(),

@@ -12,9 +12,13 @@
 //! gateway would. Each tag lazily gets its own session — a bounded queue
 //! in front of a streaming tracker — drained fairly by the worker pool.
 //! The example prints each session's traced trajectory and the service's
-//! final telemetry report, and **exits nonzero if the lossless (`Block`)
-//! happy path dropped or rejected a single read** — CI runs it as a
-//! regression gate.
+//! final telemetry report — including the per-stage latency breakdown
+//! from the pipeline trace recorder — then injects a stale-gap anomaly
+//! (a tag that goes silent mid-word for longer than the tracker's
+//! `max_read_gap`) and shows the flight-recorder dump it leaves behind.
+//! It **exits nonzero if the lossless (`Block`) happy path dropped or
+//! rejected a single read, or if the injected anomaly fails to produce a
+//! dump** — CI runs it as a regression gate.
 
 use rfidraw::core::exec::Parallelism;
 use rfidraw::core::geom::{Plane, Point2, Rect};
@@ -88,10 +92,12 @@ fn main() {
         streams.len()
     );
 
-    // The service: lossless backpressure, auto worker pool.
+    // The service: lossless backpressure, auto worker pool, and the
+    // pipeline trace recorder (queue-wait/compute spans, flight recorder).
     let mut cfg = ServeConfig::new(TrackerTemplate::paper_default(region));
     cfg.backpressure = BackpressurePolicy::Block;
     cfg.workers = Some(Parallelism::Auto);
+    cfg.observability = Some(rfidraw::metrics::TraceSettings::default());
     let service = TrackingService::start(cfg);
     let client = service.client();
 
@@ -158,4 +164,54 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall {total} reads processed; no drops, no rejections");
+
+    // --- Act 2: an injected anomaly for the flight recorder. One more
+    // tag starts writing, goes silent mid-word for longer than the
+    // tracker's stale gap (1 s), then resumes: the tracker resets, and
+    // the recorder snapshots the events leading up to the reset.
+    let gap_epc = Epc::from_index(0xEE);
+    let source = streams.values().next().expect("at least one stream");
+    let gap_start = duration * 0.4;
+    let gap_end = gap_start + 1.5; // > max_read_gap = 1.0 s
+    let gapped: Vec<_> = source
+        .iter()
+        .copied()
+        .filter(|r| r.t < gap_start || r.t >= gap_end)
+        .collect();
+    println!(
+        "\n--- injected anomaly: tag {gap_epc} goes silent for {:.1} s mid-word ---",
+        gap_end - gap_start
+    );
+    client.ingest(gap_epc, &gapped).expect("ingest gapped stream");
+    service.quiesce();
+
+    let dumps = client.trace_dumps();
+    let stale_dump = dumps
+        .iter()
+        .find(|d| d.trigger.as_ref().is_some_and(|t| t.stage == "stale_reset"));
+    match stale_dump {
+        Some(dump) => {
+            let trigger = dump.trigger.as_ref().expect("anomaly-triggered");
+            println!(
+                "flight recorder: {} dump(s); stale-reset trigger at seq {} \
+                 (gap {:.2} s, read t = {:.2} s), {} events in the window",
+                dumps.len(),
+                trigger.seq,
+                trigger.a,
+                trigger.b,
+                dump.events.len()
+            );
+            for e in dump.events.iter().rev().take(5).rev() {
+                println!(
+                    "  seq {:>6}  {:>10} µs  session {:>4}  {:<14} {:<8} a={:.3} b={:.3}",
+                    e.seq, e.t_us, e.session, e.stage, e.kind, e.a, e.b
+                );
+            }
+        }
+        None => {
+            eprintln!("ERROR: the injected stale gap produced no flight-recorder dump");
+            std::process::exit(1);
+        }
+    }
+    println!("\nfinal per-stage latency breakdown:\n{}", service.telemetry().render());
 }

@@ -23,8 +23,30 @@ echo "== tier 2: serving layer =="
 # Integration tests in release (the determinism assertions compare bit
 # patterns, so they must hold under optimization too), then the live
 # multi-session example, which exits nonzero if the lossless ingest path
-# dropped or rejected a single read.
+# dropped or rejected a single read (or if the injected stale-gap anomaly
+# fails to produce a flight-recorder dump).
 cargo test --release --offline -q -p rfidraw-serve
 cargo run --release --offline -p rfidraw --example live_service > /dev/null
+
+echo "== tier 2: observability (--features trace) =="
+# The same serving-layer suite with the core hot-path emit sites compiled
+# in: the trace_observability tests assert positions stay bit-identical
+# with tracing off, on, and sampled, across worker counts.
+cargo test --release --offline -q -p rfidraw-serve --features trace
+cargo test --release --offline -q -p rfidraw-core --features trace
+
+echo "== tier 2: trace-disabled overhead gate =="
+# The instrumented build with no sink installed must cost < 3% over the
+# build with no emit sites at all. Both runs report the best per-round
+# mean of the serial 1 cm vote-engine evaluation.
+cargo build --release --offline -q -p rfidraw-bench --bin trace_overhead
+base=$(./target/release/trace_overhead --iters 20 --rounds 5 | awk '/^ns_per_eval:/{print $2}')
+cargo build --release --offline -q -p rfidraw-bench --features trace --bin trace_overhead
+inst=$(./target/release/trace_overhead --iters 20 --rounds 5 | awk '/^ns_per_eval:/{print $2}')
+awk -v b="$base" -v i="$inst" 'BEGIN {
+    pct = (i - b) / b * 100.0;
+    printf "trace-disabled overhead: baseline %d ns, instrumented %d ns (%+.2f%%)\n", b, i, pct;
+    exit (pct < 3.0) ? 0 : 1;
+}'
 
 echo "CI OK"
