@@ -1,0 +1,325 @@
+//! Hostile-input fault scheduling for ingest-boundary tests.
+//!
+//! [`FaultInjector`](crate::fault::FaultInjector) models *channel*
+//! impairments — reads that go missing or arrive with a wrong phase, which
+//! the tracking pipeline must absorb as ordinary physics. This module
+//! models the other threat: a *malfunctioning or hostile producer* whose
+//! reads are malformed in ways the physics can never produce — NaN fields,
+//! clocks that jump, duplicated or reordered reports, whole antennas going
+//! silent. The ingest boundary is required to refuse or degrade on these
+//! without panicking, and the [`FaultLedger`] returned by
+//! [`ScheduledFaults::apply`] gives tests the exact injection counts to
+//! reconcile against telemetry.
+//!
+//! Everything is deterministic under a seed: the same schedule, seed, and
+//! input stream always produce the same faulted stream and ledger.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfidraw_core::array::AntennaId;
+use rfidraw_core::stream::PhaseRead;
+
+/// One antenna going silent for a time window (cable pull, port death).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blackout {
+    /// The silent antenna.
+    pub antenna: AntennaId,
+    /// Start of the outage, in stream time.
+    pub start: f64,
+    /// Outage length; reads with `start <= t < start + duration` vanish.
+    pub duration: f64,
+}
+
+impl Blackout {
+    fn swallows(&self, read: &PhaseRead) -> bool {
+        read.antenna == self.antenna
+            && read.t >= self.start
+            && read.t < self.start + self.duration
+    }
+}
+
+/// A step change in the producer's clock: every read at or after `start`
+/// is reported `offset` seconds away from its true time. A negative
+/// offset manufactures an out-of-order burst at the step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSkew {
+    /// Stream time at which the producer's clock steps.
+    pub start: f64,
+    /// Signed step applied to all subsequent timestamps.
+    pub offset: f64,
+}
+
+/// What to inject, and how often. The default injects nothing.
+///
+/// Per-read corruptions are independent Bernoulli draws from the seeded
+/// generator; structural faults ([`Blackout`], [`ClockSkew`]) fire
+/// exactly where scheduled.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    /// Probability of replacing a read's phase with NaN.
+    pub nan_phase_chance: f64,
+    /// Probability of replacing a read's timestamp with NaN.
+    pub nan_timestamp_chance: f64,
+    /// Probability of negating a read's timestamp.
+    pub negative_timestamp_chance: f64,
+    /// Probability of emitting a read twice back to back.
+    pub duplicate_chance: f64,
+    /// Probability of swapping a read with its successor (reordering).
+    pub swap_chance: f64,
+    /// Optional clock step.
+    pub clock_skew: Option<ClockSkew>,
+    /// Scheduled per-antenna outages.
+    pub blackouts: Vec<Blackout>,
+}
+
+impl FaultSchedule {
+    fn validate(&self) {
+        for (name, p) in [
+            ("nan_phase_chance", self.nan_phase_chance),
+            ("nan_timestamp_chance", self.nan_timestamp_chance),
+            ("negative_timestamp_chance", self.negative_timestamp_chance),
+            ("duplicate_chance", self.duplicate_chance),
+            ("swap_chance", self.swap_chance),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+        for b in &self.blackouts {
+            assert!(
+                b.start.is_finite() && b.duration.is_finite() && b.duration >= 0.0,
+                "blackout windows must be finite: {b:?}"
+            );
+        }
+    }
+}
+
+/// Exact injection counts, for reconciling against ingest telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultLedger {
+    /// Reads whose phase was replaced with NaN.
+    pub nan_phases: u64,
+    /// Reads whose timestamp was replaced with NaN.
+    pub nan_timestamps: u64,
+    /// Reads whose timestamp was negated.
+    pub negative_timestamps: u64,
+    /// Extra duplicate reads appended to the stream.
+    pub duplicates: u64,
+    /// Adjacent swaps applied.
+    pub swaps: u64,
+    /// Reads swallowed by blackouts.
+    pub blacked_out: u64,
+    /// Reads whose timestamp was shifted by the clock step.
+    pub skewed: u64,
+}
+
+impl FaultLedger {
+    /// Reads carrying a field no physical reader can emit (NaN or
+    /// negative). These must surface as typed refusals, never panics.
+    pub fn malformed(&self) -> u64 {
+        self.nan_phases + self.nan_timestamps + self.negative_timestamps
+    }
+}
+
+/// Applies a [`FaultSchedule`] to read streams, deterministically per
+/// seed.
+#[derive(Debug, Clone)]
+pub struct ScheduledFaults {
+    schedule: FaultSchedule,
+    rng: StdRng,
+}
+
+impl ScheduledFaults {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    /// Panics if any chance is outside `[0, 1]` or a blackout window is
+    /// non-finite.
+    pub fn new(schedule: FaultSchedule, seed: u64) -> Self {
+        schedule.validate();
+        Self { schedule, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_range(0.0..1.0) < p
+    }
+
+    /// Runs a whole stream through the schedule. Structural faults apply
+    /// first (blackouts swallow, the clock step shifts), then per-read
+    /// corruptions and reorderings. Returns the faulted stream and the
+    /// exact ledger of what was injected.
+    pub fn apply(&mut self, reads: &[PhaseRead]) -> (Vec<PhaseRead>, FaultLedger) {
+        let mut ledger = FaultLedger::default();
+        let mut out: Vec<PhaseRead> = Vec::with_capacity(reads.len());
+        for &read in reads {
+            if self.schedule.blackouts.iter().any(|b| b.swallows(&read)) {
+                ledger.blacked_out += 1;
+                continue;
+            }
+            let mut read = read;
+            if let Some(skew) = self.schedule.clock_skew {
+                if read.t >= skew.start {
+                    read.t += skew.offset;
+                    ledger.skewed += 1;
+                }
+            }
+            if self.chance(self.schedule.nan_phase_chance) {
+                read.phase = f64::NAN;
+                ledger.nan_phases += 1;
+            }
+            if self.chance(self.schedule.nan_timestamp_chance) {
+                read.t = f64::NAN;
+                ledger.nan_timestamps += 1;
+            } else if self.chance(self.schedule.negative_timestamp_chance) {
+                read.t = -read.t.abs() - 1.0;
+                ledger.negative_timestamps += 1;
+            }
+            out.push(read);
+            if self.chance(self.schedule.duplicate_chance) {
+                out.push(read);
+                ledger.duplicates += 1;
+            }
+        }
+        if self.schedule.swap_chance > 0.0 {
+            let mut i = 0;
+            while i + 1 < out.len() {
+                if self.chance(self.schedule.swap_chance) {
+                    out.swap(i, i + 1);
+                    ledger.swaps += 1;
+                    i += 2; // never un-swap what we just swapped
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        (out, ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> Vec<PhaseRead> {
+        (0..n)
+            .map(|i| PhaseRead {
+                t: i as f64 * 0.01,
+                antenna: AntennaId(1 + (i % 4) as u8),
+                phase: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_schedule_is_transparent() {
+        let mut f = ScheduledFaults::new(FaultSchedule::default(), 3);
+        let s = stream(200);
+        let (out, ledger) = f.apply(&s);
+        assert_eq!(out, s);
+        assert_eq!(ledger, FaultLedger::default());
+    }
+
+    #[test]
+    fn ledger_matches_the_injected_stream() {
+        let schedule = FaultSchedule {
+            nan_phase_chance: 0.05,
+            nan_timestamp_chance: 0.03,
+            negative_timestamp_chance: 0.03,
+            duplicate_chance: 0.04,
+            ..FaultSchedule::default()
+        };
+        let mut f = ScheduledFaults::new(schedule, 17);
+        let s = stream(5000);
+        let (out, ledger) = f.apply(&s);
+        assert_eq!(out.len() as u64, s.len() as u64 + ledger.duplicates);
+        let nan_phases = out.iter().filter(|r| r.phase.is_nan()).count() as u64;
+        let nan_ts = out.iter().filter(|r| r.t.is_nan()).count() as u64;
+        let neg_ts = out.iter().filter(|r| r.t < 0.0).count() as u64;
+        // Duplicates copy the corrupted read, so observed counts may
+        // exceed injections — but never fall below them.
+        assert!(nan_phases >= ledger.nan_phases && ledger.nan_phases > 0);
+        assert!(nan_ts >= ledger.nan_timestamps && ledger.nan_timestamps > 0);
+        assert!(neg_ts >= ledger.negative_timestamps && ledger.negative_timestamps > 0);
+        assert!(ledger.malformed() > 0);
+    }
+
+    #[test]
+    fn blackouts_silence_exactly_the_scheduled_window() {
+        let schedule = FaultSchedule {
+            blackouts: vec![Blackout { antenna: AntennaId(2), start: 1.0, duration: 2.0 }],
+            ..FaultSchedule::default()
+        };
+        let mut f = ScheduledFaults::new(schedule, 5);
+        let s = stream(1000); // t spans 0..10
+        let (out, ledger) = f.apply(&s);
+        assert!(ledger.blacked_out > 0);
+        assert_eq!(out.len() as u64 + ledger.blacked_out, s.len() as u64);
+        assert!(out
+            .iter()
+            .all(|r| r.antenna != AntennaId(2) || !(1.0..3.0).contains(&r.t)));
+        // Reads outside the window survive untouched.
+        assert!(out.iter().any(|r| r.antenna == AntennaId(2) && r.t < 1.0));
+        assert!(out.iter().any(|r| r.antenna == AntennaId(2) && r.t >= 3.0));
+    }
+
+    #[test]
+    fn clock_skew_steps_every_later_timestamp() {
+        let schedule = FaultSchedule {
+            clock_skew: Some(ClockSkew { start: 2.0, offset: -0.5 }),
+            ..FaultSchedule::default()
+        };
+        let mut f = ScheduledFaults::new(schedule, 5);
+        let s = stream(1000);
+        let (out, ledger) = f.apply(&s);
+        assert_eq!(ledger.skewed, s.iter().filter(|r| r.t >= 2.0).count() as u64);
+        for (a, b) in out.iter().zip(&s) {
+            let expect = if b.t >= 2.0 { b.t - 0.5 } else { b.t };
+            assert_eq!(a.t, expect);
+        }
+        // The step manufactured an out-of-order region.
+        assert!(out.windows(2).any(|w| w[1].t < w[0].t));
+    }
+
+    #[test]
+    fn swaps_reorder_without_loss() {
+        let schedule = FaultSchedule { swap_chance: 0.2, ..FaultSchedule::default() };
+        let mut f = ScheduledFaults::new(schedule, 9);
+        let s = stream(2000);
+        let (out, ledger) = f.apply(&s);
+        assert!(ledger.swaps > 0);
+        assert_eq!(out.len(), s.len());
+        let mut sorted = out.clone();
+        sorted.sort_by(|a, b| a.t.total_cmp(&b.t));
+        assert_eq!(sorted, s, "swapping must permute, never drop or alter");
+    }
+
+    #[test]
+    fn scheduler_is_deterministic() {
+        let schedule = FaultSchedule {
+            nan_phase_chance: 0.02,
+            duplicate_chance: 0.05,
+            swap_chance: 0.05,
+            blackouts: vec![Blackout { antenna: AntennaId(1), start: 0.5, duration: 1.0 }],
+            clock_skew: Some(ClockSkew { start: 4.0, offset: 0.25 }),
+            ..FaultSchedule::default()
+        };
+        let s = stream(3000);
+        let mut a = ScheduledFaults::new(schedule.clone(), 99);
+        let mut b = ScheduledFaults::new(schedule, 99);
+        let (out_a, led_a) = a.apply(&s);
+        let (out_b, led_b) = b.apply(&s);
+        assert!(out_a.iter().zip(&out_b).all(|(x, y)| {
+            x.antenna == y.antenna
+                && x.t.to_bits() == y.t.to_bits()
+                && x.phase.to_bits() == y.phase.to_bits()
+        }));
+        assert_eq!(led_a, led_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_chance")]
+    fn rejects_invalid_probability() {
+        let _ = ScheduledFaults::new(
+            FaultSchedule { swap_chance: -0.1, ..FaultSchedule::default() },
+            0,
+        );
+    }
+}

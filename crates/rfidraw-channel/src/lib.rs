@@ -19,7 +19,10 @@
 //! * **range-limited powering** (§8 fn. 5): read success probability decays
 //!   past the tag wake-up range and vanishes at the hard range limit;
 //! * **fault injection** ([`fault`]): drops, phase outliers and bursts, in
-//!   the spirit of smoltcp's example fault injectors.
+//!   the spirit of smoltcp's example fault injectors;
+//! * **hostile producers** ([`faults`]): scheduled malformed input — NaN
+//!   fields, clock steps, duplicates, reordering, per-antenna blackouts —
+//!   for exercising the ingest boundary's refusal and degradation paths.
 //!
 //! The main entry point is [`Channel`], which turns `(antenna, tag
 //! position, time)` into `Option<PhaseRead>` — exactly what a reader port
@@ -30,6 +33,7 @@
 
 pub mod blockage;
 pub mod fault;
+pub mod faults;
 pub mod model;
 pub mod multipath;
 pub mod noise;
@@ -37,6 +41,7 @@ pub mod scenario;
 
 pub use blockage::{combined_gain, Blocker};
 pub use fault::{FaultConfig, FaultInjector};
+pub use faults::{Blackout, ClockSkew, FaultLedger, FaultSchedule, ScheduledFaults};
 pub use model::{Channel, ChannelConfig, Observation};
 pub use multipath::Reflector;
 pub use noise::{PhaseQuantizer, WrappedGaussian};

@@ -83,10 +83,19 @@ pub enum Stage {
     /// Reads refused by the `Reject` backpressure policy
     /// (`a` = reads rejected in this ingest call).
     IngestReject,
+    /// A read failed payload validation (non-finite phase/timestamp,
+    /// duplicate, out of order) and was refused by the ingest boundary or
+    /// the tracker (`a` = the offending read's timestamp).
+    InvalidRead,
+    /// The tracker's set of usable antenna pairs changed — an antenna
+    /// dropped out or rejoined (`a` = missing pairs after the change,
+    /// `b` = the triggering read's timestamp). `a = 0` means fully
+    /// recovered.
+    Degraded,
 }
 
 /// Every stage, in discriminant order. Keep in sync with the enum.
-pub const ALL_STAGES: [Stage; 17] = [
+pub const ALL_STAGES: [Stage; 19] = [
     Stage::UnwrapHorizon,
     Stage::LobeLock,
     Stage::LobeRelock,
@@ -104,6 +113,8 @@ pub const ALL_STAGES: [Stage; 17] = [
     Stage::Compute,
     Stage::IngestDrop,
     Stage::IngestReject,
+    Stage::InvalidRead,
+    Stage::Degraded,
 ];
 
 impl Stage {
@@ -127,6 +138,8 @@ impl Stage {
             Stage::Compute => "compute",
             Stage::IngestDrop => "ingest_drop",
             Stage::IngestReject => "ingest_reject",
+            Stage::InvalidRead => "invalid_read",
+            Stage::Degraded => "degraded",
         }
     }
 

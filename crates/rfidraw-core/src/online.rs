@@ -47,6 +47,19 @@ pub struct OnlineConfig {
     /// [`OnlineEvent::Stale`] then a fresh [`OnlineEvent::Acquired`]).
     /// `None` disables the check.
     pub max_read_gap: Option<f64>,
+    /// If one antenna goes silent for longer than this (s) while the rest
+    /// of the stream keeps flowing, that antenna is *dropped*: its pairs
+    /// stop voting and the tracker keeps positioning on the surviving pair
+    /// subset (the §5.1 over-constrained redundancy), emitting
+    /// [`OnlineEvent::Degraded`] on every change of the missing-pair set.
+    /// `None` disables per-antenna dropout: a silent antenna then stalls
+    /// tick emission, exactly the pre-degradation behavior.
+    pub dropout_after: Option<f64>,
+    /// Hysteresis before a dropped antenna is re-admitted (s): its reads
+    /// must span at least this long without an internal gap exceeding
+    /// [`OnlineConfig::dropout_after`]. Guards against a flapping antenna
+    /// oscillating the pair set (and thrashing lobe re-locks) every read.
+    pub readmit_after: f64,
 }
 
 impl Default for OnlineConfig {
@@ -56,9 +69,72 @@ impl Default for OnlineConfig {
             prune_margin: 0.5,
             prune_after: 25,
             max_read_gap: None,
+            dropout_after: None,
+            readmit_after: 0.2,
         }
     }
 }
+
+/// A read the tracker refused. The read is rejected *before* any state
+/// mutation, so a rejected read is simply absent: the tracker continues
+/// exactly as if it had never arrived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrackError {
+    /// The read's timestamp is NaN or infinite.
+    NonFiniteTimestamp {
+        /// The reporting antenna.
+        antenna: AntennaId,
+        /// The offending timestamp.
+        t: f64,
+    },
+    /// The read's phase is NaN or infinite.
+    NonFinitePhase {
+        /// The reporting antenna.
+        antenna: AntennaId,
+        /// The read's (finite) timestamp.
+        t: f64,
+    },
+    /// The read is older than the newest accepted read of the same antenna
+    /// — feeding it would corrupt the incremental unwrap.
+    OutOfOrder {
+        /// The reporting antenna.
+        antenna: AntennaId,
+        /// The offending timestamp.
+        t: f64,
+        /// The antenna's newest accepted timestamp.
+        newest: f64,
+    },
+    /// The read duplicates an already-accepted `(antenna, timestamp)` slot;
+    /// the first read keeps its claim (keep-first dedupe).
+    DuplicateRead {
+        /// The reporting antenna.
+        antenna: AntennaId,
+        /// The duplicated timestamp.
+        t: f64,
+    },
+}
+
+impl std::fmt::Display for TrackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackError::NonFiniteTimestamp { antenna, t } => {
+                write!(f, "antenna {antenna:?} reported a non-finite timestamp ({t})")
+            }
+            TrackError::NonFinitePhase { antenna, t } => {
+                write!(f, "antenna {antenna:?} reported a non-finite phase at t={t}")
+            }
+            TrackError::OutOfOrder { antenna, t, newest } => write!(
+                f,
+                "antenna {antenna:?} read at t={t} arrived after its newer read at t={newest}"
+            ),
+            TrackError::DuplicateRead { antenna, t } => {
+                write!(f, "antenna {antenna:?} already has a read at t={t} (keep-first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrackError {}
 
 /// Events produced by feeding reads to the tracker.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,12 +163,31 @@ pub enum OnlineEvent {
         /// The observed gap (s).
         gap: f64,
     },
+    /// The set of antenna pairs excluded from voting changed: an antenna
+    /// went silent past [`OnlineConfig::dropout_after`] (pairs added) or a
+    /// returning antenna survived re-admission hysteresis (pairs removed).
+    /// Positioning continues on the surviving pairs — the §5.1
+    /// over-constrained vote tolerates missing equations.
+    Degraded {
+        /// Pairs currently excluded because an endpoint antenna is
+        /// dropped; empty means the tracker is whole again.
+        missing_pairs: Vec<AntennaPair>,
+    },
 }
 
 #[derive(Debug, Clone)]
 struct AntennaState {
     prev: Option<(f64, f64)>,
     last: Option<(f64, f64)>,
+    /// Newest accepted read time. Unlike `prev`/`last` this survives a
+    /// dropout (which clears the unwrap history): it is the monotonicity
+    /// baseline, so a late read from a dropped antenna is still rejected.
+    newest_t: Option<f64>,
+    /// Whether the antenna is currently excluded from the pair set.
+    dropped: bool,
+    /// Start of the re-admission probation window (first read after the
+    /// outage). `None` until the dropped antenna is heard from again.
+    probation_since: Option<f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -110,12 +205,14 @@ pub struct OnlineTracker {
     positioner: MultiResPositioner,
     tracer: TrajectoryTracer,
     pairs: Vec<AntennaPair>,
+    wide_pairs: Vec<AntennaPair>,
     antennas: Vec<AntennaId>,
     states: BTreeMap<AntennaId, AntennaState>,
     next_tick: Option<f64>,
     traces: Vec<CandidateTrace>,
     ticks_done: usize,
     last_read_t: Option<f64>,
+    first_read_t: Option<f64>,
     #[cfg(feature = "trace")]
     sink: Option<crate::obs::SharedSink>,
     #[cfg(feature = "trace")]
@@ -149,6 +246,7 @@ impl OnlineTracker {
     ) -> Self {
         assert!(cfg.tick.is_finite() && cfg.tick > 0.0, "tick must be positive");
         let pairs: Vec<AntennaPair> = dep.all_pairs().copied().collect();
+        let wide_pairs: Vec<AntennaPair> = dep.wide_pairs().to_vec();
         let mut antennas: Vec<AntennaId> = pairs.iter().flat_map(|p| [p.i, p.j]).collect();
         antennas.sort();
         antennas.dedup();
@@ -160,6 +258,9 @@ impl OnlineTracker {
                     AntennaState {
                         prev: None,
                         last: None,
+                        newest_t: None,
+                        dropped: false,
+                        probation_since: None,
                     },
                 )
             })
@@ -171,12 +272,14 @@ impl OnlineTracker {
             positioner,
             tracer,
             pairs,
+            wide_pairs,
             antennas,
             states,
             next_tick: None,
             traces: Vec::new(),
             ticks_done: 0,
             last_read_t: None,
+            first_read_t: None,
             #[cfg(feature = "trace")]
             sink: None,
             #[cfg(feature = "trace")]
@@ -212,11 +315,15 @@ impl OnlineTracker {
         for s in self.states.values_mut() {
             s.prev = None;
             s.last = None;
+            s.newest_t = None;
+            s.dropped = false;
+            s.probation_since = None;
         }
         self.next_tick = None;
         self.traces.clear();
         self.ticks_done = 0;
         self.last_read_t = None;
+        self.first_read_t = None;
         #[cfg(feature = "trace")]
         {
             // A best-candidate change across a reset is re-acquisition, not
@@ -263,109 +370,287 @@ impl OnlineTracker {
         self.traces.iter().filter(|t| t.alive).count()
     }
 
+    /// Pairs currently excluded from voting because an endpoint antenna is
+    /// dropped. Empty when the tracker is whole.
+    pub fn missing_pairs(&self) -> Vec<AntennaPair> {
+        self.pairs
+            .iter()
+            .copied()
+            .filter(|p| self.is_dropped(p.i) || self.is_dropped(p.j))
+            .collect()
+    }
+
+    /// Whether any antenna is currently dropped (see
+    /// [`OnlineConfig::dropout_after`]).
+    pub fn is_degraded(&self) -> bool {
+        self.states.values().any(|s| s.dropped)
+    }
+
+    fn is_dropped(&self, ant: AntennaId) -> bool {
+        self.states.get(&ant).is_some_and(|s| s.dropped)
+    }
+
     fn best_index(&self) -> Option<usize> {
         self.traces
             .iter()
             .enumerate()
             .filter(|(_, t)| t.alive)
-            .max_by(|a, b| {
-                a.1.cumulative_vote
-                    .partial_cmp(&b.1.cumulative_vote)
-                    .expect("finite votes")
-            })
+            .max_by(|a, b| a.1.cumulative_vote.total_cmp(&b.1.cumulative_vote))
             .map(|(i, _)| i)
     }
 
-    /// Feeds one read; returns whatever events it triggered.
+    /// Feeds one read; returns whatever events it triggered, or a
+    /// [`TrackError`] describing why the read was refused.
     ///
     /// Reads must be fed in non-decreasing time order per antenna (the
-    /// order a reader produces them). Unknown antennas are ignored.
-    pub fn push(&mut self, read: PhaseRead) -> Vec<OnlineEvent> {
-        if !self.states.contains_key(&read.antenna) {
-            return Vec::new();
+    /// order a reader produces them); a read that is non-finite, older than
+    /// the same antenna's newest accepted read, or a duplicate of it is
+    /// rejected *before any state mutation* — the tracker continues exactly
+    /// as if the read had never arrived, so callers may count the error and
+    /// keep feeding. Unknown antennas are ignored (`Ok` with no events).
+    pub fn push(&mut self, read: PhaseRead) -> Result<Vec<OnlineEvent>, TrackError> {
+        let Some(probe) = self.states.get(&read.antenna) else {
+            return Ok(Vec::new());
+        };
+        if !read.t.is_finite() {
+            return Err(TrackError::NonFiniteTimestamp {
+                antenna: read.antenna,
+                t: read.t,
+            });
         }
-        let mut stale_events = Vec::new();
-        if self.would_be_stale(read.t) {
-            let gap = read.t - self.last_read_t.expect("stale implies a previous read");
-            self.reset();
-            #[cfg(feature = "trace")]
-            obs::emit(
-                self.sink.as_ref(),
-                self.session,
-                Stage::StaleReset,
-                TraceKind::Anomaly,
-                gap,
-                read.t,
-            );
-            stale_events.push(OnlineEvent::Stale { gap });
+        if !read.phase.is_finite() {
+            return Err(TrackError::NonFinitePhase {
+                antenna: read.antenna,
+                t: read.t,
+            });
+        }
+        if let Some(newest) = probe.newest_t {
+            if read.t == newest {
+                return Err(TrackError::DuplicateRead {
+                    antenna: read.antenna,
+                    t: read.t,
+                });
+            }
+            if read.t < newest {
+                return Err(TrackError::OutOfOrder {
+                    antenna: read.antenna,
+                    t: read.t,
+                    newest,
+                });
+            }
+        }
+
+        let mut events = Vec::new();
+        if let Some(last) = self.last_read_t {
+            if self.would_be_stale(read.t) {
+                let gap = read.t - last;
+                let was_degraded = self.is_degraded();
+                self.reset();
+                #[cfg(feature = "trace")]
+                obs::emit(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::StaleReset,
+                    TraceKind::Anomaly,
+                    gap,
+                    read.t,
+                );
+                events.push(OnlineEvent::Stale { gap });
+                if was_degraded {
+                    // The reset re-admitted every antenna; close out the
+                    // degradation episode for subscribers.
+                    events.push(OnlineEvent::Degraded {
+                        missing_pairs: Vec::new(),
+                    });
+                }
+            }
         }
         self.last_read_t = Some(match self.last_read_t {
             Some(last) => last.max(read.t),
             None => read.t,
         });
-        let state = self.states.get_mut(&read.antenna).expect("checked above");
-        let unwrapped = match state.last {
-            None => wrap_tau(read.phase),
-            Some((_, prev_phase)) => unwrap_step(prev_phase, read.phase),
-        };
-        // An unwrap step near ±π is at the ambiguity horizon: one more
-        // radian of motion between reads and the unwrap would pick the
-        // wrong branch. Worth surfacing before it corrupts the trace.
-        #[cfg(feature = "trace")]
-        if let Some((_, prev_phase)) = state.last {
-            let step = (unwrapped - prev_phase).abs();
-            if step > 0.9 * std::f64::consts::PI {
-                obs::emit(
-                    self.sink.as_ref(),
-                    self.session,
-                    Stage::UnwrapHorizon,
-                    TraceKind::Instant,
-                    step,
-                    read.antenna.0 as f64,
-                );
+        if self.first_read_t.is_none() {
+            self.first_read_t = Some(read.t);
+        }
+
+        // A gap inside a dropped antenna's own read stream invalidates the
+        // unwrap it has rebuilt so far: restart probation from this read.
+        if let Some(limit) = self.cfg.dropout_after {
+            if let Some(s) = self.states.get_mut(&read.antenna) {
+                if s.dropped {
+                    if let Some(newest) = s.newest_t {
+                        if read.t - newest > limit {
+                            s.prev = None;
+                            s.last = None;
+                            s.probation_since = None;
+                        }
+                    }
+                }
             }
         }
-        state.prev = state.last;
-        state.last = Some((read.t, unwrapped));
 
-        // Initialize the tick clock once every antenna has two samples.
-        if self.next_tick.is_none()
-            && self
-                .states
-                .values()
-                .all(|s| s.prev.is_some() && s.last.is_some())
-        {
-            let t0 = self
-                .states
-                .values()
-                .map(|s| s.prev.expect("checked").0)
-                .fold(f64::NEG_INFINITY, f64::max);
-            self.next_tick = Some(t0);
+        if let Some(state) = self.states.get_mut(&read.antenna) {
+            let unwrapped = match state.last {
+                None => wrap_tau(read.phase),
+                Some((_, prev_phase)) => unwrap_step(prev_phase, read.phase),
+            };
+            // An unwrap step near ±π is at the ambiguity horizon: one more
+            // radian of motion between reads and the unwrap would pick the
+            // wrong branch. Worth surfacing before it corrupts the trace.
+            #[cfg(feature = "trace")]
+            if let Some((_, prev_phase)) = state.last {
+                let step = (unwrapped - prev_phase).abs();
+                if step > 0.9 * std::f64::consts::PI {
+                    obs::emit(
+                        self.sink.as_ref(),
+                        self.session,
+                        Stage::UnwrapHorizon,
+                        TraceKind::Instant,
+                        step,
+                        read.antenna.0 as f64,
+                    );
+                }
+            }
+            state.prev = state.last;
+            state.last = Some((read.t, unwrapped));
+            state.newest_t = Some(read.t);
         }
 
-        let mut events = stale_events;
-        // Emit every tick all antennas can bracket.
+        // Dropout sweep + re-admission hysteresis (inert unless enabled).
+        if self.cfg.dropout_after.is_some() {
+            if let Some(e) = self.update_degradation(&read) {
+                events.push(e);
+            }
+        }
+
+        // Initialize the tick clock once every active antenna has two
+        // samples (a dropped antenna must not gate the survivors).
+        if self.next_tick.is_none() {
+            let mut t0 = f64::NEG_INFINITY;
+            let mut any_active = false;
+            let mut warmed_up = true;
+            for s in self.states.values().filter(|s| !s.dropped) {
+                any_active = true;
+                match s.prev {
+                    Some((t, _)) if s.last.is_some() => t0 = t0.max(t),
+                    _ => {
+                        warmed_up = false;
+                        break;
+                    }
+                }
+            }
+            if any_active && warmed_up {
+                self.next_tick = Some(t0);
+            }
+        }
+
+        // Emit every tick all active antennas can bracket.
         while let Some(tick_t) = self.next_tick {
-            let ready = self
-                .states
-                .values()
-                .all(|s| matches!(s.last, Some((t, _)) if t >= tick_t));
-            if !ready {
+            let mut any_active = false;
+            let mut ready = true;
+            for s in self.states.values().filter(|s| !s.dropped) {
+                any_active = true;
+                if !matches!(s.last, Some((t, _)) if t >= tick_t) {
+                    ready = false;
+                    break;
+                }
+            }
+            if !any_active || !ready {
                 break;
             }
             let snap = self.snapshot_at(tick_t);
             events.extend(self.consume_snapshot(snap));
             self.next_tick = Some(tick_t + self.cfg.tick);
         }
-        events
+        Ok(events)
     }
 
-    /// Interpolates every antenna at `tick_t` and forms the pair snapshot.
+    /// Drops antennas that went silent past `dropout_after`, walks the
+    /// reading antenna through its probation window, and reports the new
+    /// missing-pair set when either changed it.
+    fn update_degradation(&mut self, read: &PhaseRead) -> Option<OnlineEvent> {
+        let Some(limit) = self.cfg.dropout_after else {
+            return None;
+        };
+        let mut changed = false;
+        let mut readmitted = None;
+        if let Some(s) = self.states.get_mut(&read.antenna) {
+            if s.dropped {
+                match s.probation_since {
+                    None => s.probation_since = Some(read.t),
+                    Some(since) => {
+                        if read.t - since >= self.cfg.readmit_after && s.prev.is_some() {
+                            s.dropped = false;
+                            s.probation_since = None;
+                            readmitted = Some(read.antenna);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // An antenna that never read at all is judged against the stream
+        // start, so a dead-on-arrival antenna still gets dropped.
+        let baseline = self.first_read_t.unwrap_or(read.t);
+        for (&ant, s) in self.states.iter_mut() {
+            if ant == read.antenna || s.dropped {
+                continue;
+            }
+            let last_seen = s.newest_t.unwrap_or(baseline);
+            if read.t - last_seen > limit {
+                s.dropped = true;
+                s.prev = None;
+                s.last = None;
+                s.probation_since = None;
+                changed = true;
+            }
+        }
+        if let Some(ant) = readmitted {
+            // During the outage the antenna's unwrap restarted on an
+            // arbitrary 2π branch, so every lobe lock on its pairs points
+            // at a stale branch; discard them and let the next snapshot
+            // re-lock (§5.2) at each trace's current position.
+            for trace in &mut self.traces {
+                trace.locked.retain(|(p, _)| p.i != ant && p.j != ant);
+            }
+        }
+        if !changed {
+            return None;
+        }
+        if self.states.values().all(|s| s.dropped) {
+            // Nothing left to clock ticks from; re-initialize once reads
+            // survive probation again.
+            self.next_tick = None;
+        }
+        let missing = self.missing_pairs();
+        #[cfg(feature = "trace")]
+        obs::emit(
+            self.sink.as_ref(),
+            self.session,
+            Stage::Degraded,
+            TraceKind::Anomaly,
+            missing.len() as f64,
+            read.t,
+        );
+        Some(OnlineEvent::Degraded {
+            missing_pairs: missing,
+        })
+    }
+
+    /// Interpolates every active antenna at `tick_t` and forms the pair
+    /// snapshot; pairs with a dropped endpoint are simply absent.
     fn snapshot_at(&self, tick_t: f64) -> PairSnapshot {
         let mut phases: BTreeMap<AntennaId, f64> = BTreeMap::new();
         for &ant in &self.antennas {
-            let s = &self.states[&ant];
-            let (t1, p1) = s.last.expect("checked by caller");
+            let Some(s) = self.states.get(&ant) else {
+                continue;
+            };
+            if s.dropped {
+                continue;
+            }
+            let Some((t1, p1)) = s.last else {
+                continue;
+            };
             let phi = match s.prev {
                 Some((t0, p0)) if t1 > t0 && tick_t < t1 => {
                     p0 + (p1 - p0) * ((tick_t - t0) / (t1 - t0)).clamp(0.0, 1.0)
@@ -377,7 +662,10 @@ impl OnlineTracker {
         let mut wrapped = Vec::with_capacity(self.pairs.len());
         let mut turns = Vec::with_capacity(self.pairs.len());
         for &pair in &self.pairs {
-            let d = phases[&pair.j] - phases[&pair.i];
+            let (Some(&pi), Some(&pj)) = (phases.get(&pair.i), phases.get(&pair.j)) else {
+                continue;
+            };
+            let d = pj - pi;
             wrapped.push(PairMeasurement::new(pair, wrap_pi(d)));
             turns.push((pair, d / TAU));
         }
@@ -397,9 +685,15 @@ impl OnlineTracker {
             #[cfg(feature = "trace")]
             let _acq_span =
                 obs::SpanTimer::start(self.sink.as_ref(), self.session, Stage::Acquire, 0.0);
-            let candidates: Vec<Candidate> = self.positioner.locate(&snap.wrapped);
+            // A degraded snapshot can fall below the positioning floor (no
+            // coarse or no wide measurement at all); skip and retry on the
+            // next tick rather than acquire from an under-constrained vote.
+            let Some(candidates): Option<Vec<Candidate>> = self.positioner.try_locate(&snap.wrapped)
+            else {
+                return events;
+            };
             for (_ci, c) in candidates.iter().enumerate() {
-                let locked = self.tracer.lock_lobes(&snap, c.position);
+                let locked = self.tracer.try_lock_lobes(&snap, c.position);
                 #[cfg(feature = "trace")]
                 for &(_, k) in &locked {
                     obs::emit(
@@ -432,9 +726,46 @@ impl OnlineTracker {
             return events;
         }
 
+        // Lock any wide pair visible in this snapshot that a trace has no
+        // lock for — the pair just came back from a dropout (its old lock
+        // was discarded at re-admission) or acquisition itself happened on
+        // a degraded snapshot. Locked at the trace's current point, the
+        // same way acquisition seeds locks.
         for trace in self.traces.iter_mut().filter(|t| t.alive) {
-            let prev = *trace.points.last().expect("traces start non-empty");
-            let (next, vote) = self.tracer.advance(prev, &snap, &trace.locked);
+            for &wp in &self.wide_pairs {
+                if trace.locked.iter().any(|(p, _)| *p == wp) {
+                    continue;
+                }
+                let Some(&(_, turns)) = snap.unwrapped_turns.iter().find(|(p, _)| *p == wp)
+                else {
+                    continue;
+                };
+                let Some(&at) = trace.points.last() else {
+                    continue;
+                };
+                let k = self.tracer.lock_pair(wp, turns, at);
+                trace.locked.push((wp, k));
+                #[cfg(feature = "trace")]
+                obs::emit(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::LobeRelock,
+                    TraceKind::Instant,
+                    k as f64,
+                    snap.t,
+                );
+            }
+        }
+
+        for trace in self.traces.iter_mut().filter(|t| t.alive) {
+            let Some(&prev) = trace.points.last() else {
+                continue;
+            };
+            // `None` means no wide pair survives in this snapshot: hold the
+            // current estimate instead of advancing on zero information.
+            let Some((next, vote)) = self.tracer.advance_avail(prev, &snap, &trace.locked) else {
+                continue;
+            };
             trace.points.push(next);
             trace.cumulative_vote += vote;
         }
@@ -522,6 +853,7 @@ mod tests {
                 prune_margin: 0.3,
                 prune_after: 10,
                 max_read_gap: None,
+                ..OnlineConfig::default()
             },
         );
         (dep, plane, tracker)
@@ -573,7 +905,7 @@ mod tests {
         let mut acquired = false;
         let mut positions = 0;
         for r in reads {
-            for e in tracker.push(r) {
+            for e in tracker.push(r).unwrap() {
                 match e {
                     OnlineEvent::Acquired { candidates } => {
                         acquired = true;
@@ -585,6 +917,7 @@ mod tests {
                     }
                     OnlineEvent::Pruned { remaining } => assert!(remaining >= 1),
                     OnlineEvent::Stale { .. } => panic!("no gap in this stream"),
+                    OnlineEvent::Degraded { .. } => panic!("dropout detection is off"),
                 }
             }
         }
@@ -616,7 +949,7 @@ mod tests {
         let path = circle_path();
         let reads = reads_for_path(&dep, plane, &path, 4.0);
         for r in reads {
-            tracker.push(r);
+            tracker.push(r).unwrap();
         }
         let online = tracker.trajectory().to_vec();
         assert!(online.len() > 10);
@@ -655,7 +988,7 @@ mod tests {
         let mut saw_prune = false;
         let mut initial_candidates = 0;
         for r in reads {
-            for e in tracker.push(r) {
+            for e in tracker.push(r).unwrap() {
                 match e {
                     OnlineEvent::Acquired { candidates } => initial_candidates = candidates,
                     OnlineEvent::Pruned { .. } => saw_prune = true,
@@ -677,13 +1010,42 @@ mod tests {
     #[test]
     fn unknown_antennas_are_ignored() {
         let (_, _, mut tracker) = setup();
-        let events = tracker.push(PhaseRead {
-            t: 0.0,
-            antenna: AntennaId(99),
-            phase: 1.0,
-        });
+        let events = tracker
+            .push(PhaseRead {
+                t: 0.0,
+                antenna: AntennaId(99),
+                phase: 1.0,
+            })
+            .unwrap();
         assert!(events.is_empty());
         assert!(!tracker.is_tracking());
+    }
+
+    #[test]
+    fn hostile_reads_are_typed_errors_not_panics() {
+        let (dep, _, mut tracker) = setup();
+        let ant = dep.antennas()[0].id;
+        assert!(matches!(
+            tracker.push(PhaseRead { t: f64::NAN, antenna: ant, phase: 0.0 }),
+            Err(TrackError::NonFiniteTimestamp { .. })
+        ));
+        assert!(matches!(
+            tracker.push(PhaseRead { t: 0.0, antenna: ant, phase: f64::INFINITY }),
+            Err(TrackError::NonFinitePhase { .. })
+        ));
+        tracker
+            .push(PhaseRead { t: 1.0, antenna: ant, phase: 0.5 })
+            .unwrap();
+        assert!(matches!(
+            tracker.push(PhaseRead { t: 1.0, antenna: ant, phase: 0.6 }),
+            Err(TrackError::DuplicateRead { .. })
+        ));
+        assert!(matches!(
+            tracker.push(PhaseRead { t: 0.5, antenna: ant, phase: 0.6 }),
+            Err(TrackError::OutOfOrder { newest, .. }) if newest == 1.0
+        ));
+        // Rejected reads left no trace: the accepted read is still newest.
+        assert_eq!(tracker.last_read_time(), Some(1.0));
     }
 
     #[test]

@@ -191,7 +191,21 @@ impl MultiResPositioner {
         self.locate_with_stages(measurements).candidates
     }
 
+    /// Fallible variant of [`MultiResPositioner::locate`] for degraded
+    /// measurement subsets: returns `None` when the set lacks coarse or
+    /// wide pairs (stage 1 or stage 2 would have nothing to vote with),
+    /// instead of panicking. With a full pair set the candidates are
+    /// bit-identical to [`MultiResPositioner::locate`].
+    pub fn try_locate(&self, measurements: &[PairMeasurement]) -> Option<Vec<Candidate>> {
+        self.try_locate_with_stages(measurements).map(|s| s.candidates)
+    }
+
     /// Runs both stages, returning every intermediate product.
+    ///
+    /// # Panics
+    /// Panics if the measurement set contains no coarse or no wide pair
+    /// (use [`MultiResPositioner::try_locate_with_stages`] when the set may
+    /// be a degraded subset).
     pub fn locate_with_stages(&self, measurements: &[PairMeasurement]) -> PositioningStages {
         let (coarse_ms, wide_ms) = self.split(measurements);
         assert!(
@@ -202,7 +216,27 @@ impl MultiResPositioner {
             !wide_ms.is_empty(),
             "no wide-pair measurements supplied to locate()"
         );
+        self.stages_from(coarse_ms, wide_ms)
+    }
 
+    /// Fallible variant of [`MultiResPositioner::locate_with_stages`]:
+    /// `None` when the measurement set has no coarse or no wide pair.
+    pub fn try_locate_with_stages(
+        &self,
+        measurements: &[PairMeasurement],
+    ) -> Option<PositioningStages> {
+        let (coarse_ms, wide_ms) = self.split(measurements);
+        if coarse_ms.is_empty() || wide_ms.is_empty() {
+            return None;
+        }
+        Some(self.stages_from(coarse_ms, wide_ms))
+    }
+
+    fn stages_from(
+        &self,
+        coarse_ms: Vec<PairMeasurement>,
+        wide_ms: Vec<PairMeasurement>,
+    ) -> PositioningStages {
         // Stage 1: coarse spatial filter (Fig. 6b–c), evaluated through the
         // engine so the coarse distance table is computed once per
         // positioner rather than once per call.
@@ -353,6 +387,25 @@ mod tests {
             near_perfect >= 2,
             "expected residual ambiguity, found {near_perfect} strong peaks"
         );
+    }
+
+    #[test]
+    fn try_locate_declines_degraded_subsets_and_matches_locate_when_full() {
+        let truth = Point2::new(1.0, 1.0);
+        let (pos, ms) = setup(truth);
+        let coarse_only: Vec<_> = ms
+            .iter()
+            .filter(|m| pos.deployment().coarse_pairs().any(|p| *p == m.pair))
+            .copied()
+            .collect();
+        assert!(pos.try_locate(&coarse_only).is_none());
+        let wide_only: Vec<_> = ms
+            .iter()
+            .filter(|m| pos.deployment().wide_pairs().contains(&m.pair))
+            .copied()
+            .collect();
+        assert!(pos.try_locate(&wide_only).is_none());
+        assert_eq!(pos.try_locate(&ms).unwrap(), pos.locate(&ms));
     }
 
     #[test]

@@ -79,6 +79,23 @@ pub enum StreamError {
         /// The configured limit (s).
         limit: f64,
     },
+    /// A read carries a NaN/infinite timestamp: it cannot be ordered
+    /// against the rest of the stream, so the whole batch is refused.
+    NonFiniteTimestamp {
+        /// The antenna that reported the read.
+        antenna: AntennaId,
+        /// The offending timestamp.
+        t: f64,
+    },
+    /// A read carries a NaN/infinite phase: it would poison every
+    /// interpolated snapshot downstream, so the whole batch is refused.
+    NonFinitePhase {
+        /// The antenna that reported the read.
+        antenna: AntennaId,
+        /// The timestamp of the offending read (finite; non-finite
+        /// timestamps are reported as [`StreamError::NonFiniteTimestamp`]).
+        t: f64,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -95,6 +112,14 @@ impl std::fmt::Display for StreamError {
                 f,
                 "antenna {antenna:?} has a {gap:.3}s gap between reads (limit {limit:.3}s); \
                  phase unwrapping across it is unreliable"
+            ),
+            StreamError::NonFiniteTimestamp { antenna, t } => write!(
+                f,
+                "antenna {antenna:?} reported a non-finite timestamp ({t}); reads cannot be ordered"
+            ),
+            StreamError::NonFinitePhase { antenna, t } => write!(
+                f,
+                "antenna {antenna:?} reported a non-finite phase at t={t}"
             ),
         }
     }
@@ -142,8 +167,12 @@ impl SnapshotBuilder {
     /// Converts a read stream into snapshots.
     ///
     /// Reads need not be sorted. Reads from antennas not referenced by any
-    /// pair are ignored. Returns an empty vector when the common span is
-    /// shorter than one tick.
+    /// pair are ignored. Reads with a non-finite timestamp or phase refuse
+    /// the whole batch ([`StreamError::NonFiniteTimestamp`] /
+    /// [`StreamError::NonFinitePhase`]); reads duplicating an already-seen
+    /// `(antenna, timestamp)` slot are dropped keep-first, regardless of
+    /// their order in `reads`. Returns an empty vector when the common span
+    /// is shorter than one tick.
     pub fn build(&self, reads: &[PhaseRead]) -> Result<Vec<PairSnapshot>, StreamError> {
         let needed: Vec<AntennaId> = {
             let mut v: Vec<AntennaId> = self
@@ -156,11 +185,19 @@ impl SnapshotBuilder {
             v
         };
 
-        // Group and sort reads per needed antenna.
+        // Group and sort reads per needed antenna, refusing hostile values
+        // up front: a NaN timestamp has no place in the sort order and a
+        // NaN phase would propagate through every interpolation.
         let mut series: BTreeMap<AntennaId, Vec<(f64, f64)>> =
             needed.iter().map(|&a| (a, Vec::new())).collect();
         for r in reads {
             if let Some(s) = series.get_mut(&r.antenna) {
+                if !r.t.is_finite() {
+                    return Err(StreamError::NonFiniteTimestamp { antenna: r.antenna, t: r.t });
+                }
+                if !r.phase.is_finite() {
+                    return Err(StreamError::NonFinitePhase { antenna: r.antenna, t: r.t });
+                }
                 s.push((r.t, r.phase));
             }
         }
@@ -168,13 +205,19 @@ impl SnapshotBuilder {
         // Unwrap each series in time order.
         let mut unwrapped: BTreeMap<AntennaId, Vec<(f64, f64)>> = BTreeMap::new();
         for (&ant, s) in series.iter_mut() {
+            // Timestamps are all finite here, so `total_cmp` orders exactly
+            // like `partial_cmp` — but it can never panic. The sort is
+            // stable, so reads sharing an (antenna, timestamp) slot keep
+            // their input order and the dedup below is keep-first by
+            // construction, not by accident of the sort implementation.
+            s.sort_by(|a, b| a.0.total_cmp(&b.0));
+            s.dedup_by(|a, b| a.0 == b.0);
             if s.len() < 2 {
                 return Err(StreamError::InsufficientReads {
                     antenna: ant,
                     got: s.len(),
                 });
             }
-            s.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
             if let Some(limit) = self.max_gap {
                 for w in s.windows(2) {
                     let gap = w[1].0 - w[0].0;
@@ -412,5 +455,60 @@ mod tests {
     #[should_panic(expected = "tick must be positive")]
     fn builder_rejects_bad_tick() {
         let _ = SnapshotBuilder::new(vec![pair(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn non_finite_timestamp_is_a_typed_error_not_a_panic() {
+        for bad_t in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut reads = ramp_reads(2.0, 3.0, 0.05, 50);
+            reads.push(PhaseRead { t: bad_t, antenna: aid(1), phase: 0.5 });
+            let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+            match b.build(&reads) {
+                Err(StreamError::NonFiniteTimestamp { antenna, .. }) => {
+                    assert_eq!(antenna, aid(1));
+                }
+                other => panic!("expected NonFiniteTimestamp, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_phase_is_a_typed_error_not_a_panic() {
+        let mut reads = ramp_reads(2.0, 3.0, 0.05, 50);
+        reads.push(PhaseRead { t: 0.31, antenna: aid(2), phase: f64::NAN });
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        assert!(matches!(
+            b.build(&reads),
+            Err(StreamError::NonFinitePhase { t, .. }) if t == 0.31
+        ));
+    }
+
+    #[test]
+    fn non_finite_reads_on_irrelevant_antennas_stay_ignored() {
+        let mut reads = ramp_reads(2.0, 3.0, 0.05, 50);
+        reads.push(PhaseRead { t: f64::NAN, antenna: aid(77), phase: f64::NAN });
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        assert!(b.build(&reads).is_ok());
+    }
+
+    #[test]
+    fn duplicate_reads_dedupe_keep_first() {
+        let clean = ramp_reads(2.0, 3.0, 0.05, 50);
+        let b = SnapshotBuilder::new(vec![pair(1, 2)], 0.1);
+        let reference = b.build(&clean).unwrap();
+
+        // Re-submit an existing (antenna, timestamp) slot with a junk
+        // phase, both after and before the original in input order: the
+        // first-by-input-order read must win either way.
+        let dup_t = clean[10].t;
+        let dup_ant = clean[10].antenna;
+        let mut appended = clean.clone();
+        appended.push(PhaseRead { t: dup_t, antenna: dup_ant, phase: 9.9 });
+        assert_eq!(b.build(&appended).unwrap(), reference);
+
+        let mut prepended = vec![clean[10]];
+        prepended.extend_from_slice(&clean);
+        prepended[11].phase = 9.9; // the original slot, now second in input order
+        assert_eq!(b.build(&prepended).unwrap(), reference);
     }
 }

@@ -196,6 +196,35 @@ impl TrajectoryTracer {
             .collect()
     }
 
+    /// Locks whatever wide pairs the snapshot *does* carry — the
+    /// degraded-mode counterpart of [`TrajectoryTracer::lock_lobes`] for
+    /// snapshots built from a surviving antenna subset. With a full pair
+    /// set the result is identical to `lock_lobes`. May return an empty
+    /// vector when no wide pair is present.
+    pub fn try_lock_lobes(
+        &self,
+        snap: &PairSnapshot,
+        position: Point2,
+    ) -> Vec<(AntennaPair, i64)> {
+        let p3 = self.plane.lift(position);
+        self.dep
+            .wide_pairs()
+            .iter()
+            .filter_map(|&pair| {
+                let turns = snap.turns_of(pair)?;
+                Some((pair, crate::vote::lock_lobe(&self.dep, pair, turns, p3)))
+            })
+            .collect()
+    }
+
+    /// Locks one wide pair at `position` given its current unwrapped turns
+    /// — the re-lock primitive used when an antenna rejoins after a
+    /// dropout (its unwrap restarted on a new branch, so the old lock is
+    /// meaningless).
+    pub fn lock_pair(&self, pair: AntennaPair, turns: f64, position: Point2) -> i64 {
+        crate::vote::lock_lobe(&self.dep, pair, turns, self.plane.lift(position))
+    }
+
     /// Advances one tick from `prev` using `snap` and the locked lobes;
     /// returns the new point and its total vote. This is the incremental
     /// core of [`TrajectoryTracer::trace_from`], exposed for online use.
@@ -224,6 +253,42 @@ impl TrajectoryTracer {
             }
         }
         self.step(prev, &wide_targets, &coarse_targets)
+    }
+
+    /// Degraded-mode counterpart of [`TrajectoryTracer::advance`]: wide
+    /// pairs missing from the snapshot or from `locked` simply do not vote
+    /// (§5.1's over-constrained redundancy is what makes the subset still
+    /// informative). Returns `None` when no locked wide pair is available —
+    /// without at least one fixed-lobe constraint the step would be
+    /// unanchored.
+    ///
+    /// `locked` is keyed by pair (order-insensitive); votes are summed in
+    /// deployment wide-pair order, so with a full snapshot and a full lock
+    /// set the result is bit-identical to `advance`.
+    pub fn advance_avail(
+        &self,
+        prev: Point2,
+        snap: &PairSnapshot,
+        locked: &[(AntennaPair, i64)],
+    ) -> Option<(Point2, f64)> {
+        let mut wide_targets = Vec::with_capacity(self.wide_geom.len());
+        for (pair, pi, pj) in &self.wide_geom {
+            let Some(turns) = snap.turns_of(*pair) else { continue };
+            let Some(&(_, k)) = locked.iter().find(|(p, _)| p == pair) else { continue };
+            wide_targets.push((*pi, *pj, turns + k as f64));
+        }
+        if wide_targets.is_empty() {
+            return None;
+        }
+        let mut coarse_targets = Vec::new();
+        if self.config.include_coarse {
+            for (pair, pi, pj) in &self.coarse_geom {
+                if let Some(m) = snap.wrapped.iter().find(|m| m.pair == *pair) {
+                    coarse_targets.push((*pi, *pj, m.turns()));
+                }
+            }
+        }
+        Some(self.step(prev, &wide_targets, &coarse_targets))
     }
 
     /// Traces from one initial position through the snapshot sequence.
@@ -315,14 +380,12 @@ impl TrajectoryTracer {
                 i as f64,
             );
         }
+        // `total_cmp` orders like `partial_cmp` for the finite votes the
+        // arithmetic produces, without a panic path for hostile input.
         let winner = traces
             .iter()
             .enumerate()
-            .max_by(|a, b| {
-                a.1.total_vote
-                    .partial_cmp(&b.1.total_vote)
-                    .expect("finite votes")
-            })
+            .max_by(|a, b| a.1.total_vote.total_cmp(&b.1.total_vote))
             .map(|(i, _)| i)
             .expect("at least one trace");
         (winner, traces)
@@ -552,6 +615,40 @@ mod tests {
             late(&good.per_step_votes),
             late(&bad.per_step_votes)
         );
+    }
+
+    #[test]
+    fn advance_avail_matches_advance_on_full_snapshots_and_degrades_on_subsets() {
+        let (dep, plane, tracer) = setup();
+        let path = dense(&letter_q_path(), 3);
+        let snaps = ideal_snapshots(&dep, plane, &path, 0.02);
+        let locked = tracer.lock_lobes(&snaps[0], path[0]);
+        assert_eq!(tracer.try_lock_lobes(&snaps[0], path[0]), locked);
+
+        let mut prev = path[0];
+        for snap in &snaps[1..20] {
+            let full = tracer.advance(prev, snap, &locked);
+            let avail = tracer.advance_avail(prev, snap, &locked).unwrap();
+            assert_eq!(full.0.x.to_bits(), avail.0.x.to_bits());
+            assert_eq!(full.0.z.to_bits(), avail.0.z.to_bits());
+            assert_eq!(full.1.to_bits(), avail.1.to_bits());
+            prev = full.0;
+        }
+
+        // Drop one wide pair from a snapshot: advance_avail still steps
+        // close to the truth on the surviving subset.
+        let gone = dep.wide_pairs()[0];
+        let mut degraded = snaps[1].clone();
+        degraded.wrapped.retain(|m| m.pair != gone);
+        degraded.unwrapped_turns.retain(|(p, _)| *p != gone);
+        let (next, _) = tracer.advance_avail(path[0], &degraded, &locked).unwrap();
+        assert!(next.dist(path[1]) < 0.03, "degraded step {next:?} vs {:?}", path[1]);
+
+        // No wide pair at all: the step is unanchored and must decline.
+        let mut dark = snaps[1].clone();
+        dark.wrapped.retain(|m| !dep.wide_pairs().contains(&m.pair));
+        dark.unwrapped_turns.retain(|(p, _)| !dep.wide_pairs().contains(p));
+        assert!(tracer.advance_avail(path[0], &dark, &locked).is_none());
     }
 
     #[test]

@@ -145,9 +145,27 @@ fn serve_connection(stream: TcpStream, client: &LocalClient, tx: &mpsc::Sender<S
                 )
             }
             Ok(Message::Ingest(batch)) => {
-                let reply = match client.ingest(batch.epc, &batch.reads) {
-                    Ok(receipt) => Message::IngestAck(IngestAck::from_receipt(batch.epc, receipt)),
-                    Err(e) => Message::Error(serve_error(&e)),
+                // Wire-boundary validation: a crafted batch (1e999 → Inf,
+                // negative time) must never reach a tracker queue. Refuse
+                // the whole batch, count it, keep the connection.
+                let invalid =
+                    batch.reads.iter().filter(|r| !wire::read_is_valid(r)).count() as u64;
+                let reply = if invalid > 0 {
+                    client.note_invalid_ingest(batch.epc, batch.reads.len() as u64, invalid);
+                    Message::Error(WireError {
+                        code: "invalid".to_string(),
+                        message: format!(
+                            "batch refused: {invalid} of {} reads have non-finite or negative fields",
+                            batch.reads.len()
+                        ),
+                    })
+                } else {
+                    match client.ingest(batch.epc, &batch.reads) {
+                        Ok(receipt) => {
+                            Message::IngestAck(IngestAck::from_receipt(batch.epc, receipt))
+                        }
+                        Err(e) => Message::Error(serve_error(&e)),
+                    }
                 };
                 send_msg(tx, &reply)
             }
@@ -231,6 +249,7 @@ fn forward_events(events: &mpsc::Receiver<SessionEvent>, tx: &mpsc::Sender<Strin
             }
             SessionEvent::Acquired { .. }
             | SessionEvent::Stale { .. }
+            | SessionEvent::Degraded { .. }
             | SessionEvent::Cursor { .. } => {}
         }
     }

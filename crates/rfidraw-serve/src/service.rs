@@ -20,6 +20,7 @@ use crate::config::ServeConfig;
 use crate::session::{CloseReason, IngestReceipt, SessionEvent, SessionShared};
 use crate::telemetry::{GlobalMetrics, TelemetryReport};
 use rfidraw_core::geom::Point2;
+use rfidraw_core::obs::Stage;
 use rfidraw_core::stream::PhaseRead;
 use rfidraw_metrics::{TraceDump, TraceRecorder};
 use rfidraw_protocol::Epc;
@@ -67,6 +68,8 @@ pub struct SessionView {
     pub alive_candidates: usize,
     /// The live estimate.
     pub current: Option<Point2>,
+    /// Whether the tracker is running on a reduced antenna-pair set.
+    pub degraded: bool,
 }
 
 struct ServiceInner {
@@ -161,6 +164,30 @@ impl ServiceInner {
         }
     }
 
+    /// Wire-boundary refusal accounting: a batch of `total` reads was
+    /// refused before enqueue because `invalid` of them failed validation.
+    /// Counts globally always; per-session only when the target session
+    /// already exists — a hostile batch must not create one.
+    fn note_invalid_ingest(&self, epc: Epc, total: u64, invalid: u64) {
+        self.global.rejected.add(total);
+        self.global.invalid.add(invalid);
+        let session = {
+            let map = self.sessions.lock().expect("sessions lock");
+            map.get(&epc).cloned()
+        };
+        if let Some(s) = session {
+            s.note_invalid_ingest(total, invalid);
+        }
+        if let Some(rec) = self.global.trace.as_deref() {
+            rec.record_anomaly(
+                crate::session::session_id(epc),
+                Stage::InvalidRead,
+                total as f64,
+                invalid as f64,
+            );
+        }
+    }
+
     fn has_pending(&self) -> bool {
         let map = self.sessions.lock().expect("sessions lock");
         map.values().any(|s| s.queue_depth() > 0)
@@ -180,9 +207,11 @@ impl ServiceInner {
             reads_ingested: self.global.ingested.get(),
             reads_dropped: self.global.dropped.get(),
             reads_rejected: self.global.rejected.get(),
+            reads_invalid: self.global.invalid.get(),
             reads_processed: self.global.processed.get(),
             positions: self.global.positions.get(),
             stale_resets: self.global.stale_resets.get(),
+            degraded_events: self.global.degraded.get(),
             latency: self.global.latency.snapshot(),
             queue_wait: self.global.queue_wait.snapshot(),
             compute: self.global.compute.snapshot(),
@@ -261,7 +290,8 @@ impl LocalClient {
         }?;
         let trajectory = session.trajectory();
         let (tracking, alive_candidates, current) = session.tracker_state();
-        Some(SessionView { epc, trajectory, tracking, alive_candidates, current })
+        let degraded = session.is_degraded();
+        Some(SessionView { epc, trajectory, tracking, alive_candidates, current, degraded })
     }
 
     /// The EPCs of all live sessions, in order.
@@ -288,6 +318,12 @@ impl LocalClient {
     /// The full telemetry report rendered in Prometheus text format.
     pub fn prometheus(&self) -> String {
         self.inner.telemetry().to_prometheus()
+    }
+
+    /// Records a wire-validation refusal without touching the session
+    /// registry (hostile batches never create sessions).
+    pub(crate) fn note_invalid_ingest(&self, epc: Epc, total: u64, invalid: u64) {
+        self.inner.note_invalid_ingest(epc, total, invalid);
     }
 }
 

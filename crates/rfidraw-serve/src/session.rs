@@ -13,7 +13,7 @@ use crate::config::{BackpressurePolicy, CursorSetup};
 use crate::telemetry::{GlobalMetrics, SessionMetrics, SessionTelemetry};
 use rfidraw_core::geom::Point2;
 use rfidraw_core::obs::Stage;
-use rfidraw_core::online::{OnlineEvent, OnlineTracker};
+use rfidraw_core::online::{OnlineEvent, OnlineTracker, TrackError};
 use rfidraw_core::stream::PhaseRead;
 use rfidraw_protocol::Epc;
 use rfidraw_touch::{CursorEvent, CursorTracker};
@@ -69,6 +69,14 @@ pub enum SessionEvent {
         epc: Epc,
         /// The observed gap (s).
         gap: f64,
+    },
+    /// The tracker's missing-pair set changed: an antenna dropped out (or
+    /// was re-admitted) and positioning continues on the surviving pairs.
+    Degraded {
+        /// The session's tag.
+        epc: Epc,
+        /// Pairs currently excluded from voting; empty = whole again.
+        missing_pairs: Vec<rfidraw_core::array::AntennaPair>,
     },
     /// A cursor-mode event (only when the service was configured with
     /// [`crate::config::CursorSetup`]).
@@ -286,7 +294,28 @@ impl SessionShared {
         {
             let mut engine = self.engine.lock().expect("engine lock");
             for qr in &batch {
-                let events = engine.tracker.push(qr.read);
+                let events = match engine.tracker.push(qr.read) {
+                    Ok(events) => events,
+                    Err(err) => {
+                        // A hostile or inconsistent read (NaN, out-of-order,
+                        // duplicate): the tracker refused it without mutating
+                        // state, so the session just counts it and moves on.
+                        // It stays in `processed` for queue conservation;
+                        // `invalid` attributes why it produced nothing.
+                        self.metrics.invalid.inc();
+                        global.invalid.inc();
+                        if let Some(rec) = recorder {
+                            let class = match err {
+                                TrackError::NonFiniteTimestamp { .. } => 1.0,
+                                TrackError::NonFinitePhase { .. } => 2.0,
+                                TrackError::OutOfOrder { .. } => 3.0,
+                                TrackError::DuplicateRead { .. } => 4.0,
+                            };
+                            rec.record_anomaly(sid, Stage::InvalidRead, qr.read.t, class);
+                        }
+                        continue;
+                    }
+                };
                 let mut produced_position = false;
                 for e in &events {
                     match e {
@@ -315,6 +344,26 @@ impl SessionShared {
                             }
                         }
                         OnlineEvent::Pruned { .. } => {}
+                        OnlineEvent::Degraded { missing_pairs } => {
+                            self.metrics.degraded.inc();
+                            global.degraded.inc();
+                            // Same single-source rule as StaleReset: with
+                            // the `trace` feature the tracker's sink emitted
+                            // the anomaly already.
+                            #[cfg(not(feature = "trace"))]
+                            if let Some(rec) = recorder {
+                                rec.record_anomaly(
+                                    sid,
+                                    Stage::Degraded,
+                                    missing_pairs.len() as f64,
+                                    qr.read.t,
+                                );
+                            }
+                            out_events.push(SessionEvent::Degraded {
+                                epc: self.epc,
+                                missing_pairs: missing_pairs.clone(),
+                            });
+                        }
                         OnlineEvent::Stale { gap } => {
                             self.metrics.stale_resets.inc();
                             global.stale_resets.inc();
@@ -396,8 +445,16 @@ impl SessionShared {
         )
     }
 
+    /// Whether the session's tracker currently runs on a reduced pair set.
+    pub fn is_degraded(&self) -> bool {
+        self.engine.lock().expect("engine lock").tracker.is_degraded()
+    }
+
     pub fn telemetry(&self) -> SessionTelemetry {
-        let (tracking, _, _) = self.tracker_state();
+        let (tracking, degraded) = {
+            let engine = self.engine.lock().expect("engine lock");
+            (engine.tracker.is_tracking(), engine.tracker.is_degraded())
+        };
         SessionTelemetry {
             epc: self.epc,
             reads_ingested: self.metrics.ingested.get(),
@@ -406,8 +463,19 @@ impl SessionShared {
             reads_processed: self.metrics.processed.get(),
             positions: self.metrics.positions.get(),
             stale_resets: self.metrics.stale_resets.get(),
+            reads_invalid: self.metrics.invalid.get(),
+            degraded_events: self.metrics.degraded.get(),
             queue_depth: self.queue_depth() as u64,
             tracking,
+            degraded,
         }
+    }
+
+    /// Counts a batch refused by wire-level validation before it could be
+    /// enqueued: all `total` reads are rejected (they never entered the
+    /// queue), `invalid` of them attributed to failing validation.
+    pub(crate) fn note_invalid_ingest(&self, total: u64, invalid: u64) {
+        self.metrics.rejected.add(total);
+        self.metrics.invalid.add(invalid);
     }
 }

@@ -15,6 +15,18 @@
 //! ingested = processed + dropped + queued      (conservation in the queue)
 //! attempted = ingested + rejected              (at the ingest boundary)
 //! ```
+//!
+//! `invalid` and `degraded_events` are *attribution* counters layered on
+//! top, not new terms in those sums: a read refused by wire-level
+//! validation is counted in both `invalid` and `rejected` (it never enters
+//! the queue), while a read the tracker itself refuses ([`TrackError`],
+//! e.g. out-of-order after a clock skew) is counted in both `invalid` and
+//! `processed` (it was drained from the queue; the tracker just refused to
+//! let it mutate state). So every attempted read is accounted for exactly
+//! once in the conservation sums, and `invalid` explains *why* some of
+//! them produced nothing.
+//!
+//! [`TrackError`]: rfidraw_core::online::TrackError
 
 use rfidraw_metrics::runtime::{Counter, HistogramSnapshot, LatencyHistogram};
 use rfidraw_metrics::{PromText, StageLatency, TraceRecorder};
@@ -39,6 +51,13 @@ pub(crate) struct SessionMetrics {
     pub positions: Counter,
     /// Stale resets (read gap exceeded the tracker's unwrap horizon).
     pub stale_resets: Counter,
+    /// Reads refused for being hostile or inconsistent (non-finite values,
+    /// out-of-order timestamps, duplicates) — at the wire boundary or by
+    /// the tracker itself. Attribution only; see the module docs.
+    pub invalid: Counter,
+    /// Changes of the tracker's missing-pair set (antenna dropout or
+    /// re-admission).
+    pub degraded: Counter,
 }
 
 /// Live service-wide counters.
@@ -50,6 +69,8 @@ pub(crate) struct GlobalMetrics {
     pub processed: Counter,
     pub positions: Counter,
     pub stale_resets: Counter,
+    pub invalid: Counter,
+    pub degraded: Counter,
     /// Sessions ever created.
     pub sessions_opened: Counter,
     /// Sessions evicted by the idle timeout.
@@ -81,6 +102,8 @@ impl GlobalMetrics {
             processed: Counter::new(),
             positions: Counter::new(),
             stale_resets: Counter::new(),
+            invalid: Counter::new(),
+            degraded: Counter::new(),
             sessions_opened: Counter::new(),
             sessions_evicted: Counter::new(),
             sessions_closed: Counter::new(),
@@ -110,10 +133,20 @@ pub struct SessionTelemetry {
     pub positions: u64,
     /// Stale resets.
     pub stale_resets: u64,
+    /// Reads refused as hostile or inconsistent (wire validation or
+    /// tracker [`TrackError`]); attribution on top of
+    /// `reads_rejected`/`reads_processed`, see the module docs.
+    ///
+    /// [`TrackError`]: rfidraw_core::online::TrackError
+    pub reads_invalid: u64,
+    /// Missing-pair-set changes (antenna dropout / re-admission).
+    pub degraded_events: u64,
     /// Reads currently waiting in the queue.
     pub queue_depth: u64,
     /// Whether the tracker has acquired and is producing estimates.
     pub tracking: bool,
+    /// Whether the tracker is currently running on a reduced pair set.
+    pub degraded: bool,
 }
 
 /// Point-in-time snapshot of the whole service.
@@ -141,6 +174,10 @@ pub struct TelemetryReport {
     pub positions: u64,
     /// Stale resets, service-wide.
     pub stale_resets: u64,
+    /// Reads refused as hostile or inconsistent, service-wide.
+    pub reads_invalid: u64,
+    /// Missing-pair-set changes, service-wide.
+    pub degraded_events: u64,
     /// Ingest→position latency histogram.
     pub latency: HistogramSnapshot,
     /// Enqueue→dequeue wait histogram (how long reads sit in queues).
@@ -168,12 +205,16 @@ impl TelemetryReport {
             self.sessions_rejected,
         ));
         out.push_str(&format!(
-            "reads:    {} ingested, {} processed, {} dropped, {} rejected\n",
-            self.reads_ingested, self.reads_processed, self.reads_dropped, self.reads_rejected,
+            "reads:    {} ingested, {} processed, {} dropped, {} rejected ({} invalid)\n",
+            self.reads_ingested,
+            self.reads_processed,
+            self.reads_dropped,
+            self.reads_rejected,
+            self.reads_invalid,
         ));
         out.push_str(&format!(
-            "output:   {} position snapshots, {} stale resets\n",
-            self.positions, self.stale_resets,
+            "output:   {} position snapshots, {} stale resets, {} degraded transitions\n",
+            self.positions, self.stale_resets, self.degraded_events,
         ));
         out.push_str(&format!("latency:  {}\n", self.latency.summary()));
         out.push_str(&format!("queue:    {}\n", self.queue_wait.summary()));
@@ -213,6 +254,8 @@ impl TelemetryReport {
         p.counter("rfidraw_reads_processed_total", "Reads fed through trackers.", &[], self.reads_processed);
         p.counter("rfidraw_positions_total", "Position snapshots emitted.", &[], self.positions);
         p.counter("rfidraw_stale_resets_total", "Stale-gap tracker resets.", &[], self.stale_resets);
+        p.counter("rfidraw_reads_invalid_total", "Reads refused as hostile or inconsistent.", &[], self.reads_invalid);
+        p.counter("rfidraw_degraded_total", "Missing-pair-set changes (antenna dropout or re-admission).", &[], self.degraded_events);
         p.histogram("rfidraw_latency_us", "Ingest-to-position latency (µs).", &[], &self.latency);
         p.histogram("rfidraw_queue_wait_us", "Enqueue-to-dequeue wait (µs).", &[], &self.queue_wait);
         p.histogram("rfidraw_compute_us", "Tracker compute time per batch (µs).", &[], &self.compute);
@@ -233,12 +276,20 @@ impl TelemetryReport {
             p.counter("rfidraw_session_reads_rejected_total", "Per-session reads rejected.", &labels, s.reads_rejected);
             p.counter("rfidraw_session_positions_total", "Per-session position snapshots.", &labels, s.positions);
             p.counter("rfidraw_session_stale_resets_total", "Per-session stale resets.", &labels, s.stale_resets);
+            p.counter("rfidraw_session_reads_invalid_total", "Per-session reads refused as invalid.", &labels, s.reads_invalid);
+            p.counter("rfidraw_session_degraded_total", "Per-session missing-pair-set changes.", &labels, s.degraded_events);
             p.gauge("rfidraw_session_queue_depth", "Per-session queued reads.", &labels, s.queue_depth as f64);
             p.gauge(
                 "rfidraw_session_tracking",
                 "1 once the session's tracker has acquired.",
                 &labels,
                 if s.tracking { 1.0 } else { 0.0 },
+            );
+            p.gauge(
+                "rfidraw_session_degraded",
+                "1 while the session runs on a reduced pair set.",
+                &labels,
+                if s.degraded { 1.0 } else { 0.0 },
             );
         }
         p.finish()
@@ -265,6 +316,8 @@ mod tests {
             reads_processed: 90,
             positions: 42,
             stale_resets: 1,
+            reads_invalid: 2,
+            degraded_events: 1,
             latency: h.snapshot(),
             queue_wait: LatencyHistogram::default_bounds().snapshot(),
             compute: LatencyHistogram::default_bounds().snapshot(),
@@ -280,8 +333,11 @@ mod tests {
                 reads_processed: 90,
                 positions: 42,
                 stale_resets: 1,
+                reads_invalid: 2,
+                degraded_events: 1,
                 queue_depth: 5,
                 tracking: true,
+                degraded: false,
             }],
         }
     }
@@ -314,6 +370,8 @@ mod tests {
         assert!(text.contains("# TYPE rfidraw_latency_us histogram"));
         assert!(text.contains("rfidraw_latency_us_count 1"));
         assert!(text.contains("rfidraw_stage_us_bucket{stage=\"engine_evaluate\",le=\"+Inf\"} 1"));
+        assert!(text.contains("rfidraw_reads_invalid_total 2"));
+        assert!(text.contains("rfidraw_degraded_total 1"));
         assert!(text.contains("rfidraw_session_positions_total{epc="));
         // HELP/TYPE declared once per family despite per-session repeats.
         assert_eq!(text.matches("# TYPE rfidraw_stage_us histogram").count(), 1);

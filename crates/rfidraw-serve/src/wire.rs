@@ -155,11 +155,24 @@ pub struct TraceDumpReply {
 /// client correlates by order).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireError {
-    /// Stable machine-readable code (`"version"`, `"parse"`, `"limit"`,
-    /// `"unsupported"`, `"shutdown"`).
+    /// Stable machine-readable code (`"version"`, `"parse"`, `"invalid"`,
+    /// `"limit"`, `"unsupported"`, `"shutdown"`).
     pub code: String,
     /// Human-readable detail.
     pub message: String,
+}
+
+/// Whether one read passes wire-boundary validation: a finite,
+/// non-negative timestamp and a finite phase.
+///
+/// JSON cannot carry a literal NaN, but it happily carries `1e999`
+/// (which parses to infinity) and negative timestamps, and in-process
+/// producers can hand over anything at all — so this is the boundary
+/// where hostile numerics are refused before they reach a tracker queue.
+/// A batch containing any inadmissible read is refused whole with a
+/// [`WireError`] of code `"invalid"`; the connection stays up.
+pub fn read_is_valid(r: &PhaseRead) -> bool {
+    r.t.is_finite() && r.t >= 0.0 && r.phase.is_finite()
 }
 
 /// Frame decode failures.
@@ -326,6 +339,27 @@ mod tests {
     fn malformed_lines_are_refused() {
         assert!(matches!(decode("not json"), Err(DecodeError::Malformed(_))));
         assert!(matches!(decode("{\"v\": 1}"), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn read_validation_refuses_hostile_numerics() {
+        let ok = PhaseRead { t: 0.5, antenna: AntennaId(1), phase: -1.2 };
+        assert!(read_is_valid(&ok));
+        for bad in [
+            PhaseRead { t: f64::NAN, antenna: AntennaId(1), phase: 0.0 },
+            PhaseRead { t: f64::INFINITY, antenna: AntennaId(1), phase: 0.0 },
+            PhaseRead { t: -0.001, antenna: AntennaId(1), phase: 0.0 },
+            PhaseRead { t: 0.5, antenna: AntennaId(1), phase: f64::NAN },
+            PhaseRead { t: 0.5, antenna: AntennaId(1), phase: f64::NEG_INFINITY },
+        ] {
+            assert!(!read_is_valid(&bad), "{bad:?} must be refused");
+        }
+        // The JSON route that smuggles infinity without a NaN literal:
+        // numbers too large for f64 saturate when parsed.
+        let line = r#"{"t": 1e999, "antenna": 1, "phase": 0.0}"#;
+        let smuggled: PhaseRead = serde_json::from_str(line).unwrap();
+        assert!(smuggled.t.is_infinite());
+        assert!(!read_is_valid(&smuggled));
     }
 
     #[test]

@@ -59,7 +59,7 @@ fn standalone_positions(
             let mut tracker = tpl.build();
             let mut positions = Vec::new();
             for &r in reads {
-                for e in tracker.push(r) {
+                for e in tracker.push(r).unwrap() {
                     if let OnlineEvent::Position { t, pos } = e {
                         positions.push((t, pos));
                     }

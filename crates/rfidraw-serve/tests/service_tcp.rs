@@ -57,7 +57,7 @@ fn eight_sessions_over_tcp_match_standalone_trackers_bit_for_bit() {
             let mut tracker = tpl.build();
             let mut positions = Vec::new();
             for &r in reads {
-                for e in tracker.push(r) {
+                for e in tracker.push(r).unwrap() {
                     if let OnlineEvent::Position { t, pos } = e {
                         positions.push((t, pos.x, pos.z));
                     }

@@ -8,7 +8,6 @@ use rfidraw_channel::{Channel, Scenario};
 use rfidraw_core::array::{AntennaId, Deployment};
 use rfidraw_core::exec::Parallelism;
 use rfidraw_core::geom::{Plane, Point2, Point3, Rect};
-use rfidraw_core::online::OnlineEvent;
 use rfidraw_core::stream::PhaseRead;
 use rfidraw_metrics::TraceSettings;
 use rfidraw_protocol::inventory::{demux_phase_reads, InventoryConfig, InventorySim, SimTag};
@@ -91,7 +90,7 @@ fn positions_are_bit_identical_with_tracing_off_on_and_sampled() {
         .map(|(&epc, reads)| {
             let mut tracker = tpl.build();
             for &r in reads {
-                for _ in tracker.push(r) {}
+                for _ in tracker.push(r).unwrap() {}
             }
             (epc, tracker.trajectory().iter().copied().map(bits).collect())
         })

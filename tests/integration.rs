@@ -196,7 +196,7 @@ fn online_tracker_follows_protocol_reads_live() {
         OnlineConfig::default(),
     );
     for r in reads {
-        tracker.push(r);
+        tracker.push(r).unwrap();
     }
     assert!(tracker.is_tracking(), "online tracker never acquired");
     let est = tracker.current_estimate().expect("live estimate");
