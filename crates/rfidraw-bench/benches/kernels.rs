@@ -32,11 +32,31 @@ fn bench_vote_grid(c: &mut Criterion) {
     });
 }
 
+/// The reference (table-free) evaluation path on the same dense 1 cm grid
+/// the engine benches use. CI's perf-sanity gate compares
+/// `engine_1cm_serial` against this: the pair-major kernel must never be
+/// slower than recomputing distances per call.
+fn bench_vote_reference(c: &mut Criterion) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let tag = plane.lift(Point2::new(1.2, 0.9));
+    let ms = ideal_measurements(&dep, dep.all_pairs(), tag);
+    c.bench_function("vote_reference_1cm", |b| {
+        b.iter(|| {
+            let map = VoteMap::evaluate(&dep, &ms, plane, Grid2::new(region(), 0.01));
+            black_box(map.argmax())
+        })
+    });
+}
+
 /// Serial vs parallel vote-map engine on a dense 1 cm grid (the grid
 /// density where the table + sharding actually pay off). The table is
 /// built up front so the comparison isolates the accumulation kernel;
 /// results are bit-identical across all of these, only wall-clock moves.
+/// `engine_1cm_windowed` evaluates a 0.4 m window of the same grid — the
+/// tracker's re-acquisition case — instead of all of it.
 fn bench_vote_engine(c: &mut Criterion) {
+    use rfidraw::core::grid::GridWindow;
     let dep = Deployment::paper_default();
     let plane = Plane::at_depth(2.0);
     let tag = plane.lift(Point2::new(1.2, 0.9));
@@ -60,6 +80,13 @@ fn bench_vote_engine(c: &mut Criterion) {
             b.iter(|| black_box(engine.evaluate(black_box(&ms)).argmax()))
         });
     }
+
+    let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+    engine.build_table();
+    let window = GridWindow::around(engine.grid(), Point2::new(1.2, 0.9), 0.2);
+    c.bench_function("engine_1cm_windowed", |b| {
+        b.iter(|| black_box(engine.evaluate_windowed(black_box(&ms), &window).argmax()))
+    });
 }
 
 fn bench_multires_locate(c: &mut Criterion) {
@@ -190,7 +217,7 @@ fn bench_recognizer(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_vote_grid, bench_vote_engine, bench_multires_locate,
+    targets = bench_vote_grid, bench_vote_reference, bench_vote_engine, bench_multires_locate,
               bench_trace_steps, bench_baseline_locate, bench_serve_ingest,
               bench_trace_overhead, bench_recognizer
 }

@@ -1,0 +1,212 @@
+//! Shared distance-difference tables across vote engines.
+//!
+//! A [`crate::engine::VoteEngine`] table depends only on the
+//! (deployment, plane, grid, pair set) it was built for — not on any
+//! measurement, session, or tag. A serving layer that runs one
+//! [`crate::position::MultiResPositioner`] per session would otherwise
+//! build 2·N private copies (coarse + fine per session) of tables that are
+//! bit-for-bit identical. [`TableCache`] deduplicates them: engines with
+//! equal [`TableKey`] fingerprints are handed the same `Arc`-shared table
+//! slot, so N sessions over one deployment hold exactly two physical
+//! tables, built once each.
+//!
+//! Sharing is invisible to results. The slot a cache hands out is the same
+//! lazily-built `OnceLock` an unshared engine owns privately; whichever
+//! engine touches it first builds the table with the construction-time
+//! parameters that define the key, and every later engine reads the same
+//! bits it would have computed itself. The cache never evicts: keys are
+//! few (one per distinct grid/plane/deployment actually in use) and the
+//! tables are the working set, not a speculation. A deployment change
+//! means a new key, and dropping the cache drops every table no engine
+//! still references.
+
+use crate::engine::VoteEngine;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A canonical fingerprint of everything a distance-difference table
+/// depends on: grid lattice, plane depth, turns factor, and the ordered
+/// pair set with its antenna geometry. All floats enter as IEEE-754 bit
+/// patterns, so two keys are equal exactly when the tables they describe
+/// are bit-identical by construction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TableKey(Vec<u64>);
+
+impl TableKey {
+    /// Fingerprints an engine's table inputs.
+    pub(crate) fn new(engine: &VoteEngine) -> Self {
+        let grid = engine.grid();
+        let rect = grid.rect();
+        let mut words = vec![
+            rect.min.x.to_bits(),
+            rect.min.z.to_bits(),
+            rect.max.x.to_bits(),
+            rect.max.z.to_bits(),
+            grid.resolution().to_bits(),
+            grid.nx() as u64,
+            grid.nz() as u64,
+            engine.plane().depth.to_bits(),
+            engine.turns_factor().to_bits(),
+            engine.pairs().len() as u64,
+        ];
+        for (pair, &(pi, pj)) in engine.pairs().iter().zip(engine.geom()) {
+            words.push(((pair.i.0 as u64) << 8) | pair.j.0 as u64);
+            for p in [pi, pj] {
+                words.push(p.x.to_bits());
+                words.push(p.y.to_bits());
+                words.push(p.z.to_bits());
+            }
+        }
+        TableKey(words)
+    }
+}
+
+/// A point-in-time view of a [`TableCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableCacheStats {
+    /// Adoptions that found an existing slot for the engine's key.
+    pub hits: u64,
+    /// Adoptions that registered the engine's own slot as a new entry.
+    pub misses: u64,
+    /// Distinct table keys currently cached.
+    pub entries: u64,
+    /// Cached slots whose table has actually been built.
+    pub built_tables: u64,
+    /// Total bytes of built table data currently resident in the cache.
+    pub resident_bytes: u64,
+}
+
+/// A process-wide (or service-wide) registry of shared table slots.
+///
+/// Thread-safe; adoption takes a mutex for the brief map operation, and
+/// table *construction* still happens lazily inside the slot's `OnceLock`
+/// (so a slow build never holds the cache lock).
+#[derive(Debug, Default)]
+pub struct TableCache {
+    slots: Mutex<BTreeMap<TableKey, Arc<OnceLock<Vec<f64>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TableCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Points `engine` at the cache's slot for its fingerprint, creating
+    /// the entry from the engine's own (still lazy) slot on first sight.
+    ///
+    /// After adoption, every engine with the same fingerprint reads the
+    /// same physical table; the first evaluation (or explicit
+    /// [`VoteEngine::build_table`]) builds it once for all of them.
+    /// Sharing never changes any computed value — the slot's contents are
+    /// defined by the key.
+    pub fn adopt(&self, engine: &mut VoteEngine) {
+        let key = engine.table_fingerprint();
+        let mut slots = self.slots.lock().expect("table cache poisoned");
+        match slots.get(&key) {
+            Some(slot) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                engine.set_table_slot(Arc::clone(slot));
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slots.insert(key, engine.table_slot());
+            }
+        }
+    }
+
+    /// Counters plus a walk of the cached slots (cheap: one entry per
+    /// distinct grid in use).
+    pub fn stats(&self) -> TableCacheStats {
+        let slots = self.slots.lock().expect("table cache poisoned");
+        let mut built = 0u64;
+        let mut bytes = 0u64;
+        for slot in slots.values() {
+            if let Some(table) = slot.get() {
+                built += 1;
+                bytes += (table.len() * std::mem::size_of::<f64>()) as u64;
+            }
+        }
+        TableCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: slots.len() as u64,
+            built_tables: built,
+            resident_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Deployment;
+    use crate::exec::Parallelism;
+    use crate::geom::{Plane, Point2, Rect};
+    use crate::grid::Grid2;
+    use crate::vote::ideal_measurements;
+
+    fn engine(depth: f64, res: f64) -> VoteEngine {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(depth);
+        let grid = Grid2::new(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0)),
+            res,
+        );
+        VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial)
+    }
+
+    #[test]
+    fn identical_engines_share_one_table() {
+        let cache = TableCache::new();
+        let mut a = engine(2.0, 0.05);
+        let mut b = engine(2.0, 0.05);
+        cache.adopt(&mut a);
+        cache.adopt(&mut b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.built_tables, 0, "adoption must not build eagerly");
+        // The same physical table backs both engines.
+        assert_eq!(a.build_table().as_ptr(), b.build_table().as_ptr());
+        let stats = cache.stats();
+        assert_eq!(stats.built_tables, 1);
+        assert_eq!(
+            stats.resident_bytes,
+            (a.build_table().len() * std::mem::size_of::<f64>()) as u64
+        );
+    }
+
+    #[test]
+    fn different_grids_or_planes_do_not_collide() {
+        let cache = TableCache::new();
+        let mut engines = [engine(2.0, 0.05), engine(2.0, 0.02), engine(3.0, 0.05)];
+        for e in &mut engines {
+            cache.adopt(e);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn shared_table_scores_like_a_private_one() {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let truth = plane.lift(Point2::new(1.2, 0.9));
+        let ms = ideal_measurements(&dep, dep.all_pairs(), truth);
+        let private = engine(2.0, 0.05);
+        let reference = private.evaluate(&ms);
+        let cache = TableCache::new();
+        let mut a = engine(2.0, 0.05);
+        let mut b = engine(2.0, 0.05);
+        cache.adopt(&mut a);
+        cache.adopt(&mut b);
+        a.build_table();
+        let bits = |m: &crate::grid::VoteMap| -> Vec<u64> {
+            m.values().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&reference), bits(&b.evaluate(&ms)));
+    }
+}

@@ -12,29 +12,40 @@
 //! evaluations then cost one `frac_dist_to_integer` per (cell, measurement)
 //! instead of two 3-D distances plus the fraction.
 //!
-//! Evaluation is sharded row-wise across scoped threads according to a
-//! [`Parallelism`] policy. Each cell's vote is a self-contained sum in
-//! measurement order, accumulated into that cell's own output slot, so the
-//! result is **bit-identical** for every thread count — and bit-identical
-//! to the reference [`crate::grid::VoteMap::evaluate`] path, which performs
-//! exactly the same floating-point operations per cell.
+//! The table is stored **pair-major** (column-contiguous): each pair owns a
+//! contiguous slab of `grid.len()` entries, `table[k · n_cells + c]`.
+//! Evaluation inverts the loop nest to measurement-outer / cell-inner, so
+//! each measurement streams its pair's contiguous `f64` column with no
+//! per-element indirection — a layout the compiler autovectorizes. Each
+//! cell's accumulator still receives its `-f²` terms in measurement order
+//! (one in-order subtraction per sweep), which is exactly the per-cell
+//! floating-point sequence of the reference
+//! [`crate::grid::VoteMap::evaluate`] path, so the result is
+//! **bit-identical** to the reference — and bit-identical for every thread
+//! count, since shards write disjoint cell ranges and never combine sums.
 //!
 //! Masked evaluation has two internally-identical paths: if the table is
-//! already built it is used; otherwise distances are computed on the fly
-//! for unmasked cells only (the stage-1 filter typically keeps < 10% of the
-//! fine grid, so eagerly building the full fine table would cost more than
-//! a one-shot masked evaluation saves). Both paths compute each kept cell
-//! with the same operations, so which one runs never changes the result.
+//! already built, the kept cells are gathered from the pair columns;
+//! otherwise distances are computed on the fly for unmasked cells only
+//! (the stage-1 filter typically keeps < 10% of the fine grid, so eagerly
+//! building the full fine table would cost more than a one-shot masked
+//! evaluation saves). Both paths compute each kept cell with the same
+//! operations, so which one runs never changes the result.
+//!
+//! The table slot is an `Arc` so engines over the same
+//! (deployment, plane, grid) can share one physical table — see
+//! [`crate::cache::TableCache`].
 
 use crate::array::{AntennaPair, Deployment};
 use crate::exec::Parallelism;
 use crate::geom::{Plane, Point3};
-use crate::grid::{Grid2, VoteMap};
+use crate::grid::{Grid2, GridWindow, VoteMap};
 #[cfg(feature = "trace")]
 use crate::obs::{self, SharedSink, Stage};
 use crate::phase::frac_dist_to_integer;
 use crate::vote::PairMeasurement;
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// A reusable vote-map evaluator for one (deployment, plane, grid) triple.
 #[derive(Debug, Clone)]
@@ -42,15 +53,22 @@ pub struct VoteEngine {
     grid: Grid2,
     plane: Plane,
     pairs: Vec<AntennaPair>,
+    /// Pair → table-column index (the inverse of `pairs`), built once at
+    /// construction so measurement lookup is O(1) per measurement instead
+    /// of a linear scan over the pair set.
+    col_of: HashMap<AntennaPair, usize>,
     /// Antenna positions per pair, aligned with `pairs`.
     geom: Vec<(Point3, Point3)>,
     /// `path_factor / λ`: distance difference (m) → turns.
     turns_factor: f64,
     parallelism: Parallelism,
-    /// Cell-major distance-difference table in turns:
-    /// `table[c * pairs.len() + k] = turns_factor · (|P_c − pos_i_k| − |P_c − pos_j_k|)`.
-    /// Built on first use (see module docs for when that pays off).
-    table: OnceLock<Vec<f64>>,
+    /// Pair-major distance-difference table in turns:
+    /// `table[k * grid.len() + c] = turns_factor · (|P_c − pos_i_k| − |P_c − pos_j_k|)`.
+    /// Built on first use (see module docs for when that pays off). Behind
+    /// an `Arc` so a [`crate::cache::TableCache`] can make engines over the
+    /// same (deployment, plane, grid) share one physical table; a fresh
+    /// engine always starts with a private slot.
+    table: Arc<OnceLock<Vec<f64>>>,
     #[cfg(feature = "trace")]
     sink: Option<SharedSink>,
     #[cfg(feature = "trace")]
@@ -84,14 +102,16 @@ impl VoteEngine {
             })
             .collect();
         let turns_factor = dep.path_factor() / dep.wavelength().meters();
+        let col_of = pairs.iter().enumerate().map(|(k, &p)| (p, k)).collect();
         Self {
             grid,
             plane,
             pairs,
+            col_of,
             geom,
             turns_factor,
             parallelism,
-            table: OnceLock::new(),
+            table: Arc::new(OnceLock::new()),
             #[cfg(feature = "trace")]
             sink: None,
             #[cfg(feature = "trace")]
@@ -146,7 +166,42 @@ impl VoteEngine {
         self.table.get().is_some()
     }
 
-    /// Builds (once) and returns the cell-major distance-difference table.
+    /// The engine's table slot, for sharing through a
+    /// [`crate::cache::TableCache`]. Cloning the `Arc` is cheap; the table
+    /// itself is built at most once per slot.
+    pub(crate) fn table_slot(&self) -> Arc<OnceLock<Vec<f64>>> {
+        Arc::clone(&self.table)
+    }
+
+    /// Replaces the engine's table slot with a shared one. Only the cache
+    /// calls this, and only with a slot for the identical
+    /// (deployment, plane, grid, pairs) fingerprint, so the table contents
+    /// are the same bits either way — sharing never changes a result.
+    pub(crate) fn set_table_slot(&mut self, slot: Arc<OnceLock<Vec<f64>>>) {
+        self.table = slot;
+    }
+
+    /// A canonical fingerprint of everything the table depends on: the
+    /// grid lattice, the lifted plane, the pair set with its geometry, and
+    /// the turns factor. Two engines with equal fingerprints build
+    /// bit-identical tables.
+    pub(crate) fn table_fingerprint(&self) -> crate::cache::TableKey {
+        crate::cache::TableKey::new(self)
+    }
+
+    pub(crate) fn plane(&self) -> Plane {
+        self.plane
+    }
+
+    pub(crate) fn geom(&self) -> &[(Point3, Point3)] {
+        &self.geom
+    }
+
+    pub(crate) fn turns_factor(&self) -> f64 {
+        self.turns_factor
+    }
+
+    /// Builds (once) and returns the pair-major distance-difference table.
     /// Called implicitly by [`VoteEngine::evaluate`]; benches call it
     /// explicitly to measure steady-state evaluation separately from the
     /// one-time precomputation.
@@ -155,16 +210,14 @@ impl VoteEngine {
             #[cfg(feature = "trace")]
             let _span =
                 obs::SpanTimer::start(self.sink.as_ref(), self.session, Stage::EngineTable, 0.0);
-            let np = self.pairs.len();
-            let mut table = vec![0.0; self.grid.len() * np];
-            if np > 0 {
-                self.parallelism.run_row_sharded(&mut table, np, |first_cell, shard| {
-                    for (row_off, row) in shard.chunks_mut(np).enumerate() {
-                        let (ix, iz) = self.grid.unflat(first_cell + row_off);
+            let n_cells = self.grid.len();
+            let mut table = vec![0.0; n_cells * self.pairs.len()];
+            for (column, &(pi, pj)) in table.chunks_mut(n_cells).zip(&self.geom) {
+                self.parallelism.run_row_sharded(column, 1, |first, shard| {
+                    for (i, slot) in shard.iter_mut().enumerate() {
+                        let (ix, iz) = self.grid.unflat(first + i);
                         let p3 = self.plane.lift(self.grid.point(ix, iz));
-                        for (slot, &(pi, pj)) in row.iter_mut().zip(&self.geom) {
-                            *slot = self.turns_factor * (p3.dist(pi) - p3.dist(pj));
-                        }
+                        *slot = self.turns_factor * (p3.dist(pi) - p3.dist(pj));
                     }
                 });
             }
@@ -172,7 +225,8 @@ impl VoteEngine {
         })
     }
 
-    /// Maps each measurement to its table column and its measured turns.
+    /// Maps each measurement to its table column and its measured turns,
+    /// through the pair→column index built at construction.
     ///
     /// # Panics
     /// Panics if a measurement's pair is not in this engine's pair set.
@@ -180,13 +234,9 @@ impl VoteEngine {
         measurements
             .iter()
             .map(|m| {
-                let col = self
-                    .pairs
-                    .iter()
-                    .position(|&p| p == m.pair)
-                    .unwrap_or_else(|| {
-                        panic!("measurement pair {:?} is not in this engine's pair set", m.pair)
-                    });
+                let col = *self.col_of.get(&m.pair).unwrap_or_else(|| {
+                    panic!("measurement pair {:?} is not in this engine's pair set", m.pair)
+                });
                 (col, m.turns())
             })
             .collect()
@@ -198,8 +248,8 @@ impl VoteEngine {
     pub fn evaluate(&self, measurements: &[PairMeasurement]) -> VoteMap {
         let cols = self.columns(measurements);
         let table = self.build_table();
-        let np = self.pairs.len();
-        let mut values = vec![0.0; self.grid.len()];
+        let n_cells = self.grid.len();
+        let mut values = vec![0.0; n_cells];
         #[cfg(feature = "trace")]
         let _span = obs::SpanTimer::start(
             self.sink.as_ref(),
@@ -215,17 +265,64 @@ impl VoteEngine {
                 Stage::EngineShard,
                 first as f64,
             );
-            for (i, v) in shard.iter_mut().enumerate() {
-                let c = first + i;
-                let row = &table[c * np..c * np + np];
-                let mut acc = 0.0;
-                for &(col, measured) in &cols {
-                    let f = frac_dist_to_integer(row[col] - measured);
-                    acc -= f * f;
+            // Measurement-outer: each sweep streams one contiguous slice of
+            // one pair column. Per cell the sweeps subtract `-f²` terms in
+            // measurement order, matching the reference path's per-cell
+            // accumulation exactly.
+            for &(col, measured) in &cols {
+                let column = &table[col * n_cells + first..col * n_cells + first + shard.len()];
+                for (v, &turns) in shard.iter_mut().zip(column) {
+                    let f = frac_dist_to_integer(turns - measured);
+                    *v -= f * f;
                 }
-                *v = acc;
             }
         });
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// Evaluates only the cells inside `window`; everything outside gets
+    /// `f64::NEG_INFINITY`. Each in-window cell is computed with exactly
+    /// the per-cell operations of [`VoteEngine::evaluate`], so in-window
+    /// values are bit-identical to the full-grid map (and a full-grid
+    /// window reproduces [`VoteEngine::evaluate`] bit-for-bit).
+    ///
+    /// Windows are expected to be small (a tracker's neighbourhood), so
+    /// this path runs on the calling thread; the saving is doing O(window)
+    /// work instead of O(grid), not sharding.
+    ///
+    /// # Panics
+    /// Panics if the window's bounds fall outside the grid, or if a
+    /// measurement's pair is not in this engine's pair set.
+    pub fn evaluate_windowed(
+        &self,
+        measurements: &[PairMeasurement],
+        window: &GridWindow,
+    ) -> VoteMap {
+        window.validate(&self.grid);
+        let cols = self.columns(measurements);
+        let table = self.build_table();
+        let n_cells = self.grid.len();
+        let mut values = vec![f64::NEG_INFINITY; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        for iz in window.iz0..=window.iz1 {
+            let start = self.grid.flat(window.ix0, iz);
+            let end = self.grid.flat(window.ix1, iz) + 1;
+            let run = &mut values[start..end];
+            run.fill(0.0);
+            for &(col, measured) in &cols {
+                let column = &table[col * n_cells + start..col * n_cells + end];
+                for (v, &turns) in run.iter_mut().zip(column) {
+                    let f = frac_dist_to_integer(turns - measured);
+                    *v -= f * f;
+                }
+            }
+        }
         VoteMap::from_values(self.grid.clone(), values)
     }
 
@@ -238,8 +335,8 @@ impl VoteEngine {
     pub fn evaluate_masked(&self, measurements: &[PairMeasurement], mask: &[bool]) -> VoteMap {
         assert_eq!(mask.len(), self.grid.len(), "mask length must match the grid");
         let cols = self.columns(measurements);
-        let np = self.pairs.len();
-        let mut values = vec![0.0; self.grid.len()];
+        let n_cells = self.grid.len();
+        let mut values = vec![0.0; n_cells];
         #[cfg(feature = "trace")]
         let _span = obs::SpanTimer::start(
             self.sink.as_ref(),
@@ -248,7 +345,15 @@ impl VoteEngine {
             measurements.len() as f64,
         );
         if let Some(table) = self.table.get() {
-            self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+            // Compact the kept cells once, accumulate measurement-outer
+            // over the compact list (gathering from each pair column), and
+            // scatter the sums back. Per kept cell the `-f²` terms arrive
+            // in measurement order — the reference path's exact per-cell
+            // sequence — and masked-out cells are set to `-inf` directly,
+            // also exactly as the reference does.
+            let kept: Vec<usize> = (0..n_cells).filter(|&c| mask[c]).collect();
+            let mut acc = vec![0.0; kept.len()];
+            self.parallelism.run_row_sharded(&mut acc, 1, |first, shard| {
                 #[cfg(feature = "trace")]
                 let _shard_span = obs::SpanTimer::start(
                     self.sink.as_ref(),
@@ -256,21 +361,19 @@ impl VoteEngine {
                     Stage::EngineShard,
                     first as f64,
                 );
-                for (i, v) in shard.iter_mut().enumerate() {
-                    let c = first + i;
-                    if !mask[c] {
-                        *v = f64::NEG_INFINITY;
-                        continue;
+                let cells = &kept[first..first + shard.len()];
+                for &(col, measured) in &cols {
+                    let column = &table[col * n_cells..(col + 1) * n_cells];
+                    for (a, &c) in shard.iter_mut().zip(cells) {
+                        let f = frac_dist_to_integer(column[c] - measured);
+                        *a -= f * f;
                     }
-                    let row = &table[c * np..c * np + np];
-                    let mut acc = 0.0;
-                    for &(col, measured) in &cols {
-                        let f = frac_dist_to_integer(row[col] - measured);
-                        acc -= f * f;
-                    }
-                    *v = acc;
                 }
             });
+            values.fill(f64::NEG_INFINITY);
+            for (&c, &a) in kept.iter().zip(&acc) {
+                values[c] = a;
+            }
         } else {
             // No table yet: compute distances on the fly for kept cells only.
             // Exactly the same per-cell operations as the table path (the
@@ -396,6 +499,45 @@ mod tests {
         let engine = VoteEngine::new(&dep, plane, grid, wide_only, Parallelism::Serial);
         let coarse_pair = dep.coarse_primary_pairs()[0];
         let _ = engine.evaluate(&[PairMeasurement::new(coarse_pair, 0.1)]);
+    }
+
+    #[test]
+    fn full_window_reproduces_evaluate_bitwise() {
+        let (dep, plane, grid, ms) = setup();
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Threads(2));
+        let full = engine.evaluate(&ms);
+        let windowed = engine.evaluate_windowed(&ms, &GridWindow::full(engine.grid()));
+        assert_eq!(bits(full.values()), bits(windowed.values()));
+    }
+
+    #[test]
+    fn window_cells_match_full_map_and_outside_is_neg_inf() {
+        let (dep, plane, grid, ms) = setup();
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+        let full = engine.evaluate(&ms);
+        let window = GridWindow::around(engine.grid(), Point2::new(1.2, 0.9), 0.20);
+        assert!(!window.is_full(engine.grid()));
+        let map = engine.evaluate_windowed(&ms, &window);
+        for (c, (&w, &f)) in map.values().iter().zip(full.values()).enumerate() {
+            let (ix, iz) = engine.grid().unflat(c);
+            if window.contains(ix, iz) {
+                assert_eq!(w.to_bits(), f.to_bits(), "cell {c}");
+            } else {
+                assert_eq!(w, f64::NEG_INFINITY, "cell {c}");
+            }
+        }
+        // The windowed argmax is the full argmax when the peak is inside.
+        assert_eq!(map.argmax().0, full.argmax().0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_outside_grid_panics() {
+        let (dep, plane, grid, ms) = setup();
+        let nx = grid.nx();
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+        let bad = GridWindow { ix0: 0, ix1: nx, iz0: 0, iz1: 0 };
+        let _ = engine.evaluate_windowed(&ms, &bad);
     }
 
     #[test]

@@ -57,6 +57,7 @@
 
 pub mod array;
 pub mod baseline;
+pub mod cache;
 pub mod engine;
 pub mod exec;
 pub mod filter;
@@ -73,11 +74,12 @@ pub mod volume;
 pub mod vote;
 
 pub use array::{Antenna, AntennaId, AntennaPair, Deployment, ReaderId};
+pub use cache::{TableCache, TableCacheStats};
 pub use engine::VoteEngine;
 pub use exec::Parallelism;
 pub use geom::{Plane, Point2, Point3};
-pub use grid::{Grid2, VoteMap};
+pub use grid::{Grid2, GridWindow, VoteMap};
 pub use phase::{Wavelength, SPEED_OF_LIGHT};
-pub use position::{Candidate, MultiResConfig, MultiResPositioner};
+pub use position::{Candidate, MultiResConfig, MultiResPositioner, WindowedLocate};
 pub use stream::{PairSnapshot, PhaseRead, SnapshotBuilder};
 pub use trace::{TraceConfig, TraceResult, TrajectoryTracer};

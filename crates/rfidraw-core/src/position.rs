@@ -13,10 +13,11 @@
 //! candidate whose traced trajectory keeps the highest cumulative vote wins.
 
 use crate::array::Deployment;
+use crate::cache::TableCache;
 use crate::engine::VoteEngine;
 use crate::exec::Parallelism;
 use crate::geom::{Plane, Point2, Rect};
-use crate::grid::{Grid2, VoteMap};
+use crate::grid::{Grid2, GridWindow, VoteMap};
 #[cfg(feature = "trace")]
 use crate::obs::{self, SharedSink, Stage, TraceKind};
 use crate::vote::PairMeasurement;
@@ -83,6 +84,20 @@ pub struct Candidate {
     pub position: Point2,
     /// Total vote from all antenna pairs at that position.
     pub vote: f64,
+}
+
+/// The result of a window-restricted positioning pass (see
+/// [`MultiResPositioner::try_locate_windowed`]).
+#[derive(Debug, Clone)]
+pub struct WindowedLocate {
+    /// Ranked candidates found inside the window.
+    pub candidates: Vec<Candidate>,
+    /// The coarse-grid window that was evaluated.
+    pub window: GridWindow,
+    /// True when there is no best candidate or it sits too close to an
+    /// interior window border to be trusted — the caller should redo the
+    /// positioning on the full grid.
+    pub clipped: bool,
 }
 
 /// Intermediate products of one positioning pass, exposed for the Fig. 6
@@ -179,6 +194,32 @@ impl MultiResPositioner {
         &self.config
     }
 
+    /// The stage-1 (coarse) grid.
+    pub fn coarse_grid(&self) -> &Grid2 {
+        self.coarse_engine.grid()
+    }
+
+    /// Adopts both engines' distance tables into `cache`, so positioners
+    /// over the same (deployment, plane, grid) share two physical tables
+    /// instead of building private copies. Sharing never changes any
+    /// result (see [`crate::cache`]).
+    pub fn attach_table_cache(&mut self, cache: &TableCache) {
+        cache.adopt(&mut self.coarse_engine);
+        cache.adopt(&mut self.fine_engine);
+    }
+
+    /// Eagerly builds both distance tables (idempotent). A standalone
+    /// positioner leaves the fine table lazy — the stage-1 filter keeps so
+    /// little of the fine grid that on-the-fly distances win for a single
+    /// user — but once a [`TableCache`] shares tables across many
+    /// sessions, one eager build is amortized over all of them and every
+    /// masked evaluation takes the faster table-backed path. Which path
+    /// runs never changes any value (see [`crate::engine`]).
+    pub fn prebuild_tables(&self) {
+        self.coarse_engine.build_table();
+        self.fine_engine.build_table();
+    }
+
     /// Runs both stages and returns the ranked candidates.
     ///
     /// `measurements` must contain one entry per deployment pair (missing
@@ -216,7 +257,7 @@ impl MultiResPositioner {
             !wide_ms.is_empty(),
             "no wide-pair measurements supplied to locate()"
         );
-        self.stages_from(coarse_ms, wide_ms)
+        self.stages_from(coarse_ms, wide_ms, None)
     }
 
     /// Fallible variant of [`MultiResPositioner::locate_with_stages`]:
@@ -229,18 +270,66 @@ impl MultiResPositioner {
         if coarse_ms.is_empty() || wide_ms.is_empty() {
             return None;
         }
-        Some(self.stages_from(coarse_ms, wide_ms))
+        Some(self.stages_from(coarse_ms, wide_ms, None))
+    }
+
+    /// Window-restricted positioning: both stages confined to the cells
+    /// within `half_extent` metres of `center` along each axis.
+    ///
+    /// Every evaluated cell is computed with exactly the per-cell
+    /// operations of the full-grid path, so when the tag truly is near
+    /// `center` the winning candidate is the same grid point with the same
+    /// vote bits as full-grid positioning would produce. What *can* differ
+    /// is the candidate list's tail: the stage-1 filter keeps the top
+    /// fraction of the *window* rather than of the whole plane, so far-away
+    /// grating-lobe candidates are absent. The [`WindowedLocate::clipped`]
+    /// flag tells the caller when the best peak hugs an interior window
+    /// border — the signature of a better peak just outside — so it can
+    /// fall back to the full grid (see `OnlineTracker`'s fallback rules).
+    ///
+    /// Returns `None` under the same degraded-subset conditions as
+    /// [`MultiResPositioner::try_locate`].
+    pub fn try_locate_windowed(
+        &self,
+        measurements: &[PairMeasurement],
+        center: Point2,
+        half_extent: f64,
+    ) -> Option<WindowedLocate> {
+        let (coarse_ms, wide_ms) = self.split(measurements);
+        if coarse_ms.is_empty() || wide_ms.is_empty() {
+            return None;
+        }
+        let window = GridWindow::around(self.coarse_engine.grid(), center, half_extent);
+        let stages = self.stages_from(coarse_ms, wide_ms, Some(&window));
+        // Trust margin: two coarse cells. A best peak closer than that to
+        // an interior window edge may be the clipped flank of a stronger
+        // peak outside the window.
+        let clipped = match stages.candidates.first() {
+            Some(best) => !window.well_inside(self.coarse_engine.grid(), best.position, 2),
+            None => true,
+        };
+        Some(WindowedLocate {
+            candidates: stages.candidates,
+            window,
+            clipped,
+        })
     }
 
     fn stages_from(
         &self,
         coarse_ms: Vec<PairMeasurement>,
         wide_ms: Vec<PairMeasurement>,
+        window: Option<&GridWindow>,
     ) -> PositioningStages {
         // Stage 1: coarse spatial filter (Fig. 6b–c), evaluated through the
         // engine so the coarse distance table is computed once per
-        // positioner rather than once per call.
-        let coarse_map = self.coarse_engine.evaluate(&coarse_ms);
+        // positioner rather than once per call. A window confines the scan
+        // (and therefore the filter's kept fraction) to the cells inside
+        // it; out-of-window cells are -inf and never survive the mask.
+        let coarse_map = match window {
+            Some(w) => self.coarse_engine.evaluate_windowed(&coarse_ms, w),
+            None => self.coarse_engine.evaluate(&coarse_ms),
+        };
         let coarse_mask = coarse_map.mask_top_fraction(self.config.coarse_keep_fraction);
 
         // Lift the mask onto the fine grid.

@@ -1,0 +1,151 @@
+//! Property tests pinning the pair-major engine to the reference
+//! [`VoteMap`] path bit-for-bit: random grids, measurement subsets, masks,
+//! windows, and thread counts. These are the determinism contract of the
+//! engine's layout change — any divergence, even in the last mantissa bit,
+//! fails here.
+
+use proptest::prelude::*;
+use rfidraw_core::array::Deployment;
+use rfidraw_core::exec::Parallelism;
+use rfidraw_core::geom::{Plane, Point2, Rect};
+use rfidraw_core::grid::{Grid2, GridWindow, VoteMap};
+use rfidraw_core::vote::{ideal_measurements, PairMeasurement};
+use rfidraw_core::VoteEngine;
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// A random but valid scene: paper deployment, a plane at a random depth,
+/// a random sub-rect of the tracking region at a random resolution, and
+/// ideal measurements for a random in-region tag.
+#[allow(clippy::type_complexity)]
+fn scene(
+    depth: f64,
+    x0: f64,
+    z0: f64,
+    w: f64,
+    h: f64,
+    res: f64,
+    tag_fx: f64,
+    tag_fz: f64,
+) -> (Deployment, Plane, Grid2, Vec<PairMeasurement>) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(depth);
+    let grid = Grid2::new(
+        Rect::new(Point2::new(x0, z0), Point2::new(x0 + w, z0 + h)),
+        res,
+    );
+    let tag = Point2::new(x0 + tag_fx * w, z0 + tag_fz * h);
+    let ms = ideal_measurements(&dep, dep.all_pairs(), plane.lift(tag));
+    (dep, plane, grid, ms)
+}
+
+fn parallelism(idx: usize) -> Parallelism {
+    [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Threads(3),
+        Parallelism::Threads(7),
+        Parallelism::Auto,
+    ][idx % 5]
+}
+
+proptest! {
+    /// Full-grid evaluation of any measurement subset equals the reference
+    /// path bit-for-bit under every execution policy, and a full-grid
+    /// window equals the unwindowed evaluation.
+    #[test]
+    fn engine_and_windowed_full_match_reference(
+        depth in 1.0f64..4.0,
+        x0 in -0.5f64..1.0,
+        z0 in -0.5f64..1.0,
+        w in 0.4f64..1.6,
+        h in 0.4f64..1.6,
+        res in 0.03f64..0.12,
+        tag_fx in 0.1f64..0.9,
+        tag_fz in 0.1f64..0.9,
+        subset_mask in 0u32..255,
+        par_idx in 0usize..5,
+    ) {
+        let (dep, plane, grid, all_ms) = scene(depth, x0, z0, w, h, res, tag_fx, tag_fz);
+        // A non-empty random subset of the measurements (bit i keeps m[i]).
+        let ms: Vec<PairMeasurement> = all_ms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| subset_mask & (1 << (i % 8)) != 0 || subset_mask == 0)
+            .map(|(_, &m)| m)
+            .collect();
+        prop_assume!(!ms.is_empty());
+
+        let reference = VoteMap::evaluate(&dep, &ms, plane, grid.clone());
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, parallelism(par_idx));
+        let evaluated = engine.evaluate(&ms);
+        prop_assert_eq!(bits(reference.values()), bits(evaluated.values()));
+
+        let windowed = engine.evaluate_windowed(&ms, &GridWindow::full(engine.grid()));
+        prop_assert_eq!(bits(evaluated.values()), bits(windowed.values()));
+    }
+
+    /// Masked evaluation (both the lazy and the table-backed path) equals
+    /// the reference masked path bit-for-bit for any mask.
+    #[test]
+    fn masked_paths_match_reference(
+        depth in 1.0f64..4.0,
+        res in 0.04f64..0.12,
+        tag_fx in 0.1f64..0.9,
+        tag_fz in 0.1f64..0.9,
+        mask_seed in any::<u64>(),
+        keep_mod in 2usize..7,
+        par_idx in 0usize..5,
+    ) {
+        let (dep, plane, grid, ms) = scene(depth, 0.2, 0.1, 1.2, 0.9, res, tag_fx, tag_fz);
+        // A pseudo-random mask from a seed (xorshift), density 1/keep_mod.
+        let mut state = mask_seed | 1;
+        let mask: Vec<bool> = (0..grid.len())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as usize) % keep_mod == 0
+            })
+            .collect();
+
+        let reference = VoteMap::evaluate_masked(&dep, &ms, plane, grid.clone(), &mask);
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, parallelism(par_idx));
+        let lazy = engine.evaluate_masked(&ms, &mask);
+        engine.build_table();
+        let tabled = engine.evaluate_masked(&ms, &mask);
+        prop_assert_eq!(bits(reference.values()), bits(lazy.values()));
+        prop_assert_eq!(bits(reference.values()), bits(tabled.values()));
+    }
+
+    /// Any valid window: in-window cells are bit-identical to the full
+    /// map, out-of-window cells are exactly `-inf`.
+    #[test]
+    fn arbitrary_windows_match_full_map_cellwise(
+        depth in 1.0f64..4.0,
+        res in 0.03f64..0.10,
+        tag_fx in 0.1f64..0.9,
+        tag_fz in 0.1f64..0.9,
+        center_fx in 0.0f64..1.0,
+        center_fz in 0.0f64..1.0,
+        half_extent in 0.02f64..0.8,
+        par_idx in 0usize..5,
+    ) {
+        let (dep, plane, grid, ms) = scene(depth, 0.2, 0.1, 1.4, 1.0, res, tag_fx, tag_fz);
+        let center = Point2::new(0.2 + center_fx * 1.4, 0.1 + center_fz * 1.0);
+        let engine = VoteEngine::for_deployment(&dep, plane, grid, parallelism(par_idx));
+        let window = GridWindow::around(engine.grid(), center, half_extent);
+        let full = engine.evaluate(&ms);
+        let map = engine.evaluate_windowed(&ms, &window);
+        for (c, (&win, &all)) in map.values().iter().zip(full.values()).enumerate() {
+            let (ix, iz) = engine.grid().unflat(c);
+            if window.contains(ix, iz) {
+                prop_assert_eq!(win.to_bits(), all.to_bits(), "cell {}", c);
+            } else {
+                prop_assert_eq!(win, f64::NEG_INFINITY, "cell {}", c);
+            }
+        }
+    }
+}

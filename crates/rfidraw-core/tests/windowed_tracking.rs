@@ -1,0 +1,230 @@
+//! Window-restricted re-acquisition (`OnlineConfig::window`): proves the
+//! feature is inert when disabled, bit-identical to the full grid when the
+//! tag stays inside the window, and that every fallback rule (no hint after
+//! a stale reset, Degraded relock) routes acquisition back to the full grid.
+
+use rfidraw_core::array::{AntennaId, Deployment};
+use rfidraw_core::geom::{Plane, Point2, Rect};
+use rfidraw_core::online::{OnlineConfig, OnlineEvent, OnlineTracker, TrackWindow};
+use rfidraw_core::phase::wrap_tau;
+use rfidraw_core::position::MultiResConfig;
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_core::trace::TraceConfig;
+use std::f64::consts::TAU;
+
+fn tracker_with(cfg: OnlineConfig) -> (Deployment, Plane, OnlineTracker) {
+    let dep = Deployment::paper_default();
+    let plane = Plane::at_depth(2.0);
+    let region = Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7));
+    let mut mcfg = MultiResConfig::for_region(region);
+    mcfg.fine_resolution = 0.02;
+    let t = OnlineTracker::new(dep.clone(), plane, mcfg, TraceConfig::default(), cfg);
+    (dep, plane, t)
+}
+
+fn base_config(window: Option<TrackWindow>) -> OnlineConfig {
+    OnlineConfig {
+        tick: 0.04,
+        prune_margin: 0.3,
+        prune_after: 10,
+        max_read_gap: None,
+        window,
+        ..OnlineConfig::default()
+    }
+}
+
+/// Ideal staggered reads for a tag gliding along `path`, spanning
+/// `[t0, t0+dur)`; a `skip` antenna is omitted entirely (dropout).
+fn path_reads(
+    dep: &Deployment,
+    plane: Plane,
+    path: &[Point2],
+    t0: f64,
+    dur: f64,
+    skip: Option<AntennaId>,
+) -> Vec<PhaseRead> {
+    let antennas: Vec<AntennaId> = dep.antennas().iter().map(|a| a.id).collect();
+    let per_antenna_dt = 0.02;
+    let mut reads = Vec::new();
+    let mut t = 0.0;
+    while t < dur {
+        for (i, &ant) in antennas.iter().enumerate() {
+            if Some(ant) == skip {
+                continue;
+            }
+            let tt = t + i as f64 * (per_antenna_dt / antennas.len() as f64);
+            let frac = (tt / dur).clamp(0.0, 1.0);
+            let idx = (((path.len() - 1) as f64) * frac) as usize;
+            let pos = plane.lift(path[idx.min(path.len() - 1)]);
+            let a = dep.antenna(ant).unwrap();
+            let phase =
+                wrap_tau(-TAU * dep.path_factor() * pos.dist(a.pos) / dep.wavelength().meters());
+            reads.push(PhaseRead {
+                t: t0 + tt,
+                antenna: ant,
+                phase,
+            });
+        }
+        t += per_antenna_dt;
+    }
+    reads
+}
+
+fn circle_path(center: Point2, radius: f64) -> Vec<Point2> {
+    (0..200)
+        .map(|i| {
+            let a = TAU * i as f64 / 200.0;
+            Point2::new(center.x + radius * a.cos(), center.z + radius * a.sin())
+        })
+        .collect()
+}
+
+/// Feeds `reads` and collects every emitted position as raw bit patterns,
+/// so comparisons are exact rather than within-epsilon.
+fn drive(tracker: &mut OnlineTracker, reads: &[PhaseRead]) -> Vec<(u64, u64)> {
+    let mut positions = Vec::new();
+    for &r in reads {
+        for e in tracker.push(r).unwrap() {
+            if let OnlineEvent::Position { pos, .. } = e {
+                positions.push((pos.x.to_bits(), pos.z.to_bits()));
+            }
+        }
+    }
+    positions
+}
+
+/// With `window: None` (the default) the tracker never takes the windowed
+/// path; with a window configured but no re-acquisition, the hint is never
+/// consulted either — the initial acquisition has no last estimate, so the
+/// knob is provably inert until a `reacquire` actually uses it.
+#[test]
+fn windowed_tracking_is_inert_until_reacquisition() {
+    let (dep, plane, mut plain) = tracker_with(base_config(None));
+    let (_, _, mut windowed) = tracker_with(base_config(Some(TrackWindow { half_extent: 0.4 })));
+
+    let path = circle_path(Point2::new(1.4, 1.0), 0.1);
+    let reads = path_reads(&dep, plane, &path, 0.0, 3.0, None);
+    let a = drive(&mut plain, &reads);
+    let b = drive(&mut windowed, &reads);
+
+    assert!(!a.is_empty(), "tracker never produced a position");
+    assert_eq!(a, b, "an unused window knob must not perturb any estimate");
+    assert_eq!(plain.windowed_evals(), 0);
+    assert_eq!(
+        windowed.windowed_evals(),
+        0,
+        "no reacquisition happened, so the window must never have been used"
+    );
+}
+
+/// The tag keeps moving inside the window; a mid-stream `reacquire` on both
+/// trackers makes the windowed one actually take the restricted path, and
+/// every position before and after stays bit-identical to the full grid.
+#[test]
+fn windowed_reacquisition_matches_full_grid_bitwise() {
+    let (dep, plane, mut plain) = tracker_with(base_config(None));
+    let (_, _, mut windowed) = tracker_with(base_config(Some(TrackWindow { half_extent: 0.4 })));
+
+    let path = circle_path(Point2::new(1.4, 1.0), 0.1);
+    let first = path_reads(&dep, plane, &path[..100], 0.0, 2.0, None);
+    let second = path_reads(&dep, plane, &path[100..], 2.0, 2.0, None);
+
+    let mut a = drive(&mut plain, &first);
+    let mut b = drive(&mut windowed, &first);
+    plain.reacquire();
+    windowed.reacquire();
+    a.extend(drive(&mut plain, &second));
+    b.extend(drive(&mut windowed, &second));
+
+    assert!(a.len() > 50, "only {} positions", a.len());
+    assert_eq!(a, b, "windowed re-acquisition must match the full grid");
+    assert_eq!(plain.windowed_evals(), 0);
+    assert!(
+        windowed.windowed_evals() >= 1,
+        "the windowed path never fired, so this test proved nothing"
+    );
+}
+
+/// A stale gap resets the tracker, which must also forget the window hint:
+/// the tag may be anywhere by now, so re-acquisition runs on the full grid
+/// (and still succeeds at a position far outside the stale window).
+#[test]
+fn stale_reset_falls_back_to_the_full_grid() {
+    let cfg = OnlineConfig {
+        max_read_gap: Some(1.0),
+        ..base_config(Some(TrackWindow { half_extent: 0.3 }))
+    };
+    let (dep, plane, mut tracker) = tracker_with(cfg);
+
+    let before = vec![Point2::new(1.0, 1.0)];
+    let after = vec![Point2::new(1.9, 1.3)];
+    drive(&mut tracker, &path_reads(&dep, plane, &before, 0.0, 1.0, None));
+    assert!(tracker.is_tracking());
+
+    // 5 s of silence, then the tag reappears 0.9 m away — far outside any
+    // 0.3 m window around the pre-gap estimate.
+    let positions = drive(&mut tracker, &path_reads(&dep, plane, &after, 6.0, 1.0, None));
+    assert!(!positions.is_empty(), "no re-acquisition after the gap");
+    let est = tracker.current_estimate().expect("estimate after the gap");
+    assert!(
+        est.dist(after[0]) < 0.10,
+        "post-gap estimate {est:?} should be near {:?}",
+        after[0]
+    );
+    assert_eq!(
+        tracker.windowed_evals(),
+        0,
+        "a stale reset clears the hint, so both acquisitions were full-grid"
+    );
+}
+
+/// While an antenna is dropped out, a relock must not trust a window chosen
+/// when the array was healthy: the degraded acquisition runs full-grid.
+/// Once the antenna is readmitted, the next relock is windowed again.
+#[test]
+fn degraded_relock_falls_back_then_window_resumes() {
+    let cfg = OnlineConfig {
+        dropout_after: Some(0.1),
+        readmit_after: 0.2,
+        ..base_config(Some(TrackWindow { half_extent: 0.4 }))
+    };
+    let (dep, plane, mut tracker) = tracker_with(cfg);
+    let victim = AntennaId(1);
+    let p = vec![Point2::new(1.2, 1.0)];
+
+    // Healthy acquisition (full grid: no hint yet).
+    drive(&mut tracker, &path_reads(&dep, plane, &p, 0.0, 1.0, None));
+    assert!(tracker.is_tracking());
+    assert_eq!(tracker.windowed_evals(), 0);
+
+    // The victim goes silent long enough to be declared dropped, then a
+    // relock is forced: degraded, so it must ignore the window hint.
+    drive(
+        &mut tracker,
+        &path_reads(&dep, plane, &p, 1.0, 1.0, Some(victim)),
+    );
+    assert!(tracker.is_degraded(), "victim should be dropped by now");
+    tracker.reacquire();
+    drive(
+        &mut tracker,
+        &path_reads(&dep, plane, &p, 2.0, 1.0, Some(victim)),
+    );
+    assert!(tracker.is_tracking(), "degraded relock should still succeed");
+    assert_eq!(
+        tracker.windowed_evals(),
+        0,
+        "a Degraded relock must run on the full grid"
+    );
+
+    // The victim comes back; after readmission a relock may use the window.
+    drive(&mut tracker, &path_reads(&dep, plane, &p, 3.0, 1.0, None));
+    assert!(!tracker.is_degraded(), "victim should be readmitted");
+    tracker.reacquire();
+    drive(&mut tracker, &path_reads(&dep, plane, &p, 4.0, 1.0, None));
+    assert!(tracker.is_tracking());
+    assert_eq!(
+        tracker.windowed_evals(),
+        1,
+        "the healthy relock should have used the window"
+    );
+}

@@ -1,6 +1,7 @@
 //! Service configuration: how sessions are built, bounded, and drained.
 
 use rfidraw_core::array::Deployment;
+use rfidraw_core::cache::TableCache;
 use rfidraw_core::exec::Parallelism;
 use rfidraw_core::geom::{Plane, Rect};
 use rfidraw_core::online::{OnlineConfig, OnlineTracker};
@@ -48,6 +49,13 @@ pub struct TrackerTemplate {
     pub trace: TraceConfig,
     /// Streaming-tracker settings (tick, pruning, stale gap).
     pub online: OnlineConfig,
+    /// Shared vote-table cache. Every tracker built from this template
+    /// adopts (and eagerly populates) the cache, so N sessions over the
+    /// same deployment share exactly one coarse and one fine table instead
+    /// of building 2N copies. `None` gives each session private tables —
+    /// scoring is bit-identical either way, only memory and build work
+    /// change.
+    pub table_cache: Option<std::sync::Arc<TableCache>>,
 }
 
 impl TrackerTemplate {
@@ -66,18 +74,29 @@ impl TrackerTemplate {
                 max_read_gap: Some(1.0),
                 ..OnlineConfig::default()
             },
+            table_cache: Some(std::sync::Arc::new(TableCache::new())),
         }
     }
 
     /// Builds a fresh tracker from this template.
     pub fn build(&self) -> OnlineTracker {
-        OnlineTracker::new(
+        let mut tracker = OnlineTracker::new(
             self.deployment.clone(),
             self.plane,
             self.position.clone(),
             self.trace.clone(),
             self.online.clone(),
-        )
+        );
+        if let Some(cache) = &self.table_cache {
+            tracker.attach_table_cache(cache);
+        }
+        tracker
+    }
+
+    /// A snapshot of the shared table cache's counters, if one is
+    /// configured (surfaced through the service telemetry).
+    pub fn table_cache_stats(&self) -> Option<rfidraw_core::cache::TableCacheStats> {
+        self.table_cache.as_ref().map(|c| c.stats())
     }
 }
 

@@ -198,6 +198,7 @@ impl ServiceInner {
             let map = self.sessions.lock().expect("sessions lock");
             map.values().cloned().collect()
         };
+        let cache = self.cfg.tracker.table_cache_stats();
         TelemetryReport {
             active_sessions: sessions.len() as u64,
             sessions_opened: self.global.sessions_opened.get(),
@@ -212,6 +213,10 @@ impl ServiceInner {
             positions: self.global.positions.get(),
             stale_resets: self.global.stale_resets.get(),
             degraded_events: self.global.degraded.get(),
+            windowed_evals: self.global.windowed.get(),
+            table_cache_hits: cache.map_or(0, |c| c.hits),
+            table_cache_misses: cache.map_or(0, |c| c.misses),
+            table_cache_bytes: cache.map_or(0, |c| c.resident_bytes),
             latency: self.global.latency.snapshot(),
             queue_wait: self.global.queue_wait.snapshot(),
             compute: self.global.compute.snapshot(),

@@ -383,6 +383,16 @@ impl SessionShared {
                     global.latency.observe(qr.enqueued.elapsed());
                 }
             }
+            // The tracker's windowed-acquisition count is monotonic, so the
+            // session counter mirrors it exactly and the global counter
+            // receives the per-batch delta (only this claimed worker drains
+            // the session, so the delta cannot race).
+            let windowed = engine.tracker.windowed_evals();
+            let delta = windowed.saturating_sub(self.metrics.windowed.get());
+            if delta > 0 {
+                self.metrics.windowed.add(delta);
+                global.windowed.add(delta);
+            }
         }
         let compute = compute_start.elapsed();
         global.compute.observe(compute);
@@ -465,6 +475,7 @@ impl SessionShared {
             stale_resets: self.metrics.stale_resets.get(),
             reads_invalid: self.metrics.invalid.get(),
             degraded_events: self.metrics.degraded.get(),
+            windowed_evals: self.metrics.windowed.get(),
             queue_depth: self.queue_depth() as u64,
             tracking,
             degraded,

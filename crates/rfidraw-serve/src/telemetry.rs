@@ -58,6 +58,10 @@ pub(crate) struct SessionMetrics {
     /// Changes of the tracker's missing-pair set (antenna dropout or
     /// re-admission).
     pub degraded: Counter,
+    /// Window-restricted acquisitions the tracker performed. Mirrors the
+    /// tracker's own monotonic count (drained as deltas), so it equals
+    /// `OnlineTracker::windowed_evals` at every snapshot.
+    pub windowed: Counter,
 }
 
 /// Live service-wide counters.
@@ -71,6 +75,8 @@ pub(crate) struct GlobalMetrics {
     pub stale_resets: Counter,
     pub invalid: Counter,
     pub degraded: Counter,
+    /// Window-restricted acquisitions, service-wide.
+    pub windowed: Counter,
     /// Sessions ever created.
     pub sessions_opened: Counter,
     /// Sessions evicted by the idle timeout.
@@ -104,6 +110,7 @@ impl GlobalMetrics {
             stale_resets: Counter::new(),
             invalid: Counter::new(),
             degraded: Counter::new(),
+            windowed: Counter::new(),
             sessions_opened: Counter::new(),
             sessions_evicted: Counter::new(),
             sessions_closed: Counter::new(),
@@ -141,6 +148,11 @@ pub struct SessionTelemetry {
     pub reads_invalid: u64,
     /// Missing-pair-set changes (antenna dropout / re-admission).
     pub degraded_events: u64,
+    /// Window-restricted acquisitions this session's tracker performed
+    /// (0 unless [`OnlineConfig::window`] is configured).
+    ///
+    /// [`OnlineConfig::window`]: rfidraw_core::online::OnlineConfig::window
+    pub windowed_evals: u64,
     /// Reads currently waiting in the queue.
     pub queue_depth: u64,
     /// Whether the tracker has acquired and is producing estimates.
@@ -178,6 +190,18 @@ pub struct TelemetryReport {
     pub reads_invalid: u64,
     /// Missing-pair-set changes, service-wide.
     pub degraded_events: u64,
+    /// Window-restricted acquisitions, service-wide (the sum of every
+    /// session's `windowed_evals`).
+    pub windowed_evals: u64,
+    /// Vote-table cache hits: tracker builds that found their coarse or
+    /// fine table already shared (0 when no cache is configured).
+    pub table_cache_hits: u64,
+    /// Vote-table cache misses: lookups that installed a new shared slot.
+    /// `hits + misses = 2 × sessions that attached` (one coarse + one fine
+    /// lookup each), so `misses` bounds the number of distinct tables.
+    pub table_cache_misses: u64,
+    /// Bytes resident in built shared tables.
+    pub table_cache_bytes: u64,
     /// Ingest→position latency histogram.
     pub latency: HistogramSnapshot,
     /// Enqueue→dequeue wait histogram (how long reads sit in queues).
@@ -215,6 +239,13 @@ impl TelemetryReport {
         out.push_str(&format!(
             "output:   {} position snapshots, {} stale resets, {} degraded transitions\n",
             self.positions, self.stale_resets, self.degraded_events,
+        ));
+        out.push_str(&format!(
+            "tables:   {} cache hits / {} misses, {} bytes resident, {} windowed evals\n",
+            self.table_cache_hits,
+            self.table_cache_misses,
+            self.table_cache_bytes,
+            self.windowed_evals,
         ));
         out.push_str(&format!("latency:  {}\n", self.latency.summary()));
         out.push_str(&format!("queue:    {}\n", self.queue_wait.summary()));
@@ -256,6 +287,10 @@ impl TelemetryReport {
         p.counter("rfidraw_stale_resets_total", "Stale-gap tracker resets.", &[], self.stale_resets);
         p.counter("rfidraw_reads_invalid_total", "Reads refused as hostile or inconsistent.", &[], self.reads_invalid);
         p.counter("rfidraw_degraded_total", "Missing-pair-set changes (antenna dropout or re-admission).", &[], self.degraded_events);
+        p.counter("rfidraw_windowed_evals_total", "Window-restricted acquisitions.", &[], self.windowed_evals);
+        p.counter("rfidraw_table_cache_hits_total", "Vote-table cache hits.", &[], self.table_cache_hits);
+        p.counter("rfidraw_table_cache_misses_total", "Vote-table cache misses.", &[], self.table_cache_misses);
+        p.gauge("rfidraw_table_cache_resident_bytes", "Bytes resident in built shared vote tables.", &[], self.table_cache_bytes as f64);
         p.histogram("rfidraw_latency_us", "Ingest-to-position latency (µs).", &[], &self.latency);
         p.histogram("rfidraw_queue_wait_us", "Enqueue-to-dequeue wait (µs).", &[], &self.queue_wait);
         p.histogram("rfidraw_compute_us", "Tracker compute time per batch (µs).", &[], &self.compute);
@@ -278,6 +313,7 @@ impl TelemetryReport {
             p.counter("rfidraw_session_stale_resets_total", "Per-session stale resets.", &labels, s.stale_resets);
             p.counter("rfidraw_session_reads_invalid_total", "Per-session reads refused as invalid.", &labels, s.reads_invalid);
             p.counter("rfidraw_session_degraded_total", "Per-session missing-pair-set changes.", &labels, s.degraded_events);
+            p.counter("rfidraw_session_windowed_evals_total", "Per-session window-restricted acquisitions.", &labels, s.windowed_evals);
             p.gauge("rfidraw_session_queue_depth", "Per-session queued reads.", &labels, s.queue_depth as f64);
             p.gauge(
                 "rfidraw_session_tracking",
@@ -318,6 +354,10 @@ mod tests {
             stale_resets: 1,
             reads_invalid: 2,
             degraded_events: 1,
+            windowed_evals: 4,
+            table_cache_hits: 2,
+            table_cache_misses: 2,
+            table_cache_bytes: 4096,
             latency: h.snapshot(),
             queue_wait: LatencyHistogram::default_bounds().snapshot(),
             compute: LatencyHistogram::default_bounds().snapshot(),
@@ -335,6 +375,7 @@ mod tests {
                 stale_resets: 1,
                 reads_invalid: 2,
                 degraded_events: 1,
+                windowed_evals: 4,
                 queue_depth: 5,
                 tracking: true,
                 degraded: false,
@@ -359,6 +400,8 @@ mod tests {
         assert!(text.contains("latency:"));
         assert!(text.contains("queue:"));
         assert!(text.contains("stage engine_evaluate"));
+        assert!(text.contains("2 cache hits / 2 misses"));
+        assert!(text.contains("4 windowed evals"));
     }
 
     #[test]
@@ -372,6 +415,11 @@ mod tests {
         assert!(text.contains("rfidraw_stage_us_bucket{stage=\"engine_evaluate\",le=\"+Inf\"} 1"));
         assert!(text.contains("rfidraw_reads_invalid_total 2"));
         assert!(text.contains("rfidraw_degraded_total 1"));
+        assert!(text.contains("rfidraw_windowed_evals_total 4"));
+        assert!(text.contains("rfidraw_table_cache_hits_total 2"));
+        assert!(text.contains("rfidraw_table_cache_misses_total 2"));
+        assert!(text.contains("rfidraw_table_cache_resident_bytes 4096"));
+        assert!(text.contains("rfidraw_session_windowed_evals_total{epc="));
         assert!(text.contains("rfidraw_session_positions_total{epc="));
         // HELP/TYPE declared once per family despite per-session repeats.
         assert_eq!(text.matches("# TYPE rfidraw_stage_us histogram").count(), 1);

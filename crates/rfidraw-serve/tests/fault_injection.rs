@@ -213,6 +213,17 @@ fn all_fault_classes_survive_eight_concurrent_sessions() {
     // The blackout tag ran an antenna dark for 1.6 s with dropout
     // detection at 1.0 s: degraded transitions must have surfaced.
     assert!(report.degraded_events > 0, "blackout must produce degraded transitions");
+    // Windowed-tracking conservation: the global count is the session sum,
+    // and with no window configured both must stay zero.
+    assert_eq!(
+        report.windowed_evals,
+        report.sessions.iter().map(|s| s.windowed_evals).sum::<u64>()
+    );
+    assert_eq!(report.windowed_evals, 0, "no OnlineConfig::window configured");
+    // The default template shares a table cache: 8 sessions, 2 tables.
+    assert_eq!(report.table_cache_misses, 2);
+    assert_eq!(report.table_cache_hits, 14);
+    assert!(report.table_cache_bytes > 0);
 }
 
 /// Raw-line escape hatch so tests can speak protocol violations.

@@ -1,0 +1,110 @@
+//! Shared vote-table cache across sessions: 8 concurrent sessions over one
+//! deployment must build exactly one coarse and one fine table between
+//! them, produce positions bit-identical to cache-less sessions, and
+//! surface the sharing through the service telemetry.
+
+use rfidraw_channel::{Channel, Scenario};
+use rfidraw_core::array::Deployment;
+use rfidraw_core::geom::{Plane, Point2, Point3, Rect};
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_protocol::inventory::{demux_phase_reads, InventoryConfig, InventorySim, SimTag};
+use rfidraw_protocol::Epc;
+use rfidraw_serve::{ServeConfig, TrackerTemplate, TrackingService};
+use std::collections::BTreeMap;
+
+fn region() -> Rect {
+    Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7))
+}
+
+/// 8 static tags inventoried together, demuxed into per-tag streams.
+fn eight_tag_streams(seed: u64, duration: f64) -> BTreeMap<Epc, Vec<PhaseRead>> {
+    let plane = Plane::at_depth(2.0);
+    let positions: Vec<Point2> = (0..8)
+        .map(|i| Point2::new(0.7 + 0.4 * f64::from(i % 4), 0.6 + 0.7 * f64::from(i / 4)))
+        .collect();
+    let trajectories: Vec<Box<dyn Fn(f64) -> Point3>> = positions
+        .iter()
+        .map(|&p| {
+            let f: Box<dyn Fn(f64) -> Point3> = Box::new(move |_t| plane.lift(p));
+            f
+        })
+        .collect();
+    let tags: Vec<SimTag<'_>> = trajectories
+        .iter()
+        .enumerate()
+        .map(|(i, f)| SimTag { epc: Epc::from_index(i as u32 + 1), trajectory: f.as_ref() })
+        .collect();
+    let channel = Channel::new(Deployment::paper_default(), Scenario::Los.config(), seed);
+    let mut sim = InventorySim::new(channel, InventoryConfig::paper_default(0.030, seed));
+    demux_phase_reads(&sim.run(&tags, duration))
+}
+
+/// Runs all streams through a manually-pumped service built from
+/// `template`, returning each session's trajectory as raw bit patterns.
+fn run_service(
+    template: TrackerTemplate,
+    streams: &BTreeMap<Epc, Vec<PhaseRead>>,
+) -> (BTreeMap<Epc, Vec<(u64, u64)>>, TrackingService) {
+    let mut cfg = ServeConfig::new(template);
+    cfg.workers = None; // deterministic manual pumping
+    cfg.queue_capacity = 1 << 14;
+    let service = TrackingService::start(cfg);
+    let client = service.client();
+    for (&epc, reads) in streams {
+        client.ingest(epc, reads).expect("ingest");
+    }
+    while service.pump() > 0 {}
+    let trajectories = streams
+        .keys()
+        .map(|&epc| {
+            let view = client.session_view(epc).expect("session exists");
+            let bits = view
+                .trajectory
+                .iter()
+                .map(|p| (p.x.to_bits(), p.z.to_bits()))
+                .collect();
+            (epc, bits)
+        })
+        .collect();
+    (trajectories, service)
+}
+
+#[test]
+fn eight_sessions_share_exactly_two_tables_bit_identically() {
+    let streams = eight_tag_streams(11, 3.0);
+    assert_eq!(streams.len(), 8, "every tag should be read");
+
+    // The default template carries a shared cache; keep a handle on it so
+    // its counters can be inspected after the config moves into the service.
+    let shared = TrackerTemplate::paper_default(region());
+    let cache = shared.table_cache.clone().expect("cache on by default");
+    let mut private = TrackerTemplate::paper_default(region());
+    private.table_cache = None;
+
+    let (with_cache, service) = run_service(shared, &streams);
+    let (without_cache, _plain) = run_service(private, &streams);
+
+    // Scoring through shared tables is bit-identical to private tables.
+    let tracked = with_cache.values().filter(|t| !t.is_empty()).count();
+    assert!(tracked >= 6, "only {tracked}/8 sessions produced a trajectory");
+    assert_eq!(with_cache, without_cache, "shared tables changed a position");
+
+    // 8 sessions × (coarse + fine) lookups: the first session registers
+    // both tables, every later session finds them.
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 2, "exactly one coarse and one fine table registered");
+    assert_eq!(stats.hits, 14, "7 later sessions × 2 lookups each");
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.built_tables, 2, "both shared tables were built once");
+    assert!(stats.resident_bytes > 0);
+
+    // The sharing is visible through the service telemetry and exposition.
+    let report = service.telemetry();
+    assert_eq!(report.table_cache_misses, 2);
+    assert_eq!(report.table_cache_hits, 14);
+    assert_eq!(report.table_cache_bytes, stats.resident_bytes);
+    assert_eq!(report.windowed_evals, 0, "no windowed tracking configured");
+    let prom = report.to_prometheus();
+    assert!(prom.contains("rfidraw_table_cache_hits_total 14"));
+    assert!(prom.contains("rfidraw_table_cache_misses_total 2"));
+}

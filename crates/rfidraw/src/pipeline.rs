@@ -16,6 +16,7 @@ use rfidraw_core::array::Deployment;
 use rfidraw_core::baseline::BaselineArrays;
 use rfidraw_core::exec::Parallelism;
 use rfidraw_core::geom::{Plane, Point2, Rect};
+use rfidraw_core::online::{OnlineConfig, TrackWindow};
 use rfidraw_core::position::{Candidate, MultiResConfig, MultiResPositioner};
 use rfidraw_core::stream::{PairSnapshot, SnapshotBuilder, StreamError};
 use rfidraw_core::trace::{TraceConfig, TraceResult, TrajectoryTracer};
@@ -65,6 +66,12 @@ pub struct PipelineConfig {
     /// Results are bit-identical for every setting (see
     /// `rfidraw_core::exec`); only wall-clock time changes.
     pub parallelism: Parallelism,
+    /// Half-extent (m) of the window-restricted re-acquisition pass used by
+    /// online trackers derived from this configuration (see
+    /// [`rfidraw_core::online::TrackWindow`]). `None` — the default — keeps
+    /// every acquisition on the full grid; the offline [`run_word`] pipeline
+    /// ignores this knob entirely, so it is provably inert there.
+    pub track_window: Option<f64>,
     /// Master seed.
     pub seed: u64,
 }
@@ -87,6 +94,7 @@ impl PipelineConfig {
             fault: FaultConfig::default(),
             hampel: None,
             parallelism: Parallelism::Auto,
+            track_window: None,
             seed: 1,
         }
     }
@@ -125,6 +133,19 @@ impl PipelineConfig {
         let mut c = self.trace.clone();
         c.parallelism = self.parallelism;
         c
+    }
+
+    /// The [`OnlineConfig`] a live tracker over this pipeline's scene should
+    /// use: the pipeline tick, plus the windowed re-acquisition knob when
+    /// [`PipelineConfig::track_window`] is set.
+    pub fn online_config(&self) -> OnlineConfig {
+        OnlineConfig {
+            tick: self.tick,
+            window: self
+                .track_window
+                .map(|half_extent| TrackWindow { half_extent }),
+            ..OnlineConfig::default()
+        }
     }
 }
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Runs the kernel benches and writes a machine-readable snapshot to
+# BENCH_05.json: median ns/iter per kernel plus derived throughput numbers
+# (reads/sec through the serving layer, windowed vs full-grid speedup).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# The vendored criterion stub prints one line per bench:
+#     <name padded to 40>  median <value> <unit>
+# with unit one of ns / µs / ms / s; this script normalizes everything to
+# nanoseconds.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_05.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+cargo bench --offline --bench kernels 2>&1 | tee "$RAW" >&2
+
+awk '
+    function to_ns(value, unit) {
+        if (unit == "ns") return value
+        if (unit == "µs" || unit == "us") return value * 1e3
+        if (unit == "ms") return value * 1e6
+        if (unit == "s")  return value * 1e9
+        return -1
+    }
+    $2 == "median" && NF >= 4 {
+        ns = to_ns($3, $4)
+        if (ns < 0) next
+        medians[$1] = ns
+        order[n++] = $1
+    }
+    END {
+        printf "{\n"
+        printf "  \"snapshot\": \"BENCH_05\",\n"
+        printf "  \"unit\": \"ns_per_iter_median\",\n"
+        printf "  \"kernels\": {\n"
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            printf "    \"%s\": %.1f%s\n", name, medians[name], (i < n - 1 ? "," : "")
+        }
+        printf "  },\n"
+        printf "  \"derived\": {\n"
+        sep = ""
+        if ("vote_reference_1cm" in medians && "engine_1cm_serial" in medians) {
+            printf "%s    \"engine_vs_reference_speedup\": %.2f", sep, \
+                medians["vote_reference_1cm"] / medians["engine_1cm_serial"]
+            sep = ",\n"
+        }
+        if ("engine_1cm_serial" in medians && "engine_1cm_windowed" in medians) {
+            printf "%s    \"windowed_vs_full_speedup\": %.2f", sep, \
+                medians["engine_1cm_serial"] / medians["engine_1cm_windowed"]
+            sep = ",\n"
+        }
+        # serve_ingest benches push 4096 reads per iteration; the 8-session
+        # variant is the paper-style multi-tag load.
+        if ("serve_ingest_4096_reads_8_sessions" in medians) {
+            ns = medians["serve_ingest_4096_reads_8_sessions"]
+            printf "%s    \"serve_reads_per_sec_8_sessions\": %.0f", sep, 4096 * 1e9 / ns
+            sep = ",\n"
+            printf "%s    \"serve_session_drains_per_sec\": %.0f", sep, 8 * 1e9 / ns
+        }
+        if (sep != "") printf "\n"
+        printf "  }\n"
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2

@@ -19,6 +19,33 @@ cargo test --offline -q
 echo "== bench smoke (kernels, --test mode) =="
 cargo bench --offline --bench kernels -- --test
 
+echo "== perf sanity: pair-major engine vs reference path =="
+# The pair-major table kernel must not be slower than the table-free
+# reference evaluation on the dense 1 cm grid. The engine is ~2.5x faster
+# in steady state; the generous 1.1x allowance (engine may use up to 110%
+# of the reference's time) only trips on a real regression, not on noise.
+perf_out=$(cargo bench --offline --bench kernels -- 1cm 2>/dev/null | grep ' median ')
+echo "$perf_out"
+echo "$perf_out" | awk '
+    function to_ns(value, unit) {
+        if (unit == "ns") return value
+        if (unit == "µs" || unit == "us") return value * 1e3
+        if (unit == "ms") return value * 1e6
+        if (unit == "s")  return value * 1e9
+        return -1
+    }
+    $2 == "median" { m[$1] = to_ns($3, $4) }
+    END {
+        if (!("vote_reference_1cm" in m) || !("engine_1cm_serial" in m)) {
+            print "perf sanity: expected benches missing from output" > "/dev/stderr"
+            exit 1
+        }
+        ratio = m["engine_1cm_serial"] / m["vote_reference_1cm"]
+        printf "perf sanity: engine/reference time ratio %.2f (must be < 1.10)\n", ratio
+        exit (ratio < 1.10) ? 0 : 1
+    }
+'
+
 echo "== tier 2: serving layer =="
 # Integration tests in release (the determinism assertions compare bit
 # patterns, so they must hold under optimization too), then the live
@@ -26,6 +53,9 @@ echo "== tier 2: serving layer =="
 # dropped or rejected a single read (or if the injected stale-gap anomaly
 # fails to produce a flight-recorder dump).
 cargo test --release --offline -q -p rfidraw-serve
+# The shared-table guarantee, by name: 8 concurrent sessions over one
+# deployment build exactly one coarse and one fine vote table between them.
+cargo test --release --offline -q -p rfidraw-serve --test table_cache
 cargo run --release --offline -p rfidraw --example live_service > /dev/null
 
 echo "== tier 2: fault injection =="
