@@ -81,10 +81,25 @@ fn bench_vote_engine(c: &mut Criterion) {
         });
     }
 
-    let engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+    let engine = VoteEngine::for_deployment(&dep, plane, grid.clone(), Parallelism::Serial);
     engine.build_table();
     let window = GridWindow::around(engine.grid(), Point2::new(1.2, 0.9), 0.2);
     c.bench_function("engine_1cm_windowed", |b| {
+        b.iter(|| black_box(engine.evaluate_windowed(black_box(&ms), &window).argmax()))
+    });
+
+    // The f32 kernel on the same grid and window: half the table bytes and
+    // bandwidth. CI's perf-sanity gate requires `engine_1cm_f32` to beat
+    // `engine_1cm_serial` by at least 1.2x.
+    use rfidraw::core::engine::TablePrecision;
+    let mut engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+    engine.set_precision(TablePrecision::F32);
+    engine.build_table_f32();
+    c.bench_function("engine_1cm_f32", |b| {
+        b.iter(|| black_box(engine.evaluate(black_box(&ms)).argmax()))
+    });
+    let window = GridWindow::around(engine.grid(), Point2::new(1.2, 0.9), 0.2);
+    c.bench_function("engine_1cm_f32_windowed", |b| {
         b.iter(|| black_box(engine.evaluate_windowed(black_box(&ms), &window).argmax()))
     });
 }

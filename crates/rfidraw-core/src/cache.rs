@@ -1,4 +1,5 @@
-//! Shared distance-difference tables across vote engines.
+//! Shared distance-difference tables across vote engines, under an
+//! explicit byte budget.
 //!
 //! A [`crate::engine::VoteEngine`] table depends only on the
 //! (deployment, plane, grid, pair set) it was built for — not on any
@@ -7,21 +8,42 @@
 //! build 2·N private copies (coarse + fine per session) of tables that are
 //! bit-for-bit identical. [`TableCache`] deduplicates them: engines with
 //! equal [`TableKey`] fingerprints are handed the same `Arc`-shared table
-//! slot, so N sessions over one deployment hold exactly two physical
-//! tables, built once each.
+//! slots, so N sessions over one deployment hold exactly two physical
+//! tables, built once each. One cache entry carries a slot per
+//! [`crate::engine::TablePrecision`], so mixed f64/f32 fleets share
+//! geometry without duplicating keys.
 //!
 //! Sharing is invisible to results. The slot a cache hands out is the same
 //! lazily-built `OnceLock` an unshared engine owns privately; whichever
 //! engine touches it first builds the table with the construction-time
 //! parameters that define the key, and every later engine reads the same
-//! bits it would have computed itself. The cache never evicts: keys are
-//! few (one per distinct grid/plane/deployment actually in use) and the
-//! tables are the working set, not a speculation. A deployment change
-//! means a new key, and dropping the cache drops every table no engine
-//! still references.
+//! bits it would have computed itself.
+//!
+//! ## Byte budget and eviction
+//!
+//! [`CacheConfig::max_resident_bytes`] caps what the cache may hold. The
+//! accounting is by **charge, at adoption time**: when an engine adopts,
+//! the cache charges the full predicted size of its precision's table
+//! (`cells × pairs × entry bytes` — tables are dense rectangles, so the
+//! prediction is exact) even though the `OnceLock` builds lazily later.
+//! Charged bytes always dominate built bytes, so
+//! `stats().resident_bytes ≤ max_resident_bytes` holds at *every*
+//! instant, not just after builds settle. When a new charge would
+//! overflow the budget, least-recently-adopted entries are evicted until
+//! it fits; an entry that cannot fit even alone (e.g. under a zero
+//! budget) is simply never registered, and the engine keeps its private
+//! slot — the cache degrades to build-per-session, never to a panic.
+//!
+//! Eviction drops only the *cache's* `Arc` to the slots: engines already
+//! sharing an evicted table keep it alive and keep scoring through it
+//! unchanged. A later adopter of the same key gets a fresh entry and
+//! rebuilds the same bits — reported as [`AdoptOutcome::Rebuild`] so
+//! callers can see churn explicitly instead of inferring it from stats
+//! deltas.
 
-use crate::engine::VoteEngine;
-use std::collections::BTreeMap;
+use crate::engine::{TablePrecision, VoteEngine};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -29,7 +51,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// depends on: grid lattice, plane depth, turns factor, and the ordered
 /// pair set with its antenna geometry. All floats enter as IEEE-754 bit
 /// patterns, so two keys are equal exactly when the tables they describe
-/// are bit-identical by construction.
+/// are bit-identical by construction. Precision is deliberately *not*
+/// part of the key — one entry serves both widths.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct TableKey(Vec<u64>);
 
@@ -62,19 +85,89 @@ impl TableKey {
     }
 }
 
+/// Capacity policy for a [`TableCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Upper bound on the bytes of table data the cache may keep resident
+    /// (charged at adoption time; see the module docs). The default is
+    /// effectively unbounded, preserving the never-evict behaviour for
+    /// single-deployment services.
+    pub max_resident_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { max_resident_bytes: u64::MAX }
+    }
+}
+
+/// What [`TableCache::adopt`] did for an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdoptOutcome {
+    /// The engine's key was resident; it now shares the cached slots.
+    Hit,
+    /// First sight of this key. If it fit the budget the engine's own
+    /// slots were registered for later sharers; otherwise the engine
+    /// simply keeps them private.
+    Miss,
+    /// This key *was* resident once but has been evicted since — the
+    /// adopting engine (or a later sharer) rebuilds a table the cache
+    /// used to hold. Distinguishable from [`AdoptOutcome::Miss`] so churn
+    /// against the byte budget is observable per adoption.
+    Rebuild,
+}
+
 /// A point-in-time view of a [`TableCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TableCacheStats {
     /// Adoptions that found an existing slot for the engine's key.
     pub hits: u64,
-    /// Adoptions that registered the engine's own slot as a new entry.
+    /// Adoptions that did not ([`AdoptOutcome::Miss`] or
+    /// [`AdoptOutcome::Rebuild`]). `hits + misses` equals total adoptions.
     pub misses: u64,
     /// Distinct table keys currently cached.
     pub entries: u64,
-    /// Cached slots whose table has actually been built.
+    /// Cached slots whose table has actually been built (each precision
+    /// counts separately).
     pub built_tables: u64,
     /// Total bytes of built table data currently resident in the cache.
+    /// Never exceeds the charged bytes, which never exceed
+    /// [`CacheConfig::max_resident_bytes`].
     pub resident_bytes: u64,
+    /// Entries evicted to keep charged bytes within the budget.
+    pub evictions: u64,
+}
+
+/// One cached geometry: a slot per precision plus bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    slot_f64: Arc<OnceLock<Vec<f64>>>,
+    slot_f32: Arc<OnceLock<Vec<f32>>>,
+    /// Bytes charged against the budget for each precision (0 = no
+    /// adopter has requested that width yet, so it can never be built
+    /// through this entry's shared slot by a cache-managed engine).
+    charged_f64: u64,
+    charged_f32: u64,
+    /// Adoption clock of the most recent adopter — the LRU criterion.
+    last_touch: u64,
+}
+
+impl Entry {
+    fn charged(&self) -> u64 {
+        self.charged_f64 + self.charged_f32
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    slots: BTreeMap<TableKey, Entry>,
+    /// Keys that were resident once and have been evicted since; lets
+    /// [`TableCache::adopt`] report [`AdoptOutcome::Rebuild`] explicitly.
+    evicted: BTreeSet<TableKey>,
+    /// Monotonic adoption counter (the LRU clock).
+    clock: u64,
+    /// Sum of every resident entry's charge.
+    charged_bytes: u64,
 }
 
 /// A process-wide (or service-wide) registry of shared table slots.
@@ -82,60 +175,170 @@ pub struct TableCacheStats {
 /// Thread-safe; adoption takes a mutex for the brief map operation, and
 /// table *construction* still happens lazily inside the slot's `OnceLock`
 /// (so a slow build never holds the cache lock).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TableCache {
-    slots: Mutex<BTreeMap<TableKey, Arc<OnceLock<Vec<f64>>>>>,
+    state: Mutex<CacheState>,
+    config: CacheConfig,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for TableCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TableCache {
-    /// An empty cache.
+    /// An empty, effectively unbounded cache.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(CacheConfig::default())
     }
 
-    /// Points `engine` at the cache's slot for its fingerprint, creating
-    /// the entry from the engine's own (still lazy) slot on first sight.
+    /// An empty cache with an explicit byte budget.
+    pub fn with_config(config: CacheConfig) -> Self {
+        Self {
+            state: Mutex::new(CacheState::default()),
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The capacity policy in force.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Points `engine` at the cache's slots for its fingerprint, creating
+    /// the entry from the engine's own (still lazy) slots on first sight
+    /// and evicting least-recently-adopted entries if the engine's
+    /// predicted table bytes would overflow the budget.
     ///
-    /// After adoption, every engine with the same fingerprint reads the
-    /// same physical table; the first evaluation (or explicit
-    /// [`VoteEngine::build_table`]) builds it once for all of them.
-    /// Sharing never changes any computed value — the slot's contents are
-    /// defined by the key.
-    pub fn adopt(&self, engine: &mut VoteEngine) {
+    /// After adoption, every engine with the same fingerprint and
+    /// precision reads the same physical table; the first evaluation (or
+    /// explicit build) builds it once for all of them. Sharing never
+    /// changes any computed value — the slot's contents are defined by
+    /// the key. Engines whose table cannot fit the budget are left on
+    /// their private slots (reported as a miss), so a zero-budget cache
+    /// degrades to build-per-session.
+    ///
+    /// Call [`VoteEngine::set_precision`] *before* adopting: the charge
+    /// covers the precision declared here.
+    pub fn adopt(&self, engine: &mut VoteEngine) -> AdoptOutcome {
         let key = engine.table_fingerprint();
-        let mut slots = self.slots.lock().expect("table cache poisoned");
-        match slots.get(&key) {
-            Some(slot) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                engine.set_table_slot(Arc::clone(slot));
+        let need = engine.table_bytes();
+        let precision = engine.precision();
+        let mut st = self.state.lock().expect("table cache poisoned");
+        st.clock += 1;
+        let clock = st.clock;
+
+        if st.slots.contains_key(&key) {
+            // Charge this precision's bytes on its first adopter.
+            let already_charged = {
+                let e = &st.slots[&key];
+                match precision {
+                    TablePrecision::F64 => e.charged_f64 > 0,
+                    TablePrecision::F32 => e.charged_f32 > 0,
+                }
+            };
+            if !already_charged {
+                if !self.make_room(&mut st, &key, need) {
+                    // Can't charge the extra width: the engine stays
+                    // private rather than building uncharged shared bytes.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return AdoptOutcome::Miss;
+                }
+                let e = st.slots.get_mut(&key).expect("entry survived make_room");
+                match precision {
+                    TablePrecision::F64 => e.charged_f64 = need,
+                    TablePrecision::F32 => e.charged_f32 = need,
+                }
+                st.charged_bytes += need;
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                slots.insert(key, engine.table_slot());
+            let e = st.slots.get_mut(&key).expect("entry present");
+            e.last_touch = clock;
+            engine.set_table_slot(Arc::clone(&e.slot_f64));
+            engine.set_table_slot_f32(Arc::clone(&e.slot_f32));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return AdoptOutcome::Hit;
+        }
+
+        let was_evicted = st.evicted.contains(&key);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if !self.make_room(&mut st, &key, need) {
+            // Doesn't fit even after evicting everything else: leave the
+            // engine private and the key unregistered.
+            return if was_evicted { AdoptOutcome::Rebuild } else { AdoptOutcome::Miss };
+        }
+        let entry = Entry {
+            slot_f64: engine.table_slot(),
+            slot_f32: engine.table_slot_f32(),
+            charged_f64: if precision == TablePrecision::F64 { need } else { 0 },
+            charged_f32: if precision == TablePrecision::F32 { need } else { 0 },
+            last_touch: clock,
+        };
+        st.charged_bytes += need;
+        st.evicted.remove(&key);
+        st.slots.insert(key, entry);
+        if was_evicted {
+            AdoptOutcome::Rebuild
+        } else {
+            AdoptOutcome::Miss
+        }
+    }
+
+    /// Evicts least-recently-adopted entries (never `keep`) until `need`
+    /// more bytes fit the budget. Returns false if they can never fit.
+    fn make_room(&self, st: &mut CacheState, keep: &TableKey, need: u64) -> bool {
+        if need > self.config.max_resident_bytes {
+            return false;
+        }
+        while st.charged_bytes.saturating_add(need) > self.config.max_resident_bytes {
+            let victim = st
+                .slots
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = st.slots.remove(&k).expect("victim present");
+                    st.charged_bytes -= e.charged();
+                    st.evicted.insert(k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return false,
             }
         }
+        true
     }
 
     /// Counters plus a walk of the cached slots (cheap: one entry per
     /// distinct grid in use).
     pub fn stats(&self) -> TableCacheStats {
-        let slots = self.slots.lock().expect("table cache poisoned");
+        let st = self.state.lock().expect("table cache poisoned");
         let mut built = 0u64;
         let mut bytes = 0u64;
-        for slot in slots.values() {
-            if let Some(table) = slot.get() {
+        for entry in st.slots.values() {
+            if let Some(table) = entry.slot_f64.get() {
                 built += 1;
                 bytes += (table.len() * std::mem::size_of::<f64>()) as u64;
+            }
+            if let Some(table) = entry.slot_f32.get() {
+                built += 1;
+                bytes += (table.len() * std::mem::size_of::<f32>()) as u64;
             }
         }
         TableCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: slots.len() as u64,
+            entries: st.slots.len() as u64,
             built_tables: built,
             resident_bytes: bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,11 +367,12 @@ mod tests {
         let cache = TableCache::new();
         let mut a = engine(2.0, 0.05);
         let mut b = engine(2.0, 0.05);
-        cache.adopt(&mut a);
-        cache.adopt(&mut b);
+        assert_eq!(cache.adopt(&mut a), AdoptOutcome::Miss);
+        assert_eq!(cache.adopt(&mut b), AdoptOutcome::Hit);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(stats.built_tables, 0, "adoption must not build eagerly");
+        assert_eq!(stats.evictions, 0);
         // The same physical table backs both engines.
         assert_eq!(a.build_table().as_ptr(), b.build_table().as_ptr());
         let stats = cache.stats();
@@ -208,5 +412,141 @@ mod tests {
             m.values().iter().map(|v| v.to_bits()).collect()
         };
         assert_eq!(bits(&reference), bits(&b.evaluate(&ms)));
+    }
+
+    #[test]
+    fn mixed_precision_engines_share_one_entry() {
+        let cache = TableCache::new();
+        let mut a = engine(2.0, 0.05);
+        let mut b = engine(2.0, 0.05);
+        b.set_precision(TablePrecision::F32);
+        assert_eq!(cache.adopt(&mut a), AdoptOutcome::Miss);
+        assert_eq!(cache.adopt(&mut b), AdoptOutcome::Hit, "precision is not in the key");
+        a.build_table();
+        b.build_table_f32();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.built_tables, 2, "one table per precision");
+        let f64_bytes = (a.build_table().len() * std::mem::size_of::<f64>()) as u64;
+        assert_eq!(stats.resident_bytes, f64_bytes + f64_bytes / 2);
+        // Another f32 engine shares b's physical table.
+        let mut c = engine(2.0, 0.05);
+        c.set_precision(TablePrecision::F32);
+        assert_eq!(cache.adopt(&mut c), AdoptOutcome::Hit);
+        assert_eq!(b.build_table_f32().as_ptr(), c.build_table_f32().as_ptr());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_reports_rebuilds() {
+        // Budget for exactly two tables of this size; three distinct keys.
+        let one = engine(2.0, 0.05).table_bytes();
+        let cache = TableCache::with_config(CacheConfig { max_resident_bytes: 2 * one });
+        let budget = cache.config().max_resident_bytes;
+
+        let mut outcomes = Vec::new();
+        let mut adopt = |e: &mut VoteEngine| {
+            let out = cache.adopt(e);
+            let stats = cache.stats();
+            assert!(
+                stats.resident_bytes <= budget,
+                "resident {} exceeds budget {budget}",
+                stats.resident_bytes
+            );
+            assert!(stats.entries <= 2);
+            out
+        };
+
+        let mut a1 = engine(2.0, 0.05);
+        let mut b1 = engine(3.0, 0.05);
+        let mut a2 = engine(2.0, 0.05);
+        let mut c1 = engine(4.0, 0.05);
+        let mut b2 = engine(3.0, 0.05);
+        let mut a3 = engine(2.0, 0.05);
+        outcomes.push(adopt(&mut a1)); // A in
+        a1.build_table();
+        outcomes.push(adopt(&mut b1)); // B in — full
+        b1.build_table();
+        outcomes.push(adopt(&mut a2)); // touch A
+        outcomes.push(adopt(&mut c1)); // evicts B (LRU), not A
+        outcomes.push(adopt(&mut b2)); // B again: Rebuild, evicts A
+        outcomes.push(adopt(&mut a3)); // A again: Rebuild, evicts C
+        use AdoptOutcome::{Hit, Miss, Rebuild};
+        assert_eq!(outcomes, vec![Miss, Miss, Hit, Miss, Rebuild, Rebuild]);
+
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 5);
+        // Conservation: every non-hit adoption inserted an entry, and
+        // entries = inserts − evictions.
+        assert_eq!(stats.entries, stats.misses - stats.evictions);
+        // Engines holding evicted tables keep scoring through them; the
+        // cache merely dropped its own reference.
+        assert!(a1.is_table_built() && b1.is_table_built());
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_build_per_session() {
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let ms = ideal_measurements(&dep, dep.all_pairs(), plane.lift(Point2::new(1.2, 0.9)));
+        let reference = engine(2.0, 0.05).evaluate(&ms);
+
+        let cache = TableCache::with_config(CacheConfig { max_resident_bytes: 0 });
+        let mut a = engine(2.0, 0.05);
+        let mut b = engine(2.0, 0.05);
+        assert_eq!(cache.adopt(&mut a), AdoptOutcome::Miss);
+        assert_eq!(cache.adopt(&mut b), AdoptOutcome::Miss, "nothing is ever registered");
+        let map_a = a.evaluate(&ms);
+        let map_b = b.evaluate(&ms);
+        assert_ne!(a.build_table().as_ptr(), b.build_table().as_ptr(), "private tables");
+        let bits = |m: &crate::grid::VoteMap| -> Vec<u64> {
+            m.values().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&reference), bits(&map_a));
+        assert_eq!(bits(&reference), bits(&map_b));
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions, stats.resident_bytes), (0, 0, 0));
+        assert_eq!(stats.hits + stats.misses, 2);
+    }
+
+    #[test]
+    fn rebuilt_tables_are_bit_identical_to_evicted_ones() {
+        let one = engine(2.0, 0.05).table_bytes();
+        let cache = TableCache::with_config(CacheConfig { max_resident_bytes: one });
+        let mut a1 = engine(2.0, 0.05);
+        cache.adopt(&mut a1);
+        let original: Vec<u64> = a1.build_table().iter().map(|v| v.to_bits()).collect();
+        let mut b = engine(3.0, 0.05);
+        cache.adopt(&mut b); // evicts A
+        let mut a2 = engine(2.0, 0.05);
+        assert_eq!(cache.adopt(&mut a2), AdoptOutcome::Rebuild); // evicts B
+        let rebuilt: Vec<u64> = a2.build_table().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(original, rebuilt);
+        assert_ne!(a1.build_table().as_ptr(), a2.build_table().as_ptr());
+        // A second sharer of the rebuilt entry is a plain hit.
+        let mut a3 = engine(2.0, 0.05);
+        assert_eq!(cache.adopt(&mut a3), AdoptOutcome::Hit);
+        assert_eq!(a2.build_table().as_ptr(), a3.build_table().as_ptr());
+    }
+
+    #[test]
+    fn precision_upgrade_charge_respects_budget() {
+        // Budget fits one f64 table plus an f32 sibling, but not two keys.
+        let f64_bytes = engine(2.0, 0.05).table_bytes();
+        let cache =
+            TableCache::with_config(CacheConfig { max_resident_bytes: f64_bytes + f64_bytes / 2 });
+        let mut a = engine(2.0, 0.05);
+        assert_eq!(cache.adopt(&mut a), AdoptOutcome::Miss);
+        let mut a32 = engine(2.0, 0.05);
+        a32.set_precision(TablePrecision::F32);
+        // Charging the f32 width of the same key fits without eviction.
+        assert_eq!(cache.adopt(&mut a32), AdoptOutcome::Hit);
+        a.build_table();
+        a32.build_table_f32();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.resident_bytes <= cache.config().max_resident_bytes);
     }
 }

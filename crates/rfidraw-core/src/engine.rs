@@ -32,8 +32,27 @@
 //! evaluation saves). Both paths compute each kept cell with the same
 //! operations, so which one runs never changes the result.
 //!
-//! The table slot is an `Arc` so engines over the same
-//! (deployment, plane, grid) can share one physical table — see
+//! ## Table precision
+//!
+//! The engine keeps two table slots, one per [`TablePrecision`]. The `f64`
+//! table is the reference: bit-identical to [`VoteMap::evaluate`], used by
+//! every accuracy-critical path. The `f32` table halves the bytes streamed
+//! per sweep (the kernel is memory-bound on the 1 cm grid) and doubles the
+//! SIMD lane count; its per-cell accumulation runs entirely in `f32`
+//! (table entry, measured turns, `-f²` terms, partial sums) and widens to
+//! `f64` only when the finished accumulator is written out — an exact
+//! conversion. The sweep is additionally *tiled* over the cell dimension
+//! ([`CELL_TILE`] cells per tile) so the accumulator tile stays in L1
+//! while the pair columns stream through. Neither tiling nor sharding
+//! changes any per-cell operation sequence, so f32 results are
+//! bit-identical across every [`Parallelism`] setting and tile boundary.
+//! The f32 path's worst-case vote error versus the f64 reference is not
+//! assumed: [`VoteEngine::f32_vote_error_bound`] *derives* it from the
+//! actual table magnitudes (see DESIGN.md §11), and the test suites assert
+//! both the bound and argmax-cell agreement.
+//!
+//! The table slots are `Arc`s so engines over the same
+//! (deployment, plane, grid) can share physical tables — see
 //! [`crate::cache::TableCache`].
 
 use crate::array::{AntennaPair, Deployment};
@@ -42,10 +61,49 @@ use crate::geom::{Plane, Point3};
 use crate::grid::{Grid2, GridWindow, VoteMap};
 #[cfg(feature = "trace")]
 use crate::obs::{self, SharedSink, Stage};
-use crate::phase::frac_dist_to_integer;
+use crate::phase::{frac_dist_to_integer, frac_dist_to_integer_f32};
 use crate::vote::PairMeasurement;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
+
+/// Cells per accumulator tile in the f32 sweep: 4096 × 4 B = 16 KiB of
+/// accumulators, comfortably inside L1 alongside the streamed column
+/// slices. Tiling never changes a result — each cell's terms still arrive
+/// in measurement order — so the value is pure tuning.
+const CELL_TILE: usize = 4096;
+
+/// Which floating-point width backs an engine's distance-difference table.
+///
+/// `F64` is the bit-exact reference; `F32` halves table bytes and memory
+/// bandwidth with a rigorously bounded vote error (see
+/// [`VoteEngine::f32_vote_error_bound`]). The precision is part of the
+/// engine configuration, not the cache key: a [`crate::cache::TableCache`]
+/// entry carries one slot per precision, so mixed fleets share geometry
+/// without duplicating keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TablePrecision {
+    /// Double-precision tables — bit-identical to [`VoteMap::evaluate`].
+    F64,
+    /// Single-precision tables — half the bytes, bounded vote error.
+    F32,
+}
+
+impl Default for TablePrecision {
+    fn default() -> Self {
+        TablePrecision::F64
+    }
+}
+
+impl TablePrecision {
+    /// Bytes per table entry at this precision.
+    pub fn entry_bytes(self) -> u64 {
+        match self {
+            TablePrecision::F64 => std::mem::size_of::<f64>() as u64,
+            TablePrecision::F32 => std::mem::size_of::<f32>() as u64,
+        }
+    }
+}
 
 /// A reusable vote-map evaluator for one (deployment, plane, grid) triple.
 #[derive(Debug, Clone)]
@@ -69,6 +127,13 @@ pub struct VoteEngine {
     /// same (deployment, plane, grid) share one physical table; a fresh
     /// engine always starts with a private slot.
     table: Arc<OnceLock<Vec<f64>>>,
+    /// The single-precision sibling of `table`: same pair-major layout,
+    /// each entry the correctly-rounded `f32` of the f64 entry. Built
+    /// independently (an F32-only engine never materializes the f64
+    /// table).
+    table_f32: Arc<OnceLock<Vec<f32>>>,
+    /// Which table `evaluate*` uses. `F64` unless configured otherwise.
+    precision: TablePrecision,
     #[cfg(feature = "trace")]
     sink: Option<SharedSink>,
     #[cfg(feature = "trace")]
@@ -112,6 +177,8 @@ impl VoteEngine {
             turns_factor,
             parallelism,
             table: Arc::new(OnceLock::new()),
+            table_f32: Arc::new(OnceLock::new()),
+            precision: TablePrecision::default(),
             #[cfg(feature = "trace")]
             sink: None,
             #[cfg(feature = "trace")]
@@ -152,6 +219,33 @@ impl VoteEngine {
         self.parallelism = parallelism;
     }
 
+    /// The table precision `evaluate*` uses.
+    pub fn precision(&self) -> TablePrecision {
+        self.precision
+    }
+
+    /// Changes the table precision. Must be called before the engine is
+    /// adopted into a [`crate::cache::TableCache`]: a cache charges its
+    /// byte budget for the precision an engine declares at adoption, so
+    /// switching afterwards detaches the engine onto fresh *private* slots
+    /// (dropping any shared or already-built table) rather than letting it
+    /// build uncharged bytes into a shared slot.
+    pub fn set_precision(&mut self, precision: TablePrecision) {
+        if precision != self.precision {
+            self.precision = precision;
+            self.table = Arc::new(OnceLock::new());
+            self.table_f32 = Arc::new(OnceLock::new());
+        }
+    }
+
+    /// The bytes the active-precision table occupies once built (exactly
+    /// `grid cells × pairs × entry size`; the table is a dense rectangle).
+    /// This is also what a [`crate::cache::TableCache`] charges against
+    /// its byte budget at adoption time.
+    pub fn table_bytes(&self) -> u64 {
+        self.grid.len() as u64 * self.pairs.len() as u64 * self.precision.entry_bytes()
+    }
+
     /// Installs (or removes) a trace sink; evaluation spans and per-shard
     /// timings are emitted to it tagged with `session`. Observability only:
     /// never changes any computed value (see [`crate::obs`]).
@@ -161,24 +255,39 @@ impl VoteEngine {
         self.session = session;
     }
 
-    /// Whether the distance-difference table has been built yet.
+    /// Whether the active-precision distance-difference table has been
+    /// built yet.
     pub fn is_table_built(&self) -> bool {
-        self.table.get().is_some()
+        match self.precision {
+            TablePrecision::F64 => self.table.get().is_some(),
+            TablePrecision::F32 => self.table_f32.get().is_some(),
+        }
     }
 
-    /// The engine's table slot, for sharing through a
+    /// The engine's f64 table slot, for sharing through a
     /// [`crate::cache::TableCache`]. Cloning the `Arc` is cheap; the table
     /// itself is built at most once per slot.
     pub(crate) fn table_slot(&self) -> Arc<OnceLock<Vec<f64>>> {
         Arc::clone(&self.table)
     }
 
-    /// Replaces the engine's table slot with a shared one. Only the cache
-    /// calls this, and only with a slot for the identical
+    /// The engine's f32 table slot (see [`VoteEngine::table_slot`]).
+    pub(crate) fn table_slot_f32(&self) -> Arc<OnceLock<Vec<f32>>> {
+        Arc::clone(&self.table_f32)
+    }
+
+    /// Replaces the engine's f64 table slot with a shared one. Only the
+    /// cache calls this, and only with a slot for the identical
     /// (deployment, plane, grid, pairs) fingerprint, so the table contents
     /// are the same bits either way — sharing never changes a result.
     pub(crate) fn set_table_slot(&mut self, slot: Arc<OnceLock<Vec<f64>>>) {
         self.table = slot;
+    }
+
+    /// Replaces the engine's f32 table slot with a shared one (see
+    /// [`VoteEngine::set_table_slot`]).
+    pub(crate) fn set_table_slot_f32(&mut self, slot: Arc<OnceLock<Vec<f32>>>) {
+        self.table_f32 = slot;
     }
 
     /// A canonical fingerprint of everything the table depends on: the
@@ -225,6 +334,31 @@ impl VoteEngine {
         })
     }
 
+    /// Builds (once) and returns the single-precision table. Each entry is
+    /// the correctly-rounded `f32` of the f64 entry the reference table
+    /// would hold at the same index (the `as f32` cast rounds to nearest,
+    /// ties to even); the f64 table itself is never materialized here, so
+    /// an F32-only fleet pays only the half-size table.
+    pub fn build_table_f32(&self) -> &[f32] {
+        self.table_f32.get_or_init(|| {
+            #[cfg(feature = "trace")]
+            let _span =
+                obs::SpanTimer::start(self.sink.as_ref(), self.session, Stage::EngineTable, 0.0);
+            let n_cells = self.grid.len();
+            let mut table = vec![0.0f32; n_cells * self.pairs.len()];
+            for (column, &(pi, pj)) in table.chunks_mut(n_cells).zip(&self.geom) {
+                self.parallelism.run_row_sharded(column, 1, |first, shard| {
+                    for (i, slot) in shard.iter_mut().enumerate() {
+                        let (ix, iz) = self.grid.unflat(first + i);
+                        let p3 = self.plane.lift(self.grid.point(ix, iz));
+                        *slot = (self.turns_factor * (p3.dist(pi) - p3.dist(pj))) as f32;
+                    }
+                });
+            }
+            table
+        })
+    }
+
     /// Maps each measurement to its table column and its measured turns,
     /// through the pair→column index built at construction.
     ///
@@ -242,10 +376,30 @@ impl VoteEngine {
             .collect()
     }
 
+    /// [`VoteEngine::columns`] with the measured turns pre-rounded to
+    /// `f32`, so the hot sweep never converts inside the loop.
+    fn columns_f32(&self, measurements: &[PairMeasurement]) -> Vec<(usize, f32)> {
+        self.columns(measurements)
+            .into_iter()
+            .map(|(col, measured)| (col, measured as f32))
+            .collect()
+    }
+
     /// Evaluates the total nearest-lobe vote of `measurements` on every
-    /// lattice point. Bit-identical to [`VoteMap::evaluate`] on the same
-    /// inputs, for every [`Parallelism`] setting.
+    /// lattice point. At [`TablePrecision::F64`] (the default) the result
+    /// is bit-identical to [`VoteMap::evaluate`] on the same inputs; at
+    /// [`TablePrecision::F32`] every vote is within
+    /// [`VoteEngine::f32_vote_error_bound`] of the f64 reference. Either
+    /// way the result is bit-identical across every [`Parallelism`]
+    /// setting.
     pub fn evaluate(&self, measurements: &[PairMeasurement]) -> VoteMap {
+        match self.precision {
+            TablePrecision::F64 => self.evaluate_f64(measurements),
+            TablePrecision::F32 => self.evaluate_f32(measurements),
+        }
+    }
+
+    fn evaluate_f64(&self, measurements: &[PairMeasurement]) -> VoteMap {
         let cols = self.columns(measurements);
         let table = self.build_table();
         let n_cells = self.grid.len();
@@ -280,11 +434,63 @@ impl VoteEngine {
         VoteMap::from_values(self.grid.clone(), values)
     }
 
+    /// The single-precision sweep: same measurement-outer / cell-inner
+    /// loop nest over the f32 table, tiled over the cell dimension so the
+    /// f32 accumulator tile ([`CELL_TILE`] cells) stays L1-resident while
+    /// the pair columns stream. Accumulation is pure f32; each finished
+    /// accumulator widens exactly to f64 on write-out. Per cell the `-f²`
+    /// terms arrive in measurement order regardless of tile or shard
+    /// boundaries, so the map is bit-identical for every [`Parallelism`]
+    /// setting.
+    fn evaluate_f32(&self, measurements: &[PairMeasurement]) -> VoteMap {
+        let cols = self.columns_f32(measurements);
+        let table = self.build_table_f32();
+        let n_cells = self.grid.len();
+        let mut values = vec![0.0f64; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+            #[cfg(feature = "trace")]
+            let _shard_span = obs::SpanTimer::start(
+                self.sink.as_ref(),
+                self.session,
+                Stage::EngineShard,
+                first as f64,
+            );
+            let mut acc = vec![0.0f32; CELL_TILE.min(shard.len().max(1))];
+            let mut offset = 0;
+            while offset < shard.len() {
+                let len = CELL_TILE.min(shard.len() - offset);
+                let tile = &mut acc[..len];
+                tile.fill(0.0);
+                let base = first + offset;
+                for &(col, measured) in &cols {
+                    let column = &table[col * n_cells + base..col * n_cells + base + len];
+                    for (a, &turns) in tile.iter_mut().zip(column) {
+                        let f = frac_dist_to_integer_f32(turns - measured);
+                        *a -= f * f;
+                    }
+                }
+                for (v, &a) in shard[offset..offset + len].iter_mut().zip(tile.iter()) {
+                    *v = f64::from(a);
+                }
+                offset += len;
+            }
+        });
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
     /// Evaluates only the cells inside `window`; everything outside gets
     /// `f64::NEG_INFINITY`. Each in-window cell is computed with exactly
     /// the per-cell operations of [`VoteEngine::evaluate`], so in-window
     /// values are bit-identical to the full-grid map (and a full-grid
-    /// window reproduces [`VoteEngine::evaluate`] bit-for-bit).
+    /// window reproduces [`VoteEngine::evaluate`] bit-for-bit) — at both
+    /// precisions.
     ///
     /// Windows are expected to be small (a tracker's neighbourhood), so
     /// this path runs on the calling thread; the saving is doing O(window)
@@ -294,6 +500,17 @@ impl VoteEngine {
     /// Panics if the window's bounds fall outside the grid, or if a
     /// measurement's pair is not in this engine's pair set.
     pub fn evaluate_windowed(
+        &self,
+        measurements: &[PairMeasurement],
+        window: &GridWindow,
+    ) -> VoteMap {
+        match self.precision {
+            TablePrecision::F64 => self.evaluate_windowed_f64(measurements, window),
+            TablePrecision::F32 => self.evaluate_windowed_f32(measurements, window),
+        }
+    }
+
+    fn evaluate_windowed_f64(
         &self,
         measurements: &[PairMeasurement],
         window: &GridWindow,
@@ -326,13 +543,64 @@ impl VoteEngine {
         VoteMap::from_values(self.grid.clone(), values)
     }
 
+    /// Windowed sweep over the f32 table: each window row is its own
+    /// accumulator tile (window rows are short by construction), with the
+    /// same per-cell f32 operation sequence as [`VoteEngine::evaluate`] at
+    /// F32, so in-window values are bit-identical to the full f32 map.
+    fn evaluate_windowed_f32(
+        &self,
+        measurements: &[PairMeasurement],
+        window: &GridWindow,
+    ) -> VoteMap {
+        window.validate(&self.grid);
+        let cols = self.columns_f32(measurements);
+        let table = self.build_table_f32();
+        let n_cells = self.grid.len();
+        let mut values = vec![f64::NEG_INFINITY; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        let width = window.ix1 - window.ix0 + 1;
+        let mut acc = vec![0.0f32; width];
+        for iz in window.iz0..=window.iz1 {
+            let start = self.grid.flat(window.ix0, iz);
+            let end = self.grid.flat(window.ix1, iz) + 1;
+            acc.fill(0.0);
+            for &(col, measured) in &cols {
+                let column = &table[col * n_cells + start..col * n_cells + end];
+                for (a, &turns) in acc.iter_mut().zip(column) {
+                    let f = frac_dist_to_integer_f32(turns - measured);
+                    *a -= f * f;
+                }
+            }
+            for (v, &a) in values[start..end].iter_mut().zip(acc.iter()) {
+                *v = f64::from(a);
+            }
+        }
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
     /// Like [`VoteEngine::evaluate`] but only on cells where `mask` is
-    /// true; masked-out cells get `f64::NEG_INFINITY`. Bit-identical to
-    /// [`VoteMap::evaluate_masked`] on the same inputs.
+    /// true; masked-out cells get `f64::NEG_INFINITY`. At
+    /// [`TablePrecision::F64`], bit-identical to
+    /// [`VoteMap::evaluate_masked`] on the same inputs; at
+    /// [`TablePrecision::F32`], bit-identical to the f32 full-grid map on
+    /// the kept cells, whether or not the f32 table is built yet.
     ///
     /// # Panics
     /// Panics if the mask length does not match the grid.
     pub fn evaluate_masked(&self, measurements: &[PairMeasurement], mask: &[bool]) -> VoteMap {
+        match self.precision {
+            TablePrecision::F64 => self.evaluate_masked_f64(measurements, mask),
+            TablePrecision::F32 => self.evaluate_masked_f32(measurements, mask),
+        }
+    }
+
+    fn evaluate_masked_f64(&self, measurements: &[PairMeasurement], mask: &[bool]) -> VoteMap {
         assert_eq!(mask.len(), self.grid.len(), "mask length must match the grid");
         let cols = self.columns(measurements);
         let n_cells = self.grid.len();
@@ -406,6 +674,148 @@ impl VoteEngine {
             });
         }
         VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// Masked sweep at f32. Mirrors the f64 path's two internally
+    /// identical strategies: gather from the built f32 table, or compute
+    /// turns on the fly (quantizing each on-the-fly entry with the exact
+    /// `as f32` cast the table builder uses), so which path runs never
+    /// changes a bit. Kept cells accumulate in f32 tiles and widen on
+    /// write-out, exactly as [`VoteEngine::evaluate`] at F32 does.
+    fn evaluate_masked_f32(&self, measurements: &[PairMeasurement], mask: &[bool]) -> VoteMap {
+        assert_eq!(mask.len(), self.grid.len(), "mask length must match the grid");
+        let cols = self.columns_f32(measurements);
+        let n_cells = self.grid.len();
+        let mut values = vec![f64::NEG_INFINITY; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        let kept: Vec<usize> = (0..n_cells).filter(|&c| mask[c]).collect();
+        let mut acc = vec![0.0f32; kept.len()];
+        if let Some(table) = self.table_f32.get() {
+            self.parallelism.run_row_sharded(&mut acc, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
+                let cells = &kept[first..first + shard.len()];
+                let mut offset = 0;
+                while offset < shard.len() {
+                    let len = CELL_TILE.min(shard.len() - offset);
+                    let tile = &mut shard[offset..offset + len];
+                    let tile_cells = &cells[offset..offset + len];
+                    for &(col, measured) in &cols {
+                        let column = &table[col * n_cells..(col + 1) * n_cells];
+                        for (a, &c) in tile.iter_mut().zip(tile_cells) {
+                            let f = frac_dist_to_integer_f32(column[c] - measured);
+                            *a -= f * f;
+                        }
+                    }
+                    offset += len;
+                }
+            });
+        } else {
+            // No f32 table yet: quantize on-the-fly turns exactly as the
+            // table builder would, then run the identical f32 term
+            // sequence per kept cell.
+            self.parallelism.run_row_sharded(&mut acc, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
+                for (i, a) in shard.iter_mut().enumerate() {
+                    let c = kept[first + i];
+                    let (ix, iz) = self.grid.unflat(c);
+                    let p3 = self.plane.lift(self.grid.point(ix, iz));
+                    for &(col, measured) in &cols {
+                        let (pi, pj) = self.geom[col];
+                        let turns = (self.turns_factor * (p3.dist(pi) - p3.dist(pj))) as f32;
+                        let f = frac_dist_to_integer_f32(turns - measured);
+                        *a -= f * f;
+                    }
+                }
+            });
+        }
+        for (&c, &a) in kept.iter().zip(&acc) {
+            values[c] = f64::from(a);
+        }
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// A **derived** worst-case bound on `|vote_f32(c) − vote_f64(c)|`
+    /// over every cell `c`, for this engine and measurement set — the
+    /// quantity the accuracy gates assert against, computed from the
+    /// actual table magnitudes rather than assumed.
+    ///
+    /// Derivation (ε₃₂ = 2⁻²⁴, ε₆₄ = 2⁻⁵³; full walk-through in
+    /// DESIGN.md §11). Let `t` be a cell's f64 table entry, `m` the
+    /// measured turns, `x = t − m` in exact arithmetic, `g(x) = |x −
+    /// nearest_int(x)|` the triangle wave both kernels evaluate, and
+    /// `Sₖ = max_c |t| + |m|` for measurement `k`:
+    ///
+    /// 1. **Input rounding.** `fl32(t)` and `fl32(m)` each carry relative
+    ///    error ε₃₂; their f32 subtraction adds one more. The computed
+    ///    `d` satisfies `|d − x| ≤ 2.01·ε₃₂·Sₖ` (the 0.01 absorbs the
+    ///    second-order cross terms).
+    /// 2. **Exact frac.** The magic-number rounding in
+    ///    [`frac_dist_to_integer_f32`] computes `g(d)` *exactly* (see its
+    ///    docs), and `g` is 1-Lipschitz — the triangle wave is continuous
+    ///    through half-integer lobe switches — so
+    ///    `|g(d) − g(x)| ≤ 2.01·ε₃₂·Sₖ`.
+    /// 3. **Square.** `g ≤ ½` gives `|g(d)² − g(x)²| ≤ (g(d)+g(x))·|g(d)
+    ///    − g(x)| ≤ 1.01 · 2.01·ε₃₂·Sₖ`, and the f32 multiply adds
+    ///    `≤ ε₃₂·¼·1.01 ≤ 0.26·ε₃₂`.
+    /// 4. **Accumulation.** Partial sums after `j` of `n` terms are at
+    ///    most `0.2501·j` in magnitude, so the `j`-th f32 subtraction errs
+    ///    by `≤ ε₃₂·0.2501·j`; summing gives `≤ ε₃₂·0.2501·n(n+1)/2`.
+    /// 5. **The f64 path is not exact either**: it carries the same-form
+    ///    error with ε₆₄ in place of ε₃₂ (steps 1 and 3 shrink because
+    ///    only the subtraction rounds), which the bound adds with the
+    ///    coefficients `1.01·ε₆₄·Sₖ + 0.26·ε₆₄` per term plus the ε₆₄
+    ///    accumulation series, covering the distance between either
+    ///    computed sum and the exact one.
+    ///
+    /// The f32 argmax cell is therefore **provably identical** to the f64
+    /// argmax whenever the f64 map's gap between its best and runner-up
+    /// cells exceeds twice this bound — the deployment-envelope criterion
+    /// the kernel-equivalence suite asserts.
+    ///
+    /// Builds the f64 table if needed (the bound needs the true column
+    /// magnitudes).
+    ///
+    /// # Panics
+    /// Panics if a measurement's pair is unknown to the engine, or if a
+    /// column's `Sₖ` exceeds the `2²²` envelope of the exact-frac argument
+    /// (physically impossible for any real deployment).
+    pub fn f32_vote_error_bound(&self, measurements: &[PairMeasurement]) -> f64 {
+        const EPS32: f64 = 5.960_464_477_539_063e-8; // 2⁻²⁴
+        const EPS64: f64 = 1.110_223_024_625_156_5e-16; // 2⁻⁵³
+        let table = self.build_table();
+        let n_cells = self.grid.len();
+        let mut per_term = 0.0f64;
+        for (col, measured) in self.columns(measurements) {
+            let col_max = table[col * n_cells..(col + 1) * n_cells]
+                .iter()
+                .fold(0.0f64, |m, &t| m.max(t.abs()));
+            let s = col_max + measured.abs();
+            assert!(
+                s < (1u64 << 22) as f64,
+                "measurement magnitude {s} turns exceeds the f32 envelope"
+            );
+            per_term += (2.01 * 1.01 * EPS32 + 1.01 * EPS64) * s + 0.26 * (EPS32 + EPS64);
+        }
+        let n = measurements.len() as f64;
+        per_term + 0.2501 * (EPS32 + EPS64) * n * (n + 1.0) / 2.0
     }
 }
 
@@ -546,5 +956,111 @@ mod tests {
         let engine = VoteEngine::new(&dep, plane, grid, Vec::new(), Parallelism::Threads(2));
         let map = engine.evaluate(&[]);
         assert!(map.values().iter().all(|&v| v == 0.0));
+    }
+
+    fn f32_engine(dep: &Deployment, plane: Plane, grid: Grid2, par: Parallelism) -> VoteEngine {
+        let mut e = VoteEngine::for_deployment(dep, plane, grid, par);
+        e.set_precision(TablePrecision::F32);
+        e
+    }
+
+    #[test]
+    fn f32_table_halves_bytes() {
+        let (dep, plane, grid, _) = setup();
+        let mut engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+        let f64_bytes = engine.table_bytes();
+        engine.set_precision(TablePrecision::F32);
+        assert_eq!(engine.precision(), TablePrecision::F32);
+        assert_eq!(engine.table_bytes() * 2, f64_bytes);
+        assert_eq!(
+            engine.build_table_f32().len() * std::mem::size_of::<f32>(),
+            engine.table_bytes() as usize
+        );
+    }
+
+    #[test]
+    fn f32_votes_stay_within_derived_bound_and_argmax_matches() {
+        let (dep, plane, grid, ms) = setup();
+        let reference = VoteEngine::for_deployment(&dep, plane, grid.clone(), Parallelism::Serial);
+        let f64_map = reference.evaluate(&ms);
+        let f32_map = f32_engine(&dep, plane, grid, Parallelism::Serial).evaluate(&ms);
+        let bound = reference.f32_vote_error_bound(&ms);
+        // The bound must be meaningful (small) as well as honored.
+        assert!(bound < 1e-4, "derived bound {bound} is uselessly loose");
+        let worst = f64_map
+            .values()
+            .iter()
+            .zip(f32_map.values())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= bound, "worst |Δvote| {worst:e} exceeds derived bound {bound:e}");
+        assert_eq!(f64_map.argmax().0, f32_map.argmax().0);
+    }
+
+    #[test]
+    fn f32_engine_is_thread_count_invariant() {
+        let (dep, plane, grid, ms) = setup();
+        let serial = f32_engine(&dep, plane, grid.clone(), Parallelism::Serial).evaluate(&ms);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(7), Parallelism::Auto] {
+            let map = f32_engine(&dep, plane, grid.clone(), par).evaluate(&ms);
+            assert_eq!(bits(serial.values()), bits(map.values()), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn f32_windowed_matches_full_f32_map() {
+        let (dep, plane, grid, ms) = setup();
+        let engine = f32_engine(&dep, plane, grid, Parallelism::Serial);
+        let full = engine.evaluate(&ms);
+        let window = GridWindow::around(engine.grid(), Point2::new(1.2, 0.9), 0.20);
+        let map = engine.evaluate_windowed(&ms, &window);
+        for (c, (&w, &f)) in map.values().iter().zip(full.values()).enumerate() {
+            let (ix, iz) = engine.grid().unflat(c);
+            if window.contains(ix, iz) {
+                assert_eq!(w.to_bits(), f.to_bits(), "cell {c}");
+            } else {
+                assert_eq!(w, f64::NEG_INFINITY, "cell {c}");
+            }
+        }
+        let full_window = engine.evaluate_windowed(&ms, &GridWindow::full(engine.grid()));
+        assert_eq!(bits(full.values()), bits(full_window.values()));
+    }
+
+    #[test]
+    fn f32_masked_lazy_and_table_paths_agree() {
+        let (dep, plane, grid, ms) = setup();
+        let mask: Vec<bool> = (0..grid.len()).map(|i| i % 3 != 0).collect();
+        let engine = f32_engine(&dep, plane, grid, Parallelism::Threads(3));
+        assert!(!engine.is_table_built());
+        let lazy = engine.evaluate_masked(&ms, &mask);
+        engine.build_table_f32();
+        assert!(engine.is_table_built());
+        let tabled = engine.evaluate_masked(&ms, &mask);
+        assert_eq!(bits(lazy.values()), bits(tabled.values()));
+        // Kept cells match the full f32 map bitwise; masked-out are -inf.
+        let full = engine.evaluate(&ms);
+        for (c, (&m, &f)) in tabled.values().iter().zip(full.values()).enumerate() {
+            if mask[c] {
+                assert_eq!(m.to_bits(), f.to_bits(), "cell {c}");
+            } else {
+                assert_eq!(m, f64::NEG_INFINITY, "cell {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_precision_detaches_onto_fresh_private_slots() {
+        let (dep, plane, grid, _) = setup();
+        let mut engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+        engine.build_table();
+        assert!(engine.is_table_built());
+        engine.set_precision(TablePrecision::F32);
+        // The built f64 table was dropped with the old slot; the f32 slot
+        // is fresh. Setting the same precision again is a no-op.
+        assert!(!engine.is_table_built());
+        engine.build_table_f32();
+        let ptr = engine.build_table_f32().as_ptr();
+        engine.set_precision(TablePrecision::F32);
+        assert_eq!(ptr, engine.build_table_f32().as_ptr());
     }
 }

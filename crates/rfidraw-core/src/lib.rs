@@ -74,8 +74,8 @@ pub mod volume;
 pub mod vote;
 
 pub use array::{Antenna, AntennaId, AntennaPair, Deployment, ReaderId};
-pub use cache::{TableCache, TableCacheStats};
-pub use engine::VoteEngine;
+pub use cache::{AdoptOutcome, CacheConfig, TableCache, TableCacheStats};
+pub use engine::{TablePrecision, VoteEngine};
 pub use exec::Parallelism;
 pub use geom::{Plane, Point2, Point3};
 pub use grid::{Grid2, GridWindow, VoteMap};

@@ -394,10 +394,16 @@ impl OnlineTracker {
     /// Adopts the positioner's distance tables into `cache`, so trackers
     /// over the same deployment/plane/grids share physical tables (see
     /// [`crate::cache`]), and eagerly builds them — one build amortized
-    /// across every sharing tracker. Results are unchanged.
-    pub fn attach_table_cache(&mut self, cache: &crate::cache::TableCache) {
-        self.positioner.attach_table_cache(cache);
+    /// across every sharing tracker. Results are unchanged. Returns the
+    /// `[coarse, fine]` adopt outcomes (a budgeted cache may report a
+    /// [`crate::cache::AdoptOutcome::Rebuild`] after evictions).
+    pub fn attach_table_cache(
+        &mut self,
+        cache: &crate::cache::TableCache,
+    ) -> [crate::cache::AdoptOutcome; 2] {
+        let outcomes = self.positioner.attach_table_cache(cache);
         self.positioner.prebuild_tables();
+        outcomes
     }
 
     /// The timestamp of the newest read the tracker has accepted, if any.

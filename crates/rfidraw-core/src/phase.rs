@@ -129,6 +129,34 @@ pub fn frac_dist_to_integer(x: f64) -> f64 {
     (x - x.round()).abs()
 }
 
+/// Single-precision [`frac_dist_to_integer`]: distance from `x` to the
+/// nearest integer, computed entirely in `f32`.
+///
+/// The nearest integer is found with the classic magic-number trick,
+/// `(x + 1.5·2²³) − 1.5·2²³`, instead of `f32::round`: on the baseline
+/// x86-64 target `round` lowers to a libm call, which blocks
+/// autovectorization of the hot vote sweep, while the add/sub pair is two
+/// SIMD instructions. For `|x| ≤ 2²²` the trick is **exact**: `x + M` lands
+/// in `[2²³, 2²⁴)` where the f32 lattice spacing is exactly 1, so the add
+/// rounds `x + M` to the nearest integer (ties to even), and the subtract
+/// of `M` is exact (both operands are integers and the difference fits the
+/// mantissa). `x − r` with `r` the nearest integer to `x` is also exact
+/// (`r` is a multiple of `ulp(x)` whenever `|x| < 2²⁴`, so the difference
+/// is representable). The only divergence from `|x − x.round()|` is the
+/// tie-break at exact half-integers — `round` goes away from zero, the
+/// trick goes to even — and both choices are at distance exactly 0.5, so
+/// the returned value is bit-identical to `(x - x.round()).abs()` for the
+/// whole supported domain.
+///
+/// Callers must keep `|x| ≤ 2²²` (≈ 4.2 M turns — over a megametre of
+/// path difference; every physical deployment is orders of magnitude
+/// below it). Outside that envelope the result is unspecified but finite.
+pub fn frac_dist_to_integer_f32(x: f32) -> f32 {
+    const MAGIC: f32 = 12_582_912.0; // 1.5 · 2²³
+    let r = (x + MAGIC) - MAGIC;
+    (x - r).abs()
+}
+
 /// The nearest integer `k` to `x` — the index of the closest grating lobe.
 pub fn nearest_lobe_index(x: f64) -> i64 {
     // Positions reachable in practice keep |x| far below i64::MAX turns;
@@ -236,6 +264,40 @@ mod tests {
         assert!((frac_dist_to_integer(2.25) - 0.25).abs() < EPS);
         assert!((frac_dist_to_integer(-1.6) - 0.4).abs() < EPS);
         assert!((frac_dist_to_integer(0.5) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn frac_dist_to_integer_f32_is_bit_identical_to_round_form() {
+        // The magic-number form must equal |x − round(x)| bit-for-bit over
+        // the supported envelope, including exact half-integer ties (where
+        // the chosen integers differ but the distances are both 0.5) and
+        // a dense sweep of irregular values.
+        let mut probes: Vec<f32> = vec![
+            0.0, -0.0, 0.5, -0.5, 1.5, -1.5, 2.5, -2.5, 1234.5, -1234.5,
+            0.25, -0.25, 3.75, 1e-30, -1e-30, 4194304.0, -4194304.0,
+        ];
+        for i in 0..4000 {
+            let x = (i as f32) * 0.2471 - 494.2;
+            probes.push(x);
+            probes.push(x * 997.0);
+        }
+        for x in probes {
+            let trick = frac_dist_to_integer_f32(x);
+            let libm = (x - x.round()).abs();
+            assert_eq!(trick.to_bits(), libm.to_bits(), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn frac_dist_to_integer_f32_tracks_f64_form() {
+        // Sanity that the f32 helper is the same triangle wave as the f64
+        // one, up to input quantization.
+        for i in 0..1000 {
+            let x = (i as f64) * 0.013 - 6.5;
+            let d64 = frac_dist_to_integer(x);
+            let d32 = f64::from(frac_dist_to_integer_f32(x as f32));
+            assert!((d64 - d32).abs() < 1e-6, "x = {x}: {d64} vs {d32}");
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! candidate whose traced trajectory keeps the highest cumulative vote wins.
 
 use crate::array::Deployment;
-use crate::cache::TableCache;
-use crate::engine::VoteEngine;
+use crate::cache::{AdoptOutcome, TableCache};
+use crate::engine::{TablePrecision, VoteEngine};
 use crate::exec::Parallelism;
 use crate::geom::{Plane, Point2, Rect};
 use crate::grid::{Grid2, GridWindow, VoteMap};
@@ -43,6 +43,10 @@ pub struct MultiResConfig {
     /// Thread-level parallelism of the vote-map evaluation. Never changes
     /// any result (see [`crate::exec`]), only wall-clock time.
     pub parallelism: Parallelism,
+    /// Floating-point width of both engines' vote tables. `F64` (the
+    /// default) is bit-exact; `F32` halves table bytes and bandwidth with
+    /// a derived, test-asserted vote-error bound (see [`crate::engine`]).
+    pub precision: TablePrecision,
 }
 
 impl MultiResConfig {
@@ -58,6 +62,7 @@ impl MultiResConfig {
             max_candidates: 3,
             candidate_separation: 0.15,
             parallelism: Parallelism::Auto,
+            precision: TablePrecision::F64,
         }
     }
 
@@ -152,9 +157,12 @@ impl MultiResPositioner {
         );
         let coarse_grid = Grid2::new(config.region, config.coarse_resolution);
         let fine_grid = Grid2::new(config.region, config.fine_resolution);
-        let coarse_engine =
+        let mut coarse_engine =
             VoteEngine::for_deployment(&dep, plane, coarse_grid, config.parallelism);
-        let fine_engine = VoteEngine::for_deployment(&dep, plane, fine_grid, config.parallelism);
+        let mut fine_engine =
+            VoteEngine::for_deployment(&dep, plane, fine_grid, config.parallelism);
+        coarse_engine.set_precision(config.precision);
+        fine_engine.set_precision(config.precision);
         Self {
             dep,
             plane,
@@ -202,10 +210,11 @@ impl MultiResPositioner {
     /// Adopts both engines' distance tables into `cache`, so positioners
     /// over the same (deployment, plane, grid) share two physical tables
     /// instead of building private copies. Sharing never changes any
-    /// result (see [`crate::cache`]).
-    pub fn attach_table_cache(&mut self, cache: &TableCache) {
-        cache.adopt(&mut self.coarse_engine);
-        cache.adopt(&mut self.fine_engine);
+    /// result (see [`crate::cache`]). Returns the `[coarse, fine]` adopt
+    /// outcomes so callers can observe cache churn (e.g. a
+    /// [`AdoptOutcome::Rebuild`] after an eviction) explicitly.
+    pub fn attach_table_cache(&mut self, cache: &TableCache) -> [AdoptOutcome; 2] {
+        [cache.adopt(&mut self.coarse_engine), cache.adopt(&mut self.fine_engine)]
     }
 
     /// Eagerly builds both distance tables (idempotent). A standalone
@@ -216,8 +225,16 @@ impl MultiResPositioner {
     /// masked evaluation takes the faster table-backed path. Which path
     /// runs never changes any value (see [`crate::engine`]).
     pub fn prebuild_tables(&self) {
-        self.coarse_engine.build_table();
-        self.fine_engine.build_table();
+        match self.config.precision {
+            TablePrecision::F64 => {
+                self.coarse_engine.build_table();
+                self.fine_engine.build_table();
+            }
+            TablePrecision::F32 => {
+                self.coarse_engine.build_table_f32();
+                self.fine_engine.build_table_f32();
+            }
+        }
     }
 
     /// Runs both stages and returns the ranked candidates.
@@ -518,6 +535,24 @@ mod tests {
         c.fine_resolution = 0.2;
         c.coarse_resolution = 0.1;
         MultiResConfig::validate(&c);
+    }
+
+    #[test]
+    fn f32_precision_locates_the_same_point_noise_free() {
+        let truth = Point2::new(1.2, 0.9);
+        let (pos64, ms) = setup(truth);
+        let dep = Deployment::paper_default();
+        let plane = Plane::at_depth(2.0);
+        let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0));
+        let mut config = MultiResConfig::for_region(region);
+        config.fine_resolution = 0.02;
+        config.precision = TablePrecision::F32;
+        let pos32 = MultiResPositioner::new(dep, plane, config);
+        let best64 = pos64.locate(&ms)[0];
+        let best32 = pos32.locate(&ms)[0];
+        // Noise-free, well-separated peak: the winning grid cell is the
+        // same at both precisions (the vote gap dwarfs the f32 bound).
+        assert_eq!(best64.position, best32.position);
     }
 
     #[test]

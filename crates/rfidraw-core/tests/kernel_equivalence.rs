@@ -10,10 +10,20 @@ use rfidraw_core::exec::Parallelism;
 use rfidraw_core::geom::{Plane, Point2, Rect};
 use rfidraw_core::grid::{Grid2, GridWindow, VoteMap};
 use rfidraw_core::vote::{ideal_measurements, PairMeasurement};
-use rfidraw_core::VoteEngine;
+use rfidraw_core::{TablePrecision, VoteEngine};
 
 fn bits(values: &[f64]) -> Vec<u64> {
     values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// A random but valid scene: paper deployment, a plane at a random depth,
@@ -118,6 +128,142 @@ proptest! {
         let tabled = engine.evaluate_masked(&ms, &mask);
         prop_assert_eq!(bits(reference.values()), bits(lazy.values()));
         prop_assert_eq!(bits(reference.values()), bits(tabled.values()));
+    }
+
+    /// The f32 engine's accuracy contract over random deployments, grids,
+    /// and measurement subsets: every cell's vote differs from the f64
+    /// kernel by at most the *derived* worst-case bound
+    /// ([`VoteEngine::f32_vote_error_bound`]), and the argmax cell is
+    /// provably identical whenever the f64 best/runner-up gap exceeds
+    /// twice that bound. When the gap is smaller than the guarantee the
+    /// f32 pick must still be within `2·bound` of the f64 optimum.
+    #[test]
+    fn f32_votes_stay_bounded_and_argmax_agrees(
+        depth in 1.0f64..4.0,
+        x0 in -0.5f64..1.0,
+        z0 in -0.5f64..1.0,
+        w in 0.4f64..1.6,
+        h in 0.4f64..1.6,
+        res in 0.03f64..0.12,
+        tag_fx in 0.1f64..0.9,
+        tag_fz in 0.1f64..0.9,
+        subset_mask in 0u32..255,
+        par_idx in 0usize..5,
+    ) {
+        let (dep, plane, grid, all_ms) = scene(depth, x0, z0, w, h, res, tag_fx, tag_fz);
+        let ms: Vec<PairMeasurement> = all_ms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| subset_mask & (1 << (i % 8)) != 0 || subset_mask == 0)
+            .map(|(_, &m)| m)
+            .collect();
+        prop_assume!(!ms.is_empty());
+
+        let engine64 =
+            VoteEngine::for_deployment(&dep, plane, grid.clone(), parallelism(par_idx));
+        let mut engine32 = VoteEngine::for_deployment(&dep, plane, grid, parallelism(par_idx));
+        engine32.set_precision(TablePrecision::F32);
+
+        let bound = engine64.f32_vote_error_bound(&ms);
+        let m64 = engine64.evaluate(&ms);
+        let m32 = engine32.evaluate(&ms);
+
+        let mut worst = 0.0f64;
+        for (&a, &b) in m64.values().iter().zip(m32.values()) {
+            worst = worst.max((a - b).abs());
+        }
+        prop_assert!(
+            worst <= bound,
+            "worst |Δvote| {} exceeds the derived bound {}",
+            worst,
+            bound
+        );
+
+        let best64 = argmax(m64.values());
+        let best32 = argmax(m32.values());
+        let runner_up = m64
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != best64)
+            .map(|(_, &v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let gap = m64.values()[best64] - runner_up;
+        if gap > 2.0 * bound {
+            prop_assert_eq!(best64, best32, "separated argmax must be identical");
+        } else {
+            prop_assert!(
+                m64.values()[best64] - m64.values()[best32] <= 2.0 * bound,
+                "f32 pick is more than 2·bound below the f64 optimum"
+            );
+        }
+    }
+
+    /// The f32 paths keep the determinism contract of the f64 ones: the
+    /// full map is bit-identical across execution policies, windowed
+    /// evaluation matches the full map cellwise (`-inf` outside), and the
+    /// masked path (lazy and table-backed) matches the full map on kept
+    /// cells for any pseudo-random mask.
+    #[test]
+    fn f32_windowed_and_masked_match_full_f32_map(
+        depth in 1.0f64..4.0,
+        res in 0.04f64..0.12,
+        tag_fx in 0.1f64..0.9,
+        tag_fz in 0.1f64..0.9,
+        center_fx in 0.0f64..1.0,
+        center_fz in 0.0f64..1.0,
+        half_extent in 0.02f64..0.8,
+        mask_seed in any::<u64>(),
+        keep_mod in 2usize..7,
+        par_idx in 0usize..5,
+        par_idx2 in 0usize..5,
+    ) {
+        let (dep, plane, grid, ms) = scene(depth, 0.2, 0.1, 1.2, 0.9, res, tag_fx, tag_fz);
+        let mut engine = VoteEngine::for_deployment(
+            &dep,
+            plane,
+            grid.clone(),
+            parallelism(par_idx),
+        );
+        engine.set_precision(TablePrecision::F32);
+        let mut other = VoteEngine::for_deployment(&dep, plane, grid, parallelism(par_idx2));
+        other.set_precision(TablePrecision::F32);
+
+        let full = engine.evaluate(&ms);
+        prop_assert_eq!(bits(full.values()), bits(other.evaluate(&ms).values()));
+
+        let center = Point2::new(0.2 + center_fx * 1.2, 0.1 + center_fz * 0.9);
+        let window = GridWindow::around(engine.grid(), center, half_extent);
+        let windowed = engine.evaluate_windowed(&ms, &window);
+        for (c, (&win, &all)) in windowed.values().iter().zip(full.values()).enumerate() {
+            let (ix, iz) = engine.grid().unflat(c);
+            if window.contains(ix, iz) {
+                prop_assert_eq!(win.to_bits(), all.to_bits(), "window cell {}", c);
+            } else {
+                prop_assert_eq!(win, f64::NEG_INFINITY, "outside cell {}", c);
+            }
+        }
+
+        let mut state = mask_seed | 1;
+        let mask: Vec<bool> = (0..engine.grid().len())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as usize) % keep_mod == 0
+            })
+            .collect();
+        let lazy = engine.evaluate_masked(&ms, &mask);
+        engine.build_table_f32();
+        let tabled = engine.evaluate_masked(&ms, &mask);
+        prop_assert_eq!(bits(lazy.values()), bits(tabled.values()));
+        for (c, (&got, &all)) in lazy.values().iter().zip(full.values()).enumerate() {
+            if mask[c] {
+                prop_assert_eq!(got.to_bits(), all.to_bits(), "masked cell {}", c);
+            } else {
+                prop_assert_eq!(got, f64::NEG_INFINITY, "dropped cell {}", c);
+            }
+        }
     }
 
     /// Any valid window: in-window cells are bit-identical to the full

@@ -100,6 +100,22 @@ impl TrackerTemplate {
     }
 }
 
+impl ServeConfig {
+    /// The vote-table precision every session tracker will use.
+    pub fn table_precision(&self) -> rfidraw_core::engine::TablePrecision {
+        self.tracker.position.precision
+    }
+
+    /// Sets the vote-table precision for every session tracker built from
+    /// this config. `F32` halves shared-table bytes and bandwidth with a
+    /// derived, regression-gated accuracy bound (see `rfidraw-core`'s
+    /// engine docs); `F64` (the default) is bit-exact versus the
+    /// reference kernel.
+    pub fn set_table_precision(&mut self, precision: rfidraw_core::engine::TablePrecision) {
+        self.tracker.position.precision = precision;
+    }
+}
+
 /// Optional per-session cursor mode (`rfidraw-touch`): each session's
 /// position stream additionally drives a cursor state machine whose events
 /// are broadcast to in-process subscribers.

@@ -217,6 +217,7 @@ impl ServiceInner {
             table_cache_hits: cache.map_or(0, |c| c.hits),
             table_cache_misses: cache.map_or(0, |c| c.misses),
             table_cache_bytes: cache.map_or(0, |c| c.resident_bytes),
+            table_cache_evictions: cache.map_or(0, |c| c.evictions),
             latency: self.global.latency.snapshot(),
             queue_wait: self.global.queue_wait.snapshot(),
             compute: self.global.compute.snapshot(),

@@ -200,8 +200,12 @@ pub struct TelemetryReport {
     /// `hits + misses = 2 × sessions that attached` (one coarse + one fine
     /// lookup each), so `misses` bounds the number of distinct tables.
     pub table_cache_misses: u64,
-    /// Bytes resident in built shared tables.
+    /// Bytes resident in built shared tables. A byte-budgeted cache keeps
+    /// this at or below its `max_resident_bytes` at every instant.
     pub table_cache_bytes: u64,
+    /// Shared-table entries evicted to keep the cache within its byte
+    /// budget (0 when no cache is configured or the budget is unbounded).
+    pub table_cache_evictions: u64,
     /// Ingest→position latency histogram.
     pub latency: HistogramSnapshot,
     /// Enqueue→dequeue wait histogram (how long reads sit in queues).
@@ -241,9 +245,10 @@ impl TelemetryReport {
             self.positions, self.stale_resets, self.degraded_events,
         ));
         out.push_str(&format!(
-            "tables:   {} cache hits / {} misses, {} bytes resident, {} windowed evals\n",
+            "tables:   {} cache hits / {} misses, {} evictions, {} bytes resident, {} windowed evals\n",
             self.table_cache_hits,
             self.table_cache_misses,
+            self.table_cache_evictions,
             self.table_cache_bytes,
             self.windowed_evals,
         ));
@@ -290,6 +295,7 @@ impl TelemetryReport {
         p.counter("rfidraw_windowed_evals_total", "Window-restricted acquisitions.", &[], self.windowed_evals);
         p.counter("rfidraw_table_cache_hits_total", "Vote-table cache hits.", &[], self.table_cache_hits);
         p.counter("rfidraw_table_cache_misses_total", "Vote-table cache misses.", &[], self.table_cache_misses);
+        p.counter("rfidraw_table_cache_evictions_total", "Shared-table entries evicted to honor the cache byte budget.", &[], self.table_cache_evictions);
         p.gauge("rfidraw_table_cache_resident_bytes", "Bytes resident in built shared vote tables.", &[], self.table_cache_bytes as f64);
         p.histogram("rfidraw_latency_us", "Ingest-to-position latency (µs).", &[], &self.latency);
         p.histogram("rfidraw_queue_wait_us", "Enqueue-to-dequeue wait (µs).", &[], &self.queue_wait);
@@ -358,6 +364,7 @@ mod tests {
             table_cache_hits: 2,
             table_cache_misses: 2,
             table_cache_bytes: 4096,
+            table_cache_evictions: 1,
             latency: h.snapshot(),
             queue_wait: LatencyHistogram::default_bounds().snapshot(),
             compute: LatencyHistogram::default_bounds().snapshot(),
@@ -401,6 +408,7 @@ mod tests {
         assert!(text.contains("queue:"));
         assert!(text.contains("stage engine_evaluate"));
         assert!(text.contains("2 cache hits / 2 misses"));
+        assert!(text.contains("1 evictions"));
         assert!(text.contains("4 windowed evals"));
     }
 
@@ -418,6 +426,7 @@ mod tests {
         assert!(text.contains("rfidraw_windowed_evals_total 4"));
         assert!(text.contains("rfidraw_table_cache_hits_total 2"));
         assert!(text.contains("rfidraw_table_cache_misses_total 2"));
+        assert!(text.contains("rfidraw_table_cache_evictions_total 1"));
         assert!(text.contains("rfidraw_table_cache_resident_bytes 4096"));
         assert!(text.contains("rfidraw_session_windowed_evals_total{epc="));
         assert!(text.contains("rfidraw_session_positions_total{epc="));

@@ -15,6 +15,7 @@ use rfidraw_core::array::{AntennaId, Deployment};
 use rfidraw_core::exec::Parallelism;
 use rfidraw_core::geom::{Plane, Point2, Point3, Rect};
 use rfidraw_core::stream::PhaseRead;
+use rfidraw_core::TablePrecision;
 use rfidraw_protocol::inventory::{demux_phase_reads, InventoryConfig, InventorySim, SimTag};
 use rfidraw_protocol::Epc;
 use rfidraw_serve::wire::{self, Envelope, Message};
@@ -25,6 +26,10 @@ use std::collections::BTreeMap;
 use std::io::Write;
 
 fn template() -> TrackerTemplate {
+    template_with(TablePrecision::F64)
+}
+
+fn template_with(precision: TablePrecision) -> TrackerTemplate {
     let mut tpl =
         TrackerTemplate::paper_default(Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7)));
     // Dropout detection on, so per-antenna blackouts exercise degraded-mode
@@ -34,6 +39,7 @@ fn template() -> TrackerTemplate {
     // beyond it.
     tpl.online.dropout_after = Some(1.0);
     tpl.online.readmit_after = 0.3;
+    tpl.position.precision = precision;
     tpl
 }
 
@@ -99,6 +105,19 @@ fn bits(p: Point2) -> (u64, u64) {
 /// the queue conservation law holds to the last read.
 #[test]
 fn all_fault_classes_survive_eight_concurrent_sessions() {
+    run_all_fault_classes(TablePrecision::F64);
+}
+
+/// The same end-to-end guarantee with f32 vote tables: every fault class,
+/// refusal attribution, and conservation law must balance identically when
+/// the sessions score through the half-width tables (the oracle trackers
+/// run at f32 too, so bit-identity still holds to the last mantissa bit).
+#[test]
+fn all_fault_classes_survive_under_f32_tables() {
+    run_all_fault_classes(TablePrecision::F32);
+}
+
+fn run_all_fault_classes(precision: TablePrecision) {
     let clean_streams = eight_tag_streams(11, 3.0);
     assert_eq!(clean_streams.len(), 8);
 
@@ -125,7 +144,7 @@ fn all_fault_classes_survive_eight_concurrent_sessions() {
 
     // Oracle: one standalone tracker per tag, fed the same faulted stream;
     // typed refusals counted, never panics.
-    let tpl = template();
+    let tpl = template_with(precision);
     let reference: BTreeMap<Epc, (Vec<Point2>, u64)> = streams
         .iter()
         .map(|(&epc, reads)| {
@@ -154,7 +173,7 @@ fn all_fault_classes_survive_eight_concurrent_sessions() {
         "faulted scenarios must still track"
     );
 
-    let mut cfg = ServeConfig::new(template());
+    let mut cfg = ServeConfig::new(template_with(precision));
     cfg.workers = Some(Parallelism::Threads(4));
     cfg.backpressure = BackpressurePolicy::Block;
     cfg.queue_capacity = 256;
@@ -220,9 +239,12 @@ fn all_fault_classes_survive_eight_concurrent_sessions() {
         report.sessions.iter().map(|s| s.windowed_evals).sum::<u64>()
     );
     assert_eq!(report.windowed_evals, 0, "no OnlineConfig::window configured");
-    // The default template shares a table cache: 8 sessions, 2 tables.
+    // The default template shares a table cache: 8 sessions, 2 tables,
+    // and under an unbounded byte budget nothing is ever evicted — at
+    // either precision.
     assert_eq!(report.table_cache_misses, 2);
     assert_eq!(report.table_cache_hits, 14);
+    assert_eq!(report.table_cache_evictions, 0, "unbounded budget must never evict");
     assert!(report.table_cache_bytes > 0);
 }
 

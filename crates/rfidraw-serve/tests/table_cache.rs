@@ -18,7 +18,14 @@ fn region() -> Rect {
 
 /// 8 static tags inventoried together, demuxed into per-tag streams.
 fn eight_tag_streams(seed: u64, duration: f64) -> BTreeMap<Epc, Vec<PhaseRead>> {
-    let plane = Plane::at_depth(2.0);
+    tag_streams_at_depth(2.0, seed, duration)
+}
+
+/// Same 8-tag inventory, but with the writing plane (and the tags) at an
+/// arbitrary depth — used to drive several *distinct* deployments against
+/// one shared cache.
+fn tag_streams_at_depth(depth: f64, seed: u64, duration: f64) -> BTreeMap<Epc, Vec<PhaseRead>> {
+    let plane = Plane::at_depth(depth);
     let positions: Vec<Point2> = (0..8)
         .map(|i| Point2::new(0.7 + 0.4 * f64::from(i % 4), 0.6 + 0.7 * f64::from(i / 4)))
         .collect();
@@ -107,4 +114,107 @@ fn eight_sessions_share_exactly_two_tables_bit_identically() {
     let prom = report.to_prometheus();
     assert!(prom.contains("rfidraw_table_cache_hits_total 14"));
     assert!(prom.contains("rfidraw_table_cache_misses_total 2"));
+    assert!(prom.contains("rfidraw_table_cache_evictions_total 0"));
+}
+
+/// Three deployments (distinct plane depths) contending for a cache whose
+/// byte budget holds only two of them: the LRU policy must evict, the
+/// budget must hold at *every* step, the counters must balance, and every
+/// session must still score bit-identically to a cache-less tracker.
+#[test]
+fn three_deployments_under_a_two_deployment_budget_evict_lru_and_stay_bit_identical() {
+    let depths = [2.0, 2.5, 3.0];
+    let streams: Vec<BTreeMap<Epc, Vec<PhaseRead>>> = depths
+        .iter()
+        .map(|&d| tag_streams_at_depth(d, 17, 2.0))
+        .collect();
+    for s in &streams {
+        assert_eq!(s.len(), 8, "every tag should be read at every depth");
+    }
+
+    // Probe one deployment's (coarse + fine) footprint by building a single
+    // tracker against an unbounded cache.
+    let probe_cache = std::sync::Arc::new(rfidraw_core::TableCache::new());
+    let mut probe = TrackerTemplate::paper_default(region());
+    probe.table_cache = Some(probe_cache.clone());
+    probe.build();
+    let one_deployment = probe_cache.stats().resident_bytes;
+    assert!(one_deployment > 0);
+
+    // Budget for exactly two deployments; the third must push one out.
+    let budget = 2 * one_deployment;
+    let cache = std::sync::Arc::new(rfidraw_core::TableCache::with_config(
+        rfidraw_core::CacheConfig { max_resident_bytes: budget },
+    ));
+
+    let services: Vec<TrackingService> = depths
+        .iter()
+        .map(|&d| {
+            let mut t = TrackerTemplate::paper_default(region());
+            t.plane = Plane::at_depth(d);
+            t.table_cache = Some(cache.clone());
+            let mut cfg = ServeConfig::new(t);
+            cfg.workers = None; // deterministic manual pumping
+            cfg.queue_capacity = 1 << 14;
+            TrackingService::start(cfg)
+        })
+        .collect();
+
+    // Interleave session creation across the deployments (tag 1 on A, B, C,
+    // then tag 2 on A, B, C, …) so the LRU order actually churns, checking
+    // the budget invariant after every single step.
+    let epcs: Vec<Epc> = streams[0].keys().copied().collect();
+    for &epc in &epcs {
+        for (service, stream) in services.iter().zip(&streams) {
+            service.client().ingest(epc, &stream[&epc]).expect("ingest");
+            while service.pump() > 0 {}
+            let s = cache.stats();
+            assert!(
+                s.resident_bytes <= budget,
+                "resident {} bytes exceeded the {} byte budget",
+                s.resident_bytes,
+                budget
+            );
+        }
+    }
+
+    // Counter conservation: every session adopts twice (coarse + fine), and
+    // every successful registration either survives as an entry or was
+    // evicted.
+    let s = cache.stats();
+    let sessions = (3 * epcs.len()) as u64;
+    assert_eq!(s.hits + s.misses, 2 * sessions, "one adoption per table per session");
+    assert!(s.evictions >= 1, "three deployments cannot fit a two-deployment budget");
+    assert_eq!(s.entries as u64, s.misses - s.evictions);
+    assert!(s.resident_bytes <= budget);
+
+    // Eviction and rebuild never change a position: each budgeted service
+    // matches a cache-less service over the same streams bit-for-bit.
+    for ((service, stream), &depth) in services.iter().zip(&streams).zip(&depths) {
+        let client = service.client();
+        let budgeted: BTreeMap<Epc, Vec<(u64, u64)>> = stream
+            .keys()
+            .map(|&epc| {
+                let view = client.session_view(epc).expect("session exists");
+                let bits = view
+                    .trajectory
+                    .iter()
+                    .map(|p| (p.x.to_bits(), p.z.to_bits()))
+                    .collect();
+                (epc, bits)
+            })
+            .collect();
+        let mut private = TrackerTemplate::paper_default(region());
+        private.plane = Plane::at_depth(depth);
+        private.table_cache = None;
+        let (standalone, _service) = run_service(private, stream);
+        assert_eq!(budgeted, standalone, "eviction changed a position at depth {depth}");
+    }
+
+    // The shared counters surface through every service's telemetry.
+    let report = services[0].telemetry();
+    assert_eq!(report.table_cache_evictions, s.evictions);
+    assert_eq!(report.table_cache_bytes, s.resident_bytes);
+    let prom = report.to_prometheus();
+    assert!(prom.contains(&format!("rfidraw_table_cache_evictions_total {}", s.evictions)));
 }

@@ -14,6 +14,7 @@
 use rfidraw_channel::{Channel, FaultConfig, FaultInjector, Scenario};
 use rfidraw_core::array::Deployment;
 use rfidraw_core::baseline::BaselineArrays;
+use rfidraw_core::engine::TablePrecision;
 use rfidraw_core::exec::Parallelism;
 use rfidraw_core::geom::{Plane, Point2, Rect};
 use rfidraw_core::online::{OnlineConfig, TrackWindow};
@@ -72,6 +73,13 @@ pub struct PipelineConfig {
     /// every acquisition on the full grid; the offline [`run_word`] pipeline
     /// ignores this knob entirely, so it is provably inert there.
     pub track_window: Option<f64>,
+    /// Floating-point width of the positioning engines' vote tables.
+    /// [`TablePrecision::F64`] (the default) is bit-exact versus the
+    /// reference kernel; [`TablePrecision::F32`] halves table bytes and
+    /// memory bandwidth with a derived vote-error bound, and the
+    /// paper-metric regression suite gates its fig11/fig12 accuracy to
+    /// within 2% of the f64 baselines.
+    pub precision: TablePrecision,
     /// Master seed.
     pub seed: u64,
 }
@@ -95,6 +103,7 @@ impl PipelineConfig {
             hampel: None,
             parallelism: Parallelism::Auto,
             track_window: None,
+            precision: TablePrecision::F64,
             seed: 1,
         }
     }
@@ -125,6 +134,7 @@ impl PipelineConfig {
         c.fine_resolution *= self.fine_resolution_scale;
         c.coarse_resolution = c.coarse_resolution.max(c.fine_resolution);
         c.parallelism = self.parallelism;
+        c.precision = self.precision;
         c
     }
 

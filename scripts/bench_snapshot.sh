@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the kernel benches and writes a machine-readable snapshot to
-# BENCH_05.json: median ns/iter per kernel plus derived throughput numbers
-# (reads/sec through the serving layer, windowed vs full-grid speedup).
+# BENCH_06.json: median ns/iter per kernel plus derived throughput numbers
+# (reads/sec through the serving layer, windowed vs full-grid speedup,
+# f32 vs f64 engine speedup).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -13,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_05.json}"
+OUT="${1:-BENCH_06.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -35,7 +36,7 @@ awk '
     }
     END {
         printf "{\n"
-        printf "  \"snapshot\": \"BENCH_05\",\n"
+        printf "  \"snapshot\": \"BENCH_06\",\n"
         printf "  \"unit\": \"ns_per_iter_median\",\n"
         printf "  \"kernels\": {\n"
         for (i = 0; i < n; i++) {
@@ -53,6 +54,16 @@ awk '
         if ("engine_1cm_serial" in medians && "engine_1cm_windowed" in medians) {
             printf "%s    \"windowed_vs_full_speedup\": %.2f", sep, \
                 medians["engine_1cm_serial"] / medians["engine_1cm_windowed"]
+            sep = ",\n"
+        }
+        if ("engine_1cm_serial" in medians && "engine_1cm_f32" in medians) {
+            printf "%s    \"f32_vs_f64_speedup\": %.2f", sep, \
+                medians["engine_1cm_serial"] / medians["engine_1cm_f32"]
+            sep = ",\n"
+        }
+        if ("engine_1cm_f32" in medians && "engine_1cm_f32_windowed" in medians) {
+            printf "%s    \"f32_windowed_vs_full_speedup\": %.2f", sep, \
+                medians["engine_1cm_f32"] / medians["engine_1cm_f32_windowed"]
             sep = ",\n"
         }
         # serve_ingest benches push 4096 reads per iteration; the 8-session
