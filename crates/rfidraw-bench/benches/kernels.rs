@@ -144,11 +144,13 @@ fn bench_baseline_locate(c: &mut Criterion) {
     });
 }
 
-/// Serving-layer overhead: routing, bounded queueing, and round-robin
-/// draining of a fixed read budget spread over 1, 8, and 64 concurrent
-/// sessions. The reads carry an antenna outside the deployment so the
-/// tracker ignores them — the tracker kernels are benched separately
-/// above; this isolates what the service itself costs per read.
+/// Serving-layer overhead: routing, sharded registry lookup, bounded
+/// queueing, and round-robin draining of a fixed read budget spread over
+/// 1 to 10240 concurrent sessions (the 1k/10k points are the
+/// 100k-session serving trajectory at bench-affordable scale). The reads
+/// carry an antenna outside the deployment so the tracker ignores them —
+/// the tracker kernels are benched separately above; this isolates what
+/// the service itself costs per read.
 fn bench_serve_ingest(c: &mut Criterion) {
     use rfidraw::core::array::AntennaId;
     use rfidraw::core::stream::PhaseRead;
@@ -156,22 +158,85 @@ fn bench_serve_ingest(c: &mut Criterion) {
     use rfidraw::serve::{ServeConfig, TrackerTemplate, TrackingService};
 
     const TOTAL_READS: usize = 4096;
-    for sessions in [1usize, 8, 64] {
+    for sessions in [1usize, 8, 64, 1024, 10240] {
+        // Past the read budget every session still ingests one read per
+        // iteration, so the 10k point measures per-session routing cost.
+        let per_session = (TOTAL_READS / sessions).max(1);
+        let total = per_session * sessions;
         let mut cfg = ServeConfig::new(TrackerTemplate::paper_default(region()));
         cfg.workers = None; // drain on the bench thread: deterministic cost
         cfg.queue_capacity = TOTAL_READS;
         cfg.max_sessions = sessions;
         let service = TrackingService::start(cfg);
         let client = service.client();
-        let per_session = TOTAL_READS / sessions;
         let batch: Vec<PhaseRead> = (0..per_session)
             .map(|i| PhaseRead { t: i as f64 * 1e-3, antenna: AntennaId(0), phase: 0.5 })
             .collect();
         let epcs: Vec<Epc> = (0..sessions).map(|i| Epc::from_index(i as u32 + 1)).collect();
-        c.bench_function(&format!("serve_ingest_{TOTAL_READS}_reads_{sessions}_sessions"), |b| {
+        c.bench_function(&format!("serve_ingest_{total}_reads_{sessions}_sessions"), |b| {
             b.iter(|| {
                 for &epc in &epcs {
                     black_box(client.ingest(epc, black_box(&batch)).expect("ingest"));
+                }
+                while service.pump() > 0 {}
+            })
+        });
+    }
+}
+
+/// Wire-format cost at the serving boundary: the same 4096-read /
+/// 64-session ingest load pre-encoded as newline-JSON (wire v2) and
+/// length-prefixed binary (wire v3), pushed through the frame decoder,
+/// payload decode, wire-boundary validation, ingest, and a full drain —
+/// the per-frame server path minus the sockets. CI gates binary at
+/// >= 1.5x JSON here.
+fn bench_serve_wire(c: &mut Criterion) {
+    use rfidraw::core::array::AntennaId;
+    use rfidraw::core::stream::PhaseRead;
+    use rfidraw::net::{FrameDecoder, RawFrame, DEFAULT_MAX_PAYLOAD};
+    use rfidraw::protocol::Epc;
+    use rfidraw::serve::wire::{self, IngestBatch, Message};
+    use rfidraw::serve::{wire3, ServeConfig, TrackerTemplate, TrackingService};
+
+    const SESSIONS: usize = 64;
+    const PER_SESSION: usize = 64;
+    let mut cfg = ServeConfig::new(TrackerTemplate::paper_default(region()));
+    cfg.workers = None;
+    cfg.queue_capacity = PER_SESSION;
+    cfg.max_sessions = SESSIONS;
+    let service = TrackingService::start(cfg);
+    let client = service.client();
+
+    let frames: Vec<(Vec<u8>, Vec<u8>)> = (0..SESSIONS)
+        .map(|s| {
+            let epc = Epc::from_index(s as u32 + 1);
+            let reads: Vec<PhaseRead> = (0..PER_SESSION)
+                .map(|i| PhaseRead { t: i as f64 * 1e-3, antenna: AntennaId(0), phase: 0.5 })
+                .collect();
+            let msg = Message::Ingest(IngestBatch { epc, reads });
+            let mut json = wire::encode(&msg).into_bytes();
+            json.push(b'\n');
+            (json, wire3::encode_frame(&msg))
+        })
+        .collect();
+
+    let total = SESSIONS * PER_SESSION;
+    for binary in [false, true] {
+        let name = if binary { "serve_wire_binary" } else { "serve_wire_json" };
+        c.bench_function(&format!("{name}_{total}_reads_{SESSIONS}_sessions"), |b| {
+            b.iter(|| {
+                for (json, bin) in &frames {
+                    let bytes: &[u8] = if binary { bin } else { json };
+                    let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+                    dec.feed(black_box(bytes));
+                    let frame = dec.next().expect("well-framed").expect("complete frame");
+                    let msg = match frame {
+                        RawFrame::Json(line) => wire::decode(&line).expect("decodes"),
+                        RawFrame::Binary(fr) => wire3::decode_frame(&fr).expect("decodes"),
+                    };
+                    let Message::Ingest(batch) = msg else { unreachable!() };
+                    assert!(batch.reads.iter().all(wire::read_is_valid));
+                    black_box(client.ingest(batch.epc, &batch.reads).expect("ingest"));
                 }
                 while service.pump() > 0 {}
             })
@@ -233,7 +298,7 @@ criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_vote_grid, bench_vote_reference, bench_vote_engine, bench_multires_locate,
-              bench_trace_steps, bench_baseline_locate, bench_serve_ingest,
+              bench_trace_steps, bench_baseline_locate, bench_serve_ingest, bench_serve_wire,
               bench_trace_overhead, bench_recognizer
 }
 criterion_main!(kernels);

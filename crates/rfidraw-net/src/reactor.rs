@@ -1,0 +1,584 @@
+//! The reactor: one thread, one [`Poller`](crate::poller::Poller), every
+//! connection.
+//!
+//! The reactor owns the listener and all connection fds, runs the
+//! accept/read/write state machines, and reassembles partial frames per
+//! connection through a [`FrameDecoder`]. Application logic lives behind
+//! the [`Handler`] trait: the reactor hands it complete frames and
+//! lifecycle edges, and the handler answers through an [`Outbox`] — an
+//! explicit op list rather than direct socket access, so the handler can
+//! never block the loop on a slow peer and the borrow story stays simple.
+//!
+//! # Connection state machine
+//!
+//! ```text
+//!           accept                    frame error / Close op
+//! listener ───────► open ──────────────────────────────► draining
+//!                    │  read 0 / read error                  │ write buffer
+//!                    │  (peer closed)                        │ flushed
+//!                    ▼                                       ▼
+//!                  closed ◄──────────────────────────────────┘
+//! ```
+//!
+//! Reads are level-triggered and drained to `WouldBlock`; write interest
+//! is registered only while a connection's output buffer is non-empty.
+//! `Close` means *flush pending writes, then close* — so an error reply
+//! queued just before a close is still delivered.
+//!
+//! # Shutdown
+//!
+//! [`ReactorHandle::shutdown`] stops accepting, performs one final read
+//! sweep so frames already in kernel buffers are decoded and delivered
+//! (drain in-flight), calls [`Handler::on_shutdown`] (the serve layer
+//! uses this to emit `SessionClosed` to subscribers), flushes pending
+//! writes under a bounded deadline, and only then closes the fds.
+
+use crate::frame::{FrameDecoder, FrameError, RawFrame, WireMode};
+use crate::poller::{Event, Interest, Poller, PollerKind};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier for one accepted connection (unique per reactor,
+/// never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// Reactor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Readiness backend selection.
+    pub poller: PollerKind,
+    /// Size of the per-loop read scratch buffer.
+    pub read_buffer: usize,
+    /// Per-frame payload/line cap handed to each connection's decoder.
+    pub max_frame_payload: usize,
+    /// Poll timeout per loop iteration; also the cadence of
+    /// [`Handler::on_tick`] when the sockets are quiet.
+    pub tick: Duration,
+    /// Connections beyond this are accepted and immediately closed
+    /// (counted in [`ReactorStats::rejected`]).
+    pub max_connections: usize,
+    /// How long shutdown may spend flushing pending writes before
+    /// closing anyway.
+    pub shutdown_flush: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            poller: PollerKind::Auto,
+            read_buffer: 64 * 1024,
+            max_frame_payload: crate::frame::DEFAULT_MAX_PAYLOAD,
+            tick: Duration::from_millis(1),
+            max_connections: usize::MAX,
+            shutdown_flush: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Live counters shared between the reactor thread and observers.
+/// Everything is monotonic except `open` (a gauge).
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections fully closed (every accepted connection ends here).
+    pub closed: AtomicU64,
+    /// Currently open connections.
+    pub open: AtomicU64,
+    /// Connections refused because `max_connections` was reached.
+    pub rejected: AtomicU64,
+    /// Complete JSON frames delivered to the handler.
+    pub frames_in_json: AtomicU64,
+    /// Complete binary frames delivered to the handler.
+    pub frames_in_binary: AtomicU64,
+    /// Frames queued for send by the handler.
+    pub frames_out: AtomicU64,
+    /// Reads that resumed a partially received frame (reassembly events).
+    pub partial_resumes: AtomicU64,
+    /// Terminal framing errors (bad magic/version, oversized, non-UTF-8).
+    pub frame_errors: AtomicU64,
+    /// Connections that disconnected mid-frame (EOF with bytes pending).
+    pub midframe_disconnects: AtomicU64,
+    /// Payload bytes received.
+    pub bytes_in: AtomicU64,
+    /// Payload bytes written.
+    pub bytes_out: AtomicU64,
+}
+
+/// The application half of the reactor. All callbacks run on the reactor
+/// thread — they must not block; slow work belongs on the shard workers.
+pub trait Handler: Send + 'static {
+    /// A connection was accepted.
+    fn on_open(&mut self, conn: ConnId, out: &mut Outbox);
+    /// One complete frame arrived. `mode` is the connection's negotiated
+    /// protocol (fixed from its first byte).
+    fn on_frame(&mut self, conn: ConnId, frame: RawFrame, mode: WireMode, out: &mut Outbox);
+    /// The connection's byte stream is unrecoverable (see
+    /// [`FrameError`]). The handler may queue one error reply; the
+    /// reactor flushes it and then closes the connection.
+    fn on_frame_error(&mut self, conn: ConnId, err: FrameError, out: &mut Outbox);
+    /// The connection is gone (peer close, error, or server close).
+    /// `midframe` reports an EOF with a partial frame pending.
+    fn on_close(&mut self, conn: ConnId, midframe: bool, out: &mut Outbox);
+    /// Called once per loop iteration (at most every `tick` when idle) so
+    /// the handler can pump non-socket event sources such as session
+    /// subscriptions.
+    fn on_tick(&mut self, out: &mut Outbox);
+    /// Shutdown has begun: in-flight frames are already delivered, fds
+    /// are still open, queued sends will be flushed before close.
+    fn on_shutdown(&mut self, out: &mut Outbox);
+}
+
+/// The handler's channel back to the sockets: an op list the reactor
+/// applies after each callback.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    ops: Vec<Op>,
+}
+
+#[derive(Debug)]
+enum Op {
+    Send(ConnId, Vec<u8>),
+    Close(ConnId),
+}
+
+impl Outbox {
+    /// Queues one already-encoded frame for delivery.
+    pub fn send(&mut self, conn: ConnId, frame_bytes: Vec<u8>) {
+        self.ops.push(Op::Send(conn, frame_bytes));
+    }
+
+    /// Requests a close after pending writes flush.
+    pub fn close(&mut self, conn: ConnId) {
+        self.ops.push(Op::Close(conn));
+    }
+}
+
+/// Control handle for a running reactor. Dropping it shuts the reactor
+/// down.
+pub struct ReactorHandle {
+    local_addr: SocketAddr,
+    stats: Arc<ReactorStats>,
+    backend: &'static str,
+    shutdown: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ReactorHandle {
+    /// The address the reactor is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Which readiness backend runs (`"epoll"` or `"poll"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Graceful shutdown: drain, flush, close, join. Idempotent.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.join.take() {
+            Some(join) => join.join().map_err(|_| {
+                io::Error::new(io::ErrorKind::Other, "reactor thread panicked")
+            })?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// Binds the reactor to `listener` and spawns its thread.
+pub fn spawn<H: Handler>(
+    listener: TcpListener,
+    config: ReactorConfig,
+    handler: H,
+) -> io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let mut poller = Poller::new(config.poller)?;
+    let backend = poller.backend_name();
+    poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+    let stats = Arc::new(ReactorStats::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut reactor = Reactor {
+        poller,
+        listener,
+        config,
+        handler,
+        conns: BTreeMap::new(),
+        next_token: LISTENER_TOKEN + 1,
+        stats: Arc::clone(&stats),
+        shutdown: Arc::clone(&shutdown),
+        events: Vec::new(),
+    };
+    let join = std::thread::Builder::new()
+        .name("rfidraw-reactor".to_string())
+        .spawn(move || reactor.run())?;
+    Ok(ReactorHandle { local_addr, stats, backend, shutdown, join: Some(join) })
+}
+
+const LISTENER_TOKEN: u64 = 0;
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Pending output; `wpos` is the flushed prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    write_registered: bool,
+    /// Close once `wbuf` drains.
+    closing: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+struct Reactor<H: Handler> {
+    poller: Poller,
+    listener: TcpListener,
+    config: ReactorConfig,
+    handler: H,
+    conns: BTreeMap<u64, Conn>,
+    next_token: u64,
+    stats: Arc<ReactorStats>,
+    shutdown: Arc<AtomicBool>,
+    events: Vec<Event>,
+}
+
+impl<H: Handler> Reactor<H> {
+    fn run(&mut self) -> io::Result<()> {
+        let tick_ms = self.config.tick.as_millis().min(i32::MAX as u128) as i32;
+        let mut scratch = vec![0u8; self.config.read_buffer.max(1)];
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let mut events = std::mem::take(&mut self.events);
+            self.poller.wait(&mut events, tick_ms)?;
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else if self.conns.contains_key(&ev.token) {
+                    if ev.readable || ev.closed {
+                        self.read_ready(ev.token, &mut scratch);
+                    }
+                    if ev.writable && self.conns.contains_key(&ev.token) {
+                        self.write_ready(ev.token);
+                    }
+                }
+            }
+            self.events = events;
+            let mut out = Outbox::default();
+            self.handler.on_tick(&mut out);
+            self.apply(out);
+        }
+        self.run_shutdown(&mut scratch);
+        Ok(())
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.config.max_connections {
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.register(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(self.config.max_frame_payload),
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            write_registered: false,
+                            closing: false,
+                        },
+                    );
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.stats.open.fetch_add(1, Ordering::Relaxed);
+                    let mut out = Outbox::default();
+                    self.handler.on_open(ConnId(token), &mut out);
+                    self.apply(out);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (ECONNABORTED etc.): keep serving.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drains the socket to `WouldBlock`, feeds the decoder, and
+    /// dispatches every complete frame.
+    fn read_ready(&mut self, token: u64, scratch: &mut [u8]) {
+        let mut eof = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            loop {
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        let before = conn.decoder.partial_resumes();
+                        conn.decoder.feed(&scratch[..n]);
+                        let resumed = conn.decoder.partial_resumes() - before;
+                        self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                        if resumed > 0 {
+                            self.stats.partial_resumes.fetch_add(resumed, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.dispatch_decoded(token);
+        if eof && self.conns.contains_key(&token) {
+            let midframe = self.conns[&token].decoder.has_partial();
+            if midframe {
+                self.stats.midframe_disconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut queue = VecDeque::new();
+            self.remove_conn(token, midframe, &mut queue);
+            self.apply_queue(queue);
+        }
+    }
+
+    /// Pops complete frames off a connection's decoder and hands them to
+    /// the handler; a framing error sends one `on_frame_error` and marks
+    /// the connection draining.
+    fn dispatch_decoded(&mut self, token: u64) {
+        loop {
+            if !self.conns.contains_key(&token) {
+                return;
+            }
+            let conn = self.conns.get_mut(&token).expect("checked above");
+            if conn.closing {
+                // Already draining: late frames are not processed.
+                return;
+            }
+            let mode = conn.decoder.mode();
+            match conn.decoder.next() {
+                Ok(Some(frame)) => {
+                    match &frame {
+                        RawFrame::Json(_) => {
+                            self.stats.frames_in_json.fetch_add(1, Ordering::Relaxed)
+                        }
+                        RawFrame::Binary(_) => {
+                            self.stats.frames_in_binary.fetch_add(1, Ordering::Relaxed)
+                        }
+                    };
+                    let mut out = Outbox::default();
+                    self.handler.on_frame(ConnId(token), frame, mode, &mut out);
+                    self.apply(out);
+                }
+                Ok(None) => return,
+                Err(err) => {
+                    self.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                    let mut out = Outbox::default();
+                    self.handler.on_frame_error(ConnId(token), err, &mut out);
+                    // Error reply (if any) flushes, then the conn closes.
+                    out.close(ConnId(token));
+                    self.apply(out);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn write_ready(&mut self, token: u64) {
+        let flushed = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            match flush_conn(conn, &self.stats) {
+                FlushOutcome::Pending => false,
+                FlushOutcome::Drained => true,
+                FlushOutcome::Broken => {
+                    let mut queue = VecDeque::new();
+                    self.remove_conn(token, false, &mut queue);
+                    self.apply_queue(queue);
+                    return;
+                }
+            }
+        };
+        if flushed {
+            self.sync_write_interest(token);
+            if self.conns.get(&token).map(|c| c.closing).unwrap_or(false) {
+                let mut queue = VecDeque::new();
+                self.remove_conn(token, false, &mut queue);
+                self.apply_queue(queue);
+            }
+        }
+    }
+
+    /// Registers/deregisters write interest to match the buffer state.
+    fn sync_write_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let want = conn.pending_out() > 0;
+        if want != conn.write_registered {
+            let interest = if want { Interest::READ_WRITE } else { Interest::READ };
+            if self.poller.reregister(conn.stream.as_raw_fd(), token, interest).is_ok() {
+                conn.write_registered = want;
+            }
+        }
+    }
+
+    fn apply(&mut self, out: Outbox) {
+        self.apply_queue(VecDeque::from(out.ops));
+    }
+
+    /// Applies handler ops; close callbacks may enqueue further ops, so
+    /// this loops until the queue is empty.
+    fn apply_queue(&mut self, mut queue: VecDeque<Op>) {
+        while let Some(op) = queue.pop_front() {
+            match op {
+                Op::Send(id, bytes) => {
+                    let Some(conn) = self.conns.get_mut(&id.0) else { continue };
+                    if conn.closing {
+                        continue;
+                    }
+                    self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                    conn.wbuf.extend_from_slice(&bytes);
+                    match flush_conn(conn, &self.stats) {
+                        FlushOutcome::Broken => {
+                            self.remove_conn(id.0, false, &mut queue);
+                        }
+                        FlushOutcome::Pending | FlushOutcome::Drained => {
+                            self.sync_write_interest(id.0);
+                        }
+                    }
+                }
+                Op::Close(id) => {
+                    let Some(conn) = self.conns.get_mut(&id.0) else { continue };
+                    conn.closing = true;
+                    if conn.pending_out() == 0 {
+                        self.remove_conn(id.0, false, &mut queue);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tears one connection down: deregister, drop (closes the fd),
+    /// notify the handler.
+    fn remove_conn(&mut self, token: u64, midframe: bool, queue: &mut VecDeque<Op>) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        drop(conn);
+        self.stats.closed.fetch_add(1, Ordering::Relaxed);
+        self.stats.open.fetch_sub(1, Ordering::Relaxed);
+        let mut out = Outbox::default();
+        self.handler.on_close(ConnId(token), midframe, &mut out);
+        queue.extend(out.ops);
+    }
+
+    /// The graceful-shutdown sequence (see the module docs).
+    fn run_shutdown(&mut self, scratch: &mut [u8]) {
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        // Drain in-flight: one nonblocking read sweep picks up frames
+        // already buffered in the kernel, then dispatch completes them.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if self.conns.contains_key(&token) {
+                self.read_ready(token, scratch);
+            }
+        }
+        let mut out = Outbox::default();
+        self.handler.on_shutdown(&mut out);
+        self.apply(out);
+        // Bounded flush of pending writes.
+        let deadline = Instant::now() + self.config.shutdown_flush;
+        let mut events = std::mem::take(&mut self.events);
+        while self.conns.values().any(|c| c.pending_out() > 0) && Instant::now() < deadline {
+            if self.poller.wait(&mut events, 5).is_err() {
+                break;
+            }
+            let writable: Vec<u64> =
+                events.iter().filter(|e| e.writable).map(|e| e.token).collect();
+            for token in writable {
+                if self.conns.contains_key(&token) {
+                    self.write_ready(token);
+                }
+            }
+        }
+        self.events = events;
+        // Close whatever is left.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let midframe =
+                self.conns.get(&token).map(|c| c.decoder.has_partial()).unwrap_or(false);
+            if midframe {
+                self.stats.midframe_disconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut queue = VecDeque::new();
+            self.remove_conn(token, midframe, &mut queue);
+            self.apply_queue(queue);
+        }
+    }
+}
+
+enum FlushOutcome {
+    /// Bytes remain buffered.
+    Pending,
+    /// The buffer drained completely.
+    Drained,
+    /// The socket is broken (EPIPE/reset); the connection must close.
+    Broken,
+}
+
+/// Writes as much of the connection's buffer as the socket accepts.
+fn flush_conn(conn: &mut Conn, stats: &ReactorStats) -> FlushOutcome {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return FlushOutcome::Broken,
+            Ok(n) => {
+                conn.wpos += n;
+                stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return FlushOutcome::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return FlushOutcome::Broken,
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    FlushOutcome::Drained
+}

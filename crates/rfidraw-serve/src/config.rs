@@ -127,6 +127,33 @@ pub struct CursorSetup {
     pub map: ScreenMap,
 }
 
+/// Which TCP front end serves the wire protocol (see the fallback matrix
+/// in DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendMode {
+    /// The readiness-driven reactor (`rfidraw-net`): one thread, epoll or
+    /// poll, nonblocking sockets, JSON *and* binary framing with
+    /// per-connection negotiation. The default.
+    #[default]
+    Reactor,
+    /// The original thread-per-connection front end: two threads per
+    /// connection, blocking sockets, newline-JSON only. Kept as a
+    /// config-selectable fallback and as the cross-check in the
+    /// bit-identity tests.
+    ThreadPerConnection,
+}
+
+/// Network front-end configuration.
+#[derive(Debug, Clone, Default)]
+pub struct NetConfig {
+    /// Which front end `Frontend::bind` starts.
+    pub frontend: FrontendMode,
+    /// Reactor tuning (readiness backend, buffer sizes, frame caps, tick,
+    /// connection cap, shutdown flush budget). Ignored by the
+    /// thread-per-connection front end.
+    pub reactor: rfidraw_net::ReactorConfig,
+}
+
 /// The full service configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -153,6 +180,17 @@ pub struct ServeConfig {
     /// fairness knob: a hot tag yields the worker after this many reads so
     /// it cannot starve other sessions.
     pub drain_batch: usize,
+    /// Registry shards. Sessions are placed by EPC hash and never
+    /// migrate; workers drain shard by shard without a global registry
+    /// lock. More shards cut lock contention with many concurrent
+    /// producers; 1 shard reproduces the old single-map behavior
+    /// (results are bit-identical either way).
+    ///
+    /// # Panics
+    /// [`crate::TrackingService::start`] panics when this is zero.
+    pub shards: usize,
+    /// Network front-end selection and reactor tuning.
+    pub net: NetConfig,
     /// Optional cursor mode for every session.
     pub cursor: Option<CursorSetup>,
     /// Optional pipeline trace recorder (ring capacity, sampling, flight
@@ -165,7 +203,8 @@ pub struct ServeConfig {
 impl ServeConfig {
     /// Sensible service defaults around a tracker template: queue of 1024
     /// reads, `Block` backpressure (lossless), 64 sessions, 30 s idle
-    /// timeout, auto worker threads, 64-read drain batches, no cursor.
+    /// timeout, auto worker threads, 64-read drain batches, 8 registry
+    /// shards, the reactor front end, no cursor.
     pub fn new(tracker: TrackerTemplate) -> Self {
         Self {
             tracker,
@@ -175,6 +214,8 @@ impl ServeConfig {
             idle_timeout: Duration::from_secs(30),
             workers: Some(Parallelism::Auto),
             drain_batch: 64,
+            shards: 8,
+            net: NetConfig::default(),
             cursor: None,
             observability: None,
         }

@@ -2,10 +2,16 @@
 //!
 //! This crate turns the streaming tracker (`rfidraw_core::online`) into a
 //! long-running service: many tags tracked concurrently, each behind a
-//! bounded ingest queue with an explicit backpressure policy, drained
-//! fairly by a small worker pool, observable through runtime telemetry,
-//! and reachable both in-process and over a line-framed JSON TCP
-//! protocol.
+//! bounded ingest queue with an explicit backpressure policy, placed on an
+//! EPC-sharded registry, drained fairly by a small worker pool, observable
+//! through runtime telemetry, and reachable in-process and over TCP. The
+//! TCP face is config-selectable ([`Frontend`]): the default
+//! readiness-driven reactor (`rfidraw-net`; one thread for all
+//! connections, newline-JSON wire v2 *and* length-prefixed binary wire v3
+//! with per-connection negotiation) or the classic thread-per-connection
+//! fallback (JSON only). Both share one request dispatcher, so their
+//! semantics cannot drift — the integration tests pin them to
+//! bit-identical position streams.
 //!
 //! # Observability
 //!
@@ -69,14 +75,20 @@
 
 pub mod config;
 pub mod net;
+pub mod reactor;
+pub(crate) mod registry;
 pub mod service;
 pub mod session;
 pub mod telemetry;
 pub mod wire;
+pub mod wire3;
 
-pub use config::{BackpressurePolicy, CursorSetup, ServeConfig, TrackerTemplate};
-pub use net::{WireClient, WireServer};
+pub use config::{
+    BackpressurePolicy, CursorSetup, FrontendMode, NetConfig, ServeConfig, TrackerTemplate,
+};
+pub use net::{WireClient, WireProtocol, WireServer};
+pub use reactor::{Frontend, ReactorServer};
 pub use service::{LocalClient, ServeError, SessionView, TrackingService};
 pub use session::{CloseReason, IngestReceipt, SessionEvent};
-pub use telemetry::{SessionTelemetry, TelemetryReport};
+pub use telemetry::{NetTelemetry, SessionTelemetry, ShardTelemetry, TelemetryReport};
 pub use wire::{Message, WIRE_VERSION};

@@ -1,0 +1,305 @@
+//! The readiness-driven TCP front end: `rfidraw-net`'s reactor wired to
+//! the tracking service.
+//!
+//! One reactor thread owns every connection (accept, framed reads,
+//! buffered writes); this module supplies the [`rfidraw_net::Handler`]
+//! that turns complete frames into [`crate::net::dispatch_request`] calls
+//! against the shared [`LocalClient`] and pumps session subscriptions
+//! back out on the reactor tick. Request handling is byte-for-byte the
+//! same code path the thread-per-connection front end uses, so the two
+//! front ends cannot diverge semantically — the integration tests assert
+//! bit-identical trajectories across both and against standalone
+//! trackers.
+//!
+//! Each connection speaks either newline-JSON (wire v2) or length-
+//! prefixed binary (wire v3); the reactor's decoder negotiates from the
+//! first byte and replies are encoded in the connection's own protocol.
+//! Framing-level corruption (bad magic, oversized declared length, an
+//! over-long line) is unrecoverable by construction, so the handler
+//! queues exactly one `Error` frame and the reactor flushes it and closes.
+//! Payload-level garbage (valid frame, malformed JSON or binary body)
+//! costs an `Error` reply and nothing else — the connection survives.
+//!
+//! On graceful shutdown the reactor first delivers frames already
+//! received, then [`rfidraw_net::Handler::on_shutdown`] drains every
+//! subscription and emits a final `SessionClosed { reason: "shutdown" }`
+//! per still-open subscription before the flush-and-close, so clients
+//! always observe an explicit end-of-stream.
+
+use crate::config::{FrontendMode, NetConfig};
+use crate::net::{decode_error_reply, dispatch_request, Dispatch, WireServer};
+use crate::service::LocalClient;
+use crate::session::SessionEvent;
+use crate::wire::{self, Message, PositionUpdate, SessionClosed, WireError};
+use crate::wire3;
+use rfidraw_net::{
+    ConnId, FrameError, Outbox, RawFrame, ReactorConfig, ReactorHandle, ReactorStats, WireMode,
+};
+use rfidraw_protocol::Epc;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::{mpsc, Arc};
+
+/// One live subscription being forwarded onto a connection.
+struct Sub {
+    epc: Epc,
+    rx: mpsc::Receiver<SessionEvent>,
+}
+
+/// Per-connection handler state.
+#[derive(Default)]
+struct ConnState {
+    /// Negotiated protocol; `Unknown` until the first complete frame.
+    mode: WireMode,
+    subs: Vec<Sub>,
+}
+
+fn encode_for(mode: WireMode, msg: &Message) -> Vec<u8> {
+    match mode {
+        WireMode::Binary => wire3::encode_frame(msg),
+        // JSON is also the answer for `Unknown`: a frame error can fire
+        // before negotiation completes, and text is the diagnosable
+        // choice for a peer we know nothing about.
+        WireMode::Json | WireMode::Unknown => {
+            let mut line = wire::encode(msg).into_bytes();
+            line.push(b'\n');
+            line
+        }
+    }
+}
+
+/// The application handler running on the reactor thread.
+struct ServeHandler {
+    client: LocalClient,
+    conns: HashMap<u64, ConnState>,
+}
+
+impl ServeHandler {
+    /// Drains ready subscription events for one connection. Returns the
+    /// frames to send; a `Closed` event retires its subscription.
+    fn pump_conn(state: &mut ConnState) -> Vec<Vec<u8>> {
+        let mode = state.mode;
+        let mut frames = Vec::new();
+        state.subs.retain_mut(|sub| loop {
+            match sub.rx.try_recv() {
+                Ok(SessionEvent::Position { epc, t, pos }) => {
+                    frames.push(encode_for(
+                        mode,
+                        &Message::PositionUpdate(PositionUpdate { epc, t, x: pos.x, z: pos.z }),
+                    ));
+                }
+                Ok(SessionEvent::Closed { epc, reason }) => {
+                    frames.push(encode_for(
+                        mode,
+                        &Message::SessionClosed(SessionClosed {
+                            epc,
+                            reason: reason.as_str().to_string(),
+                        }),
+                    ));
+                    return false;
+                }
+                // In-process-only detail, not part of the wire protocol.
+                Ok(SessionEvent::Acquired { .. })
+                | Ok(SessionEvent::Stale { .. })
+                | Ok(SessionEvent::Degraded { .. })
+                | Ok(SessionEvent::Cursor { .. }) => {}
+                Err(mpsc::TryRecvError::Empty) => return true,
+                // Channel gone without a Closed event (service dropped):
+                // nothing more will arrive, report the end-of-stream.
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    frames.push(encode_for(
+                        mode,
+                        &Message::SessionClosed(SessionClosed {
+                            epc: sub.epc,
+                            reason: "shutdown".to_string(),
+                        }),
+                    ));
+                    return false;
+                }
+            }
+        });
+        frames
+    }
+}
+
+impl rfidraw_net::Handler for ServeHandler {
+    fn on_open(&mut self, conn: ConnId, _out: &mut Outbox) {
+        self.conns.insert(conn.0, ConnState::default());
+    }
+
+    fn on_frame(&mut self, conn: ConnId, frame: RawFrame, mode: WireMode, out: &mut Outbox) {
+        if let Some(state) = self.conns.get_mut(&conn.0) {
+            state.mode = mode;
+        }
+        let msg = match &frame {
+            RawFrame::Json(line) => wire::decode(line),
+            RawFrame::Binary(bin) => wire3::decode_frame(bin),
+        };
+        let msg = match msg {
+            Ok(msg) => msg,
+            Err(e) => {
+                // Payload-level failure: the framing is intact, so the
+                // connection survives with an error reply.
+                out.send(conn, encode_for(mode, &decode_error_reply(&e)));
+                return;
+            }
+        };
+        let sub_epc = match &msg {
+            Message::Subscribe(s) => Some(s.epc),
+            _ => None,
+        };
+        match dispatch_request(&self.client, msg) {
+            Dispatch::Reply(reply) => out.send(conn, encode_for(mode, &reply)),
+            Dispatch::Subscribed(rx) => {
+                let epc = sub_epc.expect("Subscribed dispatch only from Subscribe");
+                if let Some(state) = self.conns.get_mut(&conn.0) {
+                    state.subs.push(Sub { epc, rx });
+                }
+            }
+        }
+    }
+
+    fn on_frame_error(&mut self, conn: ConnId, err: FrameError, out: &mut Outbox) {
+        // The byte stream is unrecoverable; the reactor closes after this
+        // reply flushes. Answer in the negotiated protocol when known,
+        // else infer it from the failure itself (length/magic problems
+        // are binary-side, line/UTF-8 problems are JSON-side).
+        let mode = match self.conns.get(&conn.0).map(|s| s.mode) {
+            Some(WireMode::Unknown) | None => match err {
+                FrameError::BadMagic { .. }
+                | FrameError::BadVersion { .. }
+                | FrameError::Oversized { .. } => WireMode::Binary,
+                FrameError::LineTooLong { .. } | FrameError::NotUtf8 => WireMode::Json,
+            },
+            Some(mode) => mode,
+        };
+        let reply = Message::Error(WireError {
+            code: "frame".to_string(),
+            message: err.to_string(),
+        });
+        out.send(conn, encode_for(mode, &reply));
+    }
+
+    fn on_close(&mut self, conn: ConnId, _midframe: bool, _out: &mut Outbox) {
+        self.conns.remove(&conn.0);
+    }
+
+    fn on_tick(&mut self, out: &mut Outbox) {
+        for (&token, state) in self.conns.iter_mut() {
+            for frame in Self::pump_conn(state) {
+                out.send(ConnId(token), frame);
+            }
+        }
+    }
+
+    fn on_shutdown(&mut self, out: &mut Outbox) {
+        // In-flight frames were already delivered by the reactor's final
+        // read sweep; whatever replies they queued are ahead of us in the
+        // write buffers. Drain every subscription one last time, then
+        // announce the shutdown on each still-open subscription so no
+        // client is left waiting on a stream that will never end.
+        for (&token, state) in self.conns.iter_mut() {
+            for frame in Self::pump_conn(state) {
+                out.send(ConnId(token), frame);
+            }
+            for sub in state.subs.drain(..) {
+                out.send(
+                    ConnId(token),
+                    encode_for(
+                        state.mode,
+                        &Message::SessionClosed(SessionClosed {
+                            epc: sub.epc,
+                            reason: "shutdown".to_string(),
+                        }),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The reactor front end bound to a TCP address: accepts connections,
+/// speaks both wire protocols, and serves the shared [`LocalClient`].
+pub struct ReactorServer {
+    handle: ReactorHandle,
+}
+
+impl ReactorServer {
+    /// Binds `addr` and starts the reactor thread with `cfg`. The
+    /// reactor's live counters are registered with the service telemetry.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        client: LocalClient,
+        cfg: ReactorConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let handler = ServeHandler { client: client.clone(), conns: HashMap::new() };
+        let handle = rfidraw_net::spawn(listener, cfg, handler)?;
+        client.register_net_stats(handle.stats());
+        Ok(Self { handle })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.handle.local_addr()
+    }
+
+    /// The reactor's live counters.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        self.handle.stats()
+    }
+
+    /// Which readiness backend runs (`"epoll"` or `"poll"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.handle.backend_name()
+    }
+
+    /// Graceful shutdown: deliver in-flight frames, emit `SessionClosed`
+    /// to open subscriptions, flush, close, join. Also runs on drop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.handle.shutdown()
+    }
+}
+
+/// Whichever TCP front end the config selected, behind one face.
+pub enum Frontend {
+    /// The readiness-driven reactor (default).
+    Reactor(ReactorServer),
+    /// The thread-per-connection fallback (newline-JSON only).
+    Thread(WireServer),
+}
+
+impl Frontend {
+    /// Binds the front end picked by `net.frontend`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        client: LocalClient,
+        net: &NetConfig,
+    ) -> io::Result<Self> {
+        match net.frontend {
+            FrontendMode::Reactor => {
+                ReactorServer::bind(addr, client, net.reactor.clone()).map(Frontend::Reactor)
+            }
+            FrontendMode::ThreadPerConnection => {
+                WireServer::bind(addr, client).map(Frontend::Thread)
+            }
+        }
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        match self {
+            Frontend::Reactor(s) => s.local_addr(),
+            Frontend::Thread(s) => s.local_addr(),
+        }
+    }
+
+    /// The front end's live connection/frame counters.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        match self {
+            Frontend::Reactor(s) => s.stats(),
+            Frontend::Thread(s) => s.stats(),
+        }
+    }
+}

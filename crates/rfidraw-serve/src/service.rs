@@ -17,14 +17,14 @@
 //! integration tests).
 
 use crate::config::ServeConfig;
+use crate::registry::ShardedRegistry;
 use crate::session::{CloseReason, IngestReceipt, SessionEvent, SessionShared};
-use crate::telemetry::{GlobalMetrics, TelemetryReport};
+use crate::telemetry::{GlobalMetrics, NetTelemetry, TelemetryReport};
 use rfidraw_core::geom::Point2;
 use rfidraw_core::obs::Stage;
 use rfidraw_core::stream::PhaseRead;
 use rfidraw_metrics::{TraceDump, TraceRecorder};
 use rfidraw_protocol::Epc;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -74,14 +74,24 @@ pub struct SessionView {
 
 struct ServiceInner {
     cfg: ServeConfig,
-    sessions: Mutex<BTreeMap<Epc, Arc<SessionShared>>>,
+    /// EPC-sharded session registry (see [`crate::registry`]): sessions
+    /// are placed by EPC hash and never migrate; drain passes lock one
+    /// shard at a time instead of a global map.
+    registry: ShardedRegistry,
     /// Workers park here when every queue is empty.
     work: Condvar,
+    /// Parking spot for the worker condvar (the registry has no single
+    /// lock anymore, so the condvar gets its own).
+    park: Mutex<()>,
     global: GlobalMetrics,
     shutdown: AtomicBool,
-    /// Round-robin start offset, advanced per drain round so successive
-    /// rounds (and concurrent workers) begin at different sessions.
+    /// Round-robin *shard* start offset, advanced per drain round so
+    /// successive rounds (and concurrent workers) begin at different
+    /// shards.
     rr: AtomicUsize,
+    /// Network front-end counter blocks registered by `Frontend::bind`,
+    /// folded into every telemetry snapshot.
+    net_sources: Mutex<Vec<Arc<rfidraw_net::ReactorStats>>>,
 }
 
 impl ServiceInner {
@@ -89,76 +99,43 @@ impl ServiceInner {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let mut map = self.sessions.lock().expect("sessions lock");
-        if let Some(s) = map.get(&epc) {
-            return Ok(Arc::clone(s));
-        }
-        if map.len() >= self.cfg.max_sessions {
-            self.global.sessions_rejected.inc();
-            return Err(ServeError::SessionLimit { max: self.cfg.max_sessions });
-        }
-        #[allow(unused_mut)]
-        let mut tracker = self.cfg.tracker.build();
-        // With the `trace` feature the per-session tracker emits core
-        // hot-path events (phase unwrap, lobe locking, vote flips) into
-        // the shared recorder, tagged with the session id.
-        #[cfg(feature = "trace")]
-        if let Some(rec) = &self.global.trace {
-            let sink: rfidraw_core::obs::SharedSink = Arc::clone(rec) as _;
-            tracker.set_trace_sink(Some(sink), crate::session::session_id(epc));
-        }
-        let session = Arc::new(SessionShared::new(epc, tracker, self.cfg.cursor.as_ref()));
-        map.insert(epc, Arc::clone(&session));
-        self.global.sessions_opened.inc();
-        Ok(session)
-    }
-
-    /// One round-robin pass over all sessions; returns reads processed.
-    fn drain_round(&self) -> usize {
-        let sessions: Vec<Arc<SessionShared>> = {
-            let map = self.sessions.lock().expect("sessions lock");
-            map.values().cloned().collect()
-        };
-        if sessions.is_empty() {
-            return 0;
-        }
-        let start = self.rr.fetch_add(1, Ordering::Relaxed) % sessions.len();
-        let mut processed = 0;
-        for k in 0..sessions.len() {
-            let s = &sessions[(start + k) % sessions.len()];
-            if s
-                .claimed
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                processed += s.drain(self.cfg.drain_batch, &self.global);
-                s.claimed.store(false, Ordering::Release);
+        let built = self.registry.get_or_insert(epc, self.cfg.max_sessions, || {
+            #[allow(unused_mut)]
+            let mut tracker = self.cfg.tracker.build();
+            // With the `trace` feature the per-session tracker emits core
+            // hot-path events (phase unwrap, lobe locking, vote flips)
+            // into the shared recorder, tagged with the session id.
+            #[cfg(feature = "trace")]
+            if let Some(rec) = &self.global.trace {
+                let sink: rfidraw_core::obs::SharedSink = Arc::clone(rec) as _;
+                tracker.set_trace_sink(Some(sink), crate::session::session_id(epc));
+            }
+            Arc::new(SessionShared::new(epc, tracker, self.cfg.cursor.as_ref()))
+        });
+        match built {
+            Ok((session, inserted)) => {
+                if inserted {
+                    self.global.sessions_opened.inc();
+                }
+                Ok(session)
+            }
+            Err(crate::registry::RegistryFull) => {
+                self.global.sessions_rejected.inc();
+                Err(ServeError::SessionLimit { max: self.cfg.max_sessions })
             }
         }
-        processed
+    }
+
+    /// One work-conserving pass over every shard (rotating the starting
+    /// shard per round); returns reads processed.
+    fn drain_round(&self) -> usize {
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % self.registry.shard_count();
+        self.registry.drain_round(start, self.cfg.drain_batch, &self.global)
     }
 
     /// Evicts sessions whose last ingest is older than the idle timeout.
     fn sweep_idle(&self) {
-        let mut evicted = Vec::new();
-        {
-            let mut map = self.sessions.lock().expect("sessions lock");
-            let idle: Vec<Epc> = map
-                .iter()
-                .filter(|(_, s)| {
-                    s.idle_for() > self.cfg.idle_timeout
-                        && s.queue_depth() == 0
-                        && !s.claimed.load(Ordering::Acquire)
-                })
-                .map(|(epc, _)| *epc)
-                .collect();
-            for epc in idle {
-                if let Some(s) = map.remove(&epc) {
-                    evicted.push(s);
-                }
-            }
-        }
-        for s in evicted {
+        for s in self.registry.take_idle(self.cfg.idle_timeout) {
             s.close(CloseReason::Idle, &self.global);
             self.global.sessions_evicted.inc();
         }
@@ -171,11 +148,7 @@ impl ServiceInner {
     fn note_invalid_ingest(&self, epc: Epc, total: u64, invalid: u64) {
         self.global.rejected.add(total);
         self.global.invalid.add(invalid);
-        let session = {
-            let map = self.sessions.lock().expect("sessions lock");
-            map.get(&epc).cloned()
-        };
-        if let Some(s) = session {
+        if let Some(s) = self.registry.get(epc) {
             s.note_invalid_ingest(total, invalid);
         }
         if let Some(rec) = self.global.trace.as_deref() {
@@ -189,16 +162,20 @@ impl ServiceInner {
     }
 
     fn has_pending(&self) -> bool {
-        let map = self.sessions.lock().expect("sessions lock");
-        map.values().any(|s| s.queue_depth() > 0)
+        self.registry.has_pending()
     }
 
     fn telemetry(&self) -> TelemetryReport {
-        let sessions: Vec<Arc<SessionShared>> = {
-            let map = self.sessions.lock().expect("sessions lock");
-            map.values().cloned().collect()
-        };
+        let sessions: Vec<Arc<SessionShared>> = self.registry.snapshot_sorted();
         let cache = self.cfg.tracker.table_cache_stats();
+        let net = {
+            let sources = self.net_sources.lock().expect("net sources lock");
+            let mut net = NetTelemetry::default();
+            for s in sources.iter() {
+                net.absorb(s);
+            }
+            net
+        };
         TelemetryReport {
             active_sessions: sessions.len() as u64,
             sessions_opened: self.global.sessions_opened.get(),
@@ -227,6 +204,8 @@ impl ServiceInner {
                 .as_ref()
                 .map(|r| r.stage_latencies())
                 .unwrap_or_default(),
+            net,
+            shards: self.registry.telemetry(),
             sessions: sessions.iter().map(|s| s.telemetry()).collect(),
         }
     }
@@ -274,11 +253,7 @@ impl LocalClient {
     /// Closes a session explicitly; returns whether it existed. Anything
     /// still queued is discarded and counted as dropped.
     pub fn close_session(&self, epc: Epc) -> bool {
-        let removed = {
-            let mut map = self.inner.sessions.lock().expect("sessions lock");
-            map.remove(&epc)
-        };
-        match removed {
+        match self.inner.registry.remove(epc) {
             Some(s) => {
                 s.close(CloseReason::Explicit, &self.inner.global);
                 self.inner.global.sessions_closed.inc();
@@ -290,10 +265,7 @@ impl LocalClient {
 
     /// A snapshot of one session's tracking state.
     pub fn session_view(&self, epc: Epc) -> Option<SessionView> {
-        let session = {
-            let map = self.inner.sessions.lock().expect("sessions lock");
-            map.get(&epc).cloned()
-        }?;
+        let session = self.inner.registry.get(epc)?;
         let trajectory = session.trajectory();
         let (tracking, alive_candidates, current) = session.tracker_state();
         let degraded = session.is_degraded();
@@ -302,8 +274,7 @@ impl LocalClient {
 
     /// The EPCs of all live sessions, in order.
     pub fn active_sessions(&self) -> Vec<Epc> {
-        let map = self.inner.sessions.lock().expect("sessions lock");
-        map.keys().copied().collect()
+        self.inner.registry.snapshot_sorted().iter().map(|s| s.epc).collect()
     }
 
     /// A serializable snapshot of all counters and the latency histogram.
@@ -331,6 +302,12 @@ impl LocalClient {
     pub(crate) fn note_invalid_ingest(&self, epc: Epc, total: u64, invalid: u64) {
         self.inner.note_invalid_ingest(epc, total, invalid);
     }
+
+    /// Registers a network front end's counter block so every telemetry
+    /// snapshot includes its connection/frame accounting.
+    pub(crate) fn register_net_stats(&self, stats: Arc<rfidraw_net::ReactorStats>) {
+        self.inner.net_sources.lock().expect("net sources lock").push(stats);
+    }
 }
 
 /// The service: owns the registry and the worker pool.
@@ -351,15 +328,19 @@ impl TrackingService {
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.drain_batch > 0, "drain batch must be positive");
         assert!(cfg.max_sessions > 0, "session cap must be positive");
+        assert!(cfg.shards > 0, "shard count must be positive");
         let worker_count = cfg.workers.map(|p| p.thread_count()).unwrap_or(0);
         let recorder = cfg.observability.as_ref().map(|s| Arc::new(TraceRecorder::new(s.clone())));
+        let registry = ShardedRegistry::new(cfg.shards);
         let inner = Arc::new(ServiceInner {
             cfg,
-            sessions: Mutex::new(BTreeMap::new()),
+            registry,
             work: Condvar::new(),
+            park: Mutex::new(()),
             global: GlobalMetrics::new(recorder),
             shutdown: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
+            net_sources: Mutex::new(Vec::new()),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -395,11 +376,12 @@ impl TrackingService {
             if self.workers.is_empty() {
                 while self.inner.drain_round() > 0 {}
             }
-            let busy = {
-                let map = self.inner.sessions.lock().expect("sessions lock");
-                map.values()
-                    .any(|s| s.queue_depth() > 0 || s.claimed.load(Ordering::Acquire))
-            };
+            let busy = self
+                .inner
+                .registry
+                .snapshot()
+                .iter()
+                .any(|s| s.queue_depth() > 0 || s.claimed.load(Ordering::Acquire));
             if !busy {
                 return;
             }
@@ -422,13 +404,7 @@ impl Drop for TrackingService {
         }
         // Close every remaining session: unblocks producers, tells
         // subscribers the stream is over.
-        let sessions: Vec<Arc<SessionShared>> = {
-            let mut map = self.inner.sessions.lock().expect("sessions lock");
-            let v = map.values().cloned().collect();
-            map.clear();
-            v
-        };
-        for s in sessions {
+        for s in self.inner.registry.drain_all() {
             s.close(CloseReason::Shutdown, &self.inner.global);
             self.inner.global.sessions_closed.inc();
         }
@@ -443,13 +419,13 @@ fn worker_loop(inner: &ServiceInner) {
         let processed = inner.drain_round();
         inner.sweep_idle();
         if processed == 0 && !inner.has_pending() {
-            let guard = inner.sessions.lock().expect("sessions lock");
+            let guard = inner.park.lock().expect("park lock");
             // Short timeout: wakes double as the idle-eviction heartbeat
             // and the shutdown re-check.
             let _ = inner
                 .work
                 .wait_timeout(guard, Duration::from_millis(2))
-                .expect("sessions lock");
+                .expect("park lock");
         }
     }
 }

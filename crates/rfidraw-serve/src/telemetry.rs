@@ -161,6 +161,80 @@ pub struct SessionTelemetry {
     pub degraded: bool,
 }
 
+/// Point-in-time snapshot of one registry shard (see
+/// [`crate::registry`]): how sessions spread over shards and how much
+/// each shard's workers have drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// The shard index (EPC-hash placement, stable for a session's life).
+    pub shard: u64,
+    /// Sessions currently placed on this shard.
+    pub sessions: u64,
+    /// Reads currently queued across this shard's sessions.
+    pub queue_depth: u64,
+    /// Reads drained from this shard since start. Summed over shards this
+    /// equals `reads_processed` — a conservation check the fault tests
+    /// enforce.
+    pub reads_drained: u64,
+    /// Drain passes over this shard.
+    pub drain_visits: u64,
+}
+
+/// Point-in-time snapshot of the network front ends (reactor and/or
+/// thread-per-connection servers registered with the service). Summed
+/// across every front end the service has ever bound.
+///
+/// Conservation: `connections_accepted = connections_closed +
+/// connections_open` once the servers quiesce, and every accepted frame
+/// is counted in exactly one of `frames_in_json` / `frames_in_binary`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetTelemetry {
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Connections fully closed.
+    pub connections_closed: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Connections refused at the front end's connection cap.
+    pub connections_rejected: u64,
+    /// Complete newline-JSON (wire v2) frames received.
+    pub frames_in_json: u64,
+    /// Complete binary (wire v3) frames received.
+    pub frames_in_binary: u64,
+    /// Frames sent (replies and subscription pushes).
+    pub frames_out: u64,
+    /// Reads that resumed a partially received frame (reassembly events).
+    pub partial_frame_resumes: u64,
+    /// Terminal framing errors (bad magic/version, oversized declared
+    /// length, non-UTF-8 text).
+    pub frame_errors: u64,
+    /// Connections that disconnected mid-frame.
+    pub midframe_disconnects: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+}
+
+impl NetTelemetry {
+    /// Adds one front end's live counters into this snapshot.
+    pub(crate) fn absorb(&mut self, s: &rfidraw_net::ReactorStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.connections_accepted += s.accepted.load(Relaxed);
+        self.connections_closed += s.closed.load(Relaxed);
+        self.connections_open += s.open.load(Relaxed);
+        self.connections_rejected += s.rejected.load(Relaxed);
+        self.frames_in_json += s.frames_in_json.load(Relaxed);
+        self.frames_in_binary += s.frames_in_binary.load(Relaxed);
+        self.frames_out += s.frames_out.load(Relaxed);
+        self.partial_frame_resumes += s.partial_resumes.load(Relaxed);
+        self.frame_errors += s.frame_errors.load(Relaxed);
+        self.midframe_disconnects += s.midframe_disconnects.load(Relaxed);
+        self.bytes_in += s.bytes_in.load(Relaxed);
+        self.bytes_out += s.bytes_out.load(Relaxed);
+    }
+}
+
 /// Point-in-time snapshot of the whole service.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryReport {
@@ -215,6 +289,11 @@ pub struct TelemetryReport {
     /// Per-stage span latency histograms from the trace recorder (empty
     /// when no recorder is configured or the `trace` feature is off).
     pub stages: Vec<StageLatency>,
+    /// Network front-end counters, summed over every server registered
+    /// with the service (all zeros when serving is purely in-process).
+    pub net: NetTelemetry,
+    /// Per-shard registry breakdown (always one row per configured shard).
+    pub shards: Vec<ShardTelemetry>,
     /// Per-session breakdown, in EPC order.
     pub sessions: Vec<SessionTelemetry>,
 }
@@ -252,9 +331,30 @@ impl TelemetryReport {
             self.table_cache_bytes,
             self.windowed_evals,
         ));
+        out.push_str(&format!(
+            "net:      {} conns accepted / {} closed / {} open / {} rejected, \
+             {} json + {} binary frames in, {} out, {} partial resumes, \
+             {} frame errors, {} mid-frame disconnects\n",
+            self.net.connections_accepted,
+            self.net.connections_closed,
+            self.net.connections_open,
+            self.net.connections_rejected,
+            self.net.frames_in_json,
+            self.net.frames_in_binary,
+            self.net.frames_out,
+            self.net.partial_frame_resumes,
+            self.net.frame_errors,
+            self.net.midframe_disconnects,
+        ));
         out.push_str(&format!("latency:  {}\n", self.latency.summary()));
         out.push_str(&format!("queue:    {}\n", self.queue_wait.summary()));
         out.push_str(&format!("compute:  {}\n", self.compute.summary()));
+        for sh in &self.shards {
+            out.push_str(&format!(
+                "  shard {:<3} {} sessions, depth {}, {} drained over {} visits\n",
+                sh.shard, sh.sessions, sh.queue_depth, sh.reads_drained, sh.drain_visits,
+            ));
+        }
         for st in &self.stages {
             out.push_str(&format!("  stage {:<16} {}\n", st.stage, st.histogram.summary()));
         }
@@ -297,6 +397,26 @@ impl TelemetryReport {
         p.counter("rfidraw_table_cache_misses_total", "Vote-table cache misses.", &[], self.table_cache_misses);
         p.counter("rfidraw_table_cache_evictions_total", "Shared-table entries evicted to honor the cache byte budget.", &[], self.table_cache_evictions);
         p.gauge("rfidraw_table_cache_resident_bytes", "Bytes resident in built shared vote tables.", &[], self.table_cache_bytes as f64);
+        p.counter("rfidraw_net_connections_accepted_total", "Connections accepted by the network front ends.", &[], self.net.connections_accepted);
+        p.counter("rfidraw_net_connections_closed_total", "Connections fully closed.", &[], self.net.connections_closed);
+        p.gauge("rfidraw_net_connections_open", "Connections currently open.", &[], self.net.connections_open as f64);
+        p.counter("rfidraw_net_connections_rejected_total", "Connections refused at the front-end cap.", &[], self.net.connections_rejected);
+        p.counter("rfidraw_net_frames_in_json_total", "Newline-JSON (wire v2) frames received.", &[], self.net.frames_in_json);
+        p.counter("rfidraw_net_frames_in_binary_total", "Binary (wire v3) frames received.", &[], self.net.frames_in_binary);
+        p.counter("rfidraw_net_frames_out_total", "Frames sent (replies and subscription pushes).", &[], self.net.frames_out);
+        p.counter("rfidraw_net_partial_frame_resumes_total", "Reads that resumed a partially received frame.", &[], self.net.partial_frame_resumes);
+        p.counter("rfidraw_net_frame_errors_total", "Terminal framing errors.", &[], self.net.frame_errors);
+        p.counter("rfidraw_net_midframe_disconnects_total", "Connections lost mid-frame.", &[], self.net.midframe_disconnects);
+        p.counter("rfidraw_net_bytes_in_total", "Payload bytes received.", &[], self.net.bytes_in);
+        p.counter("rfidraw_net_bytes_out_total", "Payload bytes sent.", &[], self.net.bytes_out);
+        for sh in &self.shards {
+            let shard = sh.shard.to_string();
+            let labels: [(&str, &str); 1] = [("shard", shard.as_str())];
+            p.gauge("rfidraw_shard_sessions", "Sessions placed on this registry shard.", &labels, sh.sessions as f64);
+            p.gauge("rfidraw_shard_queue_depth", "Reads queued across this shard's sessions.", &labels, sh.queue_depth as f64);
+            p.counter("rfidraw_shard_reads_drained_total", "Reads drained from this shard.", &labels, sh.reads_drained);
+            p.counter("rfidraw_shard_drain_visits_total", "Drain passes over this shard.", &labels, sh.drain_visits);
+        }
         p.histogram("rfidraw_latency_us", "Ingest-to-position latency (µs).", &[], &self.latency);
         p.histogram("rfidraw_queue_wait_us", "Enqueue-to-dequeue wait (µs).", &[], &self.queue_wait);
         p.histogram("rfidraw_compute_us", "Tracker compute time per batch (µs).", &[], &self.compute);
@@ -372,6 +492,36 @@ mod tests {
                 stage: "engine_evaluate".to_string(),
                 histogram: h.snapshot(),
             }],
+            net: NetTelemetry {
+                connections_accepted: 9,
+                connections_closed: 6,
+                connections_open: 3,
+                connections_rejected: 1,
+                frames_in_json: 50,
+                frames_in_binary: 70,
+                frames_out: 110,
+                partial_frame_resumes: 12,
+                frame_errors: 2,
+                midframe_disconnects: 1,
+                bytes_in: 40_000,
+                bytes_out: 52_000,
+            },
+            shards: vec![
+                ShardTelemetry {
+                    shard: 0,
+                    sessions: 1,
+                    queue_depth: 5,
+                    reads_drained: 60,
+                    drain_visits: 8,
+                },
+                ShardTelemetry {
+                    shard: 1,
+                    sessions: 0,
+                    queue_depth: 0,
+                    reads_drained: 30,
+                    drain_visits: 8,
+                },
+            ],
             sessions: vec![SessionTelemetry {
                 epc: Epc::from_index(7),
                 reads_ingested: 100,
@@ -410,6 +560,11 @@ mod tests {
         assert!(text.contains("2 cache hits / 2 misses"));
         assert!(text.contains("1 evictions"));
         assert!(text.contains("4 windowed evals"));
+        assert!(text.contains("9 conns accepted"));
+        assert!(text.contains("50 json + 70 binary frames in"));
+        assert!(text.contains("12 partial resumes"));
+        assert!(text.contains("shard 0"));
+        assert!(text.contains("60 drained over 8 visits"));
     }
 
     #[test]
@@ -428,6 +583,12 @@ mod tests {
         assert!(text.contains("rfidraw_table_cache_misses_total 2"));
         assert!(text.contains("rfidraw_table_cache_evictions_total 1"));
         assert!(text.contains("rfidraw_table_cache_resident_bytes 4096"));
+        assert!(text.contains("rfidraw_net_connections_accepted_total 9"));
+        assert!(text.contains("rfidraw_net_frames_in_binary_total 70"));
+        assert!(text.contains("rfidraw_net_partial_frame_resumes_total 12"));
+        assert!(text.contains("rfidraw_net_frame_errors_total 2"));
+        assert!(text.contains("rfidraw_shard_reads_drained_total{shard=\"0\"} 60"));
+        assert!(text.contains("rfidraw_shard_sessions{shard=\"1\"} 0"));
         assert!(text.contains("rfidraw_session_windowed_evals_total{epc="));
         assert!(text.contains("rfidraw_session_positions_total{epc="));
         // HELP/TYPE declared once per family despite per-session repeats.

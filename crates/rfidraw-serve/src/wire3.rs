@@ -1,0 +1,260 @@
+//! Wire v3: the binary message codec over `rfidraw-net`'s length-prefixed
+//! framing.
+//!
+//! The hot-path messages — [`Message::Ingest`], [`Message::IngestAck`],
+//! [`Message::PositionUpdate`] — get dedicated little-endian payload
+//! layouts (no JSON parse per read); every other message rides in a
+//! [`TAG_JSON`] frame whose payload is its wire-v2 JSON envelope line, so
+//! wire v3 is a strict superset of v2 rather than a fork. Floats travel
+//! as raw IEEE-754 bits, which makes binary carriage trivially bit-exact
+//! (JSON is already bit-exact via shortest-roundtrip formatting; the
+//! equivalence test pins both).
+//!
+//! # Payload layouts (all integers little-endian)
+//!
+//! ```text
+//! tag 1  Ingest          epc[12] · count u32 · count × (t f64 · antenna u8 · phase f64)
+//! tag 2  IngestAck       epc[12] · accepted u64 · dropped u64 · rejected u64
+//! tag 3  PositionUpdate  epc[12] · t f64 · x f64 · z f64
+//! tag 0  JSON fallback   the wire-v2 envelope line, UTF-8, no newline
+//! ```
+
+use crate::wire::{self, DecodeError, IngestAck, IngestBatch, Message, PositionUpdate};
+use rfidraw_core::array::AntennaId;
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_net::{encode_binary_frame, BinFrame, ByteReader, ByteWriter};
+use rfidraw_protocol::Epc;
+
+/// Frame tag: JSON-fallback payload (a wire-v2 envelope line).
+pub const TAG_JSON: u8 = 0;
+/// Frame tag: [`Message::Ingest`].
+pub const TAG_INGEST: u8 = 1;
+/// Frame tag: [`Message::IngestAck`].
+pub const TAG_INGEST_ACK: u8 = 2;
+/// Frame tag: [`Message::PositionUpdate`].
+pub const TAG_POSITION_UPDATE: u8 = 3;
+
+/// Bytes per read in a binary ingest payload (t f64 + antenna u8 + phase
+/// f64).
+pub const READ_WIRE_BYTES: usize = 17;
+
+/// Encodes one message as a complete binary frame (header + payload).
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    match msg {
+        Message::Ingest(batch) => {
+            let mut w =
+                ByteWriter::with_capacity(16 + batch.reads.len() * READ_WIRE_BYTES);
+            w.bytes(&batch.epc.0);
+            w.u32(batch.reads.len() as u32);
+            for r in &batch.reads {
+                w.f64(r.t);
+                w.u8(r.antenna.0);
+                w.f64(r.phase);
+            }
+            encode_binary_frame(TAG_INGEST, &w.finish())
+        }
+        Message::IngestAck(ack) => {
+            let mut w = ByteWriter::with_capacity(36);
+            w.bytes(&ack.epc.0);
+            w.u64(ack.accepted);
+            w.u64(ack.dropped);
+            w.u64(ack.rejected);
+            encode_binary_frame(TAG_INGEST_ACK, &w.finish())
+        }
+        Message::PositionUpdate(p) => {
+            let mut w = ByteWriter::with_capacity(36);
+            w.bytes(&p.epc.0);
+            w.f64(p.t);
+            w.f64(p.x);
+            w.f64(p.z);
+            encode_binary_frame(TAG_POSITION_UPDATE, &w.finish())
+        }
+        other => encode_binary_frame(TAG_JSON, wire::encode(other).as_bytes()),
+    }
+}
+
+fn truncated(e: rfidraw_net::FrameTruncated) -> DecodeError {
+    DecodeError::Malformed(e.to_string())
+}
+
+/// Decodes one binary frame into a message. Failures are payload-level
+/// ([`DecodeError`]): the framing layer already validated magic, version,
+/// and length, so the connection can survive these.
+pub fn decode_frame(frame: &BinFrame) -> Result<Message, DecodeError> {
+    let mut r = ByteReader::new(&frame.payload);
+    match frame.tag {
+        TAG_JSON => {
+            let line = std::str::from_utf8(&frame.payload)
+                .map_err(|_| DecodeError::Malformed("JSON fallback payload is not UTF-8".into()))?;
+            wire::decode(line)
+        }
+        TAG_INGEST => {
+            let epc = Epc(r.bytes::<12>().map_err(truncated)?);
+            let count = r.u32().map_err(truncated)? as usize;
+            // The count must agree with the payload length exactly — a
+            // declared count the bytes cannot back is hostile.
+            if r.remaining() != count * READ_WIRE_BYTES {
+                return Err(DecodeError::Malformed(format!(
+                    "ingest declares {count} reads but carries {} payload bytes",
+                    r.remaining()
+                )));
+            }
+            let mut reads = Vec::with_capacity(count);
+            for _ in 0..count {
+                let t = r.f64().map_err(truncated)?;
+                let antenna = AntennaId(r.u8().map_err(truncated)?);
+                let phase = r.f64().map_err(truncated)?;
+                reads.push(PhaseRead { t, antenna, phase });
+            }
+            Ok(Message::Ingest(IngestBatch { epc, reads }))
+        }
+        TAG_INGEST_ACK => {
+            let epc = Epc(r.bytes::<12>().map_err(truncated)?);
+            let ack = IngestAck {
+                epc,
+                accepted: r.u64().map_err(truncated)?,
+                dropped: r.u64().map_err(truncated)?,
+                rejected: r.u64().map_err(truncated)?,
+            };
+            expect_drained(&r)?;
+            Ok(Message::IngestAck(ack))
+        }
+        TAG_POSITION_UPDATE => {
+            let epc = Epc(r.bytes::<12>().map_err(truncated)?);
+            let p = PositionUpdate {
+                epc,
+                t: r.f64().map_err(truncated)?,
+                x: r.f64().map_err(truncated)?,
+                z: r.f64().map_err(truncated)?,
+            };
+            expect_drained(&r)?;
+            Ok(Message::PositionUpdate(p))
+        }
+        tag => Err(DecodeError::Malformed(format!("unknown binary frame tag {tag}"))),
+    }
+}
+
+fn expect_drained(r: &ByteReader<'_>) -> Result<(), DecodeError> {
+    if r.remaining() != 0 {
+        return Err(DecodeError::Malformed(format!(
+            "{} trailing bytes after a fixed-size payload",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Subscribe, WireError};
+    use rfidraw_net::{FrameDecoder, RawFrame};
+
+    fn roundtrip(msg: Message) -> Message {
+        let bytes = encode_frame(&msg);
+        let mut d = FrameDecoder::default();
+        d.feed(&bytes);
+        match d.next().unwrap() {
+            Some(RawFrame::Binary(frame)) => decode_frame(&frame).unwrap(),
+            other => panic!("expected one binary frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hot_messages_roundtrip_bit_exactly() {
+        let ingest = Message::Ingest(IngestBatch {
+            epc: Epc::from_index(9),
+            reads: vec![
+                PhaseRead { t: 0.1 + 0.2, antenna: AntennaId(3), phase: -std::f64::consts::PI },
+                PhaseRead { t: 1.0 / 3.0, antenna: AntennaId(0), phase: 2.5 },
+            ],
+        });
+        let back = roundtrip(ingest.clone());
+        match (&ingest, &back) {
+            (Message::Ingest(a), Message::Ingest(b)) => {
+                assert_eq!(a.epc, b.epc);
+                assert_eq!(a.reads.len(), b.reads.len());
+                for (x, y) in a.reads.iter().zip(&b.reads) {
+                    assert_eq!(x.t.to_bits(), y.t.to_bits());
+                    assert_eq!(x.antenna, y.antenna);
+                    assert_eq!(x.phase.to_bits(), y.phase.to_bits());
+                }
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(
+            roundtrip(Message::IngestAck(IngestAck {
+                epc: Epc::from_index(2),
+                accepted: u64::MAX,
+                dropped: 7,
+                rejected: 0,
+            })),
+            Message::IngestAck(IngestAck {
+                epc: Epc::from_index(2),
+                accepted: u64::MAX,
+                dropped: 7,
+                rejected: 0,
+            })
+        );
+        let p = PositionUpdate { epc: Epc::from_index(5), t: 2.5, x: -0.0, z: f64::MIN_POSITIVE };
+        match roundtrip(Message::PositionUpdate(p)) {
+            Message::PositionUpdate(q) => {
+                assert_eq!(p.t.to_bits(), q.t.to_bits());
+                assert_eq!(p.x.to_bits(), q.x.to_bits(), "-0.0 must survive");
+                assert_eq!(p.z.to_bits(), q.z.to_bits(), "subnormals must survive");
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_messages_ride_the_json_fallback() {
+        let msgs = [
+            Message::Subscribe(Subscribe { epc: Epc::from_index(4) }),
+            Message::TelemetryRequest,
+            Message::Error(WireError { code: "parse".into(), message: "nope".into() }),
+        ];
+        for msg in msgs {
+            let bytes = encode_frame(&msg);
+            assert_eq!(bytes[3], TAG_JSON, "non-hot messages use the fallback tag");
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn hostile_payloads_are_refused_not_panicked() {
+        // Count larger than the bytes can back.
+        let mut w = ByteWriter::with_capacity(20);
+        w.bytes(&Epc::from_index(1).0);
+        w.u32(1_000_000);
+        let frame = BinFrame { tag: TAG_INGEST, payload: w.finish() };
+        assert!(matches!(decode_frame(&frame), Err(DecodeError::Malformed(_))));
+
+        // Truncated fixed-size payload.
+        let frame = BinFrame { tag: TAG_POSITION_UPDATE, payload: vec![0; 20] };
+        assert!(matches!(decode_frame(&frame), Err(DecodeError::Malformed(_))));
+
+        // Trailing garbage after a fixed-size payload.
+        let mut ok = match encode_frame(&Message::IngestAck(IngestAck {
+            epc: Epc::from_index(1),
+            accepted: 1,
+            dropped: 0,
+            rejected: 0,
+        })) {
+            bytes => bytes,
+        };
+        let tag = ok[3];
+        let mut payload = ok.split_off(rfidraw_net::HEADER_LEN);
+        payload.push(0xFF);
+        let frame = BinFrame { tag, payload };
+        assert!(matches!(decode_frame(&frame), Err(DecodeError::Malformed(_))));
+
+        // Unknown tag.
+        let frame = BinFrame { tag: 200, payload: vec![] };
+        assert!(matches!(decode_frame(&frame), Err(DecodeError::Malformed(_))));
+
+        // Non-UTF-8 fallback payload.
+        let frame = BinFrame { tag: TAG_JSON, payload: vec![0xFF, 0xFE] };
+        assert!(matches!(decode_frame(&frame), Err(DecodeError::Malformed(_))));
+    }
+}

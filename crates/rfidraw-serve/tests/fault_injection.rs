@@ -239,6 +239,25 @@ fn run_all_fault_classes(precision: TablePrecision) {
         report.sessions.iter().map(|s| s.windowed_evals).sum::<u64>()
     );
     assert_eq!(report.windowed_evals, 0, "no OnlineConfig::window configured");
+    // EPC-sharded registry conservation: every processed read was drained
+    // from exactly one shard, every live session is owned by exactly one
+    // shard, and after quiesce no shard holds queued reads.
+    assert_eq!(report.shards.len(), 8, "default shard count");
+    assert_eq!(
+        report.shards.iter().map(|s| s.reads_drained).sum::<u64>(),
+        report.reads_processed,
+        "shard drain counters must sum to the processed total"
+    );
+    assert_eq!(
+        report.shards.iter().map(|s| s.sessions).sum::<u64>(),
+        report.active_sessions,
+        "shard session counts must sum to the live total"
+    );
+    assert_eq!(
+        report.shards.iter().map(|s| s.queue_depth).sum::<u64>(),
+        0,
+        "quiesce must leave every shard drained"
+    );
     // The default template shares a table cache: 8 sessions, 2 tables,
     // and under an unbounded byte budget nothing is ever evicted — at
     // either precision.
@@ -380,4 +399,16 @@ fn malformed_frame_corpus_never_kills_the_connection() {
     assert_eq!(report.active_sessions, 0);
     assert_eq!(report.reads_ingested, 0);
     assert_eq!(report.reads_processed, 0);
+    // Front-end counter conservation: this connection is still open, every
+    // corpus line (plus the telemetry request above) was counted as a JSON
+    // frame, and malformed *payloads* are not framing errors.
+    assert_eq!(
+        report.net.connections_accepted,
+        report.net.connections_open + report.net.connections_closed
+    );
+    assert_eq!(report.net.connections_open, 1);
+    assert!(report.net.frames_in_json > lines.len() as u64);
+    assert_eq!(report.net.frame_errors, 0);
+    assert!(report.net.frames_out >= lines.len() as u64, "one error reply per corpus line");
+    assert!(report.net.bytes_in > 0);
 }

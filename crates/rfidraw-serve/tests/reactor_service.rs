@@ -1,0 +1,476 @@
+//! Reactor front-end integration: the readiness-driven server must be
+//! observationally identical to both the thread-per-connection front end
+//! and standalone trackers — bit-for-bit on every streamed position — for
+//! eight concurrent sessions, across JSON (wire v2) and binary (wire v3)
+//! clients in any mix. Plus the connection lifecycle: idle eviction
+//! delivers `SessionClosed("idle")` with the connection staying usable,
+//! and graceful shutdown flushes `SessionClosed("shutdown")` before the
+//! socket closes.
+
+use rfidraw_channel::{Channel, Scenario};
+use rfidraw_core::array::{AntennaId, Deployment};
+use rfidraw_core::exec::Parallelism;
+use rfidraw_core::geom::{Plane, Point2, Point3, Rect};
+use rfidraw_core::online::OnlineEvent;
+use rfidraw_core::stream::PhaseRead;
+use rfidraw_protocol::inventory::{demux_phase_reads, InventoryConfig, InventorySim, SimTag};
+use rfidraw_protocol::Epc;
+use rfidraw_serve::wire::Message;
+use rfidraw_serve::{
+    BackpressurePolicy, FrontendMode, ReactorServer, ServeConfig, TrackerTemplate,
+    TrackingService, WireClient, WireProtocol, WireServer,
+};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn template() -> TrackerTemplate {
+    TrackerTemplate::paper_default(Rect::new(Point2::new(0.5, 0.3), Point2::new(2.3, 1.7)))
+}
+
+fn eight_tag_streams(seed: u64, duration: f64) -> BTreeMap<Epc, Vec<PhaseRead>> {
+    let plane = Plane::at_depth(2.0);
+    let positions: Vec<Point2> = (0..8)
+        .map(|i| Point2::new(0.7 + 0.4 * f64::from(i % 4), 0.6 + 0.7 * f64::from(i / 4)))
+        .collect();
+    let trajectories: Vec<Box<dyn Fn(f64) -> Point3>> = positions
+        .iter()
+        .map(|&p| {
+            let f: Box<dyn Fn(f64) -> Point3> = Box::new(move |_t| plane.lift(p));
+            f
+        })
+        .collect();
+    let tags: Vec<SimTag<'_>> = trajectories
+        .iter()
+        .enumerate()
+        .map(|(i, f)| SimTag { epc: Epc::from_index(i as u32 + 1), trajectory: f.as_ref() })
+        .collect();
+    let channel = Channel::new(Deployment::paper_default(), Scenario::Los.config(), seed);
+    let mut sim = InventorySim::new(channel, InventoryConfig::paper_default(0.030, seed));
+    demux_phase_reads(&sim.run(&tags, duration))
+}
+
+type PositionBits = Vec<(u64, u64, u64)>;
+
+/// Standalone-tracker oracle: one tracker per tag, positions as raw bits.
+/// Tracker-refused reads (possible on faulted streams) are skipped, which
+/// is exactly what the service's workers do.
+fn standalone_reference(
+    tpl: &TrackerTemplate,
+    streams: &BTreeMap<Epc, Vec<PhaseRead>>,
+) -> BTreeMap<Epc, PositionBits> {
+    streams
+        .iter()
+        .map(|(&epc, reads)| {
+            let mut tracker = tpl.build();
+            let mut positions = Vec::new();
+            for &r in reads {
+                if let Ok(events) = tracker.push(r) {
+                    for e in events {
+                        if let OnlineEvent::Position { t, pos } = e {
+                            positions.push((t.to_bits(), pos.x.to_bits(), pos.z.to_bits()));
+                        }
+                    }
+                }
+            }
+            (epc, positions)
+        })
+        .collect()
+}
+
+fn service_config(frontend: FrontendMode) -> ServeConfig {
+    service_config_with(template(), frontend)
+}
+
+fn service_config_with(tpl: TrackerTemplate, frontend: FrontendMode) -> ServeConfig {
+    let mut cfg = ServeConfig::new(tpl);
+    cfg.workers = Some(Parallelism::Threads(4));
+    cfg.backpressure = BackpressurePolicy::Block;
+    cfg.net.frontend = frontend;
+    cfg
+}
+
+/// Runs the eight streams through a served front end: per tag one
+/// subscriber connection (protocol chosen by `sub_protocol`) and one
+/// producer connection (`prod_protocol`). Returns each tag's streamed
+/// positions as bits.
+fn run_frontend(
+    streams: &BTreeMap<Epc, Vec<PhaseRead>>,
+    cfg: ServeConfig,
+    sub_protocol: impl Fn(usize) -> WireProtocol,
+    prod_protocol: impl Fn(usize) -> WireProtocol,
+) -> (BTreeMap<Epc, PositionBits>, rfidraw_serve::TelemetryReport) {
+    let frontend = cfg.net.frontend;
+    let service = TrackingService::start(cfg);
+    let addr = match frontend {
+        FrontendMode::Reactor => {
+            let server = ReactorServer::bind(
+                "127.0.0.1:0",
+                service.client(),
+                rfidraw_net::ReactorConfig::default(),
+            )
+            .expect("bind reactor");
+            let addr = server.local_addr();
+            // Keep the reactor alive for the whole run; graceful shutdown
+            // is exercised by the dedicated lifecycle test below.
+            std::mem::forget(server);
+            addr
+        }
+        FrontendMode::ThreadPerConnection => {
+            let server = WireServer::bind("127.0.0.1:0", service.client()).expect("bind thread");
+            let addr = server.local_addr();
+            std::mem::forget(server);
+            addr
+        }
+    };
+
+    let collectors: Vec<_> = streams
+        .keys()
+        .enumerate()
+        .map(|(i, &epc)| {
+            let mut sub =
+                WireClient::connect_with(addr, sub_protocol(i)).expect("connect subscriber");
+            sub.subscribe(epc).expect("subscribe");
+            std::thread::spawn(move || {
+                let mut positions = Vec::new();
+                loop {
+                    match sub.recv().expect("subscriber recv") {
+                        Some(Message::PositionUpdate(p)) => {
+                            assert_eq!(p.epc, epc);
+                            positions.push((p.t.to_bits(), p.x.to_bits(), p.z.to_bits()));
+                        }
+                        Some(Message::SessionClosed(c)) => {
+                            assert_eq!(c.epc, epc);
+                            assert_eq!(c.reason, "explicit");
+                            return (epc, positions);
+                        }
+                        Some(other) => panic!("unexpected frame on subscription: {other:?}"),
+                        None => panic!("server hung up before SessionClosed"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let producers: Vec<_> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, (&epc, reads))| {
+            let reads = reads.clone();
+            let protocol = prod_protocol(i);
+            std::thread::spawn(move || {
+                let mut client =
+                    WireClient::connect_with(addr, protocol).expect("connect producer");
+                let mut accepted = 0u64;
+                for chunk in reads.chunks(32) {
+                    let ack = client.ingest(epc, chunk).expect("ingest");
+                    assert_eq!(ack.epc, epc);
+                    assert_eq!(ack.dropped + ack.rejected, 0, "Block is lossless");
+                    accepted += ack.accepted;
+                }
+                assert_eq!(accepted as usize, reads.len());
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().expect("producer");
+    }
+    service.quiesce();
+    let report = service.telemetry();
+    let local = service.client();
+    for &epc in streams.keys() {
+        assert!(local.close_session(epc));
+    }
+    let mut got = BTreeMap::new();
+    for c in collectors {
+        let (epc, positions) = c.join().expect("collector");
+        got.insert(epc, positions);
+    }
+    (got, report)
+}
+
+fn assert_streams_equal(
+    label: &str,
+    got: &BTreeMap<Epc, PositionBits>,
+    expected: &BTreeMap<Epc, PositionBits>,
+) {
+    for (epc, exp) in expected {
+        let g = &got[epc];
+        assert_eq!(g.len(), exp.len(), "{label}: {epc}: position count");
+        assert_eq!(g, exp, "{label}: {epc}: position bits diverged");
+    }
+}
+
+/// The headline guarantee: reactor-mode serving is bit-identical to
+/// thread-per-connection serving and to standalone trackers for eight
+/// concurrent sessions.
+#[test]
+fn reactor_matches_thread_frontend_and_standalone_bit_for_bit() {
+    let streams = eight_tag_streams(13, 3.0);
+    let reference = standalone_reference(&template(), &streams);
+    assert!(
+        reference.values().filter(|p| !p.is_empty()).count() >= 6,
+        "the scenario must produce real position streams"
+    );
+
+    let (via_reactor, _) = run_frontend(
+        &streams,
+        service_config(FrontendMode::Reactor),
+        |_| WireProtocol::JsonV2,
+        |_| WireProtocol::JsonV2,
+    );
+    assert_streams_equal("reactor", &via_reactor, &reference);
+
+    let (via_threads, _) = run_frontend(
+        &streams,
+        service_config(FrontendMode::ThreadPerConnection),
+        |_| WireProtocol::JsonV2,
+        |_| WireProtocol::JsonV2,
+    );
+    assert_streams_equal("thread-per-connection", &via_threads, &reference);
+}
+
+/// JSON/binary equivalence: the same ingest over wire v2 and wire v3, in
+/// a mix of eight concurrent sessions (producers and subscribers split
+/// across both protocols), produces position streams bit-identical to the
+/// standalone reference, and the telemetry conserves every read and every
+/// connection regardless of protocol.
+#[test]
+fn mixed_protocol_sessions_are_equivalent_and_conserve() {
+    let streams = eight_tag_streams(13, 3.0);
+    let reference = standalone_reference(&template(), &streams);
+
+    // Even tags: binary producer + JSON subscriber. Odd tags: the
+    // opposite. Every session therefore crosses protocols somewhere.
+    let (got, report) = run_frontend(
+        &streams,
+        service_config(FrontendMode::Reactor),
+        |i| if i % 2 == 0 { WireProtocol::JsonV2 } else { WireProtocol::BinaryV3 },
+        |i| if i % 2 == 0 { WireProtocol::BinaryV3 } else { WireProtocol::JsonV2 },
+    );
+    assert_streams_equal("mixed-protocol reactor", &got, &reference);
+
+    // Read conservation is protocol-independent.
+    let total: u64 = streams.values().map(|r| r.len() as u64).sum();
+    assert_eq!(report.reads_ingested, total);
+    assert_eq!(report.reads_processed, total);
+    assert_eq!(report.reads_dropped + report.reads_rejected, 0);
+
+    // Both protocols actually ran, and the frame counters saw them.
+    assert!(report.net.frames_in_json > 0, "JSON producers must be counted");
+    assert!(report.net.frames_in_binary > 0, "binary producers must be counted");
+    assert_eq!(report.net.frame_errors, 0);
+    assert_eq!(report.net.midframe_disconnects, 0);
+    // Connection conservation: everything accepted is either still open
+    // or fully closed.
+    assert_eq!(
+        report.net.connections_accepted,
+        report.net.connections_open + report.net.connections_closed
+    );
+    assert!(report.net.connections_accepted >= 16, "8 producers + 8 subscribers");
+
+    // Shard conservation: every processed read was drained from exactly
+    // one shard; every live session is owned by exactly one shard.
+    assert_eq!(report.shards.len(), 8, "default shard count");
+    assert_eq!(
+        report.shards.iter().map(|s| s.reads_drained).sum::<u64>(),
+        report.reads_processed
+    );
+    assert_eq!(
+        report.shards.iter().map(|s| s.sessions).sum::<u64>(),
+        report.active_sessions
+    );
+}
+
+/// Idle eviction under the reactor: a session that stops ingesting is
+/// evicted after `idle_timeout`, its subscriber receives
+/// `SessionClosed("idle")`, and the connection remains fully usable.
+#[test]
+fn idle_eviction_delivers_session_closed_and_the_connection_survives() {
+    let mut cfg = service_config(FrontendMode::Reactor);
+    cfg.idle_timeout = Duration::from_millis(200);
+    cfg.workers = Some(Parallelism::Threads(1));
+    let service = TrackingService::start(cfg);
+    let server = ReactorServer::bind(
+        "127.0.0.1:0",
+        service.client(),
+        rfidraw_net::ReactorConfig::default(),
+    )
+    .unwrap();
+    let epc = Epc::from_index(42);
+
+    // Binary subscriber, JSON producer: the lifecycle crosses protocols.
+    let mut sub = WireClient::connect_binary(server.local_addr()).unwrap();
+    sub.subscribe(epc).unwrap();
+    let mut producer = WireClient::connect(server.local_addr()).unwrap();
+    let ack = producer
+        .ingest(epc, &[PhaseRead { t: 0.1, antenna: AntennaId(1), phase: 0.5 }])
+        .unwrap();
+    assert_eq!(ack.accepted, 1);
+
+    // No further ingest: the sweeper evicts and the reactor forwards the
+    // close. Positions may or may not precede it (one read never
+    // acquires), so skip any.
+    loop {
+        match sub.recv().expect("subscriber recv") {
+            Some(Message::PositionUpdate(_)) => {}
+            Some(Message::SessionClosed(c)) => {
+                assert_eq!(c.epc, epc);
+                assert_eq!(c.reason, "idle");
+                break;
+            }
+            other => panic!("expected idle SessionClosed, got {other:?}"),
+        }
+    }
+
+    // The connection outlives its subscription.
+    let report = sub.telemetry().expect("connection must survive the eviction");
+    assert_eq!(report.active_sessions, 0);
+    assert_eq!(report.sessions_evicted, 1);
+}
+
+/// Graceful reactor shutdown: in-flight frames are processed, pending
+/// writes are flushed, and every open subscription sees
+/// `SessionClosed("shutdown")` before the clean EOF — on both protocols.
+#[test]
+fn graceful_shutdown_delivers_session_closed_then_clean_eof() {
+    let service = TrackingService::start(service_config(FrontendMode::Reactor));
+    let mut server = ReactorServer::bind(
+        "127.0.0.1:0",
+        service.client(),
+        rfidraw_net::ReactorConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let epc_a = Epc::from_index(1);
+    let epc_b = Epc::from_index(2);
+    let mut sub_json = WireClient::connect(addr).unwrap();
+    sub_json.subscribe(epc_a).unwrap();
+    let mut sub_bin = WireClient::connect_binary(addr).unwrap();
+    sub_bin.subscribe(epc_b).unwrap();
+
+    let mut producer = WireClient::connect_binary(addr).unwrap();
+    for (epc, t) in [(epc_a, 0.1), (epc_b, 0.2)] {
+        let ack = producer
+            .ingest(epc, &[PhaseRead { t, antenna: AntennaId(1), phase: 0.5 }])
+            .unwrap();
+        assert_eq!(ack.accepted, 1);
+    }
+    service.quiesce();
+    // Give the reactor a tick to register both subscriptions' replies
+    // before tearing it down.
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown().expect("graceful shutdown");
+
+    for (mut sub, epc) in [(sub_json, epc_a), (sub_bin, epc_b)] {
+        loop {
+            match sub.recv().expect("recv during shutdown") {
+                Some(Message::PositionUpdate(_)) => {}
+                Some(Message::SessionClosed(c)) => {
+                    assert_eq!(c.epc, epc);
+                    assert_eq!(c.reason, "shutdown");
+                    break;
+                }
+                other => panic!("expected shutdown SessionClosed, got {other:?}"),
+            }
+        }
+        assert!(
+            sub.recv().expect("post-close recv").is_none(),
+            "after SessionClosed the server must close cleanly"
+        );
+    }
+}
+
+/// The acceptance gate under fault injection: faulted streams (duplicate
+/// reads, swapped order, a per-antenna blackout, a clock-skew step — the
+/// wire-encodable fault classes; non-finite fields are covered by the
+/// hostile-batch and corpus tests) served through the reactor and through
+/// the thread-per-connection front end, in a protocol mix, must both stay
+/// bit-identical to standalone trackers fed the identical faulted bytes.
+#[test]
+fn faulted_streams_stay_bit_identical_across_both_frontends() {
+    use rfidraw_channel::{Blackout, ClockSkew, FaultSchedule, ScheduledFaults};
+
+    // Dropout detection on, so the blackout exercises degraded-mode
+    // positioning through the wire path too (thresholds as in the
+    // fault_injection suite: above natural inventory gaps, below the
+    // scheduled blackout).
+    let mut tpl = template();
+    tpl.online.dropout_after = Some(1.0);
+    tpl.online.readmit_after = 0.3;
+
+    let clean = eight_tag_streams(11, 3.0);
+    let streams: BTreeMap<Epc, Vec<PhaseRead>> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, (&epc, reads))| {
+            let schedule = match i {
+                0 => Some(FaultSchedule {
+                    duplicate_chance: 0.03,
+                    swap_chance: 0.03,
+                    ..FaultSchedule::default()
+                }),
+                2 => Some(FaultSchedule {
+                    duplicate_chance: 0.02,
+                    blackouts: vec![Blackout {
+                        antenna: AntennaId(3),
+                        start: 0.8,
+                        duration: 1.6,
+                    }],
+                    ..FaultSchedule::default()
+                }),
+                4 => Some(FaultSchedule {
+                    swap_chance: 0.02,
+                    clock_skew: Some(ClockSkew { start: 1.5, offset: -0.3 }),
+                    ..FaultSchedule::default()
+                }),
+                _ => None,
+            };
+            match schedule {
+                Some(sch) => {
+                    let (faulted, ledger) =
+                        ScheduledFaults::new(sch, 2000 + i as u64).apply(reads);
+                    assert!(
+                        ledger.duplicates + ledger.swaps + ledger.blacked_out + ledger.skewed > 0,
+                        "tag {i}: the schedule must actually inject faults"
+                    );
+                    (epc, faulted)
+                }
+                None => (epc, reads.clone()),
+            }
+        })
+        .collect();
+    // Everything must survive wire validation: these fault classes keep
+    // fields finite, so no batch is refused at the boundary.
+    assert!(streams.values().flatten().all(rfidraw_serve::wire::read_is_valid));
+
+    let reference = standalone_reference(&tpl, &streams);
+    assert!(
+        reference.values().filter(|p| !p.is_empty()).count() >= 6,
+        "faulted scenarios must still track"
+    );
+
+    let (via_reactor, report) = run_frontend(
+        &streams,
+        service_config_with(tpl.clone(), FrontendMode::Reactor),
+        |i| if i % 2 == 0 { WireProtocol::BinaryV3 } else { WireProtocol::JsonV2 },
+        |i| if i % 2 == 0 { WireProtocol::JsonV2 } else { WireProtocol::BinaryV3 },
+    );
+    assert_streams_equal("faulted reactor", &via_reactor, &reference);
+    let total: u64 = streams.values().map(|r| r.len() as u64).sum();
+    assert_eq!(report.reads_ingested, total);
+    assert_eq!(report.reads_processed, total);
+    assert!(report.degraded_events > 0, "the blackout must surface degraded transitions");
+    assert_eq!(
+        report.shards.iter().map(|s| s.reads_drained).sum::<u64>(),
+        report.reads_processed
+    );
+
+    let (via_threads, _) = run_frontend(
+        &streams,
+        service_config_with(tpl, FrontendMode::ThreadPerConnection),
+        |_| WireProtocol::JsonV2,
+        |_| WireProtocol::JsonV2,
+    );
+    assert_streams_equal("faulted thread-per-connection", &via_threads, &reference);
+}

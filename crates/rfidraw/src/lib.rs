@@ -41,6 +41,7 @@ pub use rfidraw_channel as channel;
 pub use rfidraw_core as core;
 pub use rfidraw_handwriting as handwriting;
 pub use rfidraw_metrics as metrics;
+pub use rfidraw_net as net;
 pub use rfidraw_protocol as protocol;
 pub use rfidraw_recognition as recognition;
 pub use rfidraw_serve as serve;

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Runs the kernel benches and writes a machine-readable snapshot to
-# BENCH_06.json: median ns/iter per kernel plus derived throughput numbers
-# (reads/sec through the serving layer, windowed vs full-grid speedup,
-# f32 vs f64 engine speedup).
+# BENCH_07.json: median ns/iter per kernel plus derived throughput numbers
+# (reads/sec through the serving layer up to 10k sessions, binary vs JSON
+# wire framing, windowed vs full-grid speedup, f32 vs f64 engine speedup).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_06.json}"
+OUT="${1:-BENCH_07.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -36,7 +36,7 @@ awk '
     }
     END {
         printf "{\n"
-        printf "  \"snapshot\": \"BENCH_06\",\n"
+        printf "  \"snapshot\": \"BENCH_07\",\n"
         printf "  \"unit\": \"ns_per_iter_median\",\n"
         printf "  \"kernels\": {\n"
         for (i = 0; i < n; i++) {
@@ -66,13 +66,35 @@ awk '
                 medians["engine_1cm_f32"] / medians["engine_1cm_f32_windowed"]
             sep = ",\n"
         }
-        # serve_ingest benches push 4096 reads per iteration; the 8-session
-        # variant is the paper-style multi-tag load.
+        # serve_ingest benches push their named read count per iteration;
+        # the 8-session variant is the paper-style multi-tag load, the
+        # 1k/10k variants are the serving-at-scale points.
         if ("serve_ingest_4096_reads_8_sessions" in medians) {
             ns = medians["serve_ingest_4096_reads_8_sessions"]
             printf "%s    \"serve_reads_per_sec_8_sessions\": %.0f", sep, 4096 * 1e9 / ns
             sep = ",\n"
             printf "%s    \"serve_session_drains_per_sec\": %.0f", sep, 8 * 1e9 / ns
+        }
+        if ("serve_ingest_4096_reads_1024_sessions" in medians) {
+            printf "%s    \"serve_reads_per_sec_1024_sessions\": %.0f", sep, \
+                4096 * 1e9 / medians["serve_ingest_4096_reads_1024_sessions"]
+            sep = ",\n"
+        }
+        if ("serve_ingest_10240_reads_10240_sessions" in medians) {
+            printf "%s    \"serve_reads_per_sec_10240_sessions\": %.0f", sep, \
+                10240 * 1e9 / medians["serve_ingest_10240_reads_10240_sessions"]
+            sep = ",\n"
+        }
+        # Wire-framing comparison at 64 sessions: the CI gate requires the
+        # binary path to be at least 1.5x the newline-JSON path.
+        if ("serve_wire_json_4096_reads_64_sessions" in medians && \
+            "serve_wire_binary_4096_reads_64_sessions" in medians) {
+            printf "%s    \"binary_vs_json_speedup_64_sessions\": %.2f", sep, \
+                medians["serve_wire_json_4096_reads_64_sessions"] / \
+                medians["serve_wire_binary_4096_reads_64_sessions"]
+            sep = ",\n"
+            printf "%s    \"wire_binary_reads_per_sec_64_sessions\": %.0f", sep, \
+                4096 * 1e9 / medians["serve_wire_binary_4096_reads_64_sessions"]
         }
         if (sep != "") printf "\n"
         printf "  }\n"

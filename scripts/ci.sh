@@ -58,6 +58,36 @@ echo "$perf_out" | awk '
     }
 '
 
+echo "== perf sanity: binary vs JSON wire framing =="
+# The point of wire v3 is cheaper frames: the server-side decode path
+# (framing + payload decode + validation + ingest + drain) for the same
+# 4096-read/64-session load must run at least 1.5x faster over binary
+# frames than over newline-JSON. Measured margin is several-fold, so the
+# gate only trips on a real regression.
+wire_out=$(cargo bench --offline --bench kernels -- serve_wire 2>/dev/null | grep ' median ')
+echo "$wire_out"
+echo "$wire_out" | awk '
+    function to_ns(value, unit) {
+        if (unit == "ns") return value
+        if (unit == "µs" || unit == "us") return value * 1e3
+        if (unit == "ms") return value * 1e6
+        if (unit == "s")  return value * 1e9
+        return -1
+    }
+    $2 == "median" { m[$1] = to_ns($3, $4) }
+    END {
+        if (!("serve_wire_json_4096_reads_64_sessions" in m) \
+            || !("serve_wire_binary_4096_reads_64_sessions" in m)) {
+            print "wire sanity: expected benches missing from output" > "/dev/stderr"
+            exit 1
+        }
+        speedup = m["serve_wire_json_4096_reads_64_sessions"] \
+            / m["serve_wire_binary_4096_reads_64_sessions"]
+        printf "wire sanity: binary vs JSON ingest speedup %.2fx (must be >= 1.50)\n", speedup
+        exit (speedup >= 1.50) ? 0 : 1
+    }
+'
+
 echo "== tier 2: serving layer =="
 # Integration tests in release (the determinism assertions compare bit
 # patterns, so they must hold under optimization too), then the live
@@ -84,6 +114,19 @@ if [ "$corpus_lines" -lt 20 ]; then
 fi
 cargo test --release --offline -q -p rfidraw-serve --test fault_injection
 cargo test --release --offline -q -p rfidraw-channel faults
+# The binary-framing corpus (wire v3): truncated/oversized/bad-magic
+# frames and mid-frame disconnects against the reactor front end.
+test -s crates/rfidraw-serve/tests/corpus/malformed_binary_frames.txt
+cargo test --release --offline -q -p rfidraw-serve --test binary_frames
+
+echo "== tier 2: reactor front end =="
+# Reactor-vs-thread-vs-standalone bit-identity, the connection lifecycle,
+# and — by name — the JSON/binary equivalence gate: the same ingest over
+# wire v2 and wire v3 across 8 mixed-protocol sessions must produce
+# bit-identical position streams and conserving telemetry.
+cargo test --release --offline -q -p rfidraw-serve --test reactor_service
+cargo test --release --offline -q -p rfidraw-serve --test reactor_service \
+    mixed_protocol_sessions_are_equivalent_and_conserve
 
 echo "== tier 2: observability (--features trace) =="
 # The same serving-layer suite with the core hot-path emit sites compiled
