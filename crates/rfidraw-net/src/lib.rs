@@ -26,6 +26,7 @@ mod sys;
 pub mod frame;
 pub mod poller;
 pub mod reactor;
+pub mod wakeup;
 
 pub use frame::{
     encode_binary_frame, shard_index, BinFrame, ByteReader, ByteWriter, FrameDecoder, FrameError,
@@ -33,5 +34,7 @@ pub use frame::{
 };
 pub use poller::{Event, Interest, Poller, PollerKind};
 pub use reactor::{
-    spawn, ConnId, Handler, Outbox, ReactorConfig, ReactorHandle, ReactorStats,
+    spawn, spawn_multi, ConnId, Handler, MultiReactorHandle, Outbox, ReactorConfig,
+    ReactorHandle, ReactorStats,
 };
+pub use wakeup::{Wakeup, WakeupHandle};

@@ -26,6 +26,13 @@ impl Interest {
     pub const READ: Interest = Interest { readable: true, writable: false };
     /// Read + write interest (a connection with queued output).
     pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+    /// Write-only interest (a parked connection still flushing replies).
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// No interest at all (a parked, fully flushed connection). The fd
+    /// stays registered: both backends still report error/hangup — `poll`
+    /// always surfaces `POLLERR`/`POLLHUP`, and the epoll mask keeps
+    /// `EPOLLRDHUP` — so a parked peer's disconnect is never missed.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
 }
 
 /// One readiness report.

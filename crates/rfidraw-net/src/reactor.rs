@@ -14,16 +14,52 @@
 //! ```text
 //!           accept                    frame error / Close op
 //! listener ───────► open ──────────────────────────────► draining
-//!                    │  read 0 / read error                  │ write buffer
-//!                    │  (peer closed)                        │ flushed
-//!                    ▼                                       ▼
-//!                  closed ◄──────────────────────────────────┘
+//!                   │ ▲ │  read 0 / read error                │ write buffer
+//!                   │ │ │  (peer closed)                      │ flushed
+//!              Park │ │ Unpark                                ▼
+//!                   ▼ │ │                                   closed
+//!                 parked ───────────────────────────────────► ▲
+//!                          peer hangup (POLLHUP/EPOLLRDHUP)   │
+//!                    open ────────────────────────────────────┘
 //! ```
 //!
 //! Reads are level-triggered and drained to `WouldBlock`; write interest
 //! is registered only while a connection's output buffer is non-empty.
 //! `Close` means *flush pending writes, then close* — so an error reply
 //! queued just before a close is still delivered.
+//!
+//! A **parked** connection (the handler's [`Outbox::park`]) keeps its fd
+//! registered but drops read interest and stops both socket reads and
+//! frame dispatch: bytes stay in the kernel buffer, TCP flow control
+//! backpressures the peer, and nothing is lost. Hangup conditions are
+//! still reported regardless of interest (see [`Interest::NONE`]), so a
+//! parked peer's disconnect tears the connection down normally. `Unpark`
+//! restores read interest and immediately dispatches any frames that were
+//! already decoded before the park — arrival order is preserved exactly.
+//!
+//! # Writes
+//!
+//! Handler sends are queued per connection and flushed once per loop
+//! iteration with a single vectored write (`writev`-style): many small
+//! frames — acks, position updates — coalesce into one syscall instead of
+//! paying one `write(2)` each. A connection that reports writable flushes
+//! immediately, same as before.
+//!
+//! # Wakeup
+//!
+//! Every reactor owns a [`Wakeup`] self-pipe registered with its poller.
+//! [`Handler::on_start`] hands the handler a [`WakeupHandle`] it may clone
+//! to other threads (the serve layer parks it in session drain waiters);
+//! when notified, the reactor drains the pipe, adopts any injected
+//! connections (multi-reactor mode), and calls [`Handler::on_wakeup`].
+//!
+//! # Multi-reactor accept
+//!
+//! [`spawn_multi`] runs N independent reactors behind one listener: a
+//! dedicated thread does blocking accepts and hands each new connection
+//! to the next reactor round-robin (fd passing over an in-process
+//! channel, wakeup pipe to get it adopted promptly). All reactors share
+//! one [`ReactorStats`] block, so observers see the aggregate.
 //!
 //! # Shutdown
 //!
@@ -35,12 +71,13 @@
 
 use crate::frame::{FrameDecoder, FrameError, RawFrame, WireMode};
 use crate::poller::{Event, Interest, Poller, PollerKind};
+use crate::wakeup::{Wakeup, WakeupHandle};
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Opaque identifier for one accepted connection (unique per reactor,
@@ -67,7 +104,8 @@ pub struct ReactorConfig {
     /// [`Handler::on_tick`] when the sockets are quiet.
     pub tick: Duration,
     /// Connections beyond this are accepted and immediately closed
-    /// (counted in [`ReactorStats::rejected`]).
+    /// (counted in [`ReactorStats::rejected`]). In multi-reactor mode the
+    /// cap applies per reactor.
     pub max_connections: usize,
     /// How long shutdown may spend flushing pending writes before
     /// closing anyway.
@@ -88,7 +126,8 @@ impl Default for ReactorConfig {
 }
 
 /// Live counters shared between the reactor thread and observers.
-/// Everything is monotonic except `open` (a gauge).
+/// Everything is monotonic except `open` and `parked` (gauges). In
+/// multi-reactor mode one block is shared by all reactors.
 #[derive(Debug, Default)]
 pub struct ReactorStats {
     /// Connections accepted.
@@ -99,6 +138,15 @@ pub struct ReactorStats {
     pub open: AtomicU64,
     /// Connections refused because `max_connections` was reached.
     pub rejected: AtomicU64,
+    /// Currently parked connections (read interest dropped while the
+    /// handler holds back admission).
+    pub parked: AtomicU64,
+    /// Wakeup-pipe notifications the reactor woke on.
+    pub wakeups: AtomicU64,
+    /// Interest changes the poller refused; each one closes its
+    /// connection (stale interest is a silent stall, so the connection
+    /// cannot be kept).
+    pub reregister_failures: AtomicU64,
     /// Complete JSON frames delivered to the handler.
     pub frames_in_json: AtomicU64,
     /// Complete binary frames delivered to the handler.
@@ -120,6 +168,10 @@ pub struct ReactorStats {
 /// The application half of the reactor. All callbacks run on the reactor
 /// thread — they must not block; slow work belongs on the shard workers.
 pub trait Handler: Send + 'static {
+    /// The reactor thread is up: `wakeup` is this reactor's notification
+    /// handle. Clone it to any thread that must nudge the loop (for
+    /// example a queue drainer signalling room for a parked connection).
+    fn on_start(&mut self, _wakeup: WakeupHandle, _out: &mut Outbox) {}
     /// A connection was accepted.
     fn on_open(&mut self, conn: ConnId, out: &mut Outbox);
     /// One complete frame arrived. `mode` is the connection's negotiated
@@ -136,6 +188,10 @@ pub trait Handler: Send + 'static {
     /// the handler can pump non-socket event sources such as session
     /// subscriptions.
     fn on_tick(&mut self, out: &mut Outbox);
+    /// The wakeup pipe fired: whoever holds this reactor's
+    /// [`WakeupHandle`] asked for attention (for the serve layer, a
+    /// session queue drained and parked connections may retry).
+    fn on_wakeup(&mut self, _out: &mut Outbox) {}
     /// Shutdown has begun: in-flight frames are already delivered, fds
     /// are still open, queued sends will be flushed before close.
     fn on_shutdown(&mut self, out: &mut Outbox);
@@ -152,6 +208,8 @@ pub struct Outbox {
 enum Op {
     Send(ConnId, Vec<u8>),
     Close(ConnId),
+    Park(ConnId),
+    Unpark(ConnId),
 }
 
 impl Outbox {
@@ -164,6 +222,19 @@ impl Outbox {
     pub fn close(&mut self, conn: ConnId) {
         self.ops.push(Op::Close(conn));
     }
+
+    /// Stops reading and dispatching this connection (see the module docs
+    /// on parking). Pending replies still flush; the peer backpressures
+    /// through TCP. No-op on a draining connection.
+    pub fn park(&mut self, conn: ConnId) {
+        self.ops.push(Op::Park(conn));
+    }
+
+    /// Resumes a parked connection: read interest returns and frames
+    /// decoded before the park dispatch immediately, in arrival order.
+    pub fn unpark(&mut self, conn: ConnId) {
+        self.ops.push(Op::Unpark(conn));
+    }
 }
 
 /// Control handle for a running reactor. Dropping it shuts the reactor
@@ -173,6 +244,7 @@ pub struct ReactorHandle {
     stats: Arc<ReactorStats>,
     backend: &'static str,
     shutdown: Arc<AtomicBool>,
+    wakeup: WakeupHandle,
     join: Option<std::thread::JoinHandle<io::Result<()>>>,
 }
 
@@ -195,6 +267,7 @@ impl ReactorHandle {
     /// Graceful shutdown: drain, flush, close, join. Idempotent.
     pub fn shutdown(&mut self) -> io::Result<()> {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.wakeup.notify();
         match self.join.take() {
             Some(join) => join.join().map_err(|_| {
                 io::Error::new(io::ErrorKind::Other, "reactor thread panicked")
@@ -221,47 +294,253 @@ pub fn spawn<H: Handler>(
     let mut poller = Poller::new(config.poller)?;
     let backend = poller.backend_name();
     poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+    let wakeup = Wakeup::new()?;
+    poller.register(wakeup.as_raw_fd(), WAKEUP_TOKEN, Interest::READ)?;
+    let wakeup_handle = wakeup.handle();
     let stats = Arc::new(ReactorStats::default());
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut reactor = Reactor {
         poller,
-        listener,
+        listener: Some(listener),
+        inject: None,
+        wakeup,
         config,
         handler,
         conns: BTreeMap::new(),
-        next_token: LISTENER_TOKEN + 1,
+        next_token: FIRST_CONN_TOKEN,
         stats: Arc::clone(&stats),
         shutdown: Arc::clone(&shutdown),
         events: Vec::new(),
+        dirty: Vec::new(),
     };
     let join = std::thread::Builder::new()
         .name("rfidraw-reactor".to_string())
         .spawn(move || reactor.run())?;
-    Ok(ReactorHandle { local_addr, stats, backend, shutdown, join: Some(join) })
+    Ok(ReactorHandle {
+        local_addr,
+        stats,
+        backend,
+        shutdown,
+        wakeup: wakeup_handle,
+        join: Some(join),
+    })
+}
+
+/// One reactor thread of a [`spawn_multi`] group.
+struct ReactorWorker {
+    shutdown: Arc<AtomicBool>,
+    wakeup: WakeupHandle,
+    join: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+/// Control handle for a listener thread feeding N reactors. Dropping it
+/// shuts everything down.
+pub struct MultiReactorHandle {
+    local_addr: SocketAddr,
+    stats: Arc<ReactorStats>,
+    backend: &'static str,
+    accept_stop: Arc<AtomicBool>,
+    accept_join: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<ReactorWorker>,
+}
+
+impl MultiReactorHandle {
+    /// The address the accept thread is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The counters, aggregated across all reactors (one shared block).
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Which readiness backend the reactors run.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend
+    }
+
+    /// How many reactor threads serve this listener.
+    pub fn reactors(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Graceful shutdown: stop accepting first (no connection may land on
+    /// a dying reactor), then drain/flush/close each reactor. Idempotent.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        if !self.accept_stop.swap(true, Ordering::SeqCst) {
+            // The accept thread blocks in accept(2); a throwaway connect
+            // makes it see the stop flag.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        for w in &mut self.workers {
+            w.shutdown.store(true, Ordering::SeqCst);
+            w.wakeup.notify();
+        }
+        let mut result = Ok(());
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                match join.join() {
+                    Ok(r) => {
+                        if result.is_ok() {
+                            result = r;
+                        }
+                    }
+                    Err(_) => {
+                        result = Err(io::Error::new(
+                            io::ErrorKind::Other,
+                            "reactor thread panicked",
+                        ));
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+impl Drop for MultiReactorHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// Runs `reactors` reactor threads behind one listener: a dedicated
+/// accept thread hands each connection to the next reactor round-robin
+/// (fd passing over a channel + wakeup). `make_handler(i)` builds the
+/// handler for reactor `i`; connections never migrate between reactors,
+/// so each handler only ever sees its own.
+pub fn spawn_multi<H, F>(
+    listener: TcpListener,
+    config: ReactorConfig,
+    reactors: usize,
+    mut make_handler: F,
+) -> io::Result<MultiReactorHandle>
+where
+    H: Handler,
+    F: FnMut(usize) -> H,
+{
+    let reactors = reactors.max(1);
+    let local_addr = listener.local_addr()?;
+    let stats = Arc::new(ReactorStats::default());
+    let mut backend = "poll";
+    let mut senders: Vec<(mpsc::Sender<TcpStream>, WakeupHandle)> = Vec::new();
+    let mut workers = Vec::new();
+    for i in 0..reactors {
+        let mut poller = Poller::new(config.poller)?;
+        backend = poller.backend_name();
+        let wakeup = Wakeup::new()?;
+        poller.register(wakeup.as_raw_fd(), WAKEUP_TOKEN, Interest::READ)?;
+        let wakeup_handle = wakeup.handle();
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut reactor = Reactor {
+            poller,
+            listener: None,
+            inject: Some(rx),
+            wakeup,
+            config: config.clone(),
+            handler: make_handler(i),
+            conns: BTreeMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
+            events: Vec::new(),
+            dirty: Vec::new(),
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("rfidraw-reactor-{i}"))
+            .spawn(move || reactor.run())?;
+        senders.push((tx, wakeup_handle.clone()));
+        workers.push(ReactorWorker { shutdown, wakeup: wakeup_handle, join: Some(join) });
+    }
+    let accept_stop = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&accept_stop);
+    let accept_join = std::thread::Builder::new()
+        .name("rfidraw-accept".to_string())
+        .spawn(move || {
+            let mut rr = 0usize;
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let (tx, wakeup) = &senders[rr % senders.len()];
+                        rr += 1;
+                        if tx.send(stream).is_ok() {
+                            wakeup.notify();
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient accept failure (ECONNABORTED, fd
+                        // exhaustion): back off instead of spinning.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        })?;
+    Ok(MultiReactorHandle {
+        local_addr,
+        stats,
+        backend,
+        accept_stop,
+        accept_join: Some(accept_join),
+        workers,
+    })
 }
 
 const LISTENER_TOKEN: u64 = 0;
+const WAKEUP_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Most iovecs handed to one vectored write. Far below any platform's
+/// IOV_MAX; past this the syscall is already well amortized.
+const MAX_FLUSH_IOVECS: usize = 64;
 
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
-    /// Pending output; `wpos` is the flushed prefix.
-    wbuf: Vec<u8>,
+    /// Pending output frames, oldest first; `wpos` is the flushed prefix
+    /// of the front frame and `wq_bytes` the total unflushed byte count.
+    wq: VecDeque<Vec<u8>>,
+    wq_bytes: usize,
     wpos: usize,
     write_registered: bool,
-    /// Close once `wbuf` drains.
+    read_registered: bool,
+    /// Close once the write queue drains.
     closing: bool,
+    /// Reads and dispatch suspended by the handler (see [`Outbox::park`]).
+    parked: bool,
+    /// Queued for the end-of-iteration flush pass.
+    dirty: bool,
 }
 
 impl Conn {
     fn pending_out(&self) -> usize {
-        self.wbuf.len() - self.wpos
+        self.wq_bytes
+    }
+
+    fn desired_interest(&self) -> Interest {
+        Interest { readable: !self.parked, writable: self.pending_out() > 0 }
     }
 }
 
 struct Reactor<H: Handler> {
     poller: Poller,
-    listener: TcpListener,
+    /// `Some` when this reactor owns the accept path (single-reactor
+    /// mode); `None` when connections arrive through `inject`.
+    listener: Option<TcpListener>,
+    /// Connections handed over by the multi-reactor accept thread.
+    inject: Option<mpsc::Receiver<TcpStream>>,
+    wakeup: Wakeup,
     config: ReactorConfig,
     handler: H,
     conns: BTreeMap<u64, Conn>,
@@ -269,20 +548,49 @@ struct Reactor<H: Handler> {
     stats: Arc<ReactorStats>,
     shutdown: Arc<AtomicBool>,
     events: Vec<Event>,
+    /// Tokens with queued output awaiting the end-of-iteration flush.
+    dirty: Vec<u64>,
 }
 
 impl<H: Handler> Reactor<H> {
     fn run(&mut self) -> io::Result<()> {
         let tick_ms = self.config.tick.as_millis().min(i32::MAX as u128) as i32;
         let mut scratch = vec![0u8; self.config.read_buffer.max(1)];
+        {
+            let mut out = Outbox::default();
+            let handle = self.wakeup.handle();
+            self.handler.on_start(handle, &mut out);
+            self.apply(out);
+        }
         while !self.shutdown.load(Ordering::SeqCst) {
             let mut events = std::mem::take(&mut self.events);
             self.poller.wait(&mut events, tick_ms)?;
             for ev in &events {
                 if ev.token == LISTENER_TOKEN {
                     self.accept_ready();
+                } else if ev.token == WAKEUP_TOKEN {
+                    self.wakeup.drain();
+                    self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+                    self.adopt_injected();
+                    let mut out = Outbox::default();
+                    self.handler.on_wakeup(&mut out);
+                    self.apply(out);
                 } else if self.conns.contains_key(&ev.token) {
-                    if ev.readable || ev.closed {
+                    let parked = self.conns[&ev.token].parked;
+                    if parked {
+                        if ev.closed {
+                            // The peer vanished while parked: interest is
+                            // off but hangups always surface. Tear down;
+                            // the handler discards its stash.
+                            let midframe = self.conns[&ev.token].decoder.has_partial();
+                            if midframe {
+                                self.stats.midframe_disconnects.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let mut queue = VecDeque::new();
+                            self.remove_conn(ev.token, midframe, &mut queue);
+                            self.apply_queue(queue);
+                        }
+                    } else if ev.readable || ev.closed {
                         self.read_ready(ev.token, &mut scratch);
                     }
                     if ev.writable && self.conns.contains_key(&ev.token) {
@@ -294,6 +602,7 @@ impl<H: Handler> Reactor<H> {
             let mut out = Outbox::default();
             self.handler.on_tick(&mut out);
             self.apply(out);
+            self.flush_dirty();
         }
         self.run_shutdown(&mut scratch);
         Ok(())
@@ -301,38 +610,12 @@ impl<H: Handler> Reactor<H> {
 
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    if self.conns.len() >= self.config.max_connections {
-                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                        drop(stream);
-                        continue;
-                    }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    if self.poller.register(stream.as_raw_fd(), token, Interest::READ).is_err() {
-                        continue;
-                    }
-                    self.conns.insert(
-                        token,
-                        Conn {
-                            stream,
-                            decoder: FrameDecoder::new(self.config.max_frame_payload),
-                            wbuf: Vec::new(),
-                            wpos: 0,
-                            write_registered: false,
-                            closing: false,
-                        },
-                    );
-                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    self.stats.open.fetch_add(1, Ordering::Relaxed);
-                    let mut out = Outbox::default();
-                    self.handler.on_open(ConnId(token), &mut out);
-                    self.apply(out);
-                }
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => self.adopt_stream(stream),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 // Transient accept failures (ECONNABORTED etc.): keep serving.
@@ -341,12 +624,72 @@ impl<H: Handler> Reactor<H> {
         }
     }
 
+    /// Pulls connections the accept thread handed over (multi-reactor
+    /// mode; no-op otherwise).
+    fn adopt_injected(&mut self) {
+        let streams: Vec<TcpStream> = match &self.inject {
+            Some(rx) => {
+                let mut v = Vec::new();
+                while let Ok(s) = rx.try_recv() {
+                    v.push(s);
+                }
+                v
+            }
+            None => return,
+        };
+        for stream in streams {
+            self.adopt_stream(stream);
+        }
+    }
+
+    /// Registers one new connection (accepted here or injected) and opens
+    /// it with the handler.
+    fn adopt_stream(&mut self, stream: TcpStream) {
+        if self.conns.len() >= self.config.max_connections {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(stream);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self.poller.register(stream.as_raw_fd(), token, Interest::READ).is_err() {
+            return;
+        }
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                decoder: FrameDecoder::new(self.config.max_frame_payload),
+                wq: VecDeque::new(),
+                wq_bytes: 0,
+                wpos: 0,
+                write_registered: false,
+                read_registered: true,
+                closing: false,
+                parked: false,
+                dirty: false,
+            },
+        );
+        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        self.stats.open.fetch_add(1, Ordering::Relaxed);
+        let mut out = Outbox::default();
+        self.handler.on_open(ConnId(token), &mut out);
+        self.apply(out);
+    }
+
     /// Drains the socket to `WouldBlock`, feeds the decoder, and
-    /// dispatches every complete frame.
+    /// dispatches every complete frame. Parked connections are left
+    /// alone: their bytes stay in the kernel buffer on purpose.
     fn read_ready(&mut self, token: u64, scratch: &mut [u8]) {
         let mut eof = false;
         {
             let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.parked {
+                return;
+            }
             loop {
                 match conn.stream.read(scratch) {
                     Ok(0) => {
@@ -373,6 +716,8 @@ impl<H: Handler> Reactor<H> {
         }
         self.dispatch_decoded(token);
         if eof && self.conns.contains_key(&token) {
+            // (If the handler parked mid-dispatch, this is the same
+            // teardown a hangup event on a parked conn would get.)
             let midframe = self.conns[&token].decoder.has_partial();
             if midframe {
                 self.stats.midframe_disconnects.fetch_add(1, Ordering::Relaxed);
@@ -385,15 +730,17 @@ impl<H: Handler> Reactor<H> {
 
     /// Pops complete frames off a connection's decoder and hands them to
     /// the handler; a framing error sends one `on_frame_error` and marks
-    /// the connection draining.
+    /// the connection draining. Stops at a park: frames decoded but not
+    /// yet dispatched wait, preserving arrival order across the park.
     fn dispatch_decoded(&mut self, token: u64) {
         loop {
             if !self.conns.contains_key(&token) {
                 return;
             }
             let conn = self.conns.get_mut(&token).expect("checked above");
-            if conn.closing {
-                // Already draining: late frames are not processed.
+            if conn.closing || conn.parked {
+                // Draining: late frames are not processed. Parked: frames
+                // wait for the unpark.
                 return;
             }
             let mode = conn.decoder.mode();
@@ -440,24 +787,76 @@ impl<H: Handler> Reactor<H> {
             }
         };
         if flushed {
-            self.sync_write_interest(token);
+            let mut queue = VecDeque::new();
+            self.sync_interest(token, &mut queue);
             if self.conns.get(&token).map(|c| c.closing).unwrap_or(false) {
-                let mut queue = VecDeque::new();
                 self.remove_conn(token, false, &mut queue);
-                self.apply_queue(queue);
             }
+            self.apply_queue(queue);
         }
     }
 
-    /// Registers/deregisters write interest to match the buffer state.
-    fn sync_write_interest(&mut self, token: u64) {
-        let Some(conn) = self.conns.get_mut(&token) else { return };
-        let want = conn.pending_out() > 0;
-        if want != conn.write_registered {
-            let interest = if want { Interest::READ_WRITE } else { Interest::READ };
-            if self.poller.reregister(conn.stream.as_raw_fd(), token, interest).is_ok() {
-                conn.write_registered = want;
+    /// One vectored flush per connection that queued output this
+    /// iteration: every frame queued since the last pass goes out in (at
+    /// most a few) `writev`-style syscalls instead of one write per frame.
+    fn flush_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        for token in dirty {
+            let outcome = {
+                let Some(conn) = self.conns.get_mut(&token) else { continue };
+                if !conn.dirty {
+                    continue;
+                }
+                conn.dirty = false;
+                flush_conn(conn, &self.stats)
+            };
+            let mut queue = VecDeque::new();
+            match outcome {
+                FlushOutcome::Broken => {
+                    self.remove_conn(token, false, &mut queue);
+                }
+                FlushOutcome::Pending | FlushOutcome::Drained => {
+                    self.sync_interest(token, &mut queue);
+                    let done = self
+                        .conns
+                        .get(&token)
+                        .map(|c| c.closing && c.pending_out() == 0)
+                        .unwrap_or(false);
+                    if done {
+                        self.remove_conn(token, false, &mut queue);
+                    }
+                }
             }
+            self.apply_queue(queue);
+        }
+    }
+
+    /// Brings the poller registration in line with the connection state
+    /// (read interest off while parked, write interest only with queued
+    /// output). A refused reregister would leave the fd with stale
+    /// interest — a silent stall — so it counts in
+    /// [`ReactorStats::reregister_failures`] and closes the connection.
+    fn sync_interest(&mut self, token: u64, queue: &mut VecDeque<Op>) {
+        let (fd, want) = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let want = conn.desired_interest();
+            let have =
+                Interest { readable: conn.read_registered, writable: conn.write_registered };
+            if want == have {
+                return;
+            }
+            (conn.stream.as_raw_fd(), want)
+        };
+        if self.poller.reregister(fd, token, want).is_ok() {
+            let conn = self.conns.get_mut(&token).expect("conn checked above");
+            conn.read_registered = want.readable;
+            conn.write_registered = want.writable;
+        } else {
+            self.stats.reregister_failures.fetch_add(1, Ordering::Relaxed);
+            self.remove_conn(token, false, queue);
         }
     }
 
@@ -472,18 +871,15 @@ impl<H: Handler> Reactor<H> {
             match op {
                 Op::Send(id, bytes) => {
                     let Some(conn) = self.conns.get_mut(&id.0) else { continue };
-                    if conn.closing {
+                    if conn.closing || bytes.is_empty() {
                         continue;
                     }
                     self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
-                    conn.wbuf.extend_from_slice(&bytes);
-                    match flush_conn(conn, &self.stats) {
-                        FlushOutcome::Broken => {
-                            self.remove_conn(id.0, false, &mut queue);
-                        }
-                        FlushOutcome::Pending | FlushOutcome::Drained => {
-                            self.sync_write_interest(id.0);
-                        }
+                    conn.wq_bytes += bytes.len();
+                    conn.wq.push_back(bytes);
+                    if !conn.dirty {
+                        conn.dirty = true;
+                        self.dirty.push(id.0);
                     }
                 }
                 Op::Close(id) => {
@@ -492,6 +888,28 @@ impl<H: Handler> Reactor<H> {
                     if conn.pending_out() == 0 {
                         self.remove_conn(id.0, false, &mut queue);
                     }
+                }
+                Op::Park(id) => {
+                    let Some(conn) = self.conns.get_mut(&id.0) else { continue };
+                    if conn.closing || conn.parked {
+                        continue;
+                    }
+                    conn.parked = true;
+                    self.stats.parked.fetch_add(1, Ordering::Relaxed);
+                    self.sync_interest(id.0, &mut queue);
+                }
+                Op::Unpark(id) => {
+                    let Some(conn) = self.conns.get_mut(&id.0) else { continue };
+                    if !conn.parked {
+                        continue;
+                    }
+                    conn.parked = false;
+                    self.stats.parked.fetch_sub(1, Ordering::Relaxed);
+                    self.sync_interest(id.0, &mut queue);
+                    // Frames decoded before the park have been waiting;
+                    // dispatch them now, ahead of anything still in the
+                    // kernel buffer (the poller re-reports that data).
+                    self.dispatch_decoded(id.0);
                 }
             }
         }
@@ -502,6 +920,9 @@ impl<H: Handler> Reactor<H> {
     fn remove_conn(&mut self, token: u64, midframe: bool, queue: &mut VecDeque<Op>) {
         let Some(conn) = self.conns.remove(&token) else { return };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if conn.parked {
+            self.stats.parked.fetch_sub(1, Ordering::Relaxed);
+        }
         drop(conn);
         self.stats.closed.fetch_add(1, Ordering::Relaxed);
         self.stats.open.fetch_sub(1, Ordering::Relaxed);
@@ -512,18 +933,30 @@ impl<H: Handler> Reactor<H> {
 
     /// The graceful-shutdown sequence (see the module docs).
     fn run_shutdown(&mut self, scratch: &mut [u8]) {
-        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        if let Some(listener) = &self.listener {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        // Stop late injections, then drain ones already queued so their
+        // fds close through the normal path.
+        if let Some(rx) = self.inject.take() {
+            while let Ok(stream) = rx.try_recv() {
+                drop(stream);
+            }
+        }
         // Drain in-flight: one nonblocking read sweep picks up frames
         // already buffered in the kernel, then dispatch completes them.
+        // Parked connections are skipped — their admission is stalled by
+        // construction, and the handler discards their stash on close.
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
-            if self.conns.contains_key(&token) {
+            if self.conns.get(&token).map(|c| !c.parked).unwrap_or(false) {
                 self.read_ready(token, scratch);
             }
         }
         let mut out = Outbox::default();
         self.handler.on_shutdown(&mut out);
         self.apply(out);
+        self.flush_dirty();
         // Bounded flush of pending writes.
         let deadline = Instant::now() + self.config.shutdown_flush;
         let mut events = std::mem::take(&mut self.events);
@@ -564,21 +997,42 @@ enum FlushOutcome {
     Broken,
 }
 
-/// Writes as much of the connection's buffer as the socket accepts.
+/// Writes as much of the connection's queue as the socket accepts, many
+/// frames per syscall (vectored).
 fn flush_conn(conn: &mut Conn, stats: &ReactorStats) -> FlushOutcome {
-    while conn.wpos < conn.wbuf.len() {
-        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+    while conn.pending_out() > 0 {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(conn.wq.len().min(MAX_FLUSH_IOVECS));
+        let mut iter = conn.wq.iter();
+        if let Some(front) = iter.next() {
+            slices.push(IoSlice::new(&front[conn.wpos..]));
+        }
+        for frame in iter.take(MAX_FLUSH_IOVECS - 1) {
+            slices.push(IoSlice::new(frame));
+        }
+        match conn.stream.write_vectored(&slices) {
             Ok(0) => return FlushOutcome::Broken,
-            Ok(n) => {
-                conn.wpos += n;
+            Ok(mut n) => {
                 stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                conn.wq_bytes -= n;
+                while n > 0 {
+                    let front_remaining = match conn.wq.front() {
+                        Some(front) => front.len() - conn.wpos,
+                        None => break,
+                    };
+                    if n >= front_remaining {
+                        conn.wq.pop_front();
+                        conn.wpos = 0;
+                        n -= front_remaining;
+                    } else {
+                        conn.wpos += n;
+                        n = 0;
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return FlushOutcome::Pending,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => return FlushOutcome::Broken,
         }
     }
-    conn.wbuf.clear();
-    conn.wpos = 0;
     FlushOutcome::Drained
 }

@@ -3,8 +3,9 @@
 //! The workspace vendors every dependency, so there is no `libc` crate to
 //! lean on — but the C library itself is always linked (libstd links it),
 //! so declaring the handful of symbols we need is enough. This module is
-//! the crate's entire unsafe surface: four `epoll` calls on Linux, `poll`
-//! everywhere, and `close`. Everything above it is safe Rust.
+//! the crate's entire unsafe surface: four `epoll` calls on Linux; `poll`,
+//! `close`, and the self-pipe quartet (`pipe`/`fcntl`/`read`/`write`, for
+//! the reactor wakeup) everywhere. Everything above it is safe Rust.
 //!
 //! Errno is read through [`std::io::Error::last_os_error`], which already
 //! knows each platform's thread-local errno location, so no
@@ -32,6 +33,63 @@ pub const POLLHUP: i16 = 0x010;
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: u64, timeout: CInt) -> CInt;
     fn close(fd: CInt) -> CInt;
+    fn pipe(fds: *mut CInt) -> CInt;
+    fn fcntl(fd: CInt, cmd: CInt, arg: CInt) -> CInt;
+    fn read(fd: CInt, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: CInt, buf: *const u8, count: usize) -> isize;
+}
+
+/// `F_SETFL` has the same value on Linux and the BSDs (including macOS).
+const F_SETFL: CInt = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: CInt = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: CInt = 0x4;
+
+/// Creates a pipe with both ends nonblocking — the reactor's wakeup
+/// primitive. Returns `(read_fd, write_fd)`; the caller owns both.
+pub fn sys_pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0 as CInt; 2];
+    // SAFETY: `fds` is a valid 2-element array; the kernel writes exactly
+    // two descriptors into it on success.
+    let rc = unsafe { pipe(fds.as_mut_ptr()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    for fd in fds {
+        // SAFETY: `fd` was just returned by `pipe`, so it is owned here.
+        let rc = unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            sys_close(fds[0]);
+            sys_close(fds[1]);
+            return Err(err);
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Nonblocking read on a descriptor this crate owns (the wakeup pipe's
+/// read end). `Ok(0)` means EOF; `WouldBlock` surfaces as an error.
+pub fn sys_read(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    // SAFETY: `buf` is a valid exclusive slice; the kernel writes at most
+    // `buf.len()` bytes.
+    let rc = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Nonblocking write on a descriptor this crate owns (the wakeup pipe's
+/// write end).
+pub fn sys_write(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    // SAFETY: `buf` is a valid shared slice; the kernel only reads it.
+    let rc = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
 }
 
 /// Safe wrapper over `poll(2)`: waits for readiness on `fds`, filling

@@ -26,8 +26,15 @@ pub enum BackpressurePolicy {
     /// Evict the oldest queued read to make room; the eviction is counted
     /// as dropped. Favors freshness (a live cursor wants recent reads).
     DropOldest,
-    /// Block the producer until the queue has room (or the session
-    /// closes). Lossless, at the price of back-propagating the stall.
+    /// Lossless admission: no read is ever refused or evicted for a full
+    /// queue. On the thread-per-connection front end (and the in-process
+    /// [`crate::LocalClient::ingest`]) the producer thread blocks until
+    /// the queue has room or the session closes. The reactor front end
+    /// never blocks its event-loop thread: it *parks* the connection —
+    /// stashes the unadmitted reads, drops read interest so the kernel
+    /// TCP buffer back-propagates the stall to that client alone — and
+    /// re-admits when the session drains. Either way the stall lands on
+    /// the producer that caused it, never on other sessions.
     Block,
 }
 
@@ -144,7 +151,7 @@ pub enum FrontendMode {
 }
 
 /// Network front-end configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Which front end `Frontend::bind` starts.
     pub frontend: FrontendMode,
@@ -152,6 +159,23 @@ pub struct NetConfig {
     /// connection cap, shutdown flush budget). Ignored by the
     /// thread-per-connection front end.
     pub reactor: rfidraw_net::ReactorConfig,
+    /// Reactor event-loop threads. `1` (the default) runs the classic
+    /// single-reactor: the listener lives inside the event loop. Above 1,
+    /// a dedicated accept thread feeds accepted connections round-robin
+    /// to this many reactor threads through their wakeup pipes; every
+    /// reactor shares one stats block, so telemetry is unchanged. Zero is
+    /// treated as 1. Ignored by the thread-per-connection front end.
+    pub reactors: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            frontend: FrontendMode::default(),
+            reactor: rfidraw_net::ReactorConfig::default(),
+            reactors: 1,
+        }
+    }
 }
 
 /// The full service configuration.

@@ -51,28 +51,35 @@ pub(crate) enum Dispatch {
     Subscribed(mpsc::Receiver<SessionEvent>),
 }
 
+/// Wire-boundary validation shared by both front ends: a crafted batch
+/// (1e999 → Inf, negative time) must never reach a tracker queue. Returns
+/// the refusal reply when the whole batch must be refused (counted; the
+/// connection survives), `None` when the batch may proceed to admission.
+pub(crate) fn validate_ingest(client: &LocalClient, batch: &IngestBatch) -> Option<Message> {
+    let invalid = batch.reads.iter().filter(|r| !wire::read_is_valid(r)).count() as u64;
+    if invalid == 0 {
+        return None;
+    }
+    client.note_invalid_ingest(batch.epc, batch.reads.len() as u64, invalid);
+    Some(Message::Error(WireError {
+        code: "invalid".to_string(),
+        message: format!(
+            "batch refused: {invalid} of {} reads have non-finite or negative fields",
+            batch.reads.len()
+        ),
+    }))
+}
+
 /// Handles one decoded client→server message against the service.
 pub(crate) fn dispatch_request(client: &LocalClient, msg: Message) -> Dispatch {
     match msg {
         Message::Ingest(batch) => {
-            // Wire-boundary validation: a crafted batch (1e999 → Inf,
-            // negative time) must never reach a tracker queue. Refuse the
-            // whole batch, count it, keep the connection.
-            let invalid = batch.reads.iter().filter(|r| !wire::read_is_valid(r)).count() as u64;
-            let reply = if invalid > 0 {
-                client.note_invalid_ingest(batch.epc, batch.reads.len() as u64, invalid);
-                Message::Error(WireError {
-                    code: "invalid".to_string(),
-                    message: format!(
-                        "batch refused: {invalid} of {} reads have non-finite or negative fields",
-                        batch.reads.len()
-                    ),
-                })
-            } else {
-                match client.ingest(batch.epc, &batch.reads) {
+            let reply = match validate_ingest(client, &batch) {
+                Some(refusal) => refusal,
+                None => match client.ingest(batch.epc, &batch.reads) {
                     Ok(receipt) => Message::IngestAck(IngestAck::from_receipt(batch.epc, receipt)),
                     Err(e) => Message::Error(serve_error(&e)),
-                }
+                },
             };
             Dispatch::Reply(reply)
         }
@@ -119,7 +126,7 @@ pub(crate) fn decode_error_reply(e: &DecodeError) -> Message {
     Message::Error(WireError { code: code.to_string(), message: e.to_string() })
 }
 
-fn serve_error(e: &ServeError) -> WireError {
+pub(crate) fn serve_error(e: &ServeError) -> WireError {
     let code = match e {
         ServeError::SessionLimit { .. } => "limit",
         ServeError::ShuttingDown => "shutdown",

@@ -25,15 +25,32 @@
 //! subscription and emits a final `SessionClosed { reason: "shutdown" }`
 //! per still-open subscription before the flush-and-close, so clients
 //! always observe an explicit end-of-stream.
+//!
+//! **`Block` backpressure never sleeps the reactor thread.** Ingest on
+//! this front end goes through the session's *non-blocking* admission
+//! path: when a `Block`-policy queue fills mid-batch, the handler stashes
+//! the unadmitted tail as a [`PendingIngest`], parks the connection (the
+//! reactor drops its read interest, so the kernel TCP buffer pushes the
+//! stall back onto that client alone), and holds the `IngestAck`. A
+//! drain waiter armed on the session pokes the reactor's wakeup pipe when
+//! space frees; [`rfidraw_net::Handler::on_wakeup`] then re-admits from
+//! the stash, and once the whole batch is in, sends the merged ack and
+//! unparks. `Block` stays lossless per connection — every read is acked
+//! as accepted exactly once — while other connections keep flowing. See
+//! DESIGN.md §13 for the state machine.
 
 use crate::config::{FrontendMode, NetConfig};
-use crate::net::{decode_error_reply, dispatch_request, Dispatch, WireServer};
+use crate::net::{
+    decode_error_reply, dispatch_request, serve_error, validate_ingest, Dispatch, WireServer,
+};
 use crate::service::LocalClient;
-use crate::session::SessionEvent;
-use crate::wire::{self, Message, PositionUpdate, SessionClosed, WireError};
+use crate::session::{EnqueueOutcome, IngestReceipt, SessionEvent, SessionShared};
+use crate::wire::{self, IngestAck, IngestBatch, Message, PositionUpdate, SessionClosed, WireError};
 use crate::wire3;
+use rfidraw_core::stream::PhaseRead;
 use rfidraw_net::{
-    ConnId, FrameError, Outbox, RawFrame, ReactorConfig, ReactorHandle, ReactorStats, WireMode,
+    ConnId, FrameError, MultiReactorHandle, Outbox, RawFrame, ReactorConfig, ReactorHandle,
+    ReactorStats, WakeupHandle, WireMode,
 };
 use rfidraw_protocol::Epc;
 use std::collections::HashMap;
@@ -47,12 +64,35 @@ struct Sub {
     rx: mpsc::Receiver<SessionEvent>,
 }
 
+/// A partially admitted `Block` ingest: the connection is parked and this
+/// carries everything needed to finish the batch as the session drains.
+struct PendingIngest {
+    epc: Epc,
+    session: Arc<SessionShared>,
+    reads: Vec<PhaseRead>,
+    /// Index of the first read not yet admitted. Reads at and beyond it
+    /// are counted in no metric until a retry resolves them.
+    next: usize,
+    /// Accounting accumulated across admission rounds; becomes the single
+    /// merged `IngestAck` once the batch completes.
+    receipt: IngestReceipt,
+}
+
+impl PendingIngest {
+    fn stashed(&self) -> u64 {
+        (self.reads.len() - self.next) as u64
+    }
+}
+
 /// Per-connection handler state.
 #[derive(Default)]
 struct ConnState {
     /// Negotiated protocol; `Unknown` until the first complete frame.
     mode: WireMode,
     subs: Vec<Sub>,
+    /// The stash of a parked connection's partially admitted ingest.
+    /// `Some` exactly while the reactor has the connection parked.
+    pending: Option<PendingIngest>,
 }
 
 fn encode_for(mode: WireMode, msg: &Message) -> Vec<u8> {
@@ -69,13 +109,114 @@ fn encode_for(mode: WireMode, msg: &Message) -> Vec<u8> {
     }
 }
 
+/// Runs admission rounds for a pending ingest until the batch completes
+/// or the queue is full with a drain waiter armed. Returns `true` when
+/// the batch fully resolved (the merged ack may be sent).
+///
+/// The arm-then-retry protocol closes the obvious race: after a `Full`
+/// round, one drain waiter (a wakeup-pipe poke) is armed on the session
+/// and the enqueue retried once more — a drain that landed between the
+/// failed attempt and the arm is caught by the retry, one that lands
+/// after the arm fires the waiter. Spurious wakeups just re-run this and
+/// park again.
+fn advance_pending(
+    client: &LocalClient,
+    wakeup: Option<&WakeupHandle>,
+    p: &mut PendingIngest,
+    initial: bool,
+) -> bool {
+    let policy = client.serve_config().backpressure;
+    let capacity = client.serve_config().queue_capacity;
+    let g = client.metrics();
+    let accepted_before = p.receipt.accepted;
+    let rejected_before = p.receipt.rejected;
+    let mut armed = false;
+    let done = loop {
+        match p.session.try_enqueue(&p.reads[p.next..], policy, capacity, g) {
+            EnqueueOutcome::Done(r) => {
+                p.receipt.merge(r);
+                p.next = p.reads.len();
+                break true;
+            }
+            EnqueueOutcome::Full { receipt, admitted } => {
+                p.receipt.merge(receipt);
+                p.next += admitted;
+                if armed {
+                    break false;
+                }
+                let Some(wakeup) = wakeup else { break false };
+                let wh = wakeup.clone();
+                p.session.register_drain_waiter(Box::new(move || wh.notify()));
+                armed = true;
+            }
+        }
+    };
+    // Retry rounds resolve reads that were counted into `parked_reads`
+    // when the stash formed; attribute how each one left the stash.
+    if !initial {
+        g.readmissions.add(p.receipt.accepted - accepted_before);
+        g.parked_rejected.add(p.receipt.rejected - rejected_before);
+    }
+    if p.receipt.accepted > accepted_before {
+        client.notify_work();
+    }
+    done
+}
+
 /// The application handler running on the reactor thread.
 struct ServeHandler {
     client: LocalClient,
     conns: HashMap<u64, ConnState>,
+    /// This reactor's wakeup pipe (from `on_start`); drain waiters clone
+    /// it to signal re-admission room for parked connections.
+    wakeup: Option<WakeupHandle>,
 }
 
 impl ServeHandler {
+    fn new(client: LocalClient) -> Self {
+        Self { client, conns: HashMap::new(), wakeup: None }
+    }
+
+    /// Ingest on the reactor path: validate, then admit without ever
+    /// blocking the reactor thread — a partial `Block` admission parks
+    /// the connection and holds the ack until the stash drains.
+    fn handle_ingest(&mut self, conn: ConnId, batch: IngestBatch, mode: WireMode, out: &mut Outbox) {
+        if let Some(refusal) = validate_ingest(&self.client, &batch) {
+            out.send(conn, encode_for(mode, &refusal));
+            return;
+        }
+        let session = match self.client.session_for_ingest(batch.epc) {
+            Ok(s) => s,
+            Err(e) => {
+                out.send(conn, encode_for(mode, &Message::Error(serve_error(&e))));
+                return;
+            }
+        };
+        let mut pending = PendingIngest {
+            epc: batch.epc,
+            session,
+            reads: batch.reads,
+            next: 0,
+            receipt: IngestReceipt::default(),
+        };
+        if advance_pending(&self.client, self.wakeup.as_ref(), &mut pending, true) {
+            let ack = IngestAck::from_receipt(pending.epc, pending.receipt);
+            out.send(conn, encode_for(mode, &Message::IngestAck(ack)));
+            return;
+        }
+        // Partial admission: count the stash once, park, hold the ack.
+        let stashed = pending.stashed();
+        self.client.metrics().parked_reads.add(stashed);
+        match self.conns.get_mut(&conn.0) {
+            Some(state) => {
+                state.pending = Some(pending);
+                out.park(conn);
+            }
+            // Unknown connection (racing close): the stash dies here, with
+            // the same accounting as a mid-park disconnect.
+            None => pending.session.note_parked_discarded(stashed, self.client.metrics()),
+        }
+    }
     /// Drains ready subscription events for one connection. Returns the
     /// frames to send; a `Closed` event retires its subscription.
     fn pump_conn(state: &mut ConnState) -> Vec<Vec<u8>> {
@@ -124,6 +265,10 @@ impl ServeHandler {
 }
 
 impl rfidraw_net::Handler for ServeHandler {
+    fn on_start(&mut self, wakeup: WakeupHandle, _out: &mut Outbox) {
+        self.wakeup = Some(wakeup);
+    }
+
     fn on_open(&mut self, conn: ConnId, _out: &mut Outbox) {
         self.conns.insert(conn.0, ConnState::default());
     }
@@ -145,6 +290,13 @@ impl rfidraw_net::Handler for ServeHandler {
                 return;
             }
         };
+        // Ingest takes the non-blocking admission path (it may park this
+        // connection); everything else shares the blocking dispatcher
+        // with the thread-per-connection front end.
+        if let Message::Ingest(batch) = msg {
+            self.handle_ingest(conn, batch, mode, out);
+            return;
+        }
         let sub_epc = match &msg {
             Message::Subscribe(s) => Some(s.epc),
             _ => None,
@@ -182,7 +334,31 @@ impl rfidraw_net::Handler for ServeHandler {
     }
 
     fn on_close(&mut self, conn: ConnId, _midframe: bool, _out: &mut Outbox) {
-        self.conns.remove(&conn.0);
+        if let Some(state) = self.conns.remove(&conn.0) {
+            if let Some(p) = state.pending {
+                // Parked connection died with a stash outstanding: the
+                // unadmitted reads are accounted as discarded so the
+                // parking conservation law stays exact.
+                p.session.note_parked_discarded(p.stashed(), self.client.metrics());
+            }
+        }
+    }
+
+    fn on_wakeup(&mut self, out: &mut Outbox) {
+        // A drain waiter (or any other wakeup) fired: retry every parked
+        // stash. Wakeups are collapsed by the pipe, so one firing may
+        // stand for several drains — retrying all stashes is the cheap,
+        // correct response; those still blocked re-arm and stay parked.
+        for (&token, state) in self.conns.iter_mut() {
+            let Some(mut p) = state.pending.take() else { continue };
+            if advance_pending(&self.client, self.wakeup.as_ref(), &mut p, false) {
+                let ack = IngestAck::from_receipt(p.epc, p.receipt);
+                out.send(ConnId(token), encode_for(state.mode, &Message::IngestAck(ack)));
+                out.unpark(ConnId(token));
+            } else {
+                state.pending = Some(p);
+            }
+        }
     }
 
     fn on_tick(&mut self, out: &mut Outbox) {
@@ -219,14 +395,22 @@ impl rfidraw_net::Handler for ServeHandler {
     }
 }
 
+/// Single- or multi-reactor deployment behind one face.
+enum ReactorInner {
+    /// One reactor thread owning accept and every connection.
+    Single(ReactorHandle),
+    /// A dedicated accept thread feeding N reactor threads round-robin.
+    Multi(MultiReactorHandle),
+}
+
 /// The reactor front end bound to a TCP address: accepts connections,
 /// speaks both wire protocols, and serves the shared [`LocalClient`].
 pub struct ReactorServer {
-    handle: ReactorHandle,
+    inner: ReactorInner,
 }
 
 impl ReactorServer {
-    /// Binds `addr` and starts the reactor thread with `cfg`. The
+    /// Binds `addr` and starts one reactor thread with `cfg`. The
     /// reactor's live counters are registered with the service telemetry.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
@@ -234,31 +418,72 @@ impl ReactorServer {
         cfg: ReactorConfig,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let handler = ServeHandler { client: client.clone(), conns: HashMap::new() };
-        let handle = rfidraw_net::spawn(listener, cfg, handler)?;
+        let handle = rfidraw_net::spawn(listener, cfg, ServeHandler::new(client.clone()))?;
         client.register_net_stats(handle.stats());
-        Ok(Self { handle })
+        Ok(Self { inner: ReactorInner::Single(handle) })
+    }
+
+    /// Binds `addr` with a dedicated accept thread distributing
+    /// connections round-robin over `reactors` reactor threads (each with
+    /// its own poller, wakeup pipe, and handler; all sharing the service
+    /// client and one stats block, so telemetry is unchanged). A
+    /// connection lives on one reactor for its whole life, which keeps
+    /// per-connection frame order — and therefore results — identical to
+    /// the single-reactor front end.
+    pub fn bind_multi<A: ToSocketAddrs>(
+        addr: A,
+        client: LocalClient,
+        cfg: ReactorConfig,
+        reactors: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let per_reactor_client = client.clone();
+        let handle = rfidraw_net::spawn_multi(listener, cfg, reactors, move |_i| {
+            ServeHandler::new(per_reactor_client.clone())
+        })?;
+        client.register_net_stats(handle.stats());
+        Ok(Self { inner: ReactorInner::Multi(handle) })
     }
 
     /// The bound address (resolves the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.handle.local_addr()
+        match &self.inner {
+            ReactorInner::Single(h) => h.local_addr(),
+            ReactorInner::Multi(h) => h.local_addr(),
+        }
     }
 
-    /// The reactor's live counters.
+    /// The front end's live counters (shared by every reactor thread).
     pub fn stats(&self) -> Arc<ReactorStats> {
-        self.handle.stats()
+        match &self.inner {
+            ReactorInner::Single(h) => h.stats(),
+            ReactorInner::Multi(h) => h.stats(),
+        }
     }
 
     /// Which readiness backend runs (`"epoll"` or `"poll"`).
     pub fn backend_name(&self) -> &'static str {
-        self.handle.backend_name()
+        match &self.inner {
+            ReactorInner::Single(h) => h.backend_name(),
+            ReactorInner::Multi(h) => h.backend_name(),
+        }
+    }
+
+    /// How many reactor threads serve connections.
+    pub fn reactors(&self) -> usize {
+        match &self.inner {
+            ReactorInner::Single(_) => 1,
+            ReactorInner::Multi(h) => h.reactors(),
+        }
     }
 
     /// Graceful shutdown: deliver in-flight frames, emit `SessionClosed`
     /// to open subscriptions, flush, close, join. Also runs on drop.
     pub fn shutdown(&mut self) -> io::Result<()> {
-        self.handle.shutdown()
+        match &mut self.inner {
+            ReactorInner::Single(h) => h.shutdown(),
+            ReactorInner::Multi(h) => h.shutdown(),
+        }
     }
 }
 
@@ -278,6 +503,10 @@ impl Frontend {
         net: &NetConfig,
     ) -> io::Result<Self> {
         match net.frontend {
+            FrontendMode::Reactor if net.reactors > 1 => {
+                ReactorServer::bind_multi(addr, client, net.reactor.clone(), net.reactors)
+                    .map(Frontend::Reactor)
+            }
             FrontendMode::Reactor => {
                 ReactorServer::bind(addr, client, net.reactor.clone()).map(Frontend::Reactor)
             }

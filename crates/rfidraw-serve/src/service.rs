@@ -191,6 +191,10 @@ impl ServiceInner {
             stale_resets: self.global.stale_resets.get(),
             degraded_events: self.global.degraded.get(),
             windowed_evals: self.global.windowed.get(),
+            parked_reads: self.global.parked_reads.get(),
+            readmissions: self.global.readmissions.get(),
+            parked_rejected: self.global.parked_rejected.get(),
+            parked_discarded: self.global.parked_discarded.get(),
             table_cache_hits: cache.map_or(0, |c| c.hits),
             table_cache_misses: cache.map_or(0, |c| c.misses),
             table_cache_bytes: cache.map_or(0, |c| c.resident_bytes),
@@ -295,6 +299,30 @@ impl LocalClient {
     /// The full telemetry report rendered in Prometheus text format.
     pub fn prometheus(&self) -> String {
         self.inner.telemetry().to_prometheus()
+    }
+
+    /// Resolves (creating lazily) the session a non-blocking ingest will
+    /// admit into. The reactor front end splits session lookup from
+    /// admission so it can hold the session across park/retry cycles.
+    pub(crate) fn session_for_ingest(&self, epc: Epc) -> Result<Arc<SessionShared>, ServeError> {
+        self.inner.get_or_create(epc)
+    }
+
+    /// The shared global counter block (non-blocking ingest paths book
+    /// their own accounting through it).
+    pub(crate) fn metrics(&self) -> &GlobalMetrics {
+        &self.inner.global
+    }
+
+    /// The service configuration (policy/capacity for admission).
+    pub(crate) fn serve_config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    /// Wakes parked workers after an out-of-band admission (the reactor's
+    /// non-blocking ingest path enqueues without going through `ingest`).
+    pub(crate) fn notify_work(&self) {
+        self.inner.work.notify_all();
     }
 
     /// Records a wire-validation refusal without touching the session

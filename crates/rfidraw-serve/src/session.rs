@@ -107,7 +107,7 @@ pub struct IngestReceipt {
 }
 
 impl IngestReceipt {
-    fn merge(&mut self, other: IngestReceipt) {
+    pub(crate) fn merge(&mut self, other: IngestReceipt) {
         self.accepted += other.accepted;
         self.dropped += other.dropped;
         self.rejected += other.rejected;
@@ -131,11 +131,33 @@ struct Engine {
     cursor: Option<CursorTracker>,
 }
 
+/// What a non-blocking enqueue attempt produced (see
+/// [`SessionShared::try_enqueue`]).
+#[derive(Debug)]
+pub(crate) enum EnqueueOutcome {
+    /// Every read was resolved (accepted, dropped-for, or rejected).
+    Done(IngestReceipt),
+    /// `Block` policy and the queue filled: the first `admitted` reads of
+    /// the attempted slice were accepted (and are counted in `receipt`);
+    /// the rest were *not counted anywhere* — the caller owns them and
+    /// must retry after a drain (they enter the metrics when admitted).
+    Full {
+        /// Accounting for the resolved prefix.
+        receipt: IngestReceipt,
+        /// How many reads of the attempted slice were resolved.
+        admitted: usize,
+    },
+}
+
 pub(crate) struct SessionShared {
     pub(crate) epc: Epc,
     queue: Mutex<VecDeque<QueuedRead>>,
     /// Producers blocked by [`BackpressurePolicy::Block`] wait here.
     space: Condvar,
+    /// One-shot callbacks fired when queue space frees or the session
+    /// closes — the async face of `space`, armed by the reactor front end
+    /// for parked connections (each waiter pokes a reactor wakeup pipe).
+    drain_waiters: Mutex<Vec<Box<dyn Fn() + Send>>>,
     engine: Mutex<Engine>,
     subscribers: Mutex<Vec<mpsc::Sender<SessionEvent>>>,
     /// Exactly one worker may drain at a time; claiming take+process as a
@@ -152,6 +174,7 @@ impl SessionShared {
             epc,
             queue: Mutex::new(VecDeque::new()),
             space: Condvar::new(),
+            drain_waiters: Mutex::new(Vec::new()),
             engine: Mutex::new(Engine {
                 tracker,
                 cursor: cursor.map(|c| CursorTracker::new(c.config, c.map.clone())),
@@ -193,6 +216,76 @@ impl SessionShared {
         for &read in reads {
             receipt.merge(self.enqueue_one(read, policy, capacity));
         }
+        self.settle_receipt(receipt, global);
+        receipt
+    }
+
+    /// Non-blocking batch enqueue: the same accounting as
+    /// [`enqueue`](Self::enqueue) for every read it resolves, but under `Block`
+    /// with a full queue it returns [`EnqueueOutcome::Full`] instead of
+    /// sleeping on the `space` condvar. The reactor front end lives on
+    /// this: the reactor thread *is* the producer there, so it must never
+    /// sleep — it parks the connection and retries after a drain signal.
+    ///
+    /// Reads beyond the admitted prefix are counted nowhere; they enter
+    /// the metrics only when a later call resolves them, so conservation
+    /// (`ingested = processed + dropped + queued`) holds at every instant.
+    pub(crate) fn try_enqueue(
+        &self,
+        reads: &[PhaseRead],
+        policy: BackpressurePolicy,
+        capacity: usize,
+        global: &GlobalMetrics,
+    ) -> EnqueueOutcome {
+        let mut receipt = IngestReceipt::default();
+        let mut admitted = 0usize;
+        let mut full = false;
+        {
+            let mut q = self.queue.lock().expect("queue lock");
+            for &read in reads {
+                if self.is_closed() {
+                    receipt.rejected += 1;
+                    admitted += 1;
+                    continue;
+                }
+                if q.len() < capacity {
+                    q.push_back(QueuedRead { read, enqueued: Instant::now() });
+                    receipt.accepted += 1;
+                    admitted += 1;
+                    continue;
+                }
+                match policy {
+                    BackpressurePolicy::Reject => {
+                        receipt.rejected += 1;
+                        admitted += 1;
+                    }
+                    BackpressurePolicy::DropOldest => {
+                        q.pop_front();
+                        q.push_back(QueuedRead { read, enqueued: Instant::now() });
+                        receipt.accepted += 1;
+                        receipt.dropped += 1;
+                        admitted += 1;
+                    }
+                    BackpressurePolicy::Block => {
+                        full = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.settle_receipt(receipt, global);
+        if full {
+            EnqueueOutcome::Full { receipt, admitted }
+        } else {
+            EnqueueOutcome::Done(receipt)
+        }
+    }
+
+    /// Books a resolved receipt into session + global metrics, records
+    /// backpressure anomalies, and refreshes the idle clock. Shared by the
+    /// blocking and non-blocking enqueue paths so their accounting cannot
+    /// drift.
+    fn settle_receipt(&self, receipt: IngestReceipt, global: &GlobalMetrics) {
         self.metrics.ingested.add(receipt.accepted);
         self.metrics.dropped.add(receipt.dropped);
         self.metrics.rejected.add(receipt.rejected);
@@ -215,7 +308,58 @@ impl SessionShared {
         if receipt.accepted > 0 {
             self.touch();
         }
-        receipt
+    }
+
+    /// Arms a one-shot callback fired the next time queue space frees
+    /// (`take_batch`) or the session closes. If the session is already
+    /// closed the callback fires immediately — the closed check happens
+    /// under the waiter lock, so a waiter can never be stranded by a
+    /// racing close.
+    ///
+    /// Callers follow an arm-then-retry protocol (arm, then attempt one
+    /// more `try_enqueue`), so a drain that lands between their first
+    /// failed attempt and the arm is never lost; spurious firings are
+    /// harmless.
+    pub(crate) fn register_drain_waiter(&self, waiter: Box<dyn Fn() + Send>) {
+        let mut waiters = self.drain_waiters.lock().expect("drain waiters lock");
+        if self.is_closed() {
+            drop(waiters);
+            waiter();
+            return;
+        }
+        waiters.push(waiter);
+    }
+
+    /// Fires (and consumes) every armed drain waiter.
+    fn fire_drain_waiters(&self) {
+        let waiters = {
+            let mut w = self.drain_waiters.lock().expect("drain waiters lock");
+            std::mem::take(&mut *w)
+        };
+        for waiter in waiters {
+            waiter();
+        }
+    }
+
+    /// Counts reads a parked connection abandoned (closed mid-park with a
+    /// stash outstanding). They never entered the queue, so — like a
+    /// wire-validation refusal — they count as rejected at the ingest
+    /// boundary, with `parked_discarded` attributing why.
+    pub(crate) fn note_parked_discarded(&self, n: u64, global: &GlobalMetrics) {
+        if n == 0 {
+            return;
+        }
+        self.metrics.rejected.add(n);
+        global.rejected.add(n);
+        global.parked_discarded.add(n);
+        if let Some(rec) = global.trace.as_deref() {
+            rec.record_anomaly(
+                session_id(self.epc),
+                Stage::IngestReject,
+                n as f64,
+                self.queue_depth() as f64,
+            );
+        }
     }
 
     fn enqueue_one(
@@ -264,6 +408,7 @@ impl SessionShared {
         drop(q);
         if !batch.is_empty() {
             self.space.notify_all();
+            self.fire_drain_waiters();
         }
         batch
     }
@@ -437,6 +582,10 @@ impl SessionShared {
             global.dropped.add(discarded);
         }
         self.space.notify_all();
+        // `closed` is already set, so a waiter arming concurrently either
+        // lands in the vector before this take (and fires here) or sees
+        // the flag and fires immediately — never stranded.
+        self.fire_drain_waiters();
         self.broadcast(SessionEvent::Closed { epc: self.epc, reason });
     }
 

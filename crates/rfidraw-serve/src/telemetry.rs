@@ -26,6 +26,22 @@
 //! once in the conservation sums, and `invalid` explains *why* some of
 //! them produced nothing.
 //!
+//! The reactor front end's `Block` parking adds one more attribution
+//! layer. A read a parked connection stashed is counted in `parked_reads`
+//! when the stash forms, and leaves the stash exactly one way:
+//!
+//! ```text
+//! parked_reads = readmissions + parked_rejected + parked_discarded
+//!                + currently stashed
+//! ```
+//!
+//! Readmitted reads then count as `ingested` like any other; a
+//! `parked_rejected` read was refused at retry because its session closed
+//! (counted in `rejected` by the session); a `parked_discarded` read lost
+//! its connection mid-park (counted in `rejected` at the boundary, since
+//! it never entered a queue). Stashed reads are counted *nowhere else*
+//! until they resolve, so the two sums above stay exact at every instant.
+//!
 //! [`TrackError`]: rfidraw_core::online::TrackError
 
 use rfidraw_metrics::runtime::{Counter, HistogramSnapshot, LatencyHistogram};
@@ -77,6 +93,15 @@ pub(crate) struct GlobalMetrics {
     pub degraded: Counter,
     /// Window-restricted acquisitions, service-wide.
     pub windowed: Counter,
+    /// Reads stashed by a parked reactor connection (counted once, when
+    /// the stash forms). See the module docs for the conservation law.
+    pub parked_reads: Counter,
+    /// Stashed reads later admitted into a queue after a drain signal.
+    pub readmissions: Counter,
+    /// Stashed reads refused at retry because the session had closed.
+    pub parked_rejected: Counter,
+    /// Stashed reads abandoned because the parked connection closed.
+    pub parked_discarded: Counter,
     /// Sessions ever created.
     pub sessions_opened: Counter,
     /// Sessions evicted by the idle timeout.
@@ -111,6 +136,10 @@ impl GlobalMetrics {
             invalid: Counter::new(),
             degraded: Counter::new(),
             windowed: Counter::new(),
+            parked_reads: Counter::new(),
+            readmissions: Counter::new(),
+            parked_rejected: Counter::new(),
+            parked_discarded: Counter::new(),
             sessions_opened: Counter::new(),
             sessions_evicted: Counter::new(),
             sessions_closed: Counter::new(),
@@ -214,6 +243,15 @@ pub struct NetTelemetry {
     pub bytes_in: u64,
     /// Payload bytes sent.
     pub bytes_out: u64,
+    /// Connections currently parked (read interest dropped under `Block`
+    /// backpressure, waiting for their session to drain). A gauge: returns
+    /// to 0 whenever no queue is full.
+    pub connections_parked: u64,
+    /// Reactor wakeup-pipe firings (drain signals, injected connections,
+    /// shutdown pokes).
+    pub wakeups: u64,
+    /// Poller reregister failures; each one force-closed its connection.
+    pub reregister_failures: u64,
 }
 
 impl NetTelemetry {
@@ -232,6 +270,9 @@ impl NetTelemetry {
         self.midframe_disconnects += s.midframe_disconnects.load(Relaxed);
         self.bytes_in += s.bytes_in.load(Relaxed);
         self.bytes_out += s.bytes_out.load(Relaxed);
+        self.connections_parked += s.parked.load(Relaxed);
+        self.wakeups += s.wakeups.load(Relaxed);
+        self.reregister_failures += s.reregister_failures.load(Relaxed);
     }
 }
 
@@ -267,6 +308,16 @@ pub struct TelemetryReport {
     /// Window-restricted acquisitions, service-wide (the sum of every
     /// session's `windowed_evals`).
     pub windowed_evals: u64,
+    /// Reads stashed by parked reactor connections (`Block` backpressure).
+    /// Conservation: `parked_reads = readmissions + parked_rejected +
+    /// parked_discarded + currently stashed` (see the module docs).
+    pub parked_reads: u64,
+    /// Stashed reads later admitted after a drain signal.
+    pub readmissions: u64,
+    /// Stashed reads refused at retry because the session had closed.
+    pub parked_rejected: u64,
+    /// Stashed reads abandoned because the parked connection closed.
+    pub parked_discarded: u64,
     /// Vote-table cache hits: tracker builds that found their coarse or
     /// fine table already shared (0 when no cache is configured).
     pub table_cache_hits: u64,
@@ -346,6 +397,16 @@ impl TelemetryReport {
             self.net.frame_errors,
             self.net.midframe_disconnects,
         ));
+        out.push_str(&format!(
+            "parking:  {} conns parked now, {} reads stashed, {} readmitted, \
+             {} rejected at retry, {} discarded, {} wakeups\n",
+            self.net.connections_parked,
+            self.parked_reads,
+            self.readmissions,
+            self.parked_rejected,
+            self.parked_discarded,
+            self.net.wakeups,
+        ));
         out.push_str(&format!("latency:  {}\n", self.latency.summary()));
         out.push_str(&format!("queue:    {}\n", self.queue_wait.summary()));
         out.push_str(&format!("compute:  {}\n", self.compute.summary()));
@@ -393,6 +454,10 @@ impl TelemetryReport {
         p.counter("rfidraw_reads_invalid_total", "Reads refused as hostile or inconsistent.", &[], self.reads_invalid);
         p.counter("rfidraw_degraded_total", "Missing-pair-set changes (antenna dropout or re-admission).", &[], self.degraded_events);
         p.counter("rfidraw_windowed_evals_total", "Window-restricted acquisitions.", &[], self.windowed_evals);
+        p.counter("rfidraw_parked_reads_total", "Reads stashed by parked reactor connections.", &[], self.parked_reads);
+        p.counter("rfidraw_readmissions_total", "Stashed reads admitted after a drain signal.", &[], self.readmissions);
+        p.counter("rfidraw_parked_rejected_total", "Stashed reads refused at retry (session closed).", &[], self.parked_rejected);
+        p.counter("rfidraw_parked_discarded_total", "Stashed reads abandoned (connection closed mid-park).", &[], self.parked_discarded);
         p.counter("rfidraw_table_cache_hits_total", "Vote-table cache hits.", &[], self.table_cache_hits);
         p.counter("rfidraw_table_cache_misses_total", "Vote-table cache misses.", &[], self.table_cache_misses);
         p.counter("rfidraw_table_cache_evictions_total", "Shared-table entries evicted to honor the cache byte budget.", &[], self.table_cache_evictions);
@@ -409,6 +474,9 @@ impl TelemetryReport {
         p.counter("rfidraw_net_midframe_disconnects_total", "Connections lost mid-frame.", &[], self.net.midframe_disconnects);
         p.counter("rfidraw_net_bytes_in_total", "Payload bytes received.", &[], self.net.bytes_in);
         p.counter("rfidraw_net_bytes_out_total", "Payload bytes sent.", &[], self.net.bytes_out);
+        p.gauge("rfidraw_net_parked_connections", "Connections currently parked under Block backpressure.", &[], self.net.connections_parked as f64);
+        p.counter("rfidraw_net_wakeups_total", "Reactor wakeup-pipe firings.", &[], self.net.wakeups);
+        p.counter("rfidraw_net_reregister_failures_total", "Poller reregister failures (each closed its connection).", &[], self.net.reregister_failures);
         for sh in &self.shards {
             let shard = sh.shard.to_string();
             let labels: [(&str, &str); 1] = [("shard", shard.as_str())];
@@ -481,6 +549,10 @@ mod tests {
             reads_invalid: 2,
             degraded_events: 1,
             windowed_evals: 4,
+            parked_reads: 16,
+            readmissions: 13,
+            parked_rejected: 2,
+            parked_discarded: 1,
             table_cache_hits: 2,
             table_cache_misses: 2,
             table_cache_bytes: 4096,
@@ -505,6 +577,9 @@ mod tests {
                 midframe_disconnects: 1,
                 bytes_in: 40_000,
                 bytes_out: 52_000,
+                connections_parked: 1,
+                wakeups: 14,
+                reregister_failures: 0,
             },
             shards: vec![
                 ShardTelemetry {
@@ -563,6 +638,9 @@ mod tests {
         assert!(text.contains("9 conns accepted"));
         assert!(text.contains("50 json + 70 binary frames in"));
         assert!(text.contains("12 partial resumes"));
+        assert!(text.contains("1 conns parked now"));
+        assert!(text.contains("16 reads stashed, 13 readmitted"));
+        assert!(text.contains("14 wakeups"));
         assert!(text.contains("shard 0"));
         assert!(text.contains("60 drained over 8 visits"));
     }
@@ -587,6 +665,13 @@ mod tests {
         assert!(text.contains("rfidraw_net_frames_in_binary_total 70"));
         assert!(text.contains("rfidraw_net_partial_frame_resumes_total 12"));
         assert!(text.contains("rfidraw_net_frame_errors_total 2"));
+        assert!(text.contains("rfidraw_parked_reads_total 16"));
+        assert!(text.contains("rfidraw_readmissions_total 13"));
+        assert!(text.contains("rfidraw_parked_rejected_total 2"));
+        assert!(text.contains("rfidraw_parked_discarded_total 1"));
+        assert!(text.contains("rfidraw_net_parked_connections 1"));
+        assert!(text.contains("rfidraw_net_wakeups_total 14"));
+        assert!(text.contains("rfidraw_net_reregister_failures_total 0"));
         assert!(text.contains("rfidraw_shard_reads_drained_total{shard=\"0\"} 60"));
         assert!(text.contains("rfidraw_shard_sessions{shard=\"1\"} 0"));
         assert!(text.contains("rfidraw_session_windowed_evals_total{epc="));

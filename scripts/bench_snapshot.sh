@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the kernel benches and writes a machine-readable snapshot to
-# BENCH_07.json: median ns/iter per kernel plus derived throughput numbers
+# BENCH_08.json: median ns/iter per kernel plus derived throughput numbers
 # (reads/sec through the serving layer up to 10k sessions, binary vs JSON
-# wire framing, windowed vs full-grid speedup, f32 vs f64 engine speedup).
+# wire framing, healthy throughput alongside a parked Block connection,
+# multi- vs single-reactor accept, windowed vs full-grid speedup, f32 vs
+# f64 engine speedup).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -14,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_07.json}"
+OUT="${1:-BENCH_08.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -36,7 +38,7 @@ awk '
     }
     END {
         printf "{\n"
-        printf "  \"snapshot\": \"BENCH_07\",\n"
+        printf "  \"snapshot\": \"BENCH_08\",\n"
         printf "  \"unit\": \"ns_per_iter_median\",\n"
         printf "  \"kernels\": {\n"
         for (i = 0; i < n; i++) {
@@ -95,6 +97,25 @@ awk '
             sep = ",\n"
             printf "%s    \"wire_binary_reads_per_sec_64_sessions\": %.0f", sep, \
                 4096 * 1e9 / medians["serve_wire_binary_4096_reads_64_sessions"]
+        }
+        # Healthy-session throughput while one Block connection sits
+        # parked with a stash (the reactor-stall regression as a number:
+        # before parking this bench deadlocked).
+        if ("serve_block_one_slow_session_256_reads" in medians) {
+            printf "%s    \"serve_block_healthy_reads_per_sec\": %.0f", sep, \
+                256 * 1e9 / medians["serve_block_one_slow_session_256_reads"]
+            sep = ",\n"
+        }
+        # Multi-reactor accept: four reactors fed round-robin vs the
+        # classic single reactor (CI gates >= 1.3x on >= 4 cores).
+        if ("serve_reactor_ingest_4096_reads_1024_sessions_r1" in medians && \
+            "serve_reactor_ingest_4096_reads_1024_sessions_r4" in medians) {
+            printf "%s    \"multi_reactor_vs_single_speedup_1024_sessions\": %.2f", sep, \
+                medians["serve_reactor_ingest_4096_reads_1024_sessions_r1"] / \
+                medians["serve_reactor_ingest_4096_reads_1024_sessions_r4"]
+            sep = ",\n"
+            printf "%s    \"serve_reactor_reads_per_sec_1024_sessions_r4\": %.0f", sep, \
+                4096 * 1e9 / medians["serve_reactor_ingest_4096_reads_1024_sessions_r4"]
         }
         if (sep != "") printf "\n"
         printf "  }\n"

@@ -128,6 +128,53 @@ cargo test --release --offline -q -p rfidraw-serve --test reactor_service
 cargo test --release --offline -q -p rfidraw-serve --test reactor_service \
     mixed_protocol_sessions_are_equivalent_and_conserve
 
+echo "== tier 2: backpressure parking =="
+# The reactor-stall regression and the parking lifecycle (DESIGN.md §13):
+# a parked Block connection must not stall other connections, re-admission
+# must preserve order bit-for-bit, and mid-park teardown (peer or session)
+# must leave the parked_reads = readmissions + parked_rejected +
+# parked_discarded books exact. The stall test is also run by name so a
+# filter change can never silently drop the headline regression.
+cargo test --release --offline -q -p rfidraw-serve --test backpressure_parking
+cargo test --release --offline -q -p rfidraw-serve --test backpressure_parking \
+    blocked_session_does_not_stall_other_connections
+
+echo "== perf sanity: multi-reactor accept scaling =="
+# Four reactors fed round-robin by an accept thread versus the classic
+# single reactor, 1024 sessions of pipelined binary ingest over four
+# producer connections. The ratio is always computed and printed; the
+# >= 1.3x gate is only enforced when the machine has at least 4 cores —
+# on fewer cores the reactor threads time-slice one another and the
+# ratio measures the scheduler, not the design.
+cores=$(nproc 2>/dev/null || echo 1)
+mr_out=$(cargo bench --offline --bench kernels -- serve_reactor_ingest 2>/dev/null | grep ' median ')
+echo "$mr_out"
+echo "$mr_out" | awk -v cores="$cores" '
+    function to_ns(value, unit) {
+        if (unit == "ns") return value
+        if (unit == "µs" || unit == "us") return value * 1e3
+        if (unit == "ms") return value * 1e6
+        if (unit == "s")  return value * 1e9
+        return -1
+    }
+    $2 == "median" { m[$1] = to_ns($3, $4) }
+    END {
+        r1 = "serve_reactor_ingest_4096_reads_1024_sessions_r1"
+        r4 = "serve_reactor_ingest_4096_reads_1024_sessions_r4"
+        if (!(r1 in m) || !(r4 in m)) {
+            print "multi-reactor sanity: expected benches missing from output" > "/dev/stderr"
+            exit 1
+        }
+        ratio = m[r1] / m[r4]
+        if (cores >= 4) {
+            printf "multi-reactor sanity: r4 vs r1 speedup %.2fx on %d cores (must be >= 1.30)\n", ratio, cores
+            exit (ratio >= 1.30) ? 0 : 1
+        }
+        printf "multi-reactor sanity: r4 vs r1 speedup %.2fx on %d cores (gate needs >= 4 cores; recorded only)\n", ratio, cores
+        exit 0
+    }
+'
+
 echo "== tier 2: observability (--features trace) =="
 # The same serving-layer suite with the core hot-path emit sites compiled
 # in: the trace_observability tests assert positions stay bit-identical
