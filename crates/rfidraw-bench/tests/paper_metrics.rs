@@ -3,13 +3,13 @@
 //!
 //! Re-runs the fig. 11 trajectory-error CDF and the fig. 12
 //! initial-position-error CDF at reduced scale (5 words per scenario on a
-//! 2 cm fine grid — the full pipeline, not a toy), under **both** table
-//! precisions, and fails when:
+//! 2 cm fine grid — the full pipeline, not a toy), under the f64, f32,
+//! and quantized-i16 table precisions, and fails when:
 //!
 //! * the f64 median or p90 of either CDF drifts more than 2% from the
 //!   committed baselines in `results/paper_metrics_baseline.txt`, or
-//! * the f32 median or p90 of either CDF degrades more than 2% versus the
-//!   f64 run of the same scenario.
+//! * the f32 or i16 median or p90 of either CDF degrades more than 2%
+//!   versus the f64 run of the same scenario.
 //!
 //! The pipeline is deterministic per `(word, user, seed)`, so on an
 //! unchanged tree the f64 metrics reproduce the baselines exactly; the 2%
@@ -30,8 +30,14 @@ const USERS: u64 = 5;
 const SEED: u64 = 2014;
 /// Relative drift allowed between an f64 run and its committed baseline.
 const F64_DRIFT: f64 = 0.02;
-/// Relative degradation allowed for f32 versus f64 on the same scenario.
-const F32_DEGRADATION: f64 = 0.02;
+/// Relative degradation allowed for a reduced precision (f32 or the
+/// quantized i16 tables) versus f64 on the same scenario.
+const REDUCED_DEGRADATION: f64 = 0.02;
+/// The reduced precisions gated against the f64 run. i8 is deliberately
+/// absent: at 2⁻⁸ turns per quantum its derived vote-error bound is wide
+/// enough that the paper-accuracy contract is the coarse stage's job, not
+/// this gate's (the engine-level proptests still bound it exactly).
+const REDUCED: [TablePrecision; 2] = [TablePrecision::F32, TablePrecision::I16];
 
 const BASELINE_PATH: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/paper_metrics_baseline.txt");
@@ -102,19 +108,19 @@ fn committed_baselines() -> BTreeMap<(String, String), f64> {
 }
 
 #[test]
-fn fig11_and_fig12_hold_under_both_precisions() {
+fn fig11_and_fig12_hold_under_reduced_precisions() {
     let scenarios = [Scenario::Los, Scenario::Nlos];
-    let runs: Vec<(Scenario, BTreeMap<&'static str, f64>, BTreeMap<&'static str, f64>)> =
-        scenarios
-            .iter()
-            .map(|&s| {
-                (
-                    s,
-                    metrics_for(s, TablePrecision::F64),
-                    metrics_for(s, TablePrecision::F32),
-                )
-            })
-            .collect();
+    type Metrics = BTreeMap<&'static str, f64>;
+    let runs: Vec<(Scenario, Metrics, Vec<(TablePrecision, Metrics)>)> = scenarios
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                metrics_for(s, TablePrecision::F64),
+                REDUCED.iter().map(|&p| (p, metrics_for(s, p))).collect(),
+            )
+        })
+        .collect();
 
     // Maintenance mode: rewrite the committed f64 baselines instead of
     // gating against them.
@@ -133,7 +139,7 @@ fn fig11_and_fig12_hold_under_both_precisions() {
     }
 
     let baselines = committed_baselines();
-    for (scenario, f64_metrics, f32_metrics) in &runs {
+    for (scenario, f64_metrics, reduced_runs) in &runs {
         let key = scenario_key(*scenario);
         for (metric, &measured) in f64_metrics {
             let committed = baselines
@@ -145,13 +151,15 @@ fn fig11_and_fig12_hold_under_both_precisions() {
                  measured {measured:.4} cm vs committed {committed:.4} cm (>2%)"
             );
         }
-        for (metric, &f32_value) in f32_metrics {
-            let f64_value = f64_metrics[metric];
-            assert!(
-                f32_value <= f64_value * (1.0 + F32_DEGRADATION),
-                "{key} {metric}: f32 degraded >2% vs f64: \
-                 {f32_value:.4} cm vs {f64_value:.4} cm"
-            );
+        for (precision, reduced_metrics) in reduced_runs {
+            for (metric, &reduced_value) in reduced_metrics {
+                let f64_value = f64_metrics[metric];
+                assert!(
+                    reduced_value <= f64_value * (1.0 + REDUCED_DEGRADATION),
+                    "{key} {metric}: {precision:?} degraded >2% vs f64: \
+                     {reduced_value:.4} cm vs {f64_value:.4} cm"
+                );
+            }
         }
     }
 }

@@ -40,8 +40,19 @@
 //! rebuilds the same bits — reported as [`AdoptOutcome::Rebuild`] so
 //! callers can see churn explicitly instead of inferring it from stats
 //! deltas.
+//!
+//! Eviction is **precision-aware**: before evicting a whole entry (losing
+//! a deployment's geometry at every width), the cache first drops the
+//! f64 slot of entries that are *double-resident* — charged for f64 *and*
+//! a cheaper precision — least-recently-adopted first. The cheap table
+//! keeps serving that deployment; only the 2–8× larger reference copy is
+//! sacrificed. Slot drops and whole-entry evictions are counted
+//! separately ([`TableCacheStats::slot_drops`] vs
+//! [`TableCacheStats::evictions`]), and a later f64 adopter of a
+//! slot-dropped key reports [`AdoptOutcome::Rebuild`], exactly like a
+//! re-adoption after a whole-entry eviction.
 
-use crate::engine::{TablePrecision, VoteEngine};
+use crate::engine::{QuantTable, TablePrecision, VoteEngine};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,8 +145,16 @@ pub struct TableCacheStats {
     /// Never exceeds the charged bytes, which never exceed
     /// [`CacheConfig::max_resident_bytes`].
     pub resident_bytes: u64,
-    /// Entries evicted to keep charged bytes within the budget.
+    /// Built resident bytes broken out per precision, indexed in
+    /// [`TablePrecision::ALL`] order (f64, f32, i16, i8). Sums exactly to
+    /// `resident_bytes` — the conservation law telemetry asserts.
+    pub resident_bytes_by_precision: [u64; 4],
+    /// Whole entries evicted to keep charged bytes within the budget.
     pub evictions: u64,
+    /// f64 slots dropped from double-resident entries under byte pressure
+    /// while the entry (and its cheaper table) stayed resident — the
+    /// gentler first stage of eviction.
+    pub slot_drops: u64,
 }
 
 /// One cached geometry: a slot per precision plus bookkeeping.
@@ -143,18 +162,31 @@ pub struct TableCacheStats {
 struct Entry {
     slot_f64: Arc<OnceLock<Vec<f64>>>,
     slot_f32: Arc<OnceLock<Vec<f32>>>,
-    /// Bytes charged against the budget for each precision (0 = no
-    /// adopter has requested that width yet, so it can never be built
-    /// through this entry's shared slot by a cache-managed engine).
-    charged_f64: u64,
-    charged_f32: u64,
+    slot_i16: Arc<OnceLock<QuantTable<i16>>>,
+    slot_i8: Arc<OnceLock<QuantTable<i8>>>,
+    /// Bytes charged against the budget per precision, indexed in
+    /// [`TablePrecision::ALL`] order (0 = no adopter has requested that
+    /// width yet, so it can never be built through this entry's shared
+    /// slot by a cache-managed engine).
+    charged: [u64; 4],
+    /// The f64 slot was dropped under byte pressure while the entry
+    /// stayed resident; lets a later f64 adopter report
+    /// [`AdoptOutcome::Rebuild`].
+    dropped_f64: bool,
     /// Adoption clock of the most recent adopter — the LRU criterion.
     last_touch: u64,
 }
 
 impl Entry {
     fn charged(&self) -> u64 {
-        self.charged_f64 + self.charged_f32
+        self.charged.iter().sum()
+    }
+
+    /// Charged for f64 *and* at least one cheaper precision — the
+    /// slot-drop candidates of precision-aware eviction.
+    fn double_resident(&self) -> bool {
+        let f64_charge = self.charged[TablePrecision::F64.index()];
+        f64_charge > 0 && self.charged() > f64_charge
     }
 }
 
@@ -182,6 +214,7 @@ pub struct TableCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    slot_drops: AtomicU64,
 }
 
 impl Default for TableCache {
@@ -204,6 +237,7 @@ impl TableCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            slot_drops: AtomicU64::new(0),
         }
     }
 
@@ -237,13 +271,7 @@ impl TableCache {
 
         if st.slots.contains_key(&key) {
             // Charge this precision's bytes on its first adopter.
-            let already_charged = {
-                let e = &st.slots[&key];
-                match precision {
-                    TablePrecision::F64 => e.charged_f64 > 0,
-                    TablePrecision::F32 => e.charged_f32 > 0,
-                }
-            };
+            let already_charged = st.slots[&key].charged[precision.index()] > 0;
             if !already_charged {
                 if !self.make_room(&mut st, &key, need) {
                     // Can't charge the extra width: the engine stays
@@ -252,18 +280,25 @@ impl TableCache {
                     return AdoptOutcome::Miss;
                 }
                 let e = st.slots.get_mut(&key).expect("entry survived make_room");
-                match precision {
-                    TablePrecision::F64 => e.charged_f64 = need,
-                    TablePrecision::F32 => e.charged_f32 = need,
-                }
+                e.charged[precision.index()] = need;
                 st.charged_bytes += need;
             }
             let e = st.slots.get_mut(&key).expect("entry present");
             e.last_touch = clock;
+            // Re-adopting the f64 width of a slot-dropped entry rebuilds
+            // a table the cache used to hold, just like re-adopting after
+            // a whole-entry eviction.
+            let rebuilds_dropped_slot =
+                precision == TablePrecision::F64 && !already_charged && e.dropped_f64;
+            if rebuilds_dropped_slot {
+                e.dropped_f64 = false;
+            }
             engine.set_table_slot(Arc::clone(&e.slot_f64));
             engine.set_table_slot_f32(Arc::clone(&e.slot_f32));
+            engine.set_table_slot_i16(Arc::clone(&e.slot_i16));
+            engine.set_table_slot_i8(Arc::clone(&e.slot_i8));
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return AdoptOutcome::Hit;
+            return if rebuilds_dropped_slot { AdoptOutcome::Rebuild } else { AdoptOutcome::Hit };
         }
 
         let was_evicted = st.evicted.contains(&key);
@@ -273,11 +308,15 @@ impl TableCache {
             // engine private and the key unregistered.
             return if was_evicted { AdoptOutcome::Rebuild } else { AdoptOutcome::Miss };
         }
+        let mut charged = [0u64; 4];
+        charged[precision.index()] = need;
         let entry = Entry {
             slot_f64: engine.table_slot(),
             slot_f32: engine.table_slot_f32(),
-            charged_f64: if precision == TablePrecision::F64 { need } else { 0 },
-            charged_f32: if precision == TablePrecision::F32 { need } else { 0 },
+            slot_i16: engine.table_slot_i16(),
+            slot_i8: engine.table_slot_i8(),
+            charged,
+            dropped_f64: false,
             last_touch: clock,
         };
         st.charged_bytes += need;
@@ -290,11 +329,41 @@ impl TableCache {
         }
     }
 
-    /// Evicts least-recently-adopted entries (never `keep`) until `need`
-    /// more bytes fit the budget. Returns false if they can never fit.
+    /// Makes `need` more bytes fit the budget, in two stages of rising
+    /// severity — returning false if they can never fit.
+    ///
+    /// Stage 1 drops the f64 slot of double-resident entries (charged for
+    /// f64 *and* a cheaper precision), least-recently-adopted first: the
+    /// deployment keeps serving through its cheap table and only the
+    /// large reference copy is released. Stage 2 evicts whole
+    /// least-recently-adopted entries. Neither stage ever touches `keep`
+    /// (the key being adopted; when the adoption *is* an f64 charge, that
+    /// key's f64 charge is still zero, so it could not be a stage-1
+    /// candidate anyway).
     fn make_room(&self, st: &mut CacheState, keep: &TableKey, need: u64) -> bool {
         if need > self.config.max_resident_bytes {
             return false;
+        }
+        while st.charged_bytes.saturating_add(need) > self.config.max_resident_bytes {
+            let victim = st
+                .slots
+                .iter()
+                .filter(|(k, e)| *k != keep && e.double_resident())
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = st.slots.get_mut(&k).expect("victim present");
+                    st.charged_bytes -= e.charged[TablePrecision::F64.index()];
+                    e.charged[TablePrecision::F64.index()] = 0;
+                    // A fresh slot: sharers keep the old table alive
+                    // through their own Arcs; the cache forgets it.
+                    e.slot_f64 = Arc::new(OnceLock::new());
+                    e.dropped_f64 = true;
+                    self.slot_drops.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
         }
         while st.charged_bytes.saturating_add(need) > self.config.max_resident_bytes {
             let victim = st
@@ -321,15 +390,27 @@ impl TableCache {
     pub fn stats(&self) -> TableCacheStats {
         let st = self.state.lock().expect("table cache poisoned");
         let mut built = 0u64;
-        let mut bytes = 0u64;
+        let mut by_precision = [0u64; 4];
         for entry in st.slots.values() {
             if let Some(table) = entry.slot_f64.get() {
                 built += 1;
-                bytes += (table.len() * std::mem::size_of::<f64>()) as u64;
+                by_precision[TablePrecision::F64.index()] +=
+                    (table.len() * std::mem::size_of::<f64>()) as u64;
             }
             if let Some(table) = entry.slot_f32.get() {
                 built += 1;
-                bytes += (table.len() * std::mem::size_of::<f32>()) as u64;
+                by_precision[TablePrecision::F32.index()] +=
+                    (table.len() * std::mem::size_of::<f32>()) as u64;
+            }
+            if let Some(table) = entry.slot_i16.get() {
+                built += 1;
+                by_precision[TablePrecision::I16.index()] +=
+                    (table.data.len() * std::mem::size_of::<i16>()) as u64;
+            }
+            if let Some(table) = entry.slot_i8.get() {
+                built += 1;
+                by_precision[TablePrecision::I8.index()] +=
+                    (table.data.len() * std::mem::size_of::<i8>()) as u64;
             }
         }
         TableCacheStats {
@@ -337,8 +418,10 @@ impl TableCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: st.slots.len() as u64,
             built_tables: built,
-            resident_bytes: bytes,
+            resident_bytes: by_precision.iter().sum(),
+            resident_bytes_by_precision: by_precision,
             evictions: self.evictions.load(Ordering::Relaxed),
+            slot_drops: self.slot_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -528,6 +611,87 @@ mod tests {
         let mut a3 = engine(2.0, 0.05);
         assert_eq!(cache.adopt(&mut a3), AdoptOutcome::Hit);
         assert_eq!(a2.build_table().as_ptr(), a3.build_table().as_ptr());
+    }
+
+    #[test]
+    fn quantized_precisions_share_one_entry_and_break_out_bytes() {
+        let cache = TableCache::new();
+        let mut a = engine(2.0, 0.05);
+        let mut b16 = engine(2.0, 0.05);
+        b16.set_precision(TablePrecision::I16);
+        let mut c16 = engine(2.0, 0.05);
+        c16.set_precision(TablePrecision::I16);
+        let mut d8 = engine(2.0, 0.05);
+        d8.set_precision(TablePrecision::I8);
+        assert_eq!(cache.adopt(&mut a), AdoptOutcome::Miss);
+        assert_eq!(cache.adopt(&mut b16), AdoptOutcome::Hit, "precision is not in the key");
+        assert_eq!(cache.adopt(&mut c16), AdoptOutcome::Hit);
+        assert_eq!(cache.adopt(&mut d8), AdoptOutcome::Hit);
+        a.build_table();
+        b16.prebuild();
+        d8.prebuild();
+        // b and c share one physical i16 table.
+        assert_eq!(b16.build_table_i16().data.as_ptr(), c16.build_table_i16().data.as_ptr());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.built_tables, 3);
+        let f64_bytes = (a.build_table().len() * std::mem::size_of::<f64>()) as u64;
+        assert_eq!(
+            stats.resident_bytes_by_precision,
+            [f64_bytes, 0, f64_bytes / 4, f64_bytes / 8]
+        );
+        // Conservation: the per-precision breakdown sums to the aggregate.
+        assert_eq!(stats.resident_bytes, stats.resident_bytes_by_precision.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn byte_pressure_drops_f64_slot_before_evicting_a_deployment() {
+        // Budget fits exactly one f64 table plus its i16 sibling. Key A
+        // becomes double-resident; adopting key B at f64 must then drop
+        // A's f64 *slot* (keeping A's i16 table serving) instead of
+        // evicting either deployment outright.
+        let f64_bytes = engine(2.0, 0.05).table_bytes();
+        let i16_bytes = f64_bytes / 4;
+        let cache =
+            TableCache::with_config(CacheConfig { max_resident_bytes: f64_bytes + i16_bytes });
+
+        let mut a64 = engine(2.0, 0.05);
+        assert_eq!(cache.adopt(&mut a64), AdoptOutcome::Miss);
+        a64.build_table();
+        let mut a16 = engine(2.0, 0.05);
+        a16.set_precision(TablePrecision::I16);
+        assert_eq!(cache.adopt(&mut a16), AdoptOutcome::Hit);
+        a16.prebuild();
+
+        let mut b64 = engine(3.0, 0.05);
+        assert_eq!(cache.adopt(&mut b64), AdoptOutcome::Miss);
+        b64.build_table();
+        let stats = cache.stats();
+        assert_eq!(stats.slot_drops, 1, "A's f64 slot dropped");
+        assert_eq!(stats.evictions, 0, "no deployment lost entirely");
+        assert_eq!(stats.entries, 2, "both keys still resident");
+        assert_eq!(
+            stats.resident_bytes_by_precision,
+            [f64_bytes, 0, i16_bytes, 0],
+            "B's f64 plus A's surviving i16"
+        );
+        assert!(stats.resident_bytes <= cache.config().max_resident_bytes);
+        // The engine that shared the dropped slot keeps its table alive.
+        assert!(a64.is_table_built());
+
+        // Re-adopting A at f64 is a Rebuild of the dropped slot; room is
+        // made by stage-2 eviction of B this time (nothing is
+        // double-resident anymore except A itself, which is excluded).
+        let mut a64_again = engine(2.0, 0.05);
+        assert_eq!(cache.adopt(&mut a64_again), AdoptOutcome::Rebuild);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.slot_drops, 1);
+        // Fresh slot: the rebuild produces the same bits at a new address.
+        let original: Vec<u64> = a64.build_table().iter().map(|v| v.to_bits()).collect();
+        let rebuilt: Vec<u64> = a64_again.build_table().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(original, rebuilt);
+        assert_ne!(a64.build_table().as_ptr(), a64_again.build_table().as_ptr());
     }
 
     #[test]

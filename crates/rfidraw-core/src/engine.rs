@@ -51,6 +51,39 @@
 //! actual table magnitudes (see DESIGN.md §11), and the test suites assert
 //! both the bound and argmax-cell agreement.
 //!
+//! ## Quantized tables
+//!
+//! Below f32 sit two fixed-point precisions. `I16` and `I8` store each
+//! entry's *fractional* turns as two's-complement fixed point at the full
+//! type width (2¹⁶ or 2⁸ quanta per turn, the per-table scale recorded in
+//! [`QuantTable::scale_bits`]): integer turns wrap away at quantization,
+//! and the kernel's wrapping subtraction `q_t − q_m` *is* the
+//! modulo-1-turn fold — no rounding, no libm, no lobe search. The
+//! difference squares and accumulates per-lane in a fixed order: `I8`
+//! in plain i32 (exact and associative), `I16` in f32 — the widened
+//! difference fits 16 bits, so `d as f32` is exact, and squaring an
+//! i16-range value into an f32 accumulator costs one bounded rounding
+//! per term instead of the i64 widening chain whose extra ops and
+//! 8-byte accumulator traffic erased the bandwidth win over f32. Both
+//! run identical per-cell instruction sequences in scalar and SIMD
+//! form, so quantized maps are bit-identical across every
+//! [`Parallelism`] setting, tile boundary, and SIMD width. The finished
+//! accumulator widens to f64 and scales by the exact power of two
+//! `2⁻²ᴮ` at write-out. What quantization costs is a *derived*,
+//! per-measurement-set vote-error bound
+//! ([`VoteEngine::vote_error_bound`]): one quantum (`2⁻ᴮ` turns) per
+//! measurement, plus (for I16) the f32 accumulation series, plus the
+//! f64 reference path's own rounding, with the same argmax-identity
+//! theorem as f32 — the argmax cell provably matches the f64 reference
+//! whenever the f64 best/runner-up gap exceeds twice the bound.
+//!
+//! The inner sweeps of the f32 and quantized kernels run through
+//! [`rfidraw_simd`]: explicit AVX2/SSE4.1 kernels selected at runtime,
+//! each bit-identical to its scalar form (see that crate's docs for the
+//! argument), so the wide path no longer depends on the autovectorizer's
+//! mood on the baseline target. [`VoteEngine::set_simd_mode`] can pin the
+//! scalar kernel; results never change, only wall-clock.
+//!
 //! The table slots are `Arc`s so engines over the same
 //! (deployment, plane, grid) can share physical tables — see
 //! [`crate::cache::TableCache`].
@@ -61,8 +94,11 @@ use crate::geom::{Plane, Point3};
 use crate::grid::{Grid2, GridWindow, VoteMap};
 #[cfg(feature = "trace")]
 use crate::obs::{self, SharedSink, Stage};
-use crate::phase::{frac_dist_to_integer, frac_dist_to_integer_f32};
+use crate::phase::{
+    frac_dist_to_integer, frac_dist_to_integer_f32, quantize_turns_i16, quantize_turns_i8,
+};
 use crate::vote::PairMeasurement;
+use rfidraw_simd::SimdMode;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -73,20 +109,41 @@ use std::sync::{Arc, OnceLock};
 /// in measurement order — so the value is pure tuning.
 const CELL_TILE: usize = 4096;
 
-/// Which floating-point width backs an engine's distance-difference table.
+/// Cells per accumulator tile in the i16 sweep: f32 accumulators, same
+/// 16 KiB L1 footprint as the f32 tile. Tiling never reorders a cell's
+/// terms, so the value is pure tuning.
+const CELL_TILE_I16: usize = 4096;
+
+/// Cells per accumulator tile in the i8 sweep: i32 accumulators, so the
+/// f32 tile count keeps the 16 KiB footprint.
+const CELL_TILE_I8: usize = 4096;
+
+/// Which numeric representation backs an engine's distance-difference
+/// table.
 ///
 /// `F64` is the bit-exact reference; `F32` halves table bytes and memory
 /// bandwidth with a rigorously bounded vote error (see
-/// [`VoteEngine::f32_vote_error_bound`]). The precision is part of the
-/// engine configuration, not the cache key: a [`crate::cache::TableCache`]
-/// entry carries one slot per precision, so mixed fleets share geometry
-/// without duplicating keys.
+/// [`VoteEngine::f32_vote_error_bound`]); `I16` and `I8` quantize the
+/// fractional turns to fixed point for 4× / 8× compression over f64, with
+/// their own derived bound ([`VoteEngine::vote_error_bound`]) and exact
+/// integer accumulation (see the module docs). The precision is part of
+/// the engine configuration, not the cache key: a
+/// [`crate::cache::TableCache`] entry carries one slot per precision, so
+/// mixed fleets share geometry without duplicating keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TablePrecision {
     /// Double-precision tables — bit-identical to [`VoteMap::evaluate`].
     F64,
     /// Single-precision tables — half the bytes, bounded vote error.
     F32,
+    /// 16-bit fixed-point tables (2¹⁶ quanta per turn) — a quarter of the
+    /// f64 bytes, exact integer accumulation, bound of one `2⁻¹⁶`-turn
+    /// quantum per measurement.
+    I16,
+    /// 8-bit fixed-point tables (2⁸ quanta per turn) — an eighth of the
+    /// f64 bytes; the coarse end of the precision ladder, still with a
+    /// derived bound (`2⁻⁸` turns per measurement).
+    I8,
 }
 
 impl Default for TablePrecision {
@@ -96,13 +153,60 @@ impl Default for TablePrecision {
 }
 
 impl TablePrecision {
+    /// Every precision, in byte-cost order. Telemetry and the cache walk
+    /// this to break accounting out per precision.
+    pub const ALL: [TablePrecision; 4] =
+        [TablePrecision::F64, TablePrecision::F32, TablePrecision::I16, TablePrecision::I8];
+
     /// Bytes per table entry at this precision.
     pub fn entry_bytes(self) -> u64 {
         match self {
             TablePrecision::F64 => std::mem::size_of::<f64>() as u64,
             TablePrecision::F32 => std::mem::size_of::<f32>() as u64,
+            TablePrecision::I16 => std::mem::size_of::<i16>() as u64,
+            TablePrecision::I8 => std::mem::size_of::<i8>() as u64,
         }
     }
+
+    /// The lower-case label telemetry uses for this precision (the
+    /// `precision="…"` value on per-precision Prometheus series).
+    pub fn label(self) -> &'static str {
+        match self {
+            TablePrecision::F64 => "f64",
+            TablePrecision::F32 => "f32",
+            TablePrecision::I16 => "i16",
+            TablePrecision::I8 => "i8",
+        }
+    }
+
+    /// Dense index into per-precision arrays (cache slots, byte
+    /// breakdowns), in [`TablePrecision::ALL`] order.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            TablePrecision::F64 => 0,
+            TablePrecision::F32 => 1,
+            TablePrecision::I16 => 2,
+            TablePrecision::I8 => 3,
+        }
+    }
+}
+
+/// A built fixed-point table: the pair-major quantized entries plus the
+/// scale the builder chose for them.
+///
+/// The scale is *per table*, recorded at build time: the kernels read it
+/// back for the exact `2⁻²ᴮ` write-out factor rather than hard-coding a
+/// width. The builder always picks the full type width (16 or 8 bits per
+/// turn) because that is the unique scale at which two's-complement
+/// wrap-around performs the modulo-1-turn fold for free — any narrower
+/// scale would alias lobes — so the field documents and enforces the
+/// choice rather than searching over it.
+#[derive(Debug)]
+pub(crate) struct QuantTable<T> {
+    /// Quanta per turn, as a power of two: `2^scale_bits`.
+    pub(crate) scale_bits: u32,
+    /// Pair-major quantized entries, `data[k · n_cells + c]`.
+    pub(crate) data: Vec<T>,
 }
 
 /// A reusable vote-map evaluator for one (deployment, plane, grid) triple.
@@ -132,8 +236,16 @@ pub struct VoteEngine {
     /// independently (an F32-only engine never materializes the f64
     /// table).
     table_f32: Arc<OnceLock<Vec<f32>>>,
+    /// The 16-bit fixed-point sibling: fractional turns at 2¹⁶ quanta per
+    /// turn, integer turns wrapped away (see [`QuantTable`]).
+    table_i16: Arc<OnceLock<QuantTable<i16>>>,
+    /// The 8-bit fixed-point sibling (2⁸ quanta per turn).
+    table_i8: Arc<OnceLock<QuantTable<i8>>>,
     /// Which table `evaluate*` uses. `F64` unless configured otherwise.
     precision: TablePrecision,
+    /// Which accumulation kernels the f32/quantized sweeps may use.
+    /// Results are bit-identical either way; `Auto` unless pinned.
+    simd: SimdMode,
     #[cfg(feature = "trace")]
     sink: Option<SharedSink>,
     #[cfg(feature = "trace")]
@@ -178,7 +290,10 @@ impl VoteEngine {
             parallelism,
             table: Arc::new(OnceLock::new()),
             table_f32: Arc::new(OnceLock::new()),
+            table_i16: Arc::new(OnceLock::new()),
+            table_i8: Arc::new(OnceLock::new()),
             precision: TablePrecision::default(),
+            simd: SimdMode::Auto,
             #[cfg(feature = "trace")]
             sink: None,
             #[cfg(feature = "trace")]
@@ -235,7 +350,22 @@ impl VoteEngine {
             self.precision = precision;
             self.table = Arc::new(OnceLock::new());
             self.table_f32 = Arc::new(OnceLock::new());
+            self.table_i16 = Arc::new(OnceLock::new());
+            self.table_i8 = Arc::new(OnceLock::new());
         }
+    }
+
+    /// Which accumulation kernels the f32/quantized sweeps may use.
+    pub fn simd_mode(&self) -> SimdMode {
+        self.simd
+    }
+
+    /// Pins or unpins the explicit-SIMD kernels. Never changes any result
+    /// — every wide kernel is bit-identical to its scalar form (see
+    /// [`rfidraw_simd`]) — only wall-clock; benches use it to measure the
+    /// explicit-SIMD margin and tests to assert the bit-identity.
+    pub fn set_simd_mode(&mut self, simd: SimdMode) {
+        self.simd = simd;
     }
 
     /// The bytes the active-precision table occupies once built (exactly
@@ -261,6 +391,29 @@ impl VoteEngine {
         match self.precision {
             TablePrecision::F64 => self.table.get().is_some(),
             TablePrecision::F32 => self.table_f32.get().is_some(),
+            TablePrecision::I16 => self.table_i16.get().is_some(),
+            TablePrecision::I8 => self.table_i8.get().is_some(),
+        }
+    }
+
+    /// Builds (once) the active-precision table without evaluating
+    /// anything — what pre-warm paths and benches call so steady-state
+    /// evaluation can be measured (or served) separately from the one-time
+    /// precomputation.
+    pub fn prebuild(&self) {
+        match self.precision {
+            TablePrecision::F64 => {
+                self.build_table();
+            }
+            TablePrecision::F32 => {
+                self.build_table_f32();
+            }
+            TablePrecision::I16 => {
+                self.build_table_i16();
+            }
+            TablePrecision::I8 => {
+                self.build_table_i8();
+            }
         }
     }
 
@@ -288,6 +441,28 @@ impl VoteEngine {
     /// [`VoteEngine::set_table_slot`]).
     pub(crate) fn set_table_slot_f32(&mut self, slot: Arc<OnceLock<Vec<f32>>>) {
         self.table_f32 = slot;
+    }
+
+    /// The engine's i16 table slot (see [`VoteEngine::table_slot`]).
+    pub(crate) fn table_slot_i16(&self) -> Arc<OnceLock<QuantTable<i16>>> {
+        Arc::clone(&self.table_i16)
+    }
+
+    /// The engine's i8 table slot (see [`VoteEngine::table_slot`]).
+    pub(crate) fn table_slot_i8(&self) -> Arc<OnceLock<QuantTable<i8>>> {
+        Arc::clone(&self.table_i8)
+    }
+
+    /// Replaces the engine's i16 table slot with a shared one (see
+    /// [`VoteEngine::set_table_slot`]).
+    pub(crate) fn set_table_slot_i16(&mut self, slot: Arc<OnceLock<QuantTable<i16>>>) {
+        self.table_i16 = slot;
+    }
+
+    /// Replaces the engine's i8 table slot with a shared one (see
+    /// [`VoteEngine::set_table_slot`]).
+    pub(crate) fn set_table_slot_i8(&mut self, slot: Arc<OnceLock<QuantTable<i8>>>) {
+        self.table_i8 = slot;
     }
 
     /// A canonical fingerprint of everything the table depends on: the
@@ -359,6 +534,53 @@ impl VoteEngine {
         })
     }
 
+    /// Builds (once) and returns the 16-bit fixed-point table. Each entry
+    /// quantizes the exact turns to 2¹⁶ quanta per turn with integer turns
+    /// wrapped away ([`quantize_turns_i16`]); neither float table is
+    /// materialized, so an I16-only fleet pays only the quarter-size
+    /// table. The scale is recorded in the returned [`QuantTable`].
+    pub(crate) fn build_table_i16(&self) -> &QuantTable<i16> {
+        self.table_i16.get_or_init(|| {
+            #[cfg(feature = "trace")]
+            let _span =
+                obs::SpanTimer::start(self.sink.as_ref(), self.session, Stage::EngineTable, 0.0);
+            let n_cells = self.grid.len();
+            let mut data = vec![0i16; n_cells * self.pairs.len()];
+            for (column, &(pi, pj)) in data.chunks_mut(n_cells).zip(&self.geom) {
+                self.parallelism.run_row_sharded(column, 1, |first, shard| {
+                    for (i, slot) in shard.iter_mut().enumerate() {
+                        let (ix, iz) = self.grid.unflat(first + i);
+                        let p3 = self.plane.lift(self.grid.point(ix, iz));
+                        *slot = quantize_turns_i16(self.turns_factor * (p3.dist(pi) - p3.dist(pj)));
+                    }
+                });
+            }
+            QuantTable { scale_bits: i16::BITS, data }
+        })
+    }
+
+    /// Builds (once) and returns the 8-bit fixed-point table (2⁸ quanta
+    /// per turn; see [`VoteEngine::build_table_i16`]).
+    pub(crate) fn build_table_i8(&self) -> &QuantTable<i8> {
+        self.table_i8.get_or_init(|| {
+            #[cfg(feature = "trace")]
+            let _span =
+                obs::SpanTimer::start(self.sink.as_ref(), self.session, Stage::EngineTable, 0.0);
+            let n_cells = self.grid.len();
+            let mut data = vec![0i8; n_cells * self.pairs.len()];
+            for (column, &(pi, pj)) in data.chunks_mut(n_cells).zip(&self.geom) {
+                self.parallelism.run_row_sharded(column, 1, |first, shard| {
+                    for (i, slot) in shard.iter_mut().enumerate() {
+                        let (ix, iz) = self.grid.unflat(first + i);
+                        let p3 = self.plane.lift(self.grid.point(ix, iz));
+                        *slot = quantize_turns_i8(self.turns_factor * (p3.dist(pi) - p3.dist(pj)));
+                    }
+                });
+            }
+            QuantTable { scale_bits: i8::BITS, data }
+        })
+    }
+
     /// Maps each measurement to its table column and its measured turns,
     /// through the pair→column index built at construction.
     ///
@@ -385,6 +607,43 @@ impl VoteEngine {
             .collect()
     }
 
+    /// [`VoteEngine::columns`] with the measured turns quantized to the
+    /// i16 table's fixed point, so the sweep is a pure wrapping subtract.
+    /// Also asserts the measurement count stays inside the derivation's
+    /// envelope: the error bound's accumulation series is quadratic in
+    /// `n`, so 2²² is a generous sanity ceiling, not a tight limit.
+    fn columns_i16(&self, measurements: &[PairMeasurement]) -> Vec<(usize, i16)> {
+        assert!(
+            measurements.len() < 1 << 22,
+            "i16 accumulation envelope: at most 2^22 measurements per evaluation"
+        );
+        self.columns(measurements)
+            .into_iter()
+            .map(|(col, measured)| (col, quantize_turns_i16(measured)))
+            .collect()
+    }
+
+    /// The i8 sibling of [`VoteEngine::columns_i16`]. The i32 accumulators
+    /// carry terms ≤ 2¹⁴, so ≤ 2¹⁶ measurements keep every sum below 2³⁰.
+    fn columns_i8(&self, measurements: &[PairMeasurement]) -> Vec<(usize, i8)> {
+        assert!(
+            measurements.len() <= 1 << 16,
+            "i8 accumulation envelope: at most 2^16 measurements per evaluation"
+        );
+        self.columns(measurements)
+            .into_iter()
+            .map(|(col, measured)| (col, quantize_turns_i8(measured)))
+            .collect()
+    }
+
+    /// The exact write-out factor of a quantized sweep: `2⁻²ᴮ`, mapping an
+    /// integer sum of squared quanta back to squared turns. A power of
+    /// two, so the f64 multiply at write-out is exact.
+    fn quant_writeout_scale(scale_bits: u32) -> f64 {
+        let per_turn = (1u64 << scale_bits) as f64;
+        (per_turn * per_turn).recip()
+    }
+
     /// Evaluates the total nearest-lobe vote of `measurements` on every
     /// lattice point. At [`TablePrecision::F64`] (the default) the result
     /// is bit-identical to [`VoteMap::evaluate`] on the same inputs; at
@@ -396,6 +655,8 @@ impl VoteEngine {
         match self.precision {
             TablePrecision::F64 => self.evaluate_f64(measurements),
             TablePrecision::F32 => self.evaluate_f32(measurements),
+            TablePrecision::I16 => self.evaluate_i16(measurements),
+            TablePrecision::I8 => self.evaluate_i8(measurements),
         }
     }
 
@@ -447,6 +708,7 @@ impl VoteEngine {
         let table = self.build_table_f32();
         let n_cells = self.grid.len();
         let mut values = vec![0.0f64; n_cells];
+        let simd = self.simd;
         #[cfg(feature = "trace")]
         let _span = obs::SpanTimer::start(
             self.sink.as_ref(),
@@ -471,13 +733,117 @@ impl VoteEngine {
                 let base = first + offset;
                 for &(col, measured) in &cols {
                     let column = &table[col * n_cells + base..col * n_cells + base + len];
-                    for (a, &turns) in tile.iter_mut().zip(column) {
-                        let f = frac_dist_to_integer_f32(turns - measured);
-                        *a -= f * f;
-                    }
+                    rfidraw_simd::sweep_f32(tile, column, measured, simd);
                 }
                 for (v, &a) in shard[offset..offset + len].iter_mut().zip(tile.iter()) {
                     *v = f64::from(a);
+                }
+                offset += len;
+            }
+        });
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// The 16-bit fixed-point sweep: same tiled, measurement-outer /
+    /// cell-inner loop nest as f32, but the per-cell difference is a
+    /// wrapping subtract (the free mod-1-turn fold) on half-width table
+    /// bytes; it then widens *exactly* to f32 (|d| ≤ 2¹⁵ < 2²⁴) and the
+    /// fused `a − d·d` rounds once per term — the sweep's only rounding.
+    /// Measurements go through [`rfidraw_simd::sweep_i16_dual`] in pairs
+    /// (one accumulator pass per two columns), which is bit-identical to
+    /// single sweeps by construction. Write-out converts the f32 sum to
+    /// f64 (exact) and scales by the table's `2⁻²ᴮ` (exact: power of
+    /// two). Every cell's terms arrive in measurement order through the
+    /// identical per-lane instruction sequence, so the map is
+    /// bit-identical for every [`Parallelism`], tile boundary, and
+    /// [`SimdMode`].
+    fn evaluate_i16(&self, measurements: &[PairMeasurement]) -> VoteMap {
+        let cols = self.columns_i16(measurements);
+        let table = self.build_table_i16();
+        let scale = Self::quant_writeout_scale(table.scale_bits);
+        let n_cells = self.grid.len();
+        let mut values = vec![0.0f64; n_cells];
+        let simd = self.simd;
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+            #[cfg(feature = "trace")]
+            let _shard_span = obs::SpanTimer::start(
+                self.sink.as_ref(),
+                self.session,
+                Stage::EngineShard,
+                first as f64,
+            );
+            let mut acc = vec![0.0f32; CELL_TILE_I16.min(shard.len().max(1))];
+            let mut offset = 0;
+            while offset < shard.len() {
+                let len = CELL_TILE_I16.min(shard.len() - offset);
+                let tile = &mut acc[..len];
+                tile.fill(0.0);
+                let base = first + offset;
+                let mut pairs = cols.chunks_exact(2);
+                for pair in &mut pairs {
+                    let (col_a, q_a) = pair[0];
+                    let (col_b, q_b) = pair[1];
+                    let a = &table.data[col_a * n_cells + base..col_a * n_cells + base + len];
+                    let b = &table.data[col_b * n_cells + base..col_b * n_cells + base + len];
+                    rfidraw_simd::sweep_i16_dual(tile, a, q_a, b, q_b, simd);
+                }
+                for &(col, q_m) in pairs.remainder() {
+                    let column = &table.data[col * n_cells + base..col * n_cells + base + len];
+                    rfidraw_simd::sweep_i16(tile, column, q_m, simd);
+                }
+                for (v, &a) in shard[offset..offset + len].iter_mut().zip(tile.iter()) {
+                    *v = f64::from(a) * scale;
+                }
+                offset += len;
+            }
+        });
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// The 8-bit sibling of [`VoteEngine::evaluate_i16`]: i32 tiles
+    /// (terms ≤ 2¹⁴), otherwise the identical exact-integer structure.
+    fn evaluate_i8(&self, measurements: &[PairMeasurement]) -> VoteMap {
+        let cols = self.columns_i8(measurements);
+        let table = self.build_table_i8();
+        let scale = Self::quant_writeout_scale(table.scale_bits);
+        let n_cells = self.grid.len();
+        let mut values = vec![0.0f64; n_cells];
+        let simd = self.simd;
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        self.parallelism.run_row_sharded(&mut values, 1, |first, shard| {
+            #[cfg(feature = "trace")]
+            let _shard_span = obs::SpanTimer::start(
+                self.sink.as_ref(),
+                self.session,
+                Stage::EngineShard,
+                first as f64,
+            );
+            let mut acc = vec![0i32; CELL_TILE_I8.min(shard.len().max(1))];
+            let mut offset = 0;
+            while offset < shard.len() {
+                let len = CELL_TILE_I8.min(shard.len() - offset);
+                let tile = &mut acc[..len];
+                tile.fill(0);
+                let base = first + offset;
+                for &(col, q_m) in &cols {
+                    let column = &table.data[col * n_cells + base..col * n_cells + base + len];
+                    rfidraw_simd::sweep_i8(tile, column, q_m, simd);
+                }
+                for (v, &a) in shard[offset..offset + len].iter_mut().zip(tile.iter()) {
+                    *v = -f64::from(a) * scale;
                 }
                 offset += len;
             }
@@ -507,6 +873,8 @@ impl VoteEngine {
         match self.precision {
             TablePrecision::F64 => self.evaluate_windowed_f64(measurements, window),
             TablePrecision::F32 => self.evaluate_windowed_f32(measurements, window),
+            TablePrecision::I16 => self.evaluate_windowed_i16(measurements, window),
+            TablePrecision::I8 => self.evaluate_windowed_i8(measurements, window),
         }
     }
 
@@ -572,13 +940,84 @@ impl VoteEngine {
             acc.fill(0.0);
             for &(col, measured) in &cols {
                 let column = &table[col * n_cells + start..col * n_cells + end];
-                for (a, &turns) in acc.iter_mut().zip(column) {
-                    let f = frac_dist_to_integer_f32(turns - measured);
-                    *a -= f * f;
-                }
+                rfidraw_simd::sweep_f32(&mut acc, column, measured, self.simd);
             }
             for (v, &a) in values[start..end].iter_mut().zip(acc.iter()) {
                 *v = f64::from(a);
+            }
+        }
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// Windowed sweep over the i16 table: each window row is its own f32
+    /// accumulator run through the identical kernel, so in-window values
+    /// are bit-identical to the full i16 map.
+    fn evaluate_windowed_i16(
+        &self,
+        measurements: &[PairMeasurement],
+        window: &GridWindow,
+    ) -> VoteMap {
+        window.validate(&self.grid);
+        let cols = self.columns_i16(measurements);
+        let table = self.build_table_i16();
+        let scale = Self::quant_writeout_scale(table.scale_bits);
+        let n_cells = self.grid.len();
+        let mut values = vec![f64::NEG_INFINITY; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        let width = window.ix1 - window.ix0 + 1;
+        let mut acc = vec![0.0f32; width];
+        for iz in window.iz0..=window.iz1 {
+            let start = self.grid.flat(window.ix0, iz);
+            let end = self.grid.flat(window.ix1, iz) + 1;
+            acc.fill(0.0);
+            for &(col, q_m) in &cols {
+                let column = &table.data[col * n_cells + start..col * n_cells + end];
+                rfidraw_simd::sweep_i16(&mut acc, column, q_m, self.simd);
+            }
+            for (v, &a) in values[start..end].iter_mut().zip(acc.iter()) {
+                *v = f64::from(a) * scale;
+            }
+        }
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// The i8 sibling of [`VoteEngine::evaluate_windowed_i16`].
+    fn evaluate_windowed_i8(
+        &self,
+        measurements: &[PairMeasurement],
+        window: &GridWindow,
+    ) -> VoteMap {
+        window.validate(&self.grid);
+        let cols = self.columns_i8(measurements);
+        let table = self.build_table_i8();
+        let scale = Self::quant_writeout_scale(table.scale_bits);
+        let n_cells = self.grid.len();
+        let mut values = vec![f64::NEG_INFINITY; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        let width = window.ix1 - window.ix0 + 1;
+        let mut acc = vec![0i32; width];
+        for iz in window.iz0..=window.iz1 {
+            let start = self.grid.flat(window.ix0, iz);
+            let end = self.grid.flat(window.ix1, iz) + 1;
+            acc.fill(0);
+            for &(col, q_m) in &cols {
+                let column = &table.data[col * n_cells + start..col * n_cells + end];
+                rfidraw_simd::sweep_i8(&mut acc, column, q_m, self.simd);
+            }
+            for (v, &a) in values[start..end].iter_mut().zip(acc.iter()) {
+                *v = -f64::from(a) * scale;
             }
         }
         VoteMap::from_values(self.grid.clone(), values)
@@ -597,6 +1036,8 @@ impl VoteEngine {
         match self.precision {
             TablePrecision::F64 => self.evaluate_masked_f64(measurements, mask),
             TablePrecision::F32 => self.evaluate_masked_f32(measurements, mask),
+            TablePrecision::I16 => self.evaluate_masked_i16(measurements, mask),
+            TablePrecision::I8 => self.evaluate_masked_i8(measurements, mask),
         }
     }
 
@@ -752,6 +1193,157 @@ impl VoteEngine {
         VoteMap::from_values(self.grid.clone(), values)
     }
 
+    /// Masked sweep at i16. Mirrors the float paths' two strategies —
+    /// gather from the built table, or quantize turns on the fly with the
+    /// exact quantizer the table builder uses — and both run the scalar
+    /// kernel's exact per-cell sequence (wrapping subtract, exact f32
+    /// widen, fused square-and-subtract) in measurement order, so both
+    /// paths and the full map agree bit-for-bit on kept cells.
+    fn evaluate_masked_i16(&self, measurements: &[PairMeasurement], mask: &[bool]) -> VoteMap {
+        assert_eq!(mask.len(), self.grid.len(), "mask length must match the grid");
+        let cols = self.columns_i16(measurements);
+        let n_cells = self.grid.len();
+        let mut values = vec![f64::NEG_INFINITY; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        let kept: Vec<usize> = (0..n_cells).filter(|&c| mask[c]).collect();
+        let mut acc = vec![0.0f32; kept.len()];
+        let scale;
+        if let Some(table) = self.table_i16.get() {
+            scale = Self::quant_writeout_scale(table.scale_bits);
+            self.parallelism.run_row_sharded(&mut acc, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
+                let cells = &kept[first..first + shard.len()];
+                let mut offset = 0;
+                while offset < shard.len() {
+                    let len = CELL_TILE_I16.min(shard.len() - offset);
+                    let tile = &mut shard[offset..offset + len];
+                    let tile_cells = &cells[offset..offset + len];
+                    for &(col, q_m) in &cols {
+                        let column = &table.data[col * n_cells..(col + 1) * n_cells];
+                        for (a, &c) in tile.iter_mut().zip(tile_cells) {
+                            let d = i32::from(column[c].wrapping_sub(q_m)) as f32;
+                            *a = (-d).mul_add(d, *a);
+                        }
+                    }
+                    offset += len;
+                }
+            });
+        } else {
+            // No i16 table yet: quantize on-the-fly turns exactly as the
+            // table builder would; the arithmetic that follows is the
+            // scalar kernel's own sequence, so the result matches the
+            // table path bit-for-bit.
+            scale = Self::quant_writeout_scale(i16::BITS);
+            self.parallelism.run_row_sharded(&mut acc, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
+                for (i, a) in shard.iter_mut().enumerate() {
+                    let c = kept[first + i];
+                    let (ix, iz) = self.grid.unflat(c);
+                    let p3 = self.plane.lift(self.grid.point(ix, iz));
+                    for &(col, q_m) in &cols {
+                        let (pi, pj) = self.geom[col];
+                        let q = quantize_turns_i16(self.turns_factor * (p3.dist(pi) - p3.dist(pj)));
+                        let d = i32::from(q.wrapping_sub(q_m)) as f32;
+                        *a = (-d).mul_add(d, *a);
+                    }
+                }
+            });
+        }
+        for (&c, &a) in kept.iter().zip(&acc) {
+            values[c] = f64::from(a) * scale;
+        }
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
+    /// The i8 sibling of [`VoteEngine::evaluate_masked_i16`].
+    fn evaluate_masked_i8(&self, measurements: &[PairMeasurement], mask: &[bool]) -> VoteMap {
+        assert_eq!(mask.len(), self.grid.len(), "mask length must match the grid");
+        let cols = self.columns_i8(measurements);
+        let n_cells = self.grid.len();
+        let mut values = vec![f64::NEG_INFINITY; n_cells];
+        #[cfg(feature = "trace")]
+        let _span = obs::SpanTimer::start(
+            self.sink.as_ref(),
+            self.session,
+            Stage::EngineEvaluate,
+            measurements.len() as f64,
+        );
+        let kept: Vec<usize> = (0..n_cells).filter(|&c| mask[c]).collect();
+        let mut acc = vec![0i32; kept.len()];
+        let scale;
+        if let Some(table) = self.table_i8.get() {
+            scale = Self::quant_writeout_scale(table.scale_bits);
+            self.parallelism.run_row_sharded(&mut acc, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
+                let cells = &kept[first..first + shard.len()];
+                let mut offset = 0;
+                while offset < shard.len() {
+                    let len = CELL_TILE_I8.min(shard.len() - offset);
+                    let tile = &mut shard[offset..offset + len];
+                    let tile_cells = &cells[offset..offset + len];
+                    for &(col, q_m) in &cols {
+                        let column = &table.data[col * n_cells..(col + 1) * n_cells];
+                        for (a, &c) in tile.iter_mut().zip(tile_cells) {
+                            let d = i32::from(column[c].wrapping_sub(q_m));
+                            *a += d * d;
+                        }
+                    }
+                    offset += len;
+                }
+            });
+        } else {
+            scale = Self::quant_writeout_scale(i8::BITS);
+            self.parallelism.run_row_sharded(&mut acc, 1, |first, shard| {
+                #[cfg(feature = "trace")]
+                let _shard_span = obs::SpanTimer::start(
+                    self.sink.as_ref(),
+                    self.session,
+                    Stage::EngineShard,
+                    first as f64,
+                );
+                for (i, a) in shard.iter_mut().enumerate() {
+                    let c = kept[first + i];
+                    let (ix, iz) = self.grid.unflat(c);
+                    let p3 = self.plane.lift(self.grid.point(ix, iz));
+                    for &(col, q_m) in &cols {
+                        let (pi, pj) = self.geom[col];
+                        let q = quantize_turns_i8(self.turns_factor * (p3.dist(pi) - p3.dist(pj)));
+                        let d = i32::from(q.wrapping_sub(q_m));
+                        *a += d * d;
+                    }
+                }
+            });
+        }
+        for (&c, &a) in kept.iter().zip(&acc) {
+            values[c] = -f64::from(a) * scale;
+        }
+        VoteMap::from_values(self.grid.clone(), values)
+    }
+
     /// A **derived** worst-case bound on `|vote_f32(c) − vote_f64(c)|`
     /// over every cell `c`, for this engine and measurement set — the
     /// quantity the accuracy gates assert against, computed from the
@@ -816,6 +1408,87 @@ impl VoteEngine {
         }
         let n = measurements.len() as f64;
         per_term + 0.2501 * (EPS32 + EPS64) * n * (n + 1.0) / 2.0
+    }
+
+    /// A **derived** worst-case bound on `|vote_p(c) − vote_f64(c)|` over
+    /// every cell, for any precision `p` — the generalization of
+    /// [`VoteEngine::f32_vote_error_bound`] to the quantized tables.
+    ///
+    /// For F64 the engine is bit-identical to the reference, so the bound
+    /// is zero; F32 delegates to the f32 derivation. For I16/I8 (scale
+    /// `2ᴮ` quanta per turn, quantization step `h = 2⁻ᴮ` turns; full
+    /// walk-through in DESIGN.md §15):
+    ///
+    /// 1. **Quantization.** Table entry and measured turns each round to
+    ///    the nearest quantum (error ≤ `h/2`), so the dequantized
+    ///    difference is within `h` of the exact `x = t − m` — modulo 1,
+    ///    because integer turns wrap away at the type boundary.
+    /// 2. **Exact fold.** The kernel's wrapping subtraction computes the
+    ///    mod-1 remainder of the *quantized* difference exactly:
+    ///    `|d|·h = g(x + δ)` with `|δ| ≤ h`, `g` the triangle wave. `g`
+    ///    is 1-Lipschitz, so `|g(x+δ) − g(x)| ≤ h`, and `g ≤ ½` bounds
+    ///    the per-term damage of squaring: `|ĝ² − g²| ≤ (ĝ + g)·h ≤ h`.
+    /// 3. **Square and sum.** I8 squares and accumulates in plain
+    ///    integers — no rounding at all. I16 widens `d` to f32 exactly
+    ///    (|d| ≤ 2¹⁵ < 2²⁴) and its *fused* `a − d·d` admits the exact
+    ///    product, so only the accumulation itself rounds: the `j`-th
+    ///    fused term lands on a partial sum ≤ `0.2501·j` turns² and errs
+    ///    by ≤ `ε₃₂·0.2501·j` — summed, the `0.2501·ε₃₂·n(n+1)/2`
+    ///    series, exactly the f32 derivation's step 4 shape with no
+    ///    per-term square error.
+    /// 4. **Exact write-out.** The accumulator (integer sum below 2³⁰, or
+    ///    f32) converts to f64 exactly, and `2⁻²ᴮ` is a power of two, so
+    ///    the scaling multiply is exact.
+    /// 5. **The f64 path is not exact**: as in the f32 derivation, add
+    ///    its own rounding — `1.01·ε₆₄·Sₖ + 0.26·ε₆₄` per term plus the
+    ///    `0.2501·ε₆₄·n(n+1)/2` accumulation series.
+    ///
+    /// The argmax-identity theorem carries over unchanged: the quantized
+    /// argmax cell provably equals the f64 argmax whenever the f64 map's
+    /// best/runner-up gap exceeds twice this bound.
+    ///
+    /// Builds the f64 table if needed (step 5 needs the true column
+    /// magnitudes).
+    ///
+    /// # Panics
+    /// Panics if a measurement's pair is unknown to the engine, or if a
+    /// column magnitude exceeds the `2²²`-turn envelope.
+    pub fn vote_error_bound(
+        &self,
+        measurements: &[PairMeasurement],
+        precision: TablePrecision,
+    ) -> f64 {
+        let scale_bits = match precision {
+            TablePrecision::F64 => return 0.0,
+            TablePrecision::F32 => return self.f32_vote_error_bound(measurements),
+            TablePrecision::I16 => i16::BITS,
+            TablePrecision::I8 => i8::BITS,
+        };
+        const EPS32: f64 = 5.960_464_477_539_063e-8; // 2⁻²⁴
+        const EPS64: f64 = 1.110_223_024_625_156_5e-16; // 2⁻⁵³
+        // I16 accumulates in f32 with fused terms (step 3); I8 is pure
+        // integer, so its accumulation contributes nothing.
+        let eps_acc = match precision {
+            TablePrecision::I16 => EPS32,
+            _ => 0.0,
+        };
+        let h = (f64::from(scale_bits).exp2()).recip();
+        let table = self.build_table();
+        let n_cells = self.grid.len();
+        let mut per_term = 0.0f64;
+        for (col, measured) in self.columns(measurements) {
+            let col_max = table[col * n_cells..(col + 1) * n_cells]
+                .iter()
+                .fold(0.0f64, |m, &t| m.max(t.abs()));
+            let s = col_max + measured.abs();
+            assert!(
+                s < (1u64 << 22) as f64,
+                "measurement magnitude {s} turns exceeds the quantization envelope"
+            );
+            per_term += h + 1.01 * EPS64 * s + 0.26 * EPS64;
+        }
+        let n = measurements.len() as f64;
+        per_term + 0.2501 * (eps_acc + EPS64) * n * (n + 1.0) / 2.0
     }
 }
 
@@ -1045,6 +1718,156 @@ mod tests {
             } else {
                 assert_eq!(m, f64::NEG_INFINITY, "cell {c}");
             }
+        }
+    }
+
+    fn engine_at(
+        dep: &Deployment,
+        plane: Plane,
+        grid: Grid2,
+        par: Parallelism,
+        precision: TablePrecision,
+    ) -> VoteEngine {
+        let mut e = VoteEngine::for_deployment(dep, plane, grid, par);
+        e.set_precision(precision);
+        e
+    }
+
+    /// Best-vs-runner-up gap of a map, over finite cells.
+    fn gap(map: &VoteMap) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for &v in map.values() {
+            if v > best {
+                second = best;
+                best = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        best - second
+    }
+
+    #[test]
+    fn quantized_tables_shrink_bytes_by_type_width() {
+        let (dep, plane, grid, _) = setup();
+        let mut engine = VoteEngine::for_deployment(&dep, plane, grid, Parallelism::Serial);
+        let f64_bytes = engine.table_bytes();
+        engine.set_precision(TablePrecision::I16);
+        assert_eq!(engine.table_bytes() * 4, f64_bytes);
+        assert_eq!(
+            engine.build_table_i16().data.len() * std::mem::size_of::<i16>(),
+            engine.table_bytes() as usize
+        );
+        assert_eq!(engine.build_table_i16().scale_bits, 16);
+        engine.set_precision(TablePrecision::I8);
+        assert_eq!(engine.table_bytes() * 8, f64_bytes);
+        assert_eq!(engine.build_table_i8().data.len(), engine.table_bytes() as usize);
+        assert_eq!(engine.build_table_i8().scale_bits, 8);
+    }
+
+    #[test]
+    fn quantized_votes_stay_within_derived_bound_and_argmax_matches() {
+        let (dep, plane, grid, ms) = setup();
+        let reference = VoteEngine::for_deployment(&dep, plane, grid.clone(), Parallelism::Serial);
+        let f64_map = reference.evaluate(&ms);
+        for precision in [TablePrecision::I16, TablePrecision::I8] {
+            let map = engine_at(&dep, plane, grid.clone(), Parallelism::Serial, precision)
+                .evaluate(&ms);
+            let bound = reference.vote_error_bound(&ms, precision);
+            // One quantum per measurement dominates; the bound must be
+            // meaningful (small) as well as honored.
+            let quantum = match precision {
+                TablePrecision::I16 => 1.0 / 65_536.0,
+                _ => 1.0 / 256.0,
+            };
+            assert!(bound <= ms.len() as f64 * quantum * 1.01, "{precision:?}: loose {bound}");
+            let worst = f64_map
+                .values()
+                .iter()
+                .zip(map.values())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(worst <= bound, "{precision:?}: worst |Δvote| {worst:e} > bound {bound:e}");
+            // The argmax-identity theorem, under its gap premise.
+            if gap(&f64_map) > 2.0 * bound {
+                assert_eq!(f64_map.argmax().0, map.argmax().0, "{precision:?}");
+            }
+        }
+        // On this clean scene the i16 gap premise must actually hold (the
+        // theorem should not be vacuous at the precision we gate CI on).
+        assert!(gap(&f64_map) > 2.0 * reference.vote_error_bound(&ms, TablePrecision::I16));
+        assert_eq!(reference.vote_error_bound(&ms, TablePrecision::F64), 0.0);
+    }
+
+    #[test]
+    fn quantized_engines_are_thread_count_invariant() {
+        let (dep, plane, grid, ms) = setup();
+        for precision in [TablePrecision::I16, TablePrecision::I8] {
+            let serial = engine_at(&dep, plane, grid.clone(), Parallelism::Serial, precision)
+                .evaluate(&ms);
+            for par in [Parallelism::Threads(2), Parallelism::Threads(7), Parallelism::Auto] {
+                let map = engine_at(&dep, plane, grid.clone(), par, precision).evaluate(&ms);
+                assert_eq!(bits(serial.values()), bits(map.values()), "{precision:?} {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_kernels_match_auto_simd_bitwise_on_every_precision() {
+        let (dep, plane, grid, ms) = setup();
+        for precision in TablePrecision::ALL {
+            let auto = engine_at(&dep, plane, grid.clone(), Parallelism::Serial, precision);
+            assert_eq!(auto.simd_mode(), SimdMode::Auto);
+            let mut scalar = engine_at(&dep, plane, grid.clone(), Parallelism::Serial, precision);
+            scalar.set_simd_mode(SimdMode::Scalar);
+            assert_eq!(
+                bits(auto.evaluate(&ms).values()),
+                bits(scalar.evaluate(&ms).values()),
+                "{precision:?}"
+            );
+            let window = GridWindow::around(auto.grid(), Point2::new(1.2, 0.9), 0.20);
+            assert_eq!(
+                bits(auto.evaluate_windowed(&ms, &window).values()),
+                bits(scalar.evaluate_windowed(&ms, &window).values()),
+                "{precision:?} windowed"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_windowed_and_masked_match_full_map() {
+        let (dep, plane, grid, ms) = setup();
+        let mask: Vec<bool> = (0..grid.len()).map(|i| i % 3 != 0).collect();
+        for precision in [TablePrecision::I16, TablePrecision::I8] {
+            let engine = engine_at(&dep, plane, grid.clone(), Parallelism::Threads(3), precision);
+            // Lazy masked path first (no table yet), then table-backed.
+            assert!(!engine.is_table_built());
+            let lazy = engine.evaluate_masked(&ms, &mask);
+            engine.prebuild();
+            assert!(engine.is_table_built());
+            let tabled = engine.evaluate_masked(&ms, &mask);
+            assert_eq!(bits(lazy.values()), bits(tabled.values()), "{precision:?}");
+            let full = engine.evaluate(&ms);
+            for (c, (&m, &f)) in tabled.values().iter().zip(full.values()).enumerate() {
+                if mask[c] {
+                    assert_eq!(m.to_bits(), f.to_bits(), "{precision:?} cell {c}");
+                } else {
+                    assert_eq!(m, f64::NEG_INFINITY, "{precision:?} cell {c}");
+                }
+            }
+            let window = GridWindow::around(engine.grid(), Point2::new(1.2, 0.9), 0.20);
+            let windowed = engine.evaluate_windowed(&ms, &window);
+            for (c, (&w, &f)) in windowed.values().iter().zip(full.values()).enumerate() {
+                let (ix, iz) = engine.grid().unflat(c);
+                if window.contains(ix, iz) {
+                    assert_eq!(w.to_bits(), f.to_bits(), "{precision:?} cell {c}");
+                } else {
+                    assert_eq!(w, f64::NEG_INFINITY, "{precision:?} cell {c}");
+                }
+            }
+            let full_window = engine.evaluate_windowed(&ms, &GridWindow::full(engine.grid()));
+            assert_eq!(bits(full.values()), bits(full_window.values()), "{precision:?}");
         }
     }
 

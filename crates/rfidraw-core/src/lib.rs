@@ -77,6 +77,7 @@ pub use array::{Antenna, AntennaId, AntennaPair, Deployment, ReaderId};
 pub use cache::{AdoptOutcome, CacheConfig, TableCache, TableCacheStats};
 pub use engine::{TablePrecision, VoteEngine};
 pub use exec::Parallelism;
+pub use rfidraw_simd::SimdMode;
 pub use geom::{Plane, Point2, Point3};
 pub use grid::{Grid2, GridWindow, VoteMap};
 pub use phase::{Wavelength, SPEED_OF_LIGHT};

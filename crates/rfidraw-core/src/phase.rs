@@ -157,6 +157,36 @@ pub fn frac_dist_to_integer_f32(x: f32) -> f32 {
     (x - r).abs()
 }
 
+/// Quantizes a value in turns to two's-complement fixed point with 2¹⁶
+/// quanta per turn — the i16 vote-table representation.
+///
+/// The scale is deliberately the full type width: the fractional part of a
+/// turn then occupies exactly the value range of the integer, so the
+/// modulo-1-turn fold (the `min_k ‖x − k‖` of Eq. 7) is performed *for
+/// free* by two's-complement wrap-around. `round` picks the nearest
+/// representable quantum, so the dequantized value `q/2¹⁶ (mod 1)` is
+/// within half a quantum (`2⁻¹⁷` turns) of `x mod 1`, and a wrapping
+/// subtraction of two quantized values lands within one quantum (`2⁻¹⁶`
+/// turns) of the true fractional difference — the quantization step the
+/// derived vote-error bound charges per measurement.
+///
+/// The wrap means the stored value is `x·2¹⁶ mod 2¹⁶` reinterpreted
+/// signed — integer turns vanish, exactly as the triangle wave requires.
+/// Callers must keep `|x| ≤ 2²²` (the same envelope as
+/// [`frac_dist_to_integer_f32`]) so the intermediate product stays well
+/// inside `i64`.
+pub fn quantize_turns_i16(x: f64) -> i16 {
+    ((x * 65_536.0).round() as i64) as i16
+}
+
+/// The i8 sibling of [`quantize_turns_i16`]: 2⁸ quanta per turn, one byte
+/// per table entry, quantization step `2⁻⁸` turns (half-quantum rounding
+/// error `2⁻⁹`). Same full-width-scale rationale: the i8 wrap *is* the
+/// mod-1-turn fold.
+pub fn quantize_turns_i8(x: f64) -> i8 {
+    ((x * 256.0).round() as i64) as i8
+}
+
 /// The nearest integer `k` to `x` — the index of the closest grating lobe.
 pub fn nearest_lobe_index(x: f64) -> i64 {
     // Positions reachable in practice keep |x| far below i64::MAX turns;
@@ -297,6 +327,38 @@ mod tests {
             let d64 = frac_dist_to_integer(x);
             let d32 = f64::from(frac_dist_to_integer_f32(x as f32));
             assert!((d64 - d32).abs() < 1e-6, "x = {x}: {d64} vs {d32}");
+        }
+    }
+
+    #[test]
+    fn quantize_turns_wraps_integer_turns_away() {
+        assert_eq!(quantize_turns_i16(0.25), 16_384);
+        assert_eq!(quantize_turns_i16(-0.25), -16_384);
+        // Whole turns vanish in the two's-complement wrap.
+        assert_eq!(quantize_turns_i16(3.25), 16_384);
+        assert_eq!(quantize_turns_i16(-7.75), 16_384);
+        // Exactly half a turn lands on the type minimum (distance 0.5
+        // either way, like the tie in the float triangle wave).
+        assert_eq!(quantize_turns_i16(0.5), i16::MIN);
+        assert_eq!(quantize_turns_i8(0.5), i8::MIN);
+        assert_eq!(quantize_turns_i8(2.5), i8::MIN);
+        assert_eq!(quantize_turns_i8(1.25), 64);
+    }
+
+    #[test]
+    fn wrapped_quantized_difference_tracks_triangle_wave() {
+        // |wrap(q_t − q_m)| / 2ᴮ must stay within one quantum of the exact
+        // g(t − m) — the quantization-step term of the derived bound.
+        for i in 0..4000 {
+            let t = (i as f64) * 0.0137 - 27.4;
+            let m = (i as f64) * -0.0071 + 3.3;
+            let g = frac_dist_to_integer(t - m);
+            let d16 = quantize_turns_i16(t).wrapping_sub(quantize_turns_i16(m));
+            let g16 = f64::from(i32::from(d16).abs()) / 65_536.0;
+            assert!((g16 - g).abs() <= 1.0 / 65_536.0, "i16: t={t} m={m} {g16} vs {g}");
+            let d8 = quantize_turns_i8(t).wrapping_sub(quantize_turns_i8(m));
+            let g8 = f64::from(i32::from(d8).abs()) / 256.0;
+            assert!((g8 - g).abs() <= 1.0 / 256.0, "i8: t={t} m={m} {g8} vs {g}");
         }
     }
 

@@ -43,9 +43,10 @@ pub struct MultiResConfig {
     /// Thread-level parallelism of the vote-map evaluation. Never changes
     /// any result (see [`crate::exec`]), only wall-clock time.
     pub parallelism: Parallelism,
-    /// Floating-point width of both engines' vote tables. `F64` (the
-    /// default) is bit-exact; `F32` halves table bytes and bandwidth with
-    /// a derived, test-asserted vote-error bound (see [`crate::engine`]).
+    /// Numeric representation of both engines' vote tables. `F64` (the
+    /// default) is bit-exact; `F32` halves table bytes and bandwidth, and
+    /// the fixed-point `I16`/`I8` reach 4×/8× compression — each with a
+    /// derived, test-asserted vote-error bound (see [`crate::engine`]).
     pub precision: TablePrecision,
 }
 
@@ -225,16 +226,8 @@ impl MultiResPositioner {
     /// masked evaluation takes the faster table-backed path. Which path
     /// runs never changes any value (see [`crate::engine`]).
     pub fn prebuild_tables(&self) {
-        match self.config.precision {
-            TablePrecision::F64 => {
-                self.coarse_engine.build_table();
-                self.fine_engine.build_table();
-            }
-            TablePrecision::F32 => {
-                self.coarse_engine.build_table_f32();
-                self.fine_engine.build_table_f32();
-            }
-        }
+        self.coarse_engine.prebuild();
+        self.fine_engine.prebuild();
     }
 
     /// Runs both stages and returns the ranked candidates.
@@ -553,6 +546,26 @@ mod tests {
         // Noise-free, well-separated peak: the winning grid cell is the
         // same at both precisions (the vote gap dwarfs the f32 bound).
         assert_eq!(best64.position, best32.position);
+    }
+
+    #[test]
+    fn quantized_precisions_locate_the_same_point_noise_free() {
+        let truth = Point2::new(1.2, 0.9);
+        let (pos64, ms) = setup(truth);
+        let best64 = pos64.locate(&ms)[0];
+        for precision in [TablePrecision::I16, TablePrecision::I8] {
+            let dep = Deployment::paper_default();
+            let plane = Plane::at_depth(2.0);
+            let region = Rect::new(Point2::new(0.0, 0.0), Point2::new(3.0, 2.0));
+            let mut config = MultiResConfig::for_region(region);
+            config.fine_resolution = 0.02;
+            config.precision = precision;
+            let pos = MultiResPositioner::new(dep, plane, config);
+            let best = pos.locate(&ms)[0];
+            // Noise-free, well-separated peak: the vote gap dwarfs even
+            // the i8 quantization bound on this scene.
+            assert_eq!(best64.position, best.position, "{precision:?}");
+        }
     }
 
     #[test]

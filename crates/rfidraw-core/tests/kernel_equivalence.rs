@@ -10,7 +10,10 @@ use rfidraw_core::exec::Parallelism;
 use rfidraw_core::geom::{Plane, Point2, Rect};
 use rfidraw_core::grid::{Grid2, GridWindow, VoteMap};
 use rfidraw_core::vote::{ideal_measurements, PairMeasurement};
-use rfidraw_core::{TablePrecision, VoteEngine};
+use rfidraw_core::{SimdMode, TablePrecision, VoteEngine};
+
+/// The two fixed-point precisions, indexable from a proptest strategy.
+const QUANTIZED: [TablePrecision; 2] = [TablePrecision::I16, TablePrecision::I8];
 
 fn bits(values: &[f64]) -> Vec<u64> {
     values.iter().map(|v| v.to_bits()).collect()
@@ -255,6 +258,159 @@ proptest! {
             .collect();
         let lazy = engine.evaluate_masked(&ms, &mask);
         engine.build_table_f32();
+        let tabled = engine.evaluate_masked(&ms, &mask);
+        prop_assert_eq!(bits(lazy.values()), bits(tabled.values()));
+        for (c, (&got, &all)) in lazy.values().iter().zip(full.values()).enumerate() {
+            if mask[c] {
+                prop_assert_eq!(got.to_bits(), all.to_bits(), "masked cell {}", c);
+            } else {
+                prop_assert_eq!(got, f64::NEG_INFINITY, "dropped cell {}", c);
+            }
+        }
+    }
+
+    /// The quantized engines' accuracy contract over random deployments,
+    /// grids, and measurement subsets — for both i16 and i8: every cell's
+    /// vote differs from the f64 kernel by at most the *derived* bound
+    /// ([`VoteEngine::vote_error_bound`]), and the argmax-identity theorem
+    /// holds — whenever the f64 best/runner-up gap exceeds twice the
+    /// bound the quantized argmax cell is exactly the f64 one; otherwise
+    /// the quantized pick is still within `2·bound` of the f64 optimum.
+    #[test]
+    fn quantized_votes_stay_bounded_and_argmax_agrees(
+        depth in 1.0f64..4.0,
+        x0 in -0.5f64..1.0,
+        z0 in -0.5f64..1.0,
+        w in 0.4f64..1.6,
+        h in 0.4f64..1.6,
+        res in 0.03f64..0.12,
+        tag_fx in 0.1f64..0.9,
+        tag_fz in 0.1f64..0.9,
+        subset_mask in 0u32..255,
+        prec_idx in 0usize..2,
+        par_idx in 0usize..5,
+    ) {
+        let (dep, plane, grid, all_ms) = scene(depth, x0, z0, w, h, res, tag_fx, tag_fz);
+        let ms: Vec<PairMeasurement> = all_ms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| subset_mask & (1 << (i % 8)) != 0 || subset_mask == 0)
+            .map(|(_, &m)| m)
+            .collect();
+        prop_assume!(!ms.is_empty());
+        let precision = QUANTIZED[prec_idx];
+
+        let engine64 =
+            VoteEngine::for_deployment(&dep, plane, grid.clone(), parallelism(par_idx));
+        let mut engine_q = VoteEngine::for_deployment(&dep, plane, grid, parallelism(par_idx));
+        engine_q.set_precision(precision);
+
+        let bound = engine64.vote_error_bound(&ms, precision);
+        let m64 = engine64.evaluate(&ms);
+        let mq = engine_q.evaluate(&ms);
+
+        let mut worst = 0.0f64;
+        for (&a, &b) in m64.values().iter().zip(mq.values()) {
+            worst = worst.max((a - b).abs());
+        }
+        prop_assert!(
+            worst <= bound,
+            "{:?}: worst |Δvote| {} exceeds the derived bound {}",
+            precision,
+            worst,
+            bound
+        );
+
+        let best64 = argmax(m64.values());
+        let best_q = argmax(mq.values());
+        let runner_up = m64
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != best64)
+            .map(|(_, &v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let gap = m64.values()[best64] - runner_up;
+        if gap > 2.0 * bound {
+            prop_assert_eq!(
+                best64, best_q,
+                "{:?}: separated argmax must be identical", precision
+            );
+        } else {
+            prop_assert!(
+                m64.values()[best64] - m64.values()[best_q] <= 2.0 * bound,
+                "{:?}: quantized pick is more than 2·bound below the f64 optimum",
+                precision
+            );
+        }
+    }
+
+    /// The quantized paths keep the engine's determinism contract, for
+    /// both i16 and i8: the full map is bit-identical across execution
+    /// policies *and* across SIMD dispatch (`Auto` vs forced `Scalar` —
+    /// integer accumulation is exact, so this is by construction, and
+    /// this test pins it on whatever ISA the host offers), windowed
+    /// evaluation matches the full map cellwise (`-inf` outside), and the
+    /// masked path (lazy quantize-on-the-fly and table-backed) matches
+    /// the full map on kept cells for any pseudo-random mask.
+    #[test]
+    fn quantized_windowed_and_masked_match_full_quantized_map(
+        depth in 1.0f64..4.0,
+        res in 0.04f64..0.12,
+        tag_fx in 0.1f64..0.9,
+        tag_fz in 0.1f64..0.9,
+        center_fx in 0.0f64..1.0,
+        center_fz in 0.0f64..1.0,
+        half_extent in 0.02f64..0.8,
+        mask_seed in any::<u64>(),
+        keep_mod in 2usize..7,
+        prec_idx in 0usize..2,
+        par_idx in 0usize..5,
+        par_idx2 in 0usize..5,
+    ) {
+        let (dep, plane, grid, ms) = scene(depth, 0.2, 0.1, 1.2, 0.9, res, tag_fx, tag_fz);
+        let precision = QUANTIZED[prec_idx];
+        let mut engine = VoteEngine::for_deployment(
+            &dep,
+            plane,
+            grid.clone(),
+            parallelism(par_idx),
+        );
+        engine.set_precision(precision);
+        let mut scalar = VoteEngine::for_deployment(&dep, plane, grid, parallelism(par_idx2));
+        scalar.set_precision(precision);
+        scalar.set_simd_mode(SimdMode::Scalar);
+
+        let full = engine.evaluate(&ms);
+        prop_assert_eq!(
+            bits(full.values()),
+            bits(scalar.evaluate(&ms).values()),
+            "SIMD dispatch and thread count must not change a single bit"
+        );
+
+        let center = Point2::new(0.2 + center_fx * 1.2, 0.1 + center_fz * 0.9);
+        let window = GridWindow::around(engine.grid(), center, half_extent);
+        let windowed = engine.evaluate_windowed(&ms, &window);
+        for (c, (&win, &all)) in windowed.values().iter().zip(full.values()).enumerate() {
+            let (ix, iz) = engine.grid().unflat(c);
+            if window.contains(ix, iz) {
+                prop_assert_eq!(win.to_bits(), all.to_bits(), "window cell {}", c);
+            } else {
+                prop_assert_eq!(win, f64::NEG_INFINITY, "outside cell {}", c);
+            }
+        }
+
+        let mut state = mask_seed | 1;
+        let mask: Vec<bool> = (0..engine.grid().len())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as usize) % keep_mod == 0
+            })
+            .collect();
+        let lazy = engine.evaluate_masked(&ms, &mask);
+        engine.prebuild();
         let tabled = engine.evaluate_masked(&ms, &mask);
         prop_assert_eq!(bits(lazy.values()), bits(tabled.values()));
         for (c, (&got, &all)) in lazy.values().iter().zip(full.values()).enumerate() {

@@ -195,10 +195,14 @@ impl ServiceInner {
             readmissions: self.global.readmissions.get(),
             parked_rejected: self.global.parked_rejected.get(),
             parked_discarded: self.global.parked_discarded.get(),
-            table_cache_hits: cache.map_or(0, |c| c.hits),
-            table_cache_misses: cache.map_or(0, |c| c.misses),
-            table_cache_bytes: cache.map_or(0, |c| c.resident_bytes),
-            table_cache_evictions: cache.map_or(0, |c| c.evictions),
+            table_cache_hits: cache.as_ref().map_or(0, |c| c.hits),
+            table_cache_misses: cache.as_ref().map_or(0, |c| c.misses),
+            table_cache_bytes: cache.as_ref().map_or(0, |c| c.resident_bytes),
+            table_cache_evictions: cache.as_ref().map_or(0, |c| c.evictions),
+            table_cache_bytes_by_precision: cache
+                .as_ref()
+                .map_or([0; 4], |c| c.resident_bytes_by_precision),
+            table_cache_slot_drops: cache.as_ref().map_or(0, |c| c.slot_drops),
             latency: self.global.latency.snapshot(),
             queue_wait: self.global.queue_wait.snapshot(),
             compute: self.global.compute.snapshot(),

@@ -44,6 +44,7 @@
 //!
 //! [`TrackError`]: rfidraw_core::online::TrackError
 
+use rfidraw_core::engine::TablePrecision;
 use rfidraw_metrics::runtime::{Counter, HistogramSnapshot, LatencyHistogram};
 use rfidraw_metrics::{PromText, StageLatency, TraceRecorder};
 use rfidraw_protocol::Epc;
@@ -331,6 +332,19 @@ pub struct TelemetryReport {
     /// Shared-table entries evicted to keep the cache within its byte
     /// budget (0 when no cache is configured or the budget is unbounded).
     pub table_cache_evictions: u64,
+    /// Per-precision breakdown of `table_cache_bytes`, indexed in
+    /// [`TablePrecision::ALL`] order (`f64`, `f32`, `i16`, `i8`). The four
+    /// entries sum to `table_cache_bytes` at every instant — a conservation
+    /// law the fault-injection suite asserts.
+    ///
+    /// [`TablePrecision::ALL`]: rfidraw_core::engine::TablePrecision::ALL
+    pub table_cache_bytes_by_precision: [u64; 4],
+    /// `f64` slots dropped from double-resident cache entries under byte
+    /// pressure — the precision-aware eviction stage that reclaims the
+    /// expensive slot while the deployment's cheap quantized table stays
+    /// shared. Whole-entry removals are counted in `table_cache_evictions`,
+    /// never here.
+    pub table_cache_slot_drops: u64,
     /// Ingest→position latency histogram.
     pub latency: HistogramSnapshot,
     /// Enqueue→dequeue wait histogram (how long reads sit in queues).
@@ -375,11 +389,19 @@ impl TelemetryReport {
             self.positions, self.stale_resets, self.degraded_events,
         ));
         out.push_str(&format!(
-            "tables:   {} cache hits / {} misses, {} evictions, {} bytes resident, {} windowed evals\n",
+            "tables:   {} cache hits / {} misses, {} evictions, {} slot drops, \
+             {} bytes resident ({}), {} windowed evals\n",
             self.table_cache_hits,
             self.table_cache_misses,
             self.table_cache_evictions,
+            self.table_cache_slot_drops,
             self.table_cache_bytes,
+            TablePrecision::ALL
+                .iter()
+                .zip(self.table_cache_bytes_by_precision)
+                .map(|(p, b)| format!("{} {}", p.label(), b))
+                .collect::<Vec<_>>()
+                .join(" / "),
             self.windowed_evals,
         ));
         out.push_str(&format!(
@@ -461,7 +483,16 @@ impl TelemetryReport {
         p.counter("rfidraw_table_cache_hits_total", "Vote-table cache hits.", &[], self.table_cache_hits);
         p.counter("rfidraw_table_cache_misses_total", "Vote-table cache misses.", &[], self.table_cache_misses);
         p.counter("rfidraw_table_cache_evictions_total", "Shared-table entries evicted to honor the cache byte budget.", &[], self.table_cache_evictions);
+        p.counter("rfidraw_table_cache_slot_drops_total", "f64 slots dropped from double-resident cache entries under byte pressure.", &[], self.table_cache_slot_drops);
         p.gauge("rfidraw_table_cache_resident_bytes", "Bytes resident in built shared vote tables.", &[], self.table_cache_bytes as f64);
+        for (precision, bytes) in TablePrecision::ALL.iter().zip(self.table_cache_bytes_by_precision) {
+            p.gauge(
+                "rfidraw_table_cache_resident_bytes",
+                "Bytes resident in built shared vote tables.",
+                &[("precision", precision.label())],
+                bytes as f64,
+            );
+        }
         p.counter("rfidraw_net_connections_accepted_total", "Connections accepted by the network front ends.", &[], self.net.connections_accepted);
         p.counter("rfidraw_net_connections_closed_total", "Connections fully closed.", &[], self.net.connections_closed);
         p.gauge("rfidraw_net_connections_open", "Connections currently open.", &[], self.net.connections_open as f64);
@@ -557,6 +588,8 @@ mod tests {
             table_cache_misses: 2,
             table_cache_bytes: 4096,
             table_cache_evictions: 1,
+            table_cache_bytes_by_precision: [2048, 1024, 768, 256],
+            table_cache_slot_drops: 3,
             latency: h.snapshot(),
             queue_wait: LatencyHistogram::default_bounds().snapshot(),
             compute: LatencyHistogram::default_bounds().snapshot(),
@@ -634,6 +667,8 @@ mod tests {
         assert!(text.contains("stage engine_evaluate"));
         assert!(text.contains("2 cache hits / 2 misses"));
         assert!(text.contains("1 evictions"));
+        assert!(text.contains("3 slot drops"));
+        assert!(text.contains("4096 bytes resident (f64 2048 / f32 1024 / i16 768 / i8 256)"));
         assert!(text.contains("4 windowed evals"));
         assert!(text.contains("9 conns accepted"));
         assert!(text.contains("50 json + 70 binary frames in"));
@@ -660,7 +695,17 @@ mod tests {
         assert!(text.contains("rfidraw_table_cache_hits_total 2"));
         assert!(text.contains("rfidraw_table_cache_misses_total 2"));
         assert!(text.contains("rfidraw_table_cache_evictions_total 1"));
+        assert!(text.contains("rfidraw_table_cache_slot_drops_total 3"));
         assert!(text.contains("rfidraw_table_cache_resident_bytes 4096"));
+        assert!(text.contains("rfidraw_table_cache_resident_bytes{precision=\"f64\"} 2048"));
+        assert!(text.contains("rfidraw_table_cache_resident_bytes{precision=\"f32\"} 1024"));
+        assert!(text.contains("rfidraw_table_cache_resident_bytes{precision=\"i16\"} 768"));
+        assert!(text.contains("rfidraw_table_cache_resident_bytes{precision=\"i8\"} 256"));
+        assert_eq!(
+            text.matches("# TYPE rfidraw_table_cache_resident_bytes gauge").count(),
+            1,
+            "labeled and unlabeled samples must share one family header"
+        );
         assert!(text.contains("rfidraw_net_connections_accepted_total 9"));
         assert!(text.contains("rfidraw_net_frames_in_binary_total 70"));
         assert!(text.contains("rfidraw_net_partial_frame_resumes_total 12"));

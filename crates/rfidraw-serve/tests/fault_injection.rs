@@ -117,6 +117,15 @@ fn all_fault_classes_survive_under_f32_tables() {
     run_all_fault_classes(TablePrecision::F32);
 }
 
+/// And once more through the quantized fixed-point tables: i16 sessions
+/// must balance every fault class, refusal attribution, and conservation
+/// law bit-for-bit against i16 oracle trackers — integer accumulation is
+/// exact, so bit-identity is by construction rather than by tolerance.
+#[test]
+fn all_fault_classes_survive_under_i16_tables() {
+    run_all_fault_classes(TablePrecision::I16);
+}
+
 fn run_all_fault_classes(precision: TablePrecision) {
     let clean_streams = eight_tag_streams(11, 3.0);
     assert_eq!(clean_streams.len(), 8);
@@ -265,6 +274,27 @@ fn run_all_fault_classes(precision: TablePrecision) {
     assert_eq!(report.table_cache_hits, 14);
     assert_eq!(report.table_cache_evictions, 0, "unbounded budget must never evict");
     assert!(report.table_cache_bytes > 0);
+    // Per-precision residency conservation: the four labeled samples must
+    // sum to the aggregate gauge, and with every session at one precision
+    // the whole residency sits in that precision's slot.
+    assert_eq!(
+        report.table_cache_bytes_by_precision.iter().sum::<u64>(),
+        report.table_cache_bytes,
+        "per-precision bytes must sum to the aggregate residency"
+    );
+    let active = TablePrecision::ALL
+        .iter()
+        .position(|&p| p == precision)
+        .expect("precision listed in ALL");
+    assert_eq!(
+        report.table_cache_bytes_by_precision[active],
+        report.table_cache_bytes,
+        "all residency must sit at the sessions' precision"
+    );
+    assert_eq!(
+        report.table_cache_slot_drops, 0,
+        "unbounded budget must never drop f64 slots"
+    );
 }
 
 /// Raw-line escape hatch so tests can speak protocol violations.

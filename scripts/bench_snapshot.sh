@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the kernel benches and writes a machine-readable snapshot to
-# BENCH_08.json: median ns/iter per kernel plus derived throughput numbers
+# BENCH_09.json: median ns/iter per kernel plus derived throughput numbers
 # (reads/sec through the serving layer up to 10k sessions, binary vs JSON
 # wire framing, healthy throughput alongside a parked Block connection,
 # multi- vs single-reactor accept, windowed vs full-grid speedup, f32 vs
-# f64 engine speedup).
+# f64 engine speedup, quantized i16/i8 vs f32 speedups, and explicit-SIMD
+# vs scalar-kernel speedups). Records nproc: the engine numbers here are
+# serial, but serving-layer numbers depend on core count.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -16,13 +18,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_08.json}"
+OUT="${1:-BENCH_09.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 cargo bench --offline --bench kernels 2>&1 | tee "$RAW" >&2
 
-awk '
+awk -v nproc="$(nproc 2>/dev/null || echo 1)" '
     function to_ns(value, unit) {
         if (unit == "ns") return value
         if (unit == "µs" || unit == "us") return value * 1e3
@@ -38,8 +40,9 @@ awk '
     }
     END {
         printf "{\n"
-        printf "  \"snapshot\": \"BENCH_08\",\n"
+        printf "  \"snapshot\": \"BENCH_09\",\n"
         printf "  \"unit\": \"ns_per_iter_median\",\n"
+        printf "  \"nproc\": %d,\n", nproc
         printf "  \"kernels\": {\n"
         for (i = 0; i < n; i++) {
             name = order[i]
@@ -66,6 +69,41 @@ awk '
         if ("engine_1cm_f32" in medians && "engine_1cm_f32_windowed" in medians) {
             printf "%s    \"f32_windowed_vs_full_speedup\": %.2f", sep, \
                 medians["engine_1cm_f32"] / medians["engine_1cm_f32_windowed"]
+            sep = ",\n"
+        }
+        # Quantized tables vs f32 (the CI gate requires i16 >= 1.3x) and
+        # vs the f64 serial engine.
+        if ("engine_1cm_f32" in medians && "engine_1cm_i16" in medians) {
+            printf "%s    \"i16_vs_f32_speedup\": %.2f", sep, \
+                medians["engine_1cm_f32"] / medians["engine_1cm_i16"]
+            sep = ",\n"
+        }
+        if ("engine_1cm_serial" in medians && "engine_1cm_i16" in medians) {
+            printf "%s    \"i16_vs_f64_speedup\": %.2f", sep, \
+                medians["engine_1cm_serial"] / medians["engine_1cm_i16"]
+            sep = ",\n"
+        }
+        if ("engine_1cm_f32" in medians && "engine_1cm_i8" in medians) {
+            printf "%s    \"i8_vs_f32_speedup\": %.2f", sep, \
+                medians["engine_1cm_f32"] / medians["engine_1cm_i8"]
+            sep = ",\n"
+        }
+        # Explicit-SIMD kernels vs their forced-scalar forms. The i16
+        # scalar runs its fused subtract through libm fmaf (the baseline
+        # target has no compile-time FMA), so its ratio also prices that.
+        if ("engine_1cm_i16" in medians && "engine_1cm_i16_scalar" in medians) {
+            printf "%s    \"i16_simd_vs_scalar_speedup\": %.2f", sep, \
+                medians["engine_1cm_i16_scalar"] / medians["engine_1cm_i16"]
+            sep = ",\n"
+        }
+        if ("engine_1cm_i8" in medians && "engine_1cm_i8_scalar" in medians) {
+            printf "%s    \"i8_simd_vs_scalar_speedup\": %.2f", sep, \
+                medians["engine_1cm_i8_scalar"] / medians["engine_1cm_i8"]
+            sep = ",\n"
+        }
+        if ("engine_1cm_i16" in medians && "engine_1cm_i16_windowed" in medians) {
+            printf "%s    \"i16_windowed_vs_full_speedup\": %.2f", sep, \
+                medians["engine_1cm_i16"] / medians["engine_1cm_i16_windowed"]
             sep = ",\n"
         }
         # serve_ingest benches push their named read count per iteration;
